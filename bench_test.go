@@ -1,0 +1,281 @@
+package kbt
+
+// Benchmark harness: one benchmark per table and figure of the paper's
+// evaluation (§5), regenerating the corresponding result on the simulated
+// substrates. Run with
+//
+//	go test -bench=. -benchmem
+//
+// Each benchmark reports the headline quantity of its artefact as custom
+// metrics (b.ReportMetric), so a bench run doubles as a results sweep.
+// EXPERIMENTS.md records paper-vs-measured values for every artefact.
+
+import (
+	"strings"
+	"testing"
+
+	"kbt/internal/experiments"
+	"kbt/internal/pagerank"
+	"kbt/internal/synthetic"
+	"kbt/internal/websim"
+)
+
+// metricName builds a ReportMetric unit (no whitespace allowed).
+func metricName(prefix, name string) string {
+	return prefix + strings.ReplaceAll(name, " ", "_")
+}
+
+func benchCfg() experiments.KVConfig {
+	cfg := experiments.DefaultKVConfig()
+	cfg.Seed = 1
+	return cfg
+}
+
+// BenchmarkFig3 regenerates Figure 3: SqV/SqC/SqA versus the number of
+// extractors on synthetic data (single-layer vs multi-layer).
+func BenchmarkFig3(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.Fig3(10, 2, 1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		last := rows[len(rows)-1]
+		b.ReportMetric(last.MultiSqV, "SqV-multi@10ext")
+		b.ReportMetric(last.SingleSqV, "SqV-single@10ext")
+		b.ReportMetric(last.MultiSqA, "SqA-multi@10ext")
+	}
+}
+
+// BenchmarkFig4 regenerates Figure 4: multi-layer losses while sweeping
+// extractor recall, extractor precision, and source accuracy.
+func BenchmarkFig4(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		for _, param := range []experiments.Fig4Param{
+			experiments.VaryRecall, experiments.VaryPrecision, experiments.VaryAccuracy,
+		} {
+			rows, err := experiments.Fig4(param, 2, 1)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ReportMetric(rows[len(rows)-1].SqV, "SqV@"+param.String()+"=0.9")
+		}
+	}
+}
+
+// BenchmarkFig5 regenerates Figure 5: the long-tail distribution of
+// extracted triples per URL and per extraction pattern.
+func BenchmarkFig5(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		series, err := experiments.Fig5(benchCfg())
+		if err != nil {
+			b.Fatal(err)
+		}
+		small := 0
+		total := 0
+		for bi, bucket := range series[0].Buckets {
+			if bi < 4 { // buckets "1".."4"
+				small += bucket.Count
+			}
+			total += bucket.Count
+		}
+		b.ReportMetric(float64(small)/float64(total), "frac-URLs<5-triples")
+	}
+}
+
+// BenchmarkTable5 regenerates Table 5: SqV/WDev/AUC-PR/Cov for
+// SINGLELAYER(+), MULTILAYER(+), MULTILAYERSM(+).
+func BenchmarkTable5(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		runs, err := experiments.Table5(benchCfg())
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, r := range runs {
+			b.ReportMetric(r.SqV, "SqV-"+r.Name())
+		}
+	}
+}
+
+// BenchmarkFig6 regenerates Figure 6: predicted extraction correctness for
+// type-error versus KB-true triples under MULTILAYER+.
+func BenchmarkFig6(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Fig6(benchCfg())
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(res.TypeErrLow, "typeErr-below-0.1")
+		b.ReportMetric(res.KBTrueHigh, "kbTrue-above-0.7")
+	}
+}
+
+// BenchmarkTable6 regenerates Table 6: the inference-algorithm ablations.
+func BenchmarkTable6(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.Table6(benchCfg())
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, r := range rows {
+			b.ReportMetric(r.AUCPR, metricName("AUCPR-", r.Name))
+		}
+	}
+}
+
+// BenchmarkTable7 regenerates Table 7: relative per-stage running time of
+// the Normal / Split / Split&Merge strategies.
+func BenchmarkTable7(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		cfg := benchCfg()
+		cols, err := experiments.Table7(cfg, cfg.MinSupport, 2000)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, c := range cols {
+			b.ReportMetric(c.IterTotal, "iter-"+c.Strategy.String())
+		}
+	}
+}
+
+// BenchmarkFig7 regenerates Figure 7: the distribution of website KBT.
+func BenchmarkFig7(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Fig7(benchCfg())
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(res.FracAbove08, "frac-KBT>0.8")
+		b.ReportMetric(float64(res.ReportableSites), "reportable-sites")
+	}
+}
+
+// BenchmarkFig8Fig9 regenerates Figures 8 and 9: calibration and PR curves
+// for the gold-initialised methods (derived from the Table 5 runs).
+func BenchmarkFig8Fig9(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		runs, err := experiments.Table5(benchCfg())
+		if err != nil {
+			b.Fatal(err)
+		}
+		cal := experiments.Fig8(runs)
+		pr := experiments.Fig9(runs)
+		b.ReportMetric(float64(len(cal)), "calibration-series")
+		b.ReportMetric(float64(len(pr)), "pr-series")
+	}
+}
+
+// BenchmarkFig10 regenerates Figure 10: KBT versus PageRank for sampled
+// websites plus the §5.4 corner analyses.
+func BenchmarkFig10(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Fig10(benchCfg(), 2000)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(res.Correlation, "corr-KBT-PageRank")
+		b.ReportMetric(float64(res.HighKBTLowPR), "highKBT-lowPR-sites")
+	}
+}
+
+// BenchmarkEval541 regenerates the §5.4.1 four-criteria evaluation of
+// high-KBT websites.
+func BenchmarkEval541(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Eval541(benchCfg(), 100, 0.9)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.SitesEvaluated > 0 {
+			b.ReportMetric(float64(res.Trustworthy)/float64(res.SitesEvaluated), "trustworthy-frac")
+		}
+	}
+}
+
+// --- component benchmarks: the costly inner loops ---
+
+// BenchmarkMultiLayerInference measures one full multi-layer run on a
+// mid-size corpus (the paper's Algorithm 1).
+func BenchmarkMultiLayerInference(b *testing.B) {
+	p := websim.DefaultParams()
+	p.Seed = 7
+	world, err := websim.Generate(p)
+	if err != nil {
+		b.Fatal(err)
+	}
+	ds := NewDataset()
+	for _, r := range world.Dataset.Records {
+		ds.Add(Extraction{Extractor: r.Extractor, Pattern: r.Pattern,
+			Website: r.Website, Page: r.Page,
+			Subject: r.Subject, Predicate: r.Predicate, Object: r.Object,
+			Confidence: r.Confidence})
+	}
+	opt := DefaultOptions()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := EstimateKBT(ds, opt); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(ds.Len()), "extractions")
+}
+
+// BenchmarkSingleLayerInference measures the single-layer baseline on the
+// same corpus.
+func BenchmarkSingleLayerInference(b *testing.B) {
+	p := websim.DefaultParams()
+	p.Seed = 7
+	world, err := websim.Generate(p)
+	if err != nil {
+		b.Fatal(err)
+	}
+	ds := NewDataset()
+	for _, r := range world.Dataset.Records {
+		ds.Add(Extraction{Extractor: r.Extractor, Pattern: r.Pattern,
+			Website: r.Website, Page: r.Page,
+			Subject: r.Subject, Predicate: r.Predicate, Object: r.Object,
+			Confidence: r.Confidence})
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := FuseSingleLayer(ds, DefaultFusionOptions()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSyntheticGeneration measures the §5.2.1 generator.
+func BenchmarkSyntheticGeneration(b *testing.B) {
+	p := synthetic.DefaultParams()
+	for i := 0; i < b.N; i++ {
+		p.Seed = int64(i + 1)
+		if _, err := synthetic.Generate(p); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkCorpusGeneration measures the web-corpus simulator.
+func BenchmarkCorpusGeneration(b *testing.B) {
+	p := websim.DefaultParams()
+	for i := 0; i < b.N; i++ {
+		p.Seed = int64(i + 1)
+		if _, err := websim.Generate(p); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkPageRank measures power iteration on the simulated link graph.
+func BenchmarkPageRank(b *testing.B) {
+	p := websim.DefaultParams().Scale(4)
+	world, err := websim.Generate(p)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := pagerank.Compute(world.Graph, pagerank.DefaultOptions()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,244 @@
+// Command kbt runs Knowledge-Based Trust estimation from the command line.
+//
+// Usage:
+//
+//	kbt estimate  [-granularity auto|website|page|finest] [-iters N]
+//	              [-min-support N] [-top K] [-triples] [-extractors] [file.tsv]
+//	kbt fuse      [-model accu|popaccu] [-n N] [-top K] [file.tsv]
+//	kbt generate  [-kind synthetic|web] [-scale F] [-seed N] [-o out.tsv]
+//
+// The TSV interchange format is one extraction per line:
+//
+//	extractor  pattern  website  page  subject  predicate  object  [confidence]
+//
+// estimate and fuse read from stdin when no file is given.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"kbt"
+	"kbt/internal/synthetic"
+	"kbt/internal/triple"
+	"kbt/internal/websim"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(2)
+	}
+	var err error
+	switch os.Args[1] {
+	case "estimate":
+		err = cmdEstimate(os.Args[2:])
+	case "fuse":
+		err = cmdFuse(os.Args[2:])
+	case "generate":
+		err = cmdGenerate(os.Args[2:])
+	case "-h", "--help", "help":
+		usage()
+	default:
+		fmt.Fprintf(os.Stderr, "kbt: unknown command %q\n", os.Args[1])
+		usage()
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "kbt:", err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprint(os.Stderr, `kbt - Knowledge-Based Trust estimation
+
+commands:
+  estimate   run the multi-layer model on extraction TSV, print KBT scores
+  fuse       run the single-layer ACCU/POPACCU baseline, print triple beliefs
+  generate   emit a synthetic corpus as TSV (for demos and benchmarks)
+
+run "kbt <command> -h" for flags.
+`)
+}
+
+func readDataset(path string) (*kbt.Dataset, error) {
+	var r io.Reader = os.Stdin
+	if path != "" {
+		f, err := os.Open(path)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		r = f
+	}
+	td, err := triple.ReadTSV(r)
+	if err != nil {
+		return nil, err
+	}
+	ds := kbt.NewDataset()
+	for _, rec := range td.Records {
+		ds.Add(kbt.Extraction{
+			Extractor: rec.Extractor, Pattern: rec.Pattern,
+			Website: rec.Website, Page: rec.Page,
+			Subject: rec.Subject, Predicate: rec.Predicate, Object: rec.Object,
+			Confidence: rec.Confidence,
+		})
+	}
+	return ds, nil
+}
+
+func cmdEstimate(args []string) error {
+	fs := flag.NewFlagSet("estimate", flag.ExitOnError)
+	gran := fs.String("granularity", "auto", "source granularity: auto|website|page|finest")
+	iters := fs.Int("iters", 5, "EM iterations")
+	minSupport := fs.Int("min-support", 3, "minimum observations per source/extractor")
+	top := fs.Int("top", 20, "number of sources to print (0 = all)")
+	showTriples := fs.Bool("triples", false, "also print triple beliefs")
+	showExtractors := fs.Bool("extractors", false, "also print extractor quality")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	ds, err := readDataset(fs.Arg(0))
+	if err != nil {
+		return err
+	}
+
+	opt := kbt.DefaultOptions()
+	opt.Iterations = *iters
+	opt.MinSupport = *minSupport
+	switch *gran {
+	case "auto":
+		opt.Granularity = kbt.GranularityAuto
+	case "website":
+		opt.Granularity = kbt.GranularityWebsite
+	case "page":
+		opt.Granularity = kbt.GranularityPage
+	case "finest":
+		opt.Granularity = kbt.GranularityFinest
+	default:
+		return fmt.Errorf("unknown granularity %q", *gran)
+	}
+
+	res, err := kbt.EstimateKBT(ds, opt)
+	if err != nil {
+		return err
+	}
+
+	fmt.Printf("%-50s %8s %10s %s\n", "SOURCE", "KBT", "EXP.TRIPLES", "REPORTABLE")
+	for i, s := range res.Sources() {
+		if *top > 0 && i >= *top {
+			fmt.Printf("... (%d more)\n", len(res.Sources())-*top)
+			break
+		}
+		fmt.Printf("%-50s %8.4f %10.1f %v\n", clip(s.Name, 50), s.KBT, s.ExpectedTriples, s.Reportable)
+	}
+	if *showExtractors {
+		fmt.Printf("\n%-50s %10s %10s\n", "EXTRACTOR", "PRECISION", "RECALL")
+		for _, e := range res.Extractors() {
+			fmt.Printf("%-50s %10.4f %10.4f\n", clip(e.Name, 50), e.Precision, e.Recall)
+		}
+	}
+	if *showTriples {
+		fmt.Printf("\n%-30s %-20s %-20s %s\n", "SUBJECT", "PREDICATE", "OBJECT", "P(TRUE)")
+		for _, tv := range res.Triples() {
+			fmt.Printf("%-30s %-20s %-20s %.4f\n",
+				clip(tv.Subject, 30), clip(tv.Predicate, 20), clip(tv.Object, 20), tv.Probability)
+		}
+	}
+	return nil
+}
+
+func cmdFuse(args []string) error {
+	fs := flag.NewFlagSet("fuse", flag.ExitOnError)
+	model := fs.String("model", "accu", "fusion model: accu|popaccu")
+	n := fs.Int("n", 100, "assumed number of false values per data item")
+	iters := fs.Int("iters", 5, "EM iterations")
+	minSupport := fs.Int("min-support", 3, "minimum observations per provenance")
+	top := fs.Int("top", 50, "number of triples to print (0 = all)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	ds, err := readDataset(fs.Arg(0))
+	if err != nil {
+		return err
+	}
+
+	opt := kbt.DefaultFusionOptions()
+	opt.DomainSize = *n
+	opt.Iterations = *iters
+	opt.MinSupport = *minSupport
+	switch *model {
+	case "accu":
+		opt.Model = kbt.Accu
+	case "popaccu":
+		opt.Model = kbt.PopAccu
+	default:
+		return fmt.Errorf("unknown model %q", *model)
+	}
+	res, err := kbt.FuseSingleLayer(ds, opt)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%-30s %-20s %-20s %s\n", "SUBJECT", "PREDICATE", "OBJECT", "P(TRUE)")
+	for i, tv := range res.Triples() {
+		if *top > 0 && i >= *top {
+			fmt.Printf("... (%d more)\n", len(res.Triples())-*top)
+			break
+		}
+		fmt.Printf("%-30s %-20s %-20s %.4f\n",
+			clip(tv.Subject, 30), clip(tv.Predicate, 20), clip(tv.Object, 20), tv.Probability)
+	}
+	return nil
+}
+
+func cmdGenerate(args []string) error {
+	fs := flag.NewFlagSet("generate", flag.ExitOnError)
+	kind := fs.String("kind", "web", "corpus kind: synthetic|web")
+	scale := fs.Float64("scale", 1, "size multiplier for the web corpus")
+	seed := fs.Int64("seed", 1, "random seed")
+	out := fs.String("o", "", "output file (default stdout)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	var w io.Writer = os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		w = f
+	}
+
+	switch *kind {
+	case "synthetic":
+		p := synthetic.DefaultParams()
+		p.Seed = *seed
+		world, err := synthetic.Generate(p)
+		if err != nil {
+			return err
+		}
+		return triple.WriteTSV(w, world.Dataset)
+	case "web":
+		p := websim.DefaultParams().Scale(*scale)
+		p.Seed = *seed
+		world, err := websim.Generate(p)
+		if err != nil {
+			return err
+		}
+		return triple.WriteTSV(w, world.Dataset)
+	default:
+		return fmt.Errorf("unknown corpus kind %q", *kind)
+	}
+}
+
+func clip(s string, n int) string {
+	if len(s) <= n {
+		return s
+	}
+	return s[:n-3] + "..."
+}

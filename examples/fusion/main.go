@@ -1,0 +1,109 @@
+// Fusion: knowledge fusion on conflicting claims — the single-layer
+// baseline versus the multi-layer model. A noisy extractor floods two good
+// sites with hallucinated values. The single-layer model, which cannot
+// tell a bad page from a bad extractor, loses confidence in those sites'
+// facts; the multi-layer model blames the extractor and keeps the facts.
+//
+// Run with:
+//
+//	go run ./examples/fusion
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"kbt"
+)
+
+func main() {
+	ds := kbt.NewDataset()
+	sites := []string{"alpha.org", "beta.org", "gamma.org", "delta.org"}
+	facts := map[string]string{
+		"Mount Everest": "8849",
+		"K2":            "8611",
+		"Kangchenjunga": "8586",
+		"Lhotse":        "8516",
+		"Makalu":        "8485",
+		"Cho Oyu":       "8188",
+	}
+
+	// Two reliable extractors read every site; every site states the
+	// correct heights.
+	for _, site := range sites {
+		for peak, height := range facts {
+			for _, e := range []string{"tables-v2", "infobox-v1"} {
+				ds.Add(kbt.Extraction{
+					Extractor: e, Pattern: "height",
+					Website: site, Page: site + "/peaks",
+					Subject: peak, Predicate: "elevation_m", Object: height,
+				})
+			}
+		}
+	}
+	// One site is sloppy: it gets two heights wrong.
+	for _, e := range []string{"tables-v2", "infobox-v1"} {
+		ds.Add(kbt.Extraction{Extractor: e, Pattern: "height",
+			Website: "sloppy.net", Page: "sloppy.net/peaks",
+			Subject: "Mount Everest", Predicate: "elevation_m", Object: "8848"})
+		ds.Add(kbt.Extraction{Extractor: e, Pattern: "height",
+			Website: "sloppy.net", Page: "sloppy.net/peaks",
+			Subject: "K2", Predicate: "elevation_m", Object: "8611"})
+		ds.Add(kbt.Extraction{Extractor: e, Pattern: "height",
+			Website: "sloppy.net", Page: "sloppy.net/peaks",
+			Subject: "Lhotse", Predicate: "elevation_m", Object: "8511"})
+	}
+	// A buggy regex extractor hallucinates heights on alpha and beta only.
+	for _, site := range sites[:2] {
+		for peak := range facts {
+			ds.Add(kbt.Extraction{
+				Extractor: "regex-v0", Pattern: "height",
+				Website: site, Page: site + "/peaks",
+				Subject: peak, Predicate: "elevation_m", Object: "9999",
+			})
+		}
+	}
+
+	multiOpt := kbt.DefaultOptions()
+	multiOpt.Granularity = kbt.GranularityWebsite
+	multiOpt.MinSupport = 1
+	multiOpt.MinReportableTriples = 3
+	multi, err := kbt.EstimateKBT(ds, multiOpt)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	singleOpt := kbt.DefaultFusionOptions()
+	singleOpt.MinSupport = 1
+	single, err := kbt.FuseSingleLayer(ds, singleOpt)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("Belief in the true Everest height (8849) vs the hallucinated 9999:")
+	mTrue, _ := multi.TripleProbability("Mount Everest", "elevation_m", "8849")
+	mFake, _ := multi.TripleProbability("Mount Everest", "elevation_m", "9999")
+	sTrue, _ := single.TripleProbability("Mount Everest", "elevation_m", "8849")
+	sFake, _ := single.TripleProbability("Mount Everest", "elevation_m", "9999")
+	fmt.Printf("  multi-layer : p(8849)=%.3f  p(9999)=%.3f\n", mTrue, mFake)
+	fmt.Printf("  single-layer: p(8849)=%.3f  p(9999)=%.3f\n", sTrue, sFake)
+
+	fmt.Println("\nSource trust under the multi-layer model:")
+	for _, s := range multi.Sources() {
+		fmt.Printf("  %-12s KBT=%.3f\n", s.Name, s.KBT)
+	}
+
+	fmt.Println("\nExtractor quality under the multi-layer model:")
+	for _, e := range multi.Extractors() {
+		fmt.Printf("  %-12s precision=%.3f recall=%.3f\n", e.Name, e.Precision, e.Recall)
+	}
+
+	fmt.Println("\nApparent accuracy under the single-layer baseline:")
+	acc := single.WebsiteAccuracy()
+	for _, site := range append(sites, "sloppy.net") {
+		fmt.Printf("  %-12s accuracy=%.3f\n", site, acc[site])
+	}
+	fmt.Println("\nThe single-layer baseline cannot tell a bad page from a bad extractor:")
+	fmt.Println("regex-v0's junk drags down alpha.org and beta.org. The multi-layer")
+	fmt.Println("model pins the 9999 values on regex-v0, so those sites keep their trust.")
+}

@@ -1,0 +1,116 @@
+// Quickstart: the paper's motivating example (Table 2) through the public
+// API. Eight webpages state Barack Obama's nationality; five extractors of
+// varying quality read them, some hallucinating values the pages never
+// provided. Knowledge-Based Trust separates the two error channels: it
+// decides USA is true, trusts W1-W4 despite the extraction noise, and
+// distrusts the extractors that earned it.
+//
+// Run with:
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"kbt"
+)
+
+func main() {
+	ds := kbt.NewDataset()
+	add := func(extractor, site, value string) {
+		ds.Add(kbt.Extraction{
+			Extractor: extractor, Pattern: "pat",
+			Website: site, Page: site + "/obama",
+			Subject: "Barack Obama", Predicate: "nationality", Object: value,
+		})
+	}
+
+	// E1 extracts every provided triple correctly.
+	for _, w := range []string{"W1", "W2", "W3", "W4"} {
+		add("E1", w, "USA")
+	}
+	add("E1", "W5", "Kenya")
+	add("E1", "W6", "Kenya")
+	// E2 misses some triples but never errs.
+	add("E2", "W1", "USA")
+	add("E2", "W2", "USA")
+	add("E2", "W5", "Kenya")
+	// E3 extracts everything and hallucinates Kenya on W7.
+	for _, w := range []string{"W1", "W2", "W3", "W4"} {
+		add("E3", w, "USA")
+	}
+	add("E3", "W5", "Kenya")
+	add("E3", "W6", "Kenya")
+	add("E3", "W7", "Kenya")
+	// E4 and E5 are poor: they miss a lot and invent a lot.
+	add("E4", "W1", "USA")
+	add("E4", "W2", "N.America")
+	add("E4", "W4", "Kenya")
+	add("E4", "W5", "Kenya")
+	add("E4", "W6", "USA")
+	add("E4", "W8", "Kenya")
+	add("E5", "W1", "Kenya")
+	add("E5", "W3", "N.America")
+	add("E5", "W5", "Kenya")
+	add("E5", "W7", "Kenya")
+
+	// Background facts from the same crawl. A single data item cannot
+	// identify extractor quality on its own; like any real corpus, the
+	// extractors have read other pages, and their track record there is
+	// what lets the model explain E4/E5's Kenya extractions away.
+	people := []string{"Angela Merkel", "Jacinda Ardern", "Shinzo Abe", "Justin Trudeau", "Macron"}
+	countries := []string{"Germany", "New Zealand", "Japan", "Canada", "France"}
+	for i, person := range people {
+		for _, w := range []string{"W1", "W2", "W3", "W4", "W5", "W6"} {
+			ds.Add(kbt.Extraction{Extractor: "E1", Pattern: "pat", Website: w, Page: w + "/leaders",
+				Subject: person, Predicate: "nationality", Object: countries[i]})
+			if i%2 == 0 {
+				ds.Add(kbt.Extraction{Extractor: "E2", Pattern: "pat", Website: w, Page: w + "/leaders",
+					Subject: person, Predicate: "nationality", Object: countries[i]})
+			}
+			ds.Add(kbt.Extraction{Extractor: "E3", Pattern: "pat", Website: w, Page: w + "/leaders",
+				Subject: person, Predicate: "nationality", Object: countries[i]})
+		}
+		// The weak extractors misread these pages about half the time.
+		ds.Add(kbt.Extraction{Extractor: "E4", Pattern: "pat", Website: "W2", Page: "W2/leaders",
+			Subject: person, Predicate: "nationality", Object: countries[(i+1)%len(countries)]})
+		ds.Add(kbt.Extraction{Extractor: "E5", Pattern: "pat", Website: "W3", Page: "W3/leaders",
+			Subject: person, Predicate: "nationality", Object: countries[(i+2)%len(countries)]})
+	}
+
+	opt := kbt.DefaultOptions()
+	opt.Granularity = kbt.GranularityWebsite
+	opt.MinSupport = 1
+	opt.MinReportableTriples = 1
+	opt.Iterations = 5
+	// All five extractors processed every page of this small crawl, so an
+	// extractor NOT extracting a triple is evidence against it (the
+	// arithmetic of the paper's Example 3.1).
+	opt.AllExtractorsVoteAbsence = true
+
+	res, err := kbt.EstimateKBT(ds, opt)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("Triple beliefs:")
+	for _, tv := range res.Triples() {
+		if tv.Subject != "Barack Obama" {
+			continue
+		}
+		fmt.Printf("  (%s, %s, %-10s)  p(true) = %.3f\n",
+			tv.Subject, tv.Predicate, tv.Object, tv.Probability)
+	}
+
+	fmt.Println("\nSource trust (KBT):")
+	for _, s := range res.Sources() {
+		fmt.Printf("  %-4s KBT = %.3f\n", s.Name, s.KBT)
+	}
+
+	fmt.Println("\nExtractor quality:")
+	for _, e := range res.Extractors() {
+		fmt.Printf("  %-4s precision = %.3f  recall = %.3f\n", e.Name, e.Precision, e.Recall)
+	}
+}

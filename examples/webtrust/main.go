@@ -1,0 +1,110 @@
+// Webtrust: the §5.4 scenario end to end. A simulated web corpus contains
+// popular-but-inaccurate gossip sites and accurate-but-obscure tail sites.
+// We compute Knowledge-Based Trust from extracted facts and PageRank from
+// the hyperlink graph, then show the two signals are nearly orthogonal —
+// KBT surfaces trustworthy tail sites PageRank buries, and demotes gossip
+// sites PageRank promotes.
+//
+// Run with:
+//
+//	go run ./examples/webtrust
+package main
+
+import (
+	"fmt"
+	"log"
+	"sort"
+
+	"kbt"
+	"kbt/internal/pagerank"
+	"kbt/internal/websim"
+)
+
+func main() {
+	params := websim.DefaultParams()
+	params.NumSites = 160
+	params.Seed = 42
+	world, err := websim.Generate(params)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("simulated corpus: %d sites, %d extraction records\n",
+		len(world.Sites), len(world.Dataset.Records))
+
+	// Feed the extractions into the public API.
+	ds := kbt.NewDataset()
+	for _, r := range world.Dataset.Records {
+		ds.Add(kbt.Extraction{
+			Extractor: r.Extractor, Pattern: r.Pattern,
+			Website: r.Website, Page: r.Page,
+			Subject: r.Subject, Predicate: r.Predicate, Object: r.Object,
+			Confidence: r.Confidence,
+		})
+	}
+	opt := kbt.DefaultOptions()
+	opt.Granularity = kbt.GranularityWebsite
+	res, err := kbt.EstimateKBT(ds, opt)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// PageRank over the hyperlink graph.
+	pr, err := pagerank.Compute(world.Graph, pagerank.DefaultOptions())
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	type row struct {
+		site     string
+		kbtScore float64
+		prScore  float64
+		kind     websim.SiteKind
+		truth    float64
+	}
+	var rows []row
+	for _, s := range res.Sources() {
+		if !s.Reportable {
+			continue
+		}
+		site, ok := world.SiteOf(s.Name)
+		if !ok {
+			continue
+		}
+		gid := world.Graph.ID(s.Name)
+		rows = append(rows, row{
+			site: s.Name, kbtScore: s.KBT, prScore: pr.Normalized[gid],
+			kind: site.Kind, truth: site.Empirical,
+		})
+	}
+
+	fmt.Println("\nHigh KBT, low PageRank — accurate tail sites the web ignores:")
+	sort.Slice(rows, func(i, j int) bool { return rows[i].kbtScore > rows[j].kbtScore })
+	printed := 0
+	for _, r := range rows {
+		if r.prScore < 0.3 && printed < 5 {
+			fmt.Printf("  %-22s KBT=%.3f PageRank=%.3f (true accuracy %.2f, %v)\n",
+				r.site, r.kbtScore, r.prScore, r.truth, r.kind)
+			printed++
+		}
+	}
+
+	fmt.Println("\nHigh PageRank, low KBT — popular sites with unreliable facts:")
+	sort.Slice(rows, func(i, j int) bool { return rows[i].prScore > rows[j].prScore })
+	printed = 0
+	for _, r := range rows {
+		if r.kbtScore < 0.6 && printed < 5 {
+			fmt.Printf("  %-22s KBT=%.3f PageRank=%.3f (true accuracy %.2f, %v)\n",
+				r.site, r.kbtScore, r.prScore, r.truth, r.kind)
+			printed++
+		}
+	}
+
+	// How well does KBT track ground-truth accuracy?
+	var se float64
+	for _, r := range rows {
+		d := r.kbtScore - r.truth
+		se += d * d
+	}
+	fmt.Printf("\nKBT vs ground-truth accuracy over %d reportable sites: mean squared error %.4f\n",
+		len(rows), se/float64(len(rows)))
+}

@@ -1,0 +1,280 @@
+package core
+
+// This file pins the implementation to the paper's worked example: the
+// Obama-nationality scenario of Table 2, the extractor qualities of Table 3,
+// the posteriors of Table 4, and the arithmetic of Examples 3.1-3.3.
+
+import (
+	"math"
+	"testing"
+
+	"kbt/internal/triple"
+)
+
+// table2 reconstructs the extractions of Table 2. The assignment of the
+// ambiguous cells to E4/E5 is the unique one consistent with Table 3's
+// precision/recall (E4: P=2/6, R=2/6; E5: P=1/4, R=1/6) and with the vote
+// counts computed in Examples 3.1 and 3.3.
+func table2() *triple.Dataset {
+	d := triple.NewDataset()
+	add := func(e, w, v string) {
+		d.Add(triple.Record{
+			Extractor: e, Pattern: "pat", Website: w, Page: w + "/1",
+			Subject: "Obama", Predicate: "nationality", Object: v,
+		})
+	}
+	// E1 extracts every provided triple correctly.
+	for _, w := range []string{"W1", "W2", "W3", "W4"} {
+		add("E1", w, "USA")
+	}
+	add("E1", "W5", "Kenya")
+	add("E1", "W6", "Kenya")
+	// E2 misses some provided triples but is always correct.
+	add("E2", "W1", "USA")
+	add("E2", "W2", "USA")
+	add("E2", "W5", "Kenya")
+	// E3 extracts every provided triple but also hallucinates Kenya on W7.
+	for _, w := range []string{"W1", "W2", "W3", "W4"} {
+		add("E3", w, "USA")
+	}
+	add("E3", "W5", "Kenya")
+	add("E3", "W6", "Kenya")
+	add("E3", "W7", "Kenya")
+	// E4: poor quality (2 correct of 6 extractions).
+	add("E4", "W1", "USA")
+	add("E4", "W2", "N.Amer")
+	add("E4", "W4", "Kenya")
+	add("E4", "W5", "Kenya")
+	add("E4", "W6", "USA")
+	add("E4", "W8", "Kenya")
+	// E5: poor quality (1 correct of 4 extractions).
+	add("E5", "W1", "Kenya")
+	add("E5", "W3", "N.Amer")
+	add("E5", "W5", "Kenya")
+	add("E5", "W7", "Kenya")
+
+	// Ground truth of the "Value" column.
+	for _, w := range []string{"W1", "W2", "W3", "W4"} {
+		d.MarkProvided(w, w+"/1", "Obama", "nationality", "USA")
+	}
+	d.MarkProvided("W5", "W5/1", "Obama", "nationality", "Kenya")
+	d.MarkProvided("W6", "W6/1", "Obama", "nationality", "Kenya")
+	d.MarkTrue("Obama", "nationality", "USA")
+	return d
+}
+
+// table3Quality returns the extractor qualities of Table 3 (Q and R are
+// primary; the paper derives the vote counts from them).
+func table3Quality() (q, r map[string]float64) {
+	q = map[string]float64{"E1": .01, "E2": .01, "E3": .06, "E4": .22, "E5": .17}
+	r = map[string]float64{"E1": .99, "E2": .5, "E3": .99, "E4": .33, "E5": .17}
+	return
+}
+
+func compileExample(t *testing.T) *triple.Snapshot {
+	t.Helper()
+	return table2().Compile(triple.CompileOptions{
+		SourceKey:    triple.SourceKeyWebsite,
+		ExtractorKey: triple.ExtractorKeyName,
+	})
+}
+
+// exampleOptions fixes every parameter at the values the worked example
+// assumes: extractor quality from Table 3, source accuracy 0.6, n=10, α=0.5,
+// MAP value estimation, all-extractor absence scope.
+func exampleOptions(s *triple.Snapshot) Options {
+	q, r := table3Quality()
+	opt := DefaultOptions()
+	opt.Alpha = 0.5 // Example 3.1: "assuming α = 0.5"
+	opt.Scope = ScopeAllExtractors
+	opt.WeightedVote = false
+	opt.UpdatePrior = false
+	opt.FreezeSources = true
+	opt.FreezeExtractors = true
+	opt.MaxIter = 1
+	opt.Tol = 0
+	opt.InitAccuracy = 0.6
+	opt.InitialExtractorQ = map[int]float64{}
+	opt.InitialExtractorRecall = map[int]float64{}
+	for name, qv := range q {
+		opt.InitialExtractorQ[s.ExtractorID(name)] = qv
+	}
+	for name, rv := range r {
+		opt.InitialExtractorRecall[s.ExtractorID(name)] = rv
+	}
+	return opt
+}
+
+func TestTable3VoteCounts(t *testing.T) {
+	// Pre and Abs per Table 3: Pre = logR - logQ, Abs = log(1-R) - log(1-Q).
+	q, r := table3Quality()
+	want := map[string][2]float64{
+		"E1": {4.6, -4.6},
+		"E2": {3.9, -0.7},
+		"E3": {2.8, -4.5},
+		"E4": {0.4, -0.15},
+		"E5": {0, 0},
+	}
+	for e, w := range want {
+		pre := PresenceVote(r[e], q[e])
+		abs := AbsenceVote(r[e], q[e])
+		if math.Abs(pre-w[0]) > 0.06 {
+			t.Errorf("%s: Pre = %.3f, want %.2f", e, pre, w[0])
+		}
+		if math.Abs(abs-w[1]) > 0.06 {
+			t.Errorf("%s: Abs = %.3f, want %.2f", e, abs, w[1])
+		}
+	}
+}
+
+func TestExample31VoteCounts(t *testing.T) {
+	// Example 3.1: vote count for (W1, USA) is 11.7 and σ(11.7)≈1;
+	// for (W6, USA) it is -9.4 and σ(-9.4)≈0.
+	s := compileExample(t)
+	opt := exampleOptions(s)
+	res, err := Run(s, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := s.ItemID("Obama", "nationality")
+	vUSA := s.ValueID("USA")
+	get := func(w string, v int) float64 {
+		ti := s.TripleIndex(s.SourceID(w), d, v)
+		if ti < 0 {
+			t.Fatalf("no candidate triple for %s", w)
+		}
+		return res.CProb[ti]
+	}
+	if p := get("W1", vUSA); p < 0.9999 {
+		t.Errorf("p(C W1,USA) = %v, want ~1", p)
+	}
+	if p := get("W6", vUSA); p > 0.001 {
+		t.Errorf("p(C W6,USA) = %v, want ~0", p)
+	}
+}
+
+func TestTable4ExtractionCorrectness(t *testing.T) {
+	// Full Table 4: p(C_wdv=1 | X_wdv) for every candidate cell.
+	s := compileExample(t)
+	res, err := Run(s, exampleOptions(s))
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := s.ItemID("Obama", "nationality")
+	want := []struct {
+		w, v string
+		p    float64
+	}{
+		{"W1", "USA", 1}, {"W1", "Kenya", 0},
+		{"W2", "USA", 1}, {"W2", "N.Amer", 0},
+		{"W3", "USA", 1}, {"W3", "N.Amer", 0},
+		{"W4", "USA", 1}, {"W4", "Kenya", 0},
+		{"W5", "Kenya", 1},
+		{"W6", "Kenya", 1}, {"W6", "USA", 0},
+		{"W7", "Kenya", 0.07},
+		{"W8", "Kenya", 0},
+	}
+	for _, c := range want {
+		ti := s.TripleIndex(s.SourceID(c.w), d, s.ValueID(c.v))
+		if ti < 0 {
+			t.Fatalf("missing candidate (%s,%s)", c.w, c.v)
+		}
+		got := res.CProb[ti]
+		if math.Abs(got-c.p) > 0.02 {
+			t.Errorf("p(C %s,%s) = %.4f, want %.2f", c.w, c.v, got, c.p)
+		}
+	}
+}
+
+func TestExample32ValuePosterior(t *testing.T) {
+	// Example 3.2 / last row of Table 4: with the correct provided triples
+	// and Aw=0.6, n=10, p(USA)=.995 and p(Kenya)=.004.
+	s := compileExample(t)
+	res, err := Run(s, exampleOptions(s))
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := s.ItemID("Obama", "nationality")
+	pUSA, ok := res.TripleProb(d, s.ValueID("USA"))
+	if !ok {
+		t.Fatal("item uncovered")
+	}
+	pKenya, _ := res.TripleProb(d, s.ValueID("Kenya"))
+	if math.Abs(pUSA-0.995) > 0.003 {
+		t.Errorf("p(USA) = %.4f, want 0.995", pUSA)
+	}
+	if math.Abs(pKenya-0.004) > 0.003 {
+		t.Errorf("p(Kenya) = %.4f, want 0.004", pKenya)
+	}
+	// The missing mass goes to the 9 unobserved domain values — note
+	// N.Amer IS observed (a candidate), so rest covers 10+1-3 = 8 values
+	// plus N.Amer's own tiny probability.
+	pN, _ := res.TripleProb(d, s.ValueID("N.Amer"))
+	total := pUSA + pKenya + pN + res.RestMass[d]
+	if math.Abs(total-1) > 1e-9 {
+		t.Errorf("mass = %v", total)
+	}
+}
+
+func TestExample33PriorUpdate(t *testing.T) {
+	// Example 3.3: after one iteration, the prior for (W7, Kenya) is
+	// α' = p(V=Kenya)·Aw + (1-p)·(1-Aw) ≈ 0.004·0.6 + 0.996·0.4 ≈ 0.40,
+	// and the posterior drops to σ(-2.65 + log(0.40/0.60)) ≈ 0.04.
+	s := compileExample(t)
+	opt := exampleOptions(s)
+	opt.UpdatePrior = true
+	opt.UpdatePriorFromIter = 2 // refined prior first used in iteration 2
+	opt.MaxIter = 2
+	res, err := Run(s, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := s.ItemID("Obama", "nationality")
+	ti := s.TripleIndex(s.SourceID("W7"), d, s.ValueID("Kenya"))
+	got := res.CProb[ti]
+	if math.Abs(got-0.045) > 0.015 {
+		t.Errorf("updated p(C W7,Kenya) = %.4f, want ~0.04", got)
+	}
+}
+
+func TestMultiLayerSeparatesSourceFromExtractionErrors(t *testing.T) {
+	// §2.3's motivation: although 12 (page, extractor) pairs support USA and
+	// 12 support Kenya, the multi-layer model must conclude USA is true and
+	// that W1-W4 are accurate despite E5's bogus Kenya extraction from W1.
+	s := compileExample(t)
+	q, r := table3Quality()
+	opt := DefaultOptions()
+	opt.Alpha = 0.5
+	opt.Scope = ScopeAllExtractors
+	opt.InitAccuracy = 0.6
+	opt.MaxIter = 5
+	opt.InitialExtractorQ = map[int]float64{}
+	opt.InitialExtractorRecall = map[int]float64{}
+	for name, qv := range q {
+		opt.InitialExtractorQ[s.ExtractorID(name)] = qv
+	}
+	for name, rv := range r {
+		opt.InitialExtractorRecall[s.ExtractorID(name)] = rv
+	}
+	res, err := Run(s, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := s.ItemID("Obama", "nationality")
+	pUSA, _ := res.TripleProb(d, s.ValueID("USA"))
+	pKenya, _ := res.TripleProb(d, s.ValueID("Kenya"))
+	if pUSA <= pKenya {
+		t.Fatalf("multi-layer should prefer USA: %v vs %v", pUSA, pKenya)
+	}
+	// W1 must NOT be punished for E5's extraction error.
+	aW1 := res.A[s.SourceID("W1")]
+	aW5 := res.A[s.SourceID("W5")]
+	if aW1 <= aW5 {
+		t.Errorf("W1 (accurate) should outrank W5 (false value): %v vs %v", aW1, aW5)
+	}
+	// E1 should look better than E5 after re-estimation.
+	if res.P[s.ExtractorID("E1")] <= res.P[s.ExtractorID("E5")] {
+		t.Errorf("E1 precision (%v) should exceed E5 (%v)",
+			res.P[s.ExtractorID("E1")], res.P[s.ExtractorID("E5")])
+	}
+}

@@ -1,0 +1,606 @@
+package core
+
+import (
+	"errors"
+	"math"
+	"sort"
+
+	"kbt/internal/parallel"
+	"kbt/internal/stats"
+	"kbt/internal/triple"
+)
+
+// Result holds the multi-layer posteriors and parameter estimates from Run.
+type Result struct {
+	// A is the estimated accuracy per source — the Knowledge-Based Trust
+	// score. Sources excluded by MinSourceSupport keep the default.
+	A []float64
+	// P, R, Q are the per-extractor precision, recall, and Q (Eq 7).
+	P, R, Q []float64
+	// Pre, Abs are the final presence/absence votes per extractor (Eqs
+	// 12-13), exposed for inspection and the worked-example tests.
+	Pre, Abs []float64
+
+	// CProb[ti] is p(C_wdv = 1 | X) for candidate triple ti of the
+	// snapshot's Triples list: the probability that the source really
+	// provides the triple.
+	CProb []float64
+
+	// ValueProb[d][k] is p(Vd = ItemValues[d][k] | X); RestMass[d] is the
+	// probability spread uniformly over the unobserved domain values.
+	ValueProb [][]float64
+	RestMass  []float64
+
+	// CoveredTriple marks candidate triples with at least one observation
+	// from an included extractor; CoveredItem marks items with at least one
+	// covered candidate triple from an included source.
+	CoveredTriple []bool
+	CoveredItem   []bool
+
+	// SourceIncluded / ExtractorIncluded report which units met the support
+	// thresholds and had their parameters re-estimated.
+	SourceIncluded    []bool
+	ExtractorIncluded []bool
+
+	// ExpectedTriples[w] is Σ p(C=1|X) over w's candidate triples — the
+	// expected number of triples correctly extracted from w. The paper
+	// reports KBT only for sources with at least 5 (§5.4).
+	ExpectedTriples []float64
+
+	// Iterations is the number of EM iterations executed; Converged reports
+	// whether the parameter deltas fell below Tol before MaxIter.
+	Iterations int
+	Converged  bool
+
+	snap *triple.Snapshot
+}
+
+// TripleProb returns p(Vd = v | X) for a candidate value v of item d and
+// whether the item is covered.
+func (r *Result) TripleProb(d, v int) (float64, bool) {
+	if d < 0 || d >= len(r.ValueProb) || !r.CoveredItem[d] {
+		return 0, false
+	}
+	vs := r.snap.ItemValues[d]
+	k := sort.SearchInts(vs, v)
+	if k < len(vs) && vs[k] == v {
+		return r.ValueProb[d][k], true
+	}
+	return 0, true
+}
+
+// KBT returns the trust score of source w and whether it is reportable at
+// the given minimum expected-triple threshold (the paper uses 5).
+func (r *Result) KBT(w int, minTriples float64) (float64, bool) {
+	if w < 0 || w >= len(r.A) {
+		return 0, false
+	}
+	if !r.SourceIncluded[w] || r.ExpectedTriples[w] < minTriples {
+		return r.A[w], false
+	}
+	return r.A[w], true
+}
+
+// Run executes Algorithm 1 on the snapshot.
+func Run(s *triple.Snapshot, opt Options) (*Result, error) {
+	if s == nil {
+		return nil, errors.New("core: nil snapshot")
+	}
+	if err := validate(opt); err != nil {
+		return nil, err
+	}
+
+	nSrc, nExt, nItem, nTri := len(s.Sources), len(s.Extractors), len(s.Items), len(s.Triples)
+
+	st := newState(s, opt)
+	res := &Result{
+		A:                 st.a,
+		P:                 st.p,
+		R:                 st.r,
+		Q:                 st.q,
+		CProb:             make([]float64, nTri),
+		ValueProb:         make([][]float64, nItem),
+		RestMass:          make([]float64, nItem),
+		CoveredTriple:     st.coveredTriple,
+		CoveredItem:       make([]bool, nItem),
+		SourceIncluded:    st.srcIncluded,
+		ExtractorIncluded: st.extIncluded,
+		ExpectedTriples:   make([]float64, nSrc),
+		snap:              s,
+	}
+
+	prevA := make([]float64, nSrc)
+	prevP := make([]float64, nExt)
+	prevR := make([]float64, nExt)
+
+	// Bootstrap: one extractor M-step from the prior p(C)=Alpha, so the
+	// first absence votes use data-driven per-unit recall instead of the
+	// global defaults (see Options.DisableBootstrap). Explicitly
+	// initialised parameters are re-applied afterwards, so the bootstrap
+	// only fills in what the caller did not pin.
+	if !opt.DisableBootstrap && !opt.FreezeExtractors {
+		opt.Timer.Time(StageExtQuality, func() {
+			for ti := range res.CProb {
+				res.CProb[ti] = opt.Alpha
+			}
+			st.estimatePRQ(res.CProb)
+			st.applyExplicitExtractorInits()
+		})
+	}
+
+	iter := 0
+	for iter = 1; iter <= opt.MaxIter; iter++ {
+		copy(prevA, st.a)
+		copy(prevP, st.p)
+		copy(prevR, st.r)
+
+		// Stage I: extraction correctness p(C|X) (Eqs 15, 26, 31).
+		opt.Timer.Time(StageExtCorr, func() { st.estimateC(res.CProb) })
+
+		// Stage II: triple truthfulness p(V|X) (Eqs 23-25).
+		opt.Timer.Time(StageTriplePr, func() {
+			st.estimateV(res.CProb, res.ValueProb, res.RestMass, res.CoveredItem)
+		})
+
+		// Stage III: source accuracies (Eq 28 / Eq 27).
+		if !opt.FreezeSources {
+			opt.Timer.Time(StageSrcAccu, func() {
+				st.estimateA(res.CProb, res.ValueProb)
+			})
+		}
+
+		// Stage IV: extractor quality (Eqs 29-33, Q via Eq 7).
+		if !opt.FreezeExtractors {
+			opt.Timer.Time(StageExtQuality, func() {
+				st.estimatePRQ(res.CProb)
+			})
+		}
+
+		// Re-estimate the prior p(C_wdv=1) for the next iteration (Eq 26);
+		// the paper starts using the refined prior at iteration
+		// UpdatePriorFromIter.
+		if opt.UpdatePrior && iter+1 >= opt.UpdatePriorFromIter {
+			st.updateAlpha(res.ValueProb)
+		}
+
+		if maxDelta(prevA, st.a)+maxDelta(prevP, st.p)+maxDelta(prevR, st.r) < opt.Tol {
+			res.Converged = true
+			iter++
+			break
+		}
+	}
+	if iter > opt.MaxIter {
+		iter = opt.MaxIter
+	}
+	res.Iterations = iter
+
+	for ti, tr := range s.Triples {
+		res.ExpectedTriples[tr.W] += res.CProb[ti]
+	}
+	return res, nil
+}
+
+func validate(opt Options) error {
+	switch {
+	case opt.N < 1:
+		return errors.New("core: N must be >= 1")
+	case opt.Gamma <= 0 || opt.Gamma >= 1:
+		return errors.New("core: Gamma must be in (0,1)")
+	case opt.Alpha <= 0 || opt.Alpha >= 1:
+		return errors.New("core: Alpha must be in (0,1)")
+	case opt.MaxIter < 1:
+		return errors.New("core: MaxIter must be >= 1")
+	case opt.InitAccuracy <= 0 || opt.InitAccuracy >= 1:
+		return errors.New("core: InitAccuracy must be in (0,1)")
+	case opt.InitRecall <= 0 || opt.InitRecall >= 1:
+		return errors.New("core: InitRecall must be in (0,1)")
+	case opt.InitQ <= 0 || opt.InitQ >= 1:
+		return errors.New("core: InitQ must be in (0,1)")
+	}
+	return nil
+}
+
+// state carries the mutable model parameters and the precomputed indexes the
+// inference stages share.
+type state struct {
+	s   *triple.Snapshot
+	opt Options
+
+	a       []float64 // per source
+	p, r, q []float64 // per extractor
+	pre, ab []float64 // per extractor, recomputed each iteration
+
+	alphaLO []float64 // per candidate triple: log odds of p(C=1) prior
+
+	srcIncluded   []bool
+	extIncluded   []bool
+	coveredTriple []bool
+
+	// conf[i] is the effective confidence of observation i after applying
+	// the UseConfidence / BinarizeAt policy.
+	conf []float64
+
+	// tripleOfObs maps observation index -> candidate-triple index.
+	tripleOfObs []int
+
+	// slotOfTriple maps candidate-triple index -> slot in ItemValues[d].
+	slotOfTriple []int
+
+	// Cell scoping for ScopeAttemptedSources: a cell is one (source,
+	// predicate) pair; an extractor "attempts" the cell if it extracted at
+	// least one triple there. cellOfTriple maps each candidate triple to
+	// its cell id (w*numPredicates + predicate).
+	cellOfTriple []int
+	// cellsOfExtractor lists the distinct cells each included extractor
+	// attempted.
+	cellsOfExtractor [][]int
+	numCells         int
+}
+
+func newState(s *triple.Snapshot, opt Options) *state {
+	nSrc, nExt, nTri := len(s.Sources), len(s.Extractors), len(s.Triples)
+	st := &state{s: s, opt: opt}
+
+	// Support counts and inclusion.
+	srcSupport := make([]int, nSrc)
+	for w, tis := range s.TriplesOfSource {
+		srcSupport[w] = len(tis)
+	}
+	extSupport := make([]int, nExt)
+	for e, obs := range s.ObsOfExtractor {
+		extSupport[e] = len(obs)
+	}
+	st.srcIncluded = make([]bool, nSrc)
+	for w := range st.srcIncluded {
+		st.srcIncluded[w] = srcSupport[w] >= max(1, opt.MinSourceSupport)
+	}
+	st.extIncluded = make([]bool, nExt)
+	for e := range st.extIncluded {
+		st.extIncluded[e] = extSupport[e] >= max(1, opt.MinExtractorSupport)
+	}
+
+	// Parameters.
+	st.a = make([]float64, nSrc)
+	for w := range st.a {
+		st.a[w] = opt.InitAccuracy
+		if v, ok := opt.InitialSourceAccuracy[w]; ok && st.srcIncluded[w] {
+			st.a[w] = stats.ClampProb(v)
+		}
+	}
+	initP := PFromQR(opt.InitQ, opt.InitRecall, opt.Gamma)
+	st.p = make([]float64, nExt)
+	st.r = make([]float64, nExt)
+	st.q = make([]float64, nExt)
+	for e := range st.p {
+		st.p[e], st.r[e] = initP, opt.InitRecall
+		if v, ok := opt.InitialExtractorPrecision[e]; ok && st.extIncluded[e] {
+			st.p[e] = stats.ClampProb(v)
+		}
+		if v, ok := opt.InitialExtractorRecall[e]; ok && st.extIncluded[e] {
+			st.r[e] = stats.ClampProb(v)
+		}
+		st.q[e] = QFromPR(st.p[e], st.r[e], opt.Gamma)
+		// Honour the exact default Q when no smart initialisation applies,
+		// since InitQ and derived-from-P values can differ.
+		if _, ok := opt.InitialExtractorPrecision[e]; !ok {
+			st.q[e] = opt.InitQ
+		}
+		if v, ok := opt.InitialExtractorQ[e]; ok && st.extIncluded[e] {
+			st.q[e] = stats.ClampProb(v)
+		}
+	}
+	st.pre = make([]float64, nExt)
+	st.ab = make([]float64, nExt)
+
+	// Effective confidences.
+	st.conf = make([]float64, len(s.Obs))
+	for i, o := range s.Obs {
+		c := o.Conf
+		if !opt.UseConfidence {
+			if opt.BinarizeAt >= 0 {
+				if c > opt.BinarizeAt {
+					c = 1
+				} else {
+					c = 0
+				}
+			} else {
+				c = 1
+			}
+		}
+		st.conf[i] = c
+	}
+
+	// Observation -> triple mapping and per-triple coverage.
+	st.tripleOfObs = make([]int, len(s.Obs))
+	st.coveredTriple = make([]bool, nTri)
+	for ti, idxs := range s.ByTriple {
+		for _, oi := range idxs {
+			st.tripleOfObs[oi] = ti
+			if st.extIncluded[s.Obs[oi].E] {
+				st.coveredTriple[ti] = true
+			}
+		}
+	}
+
+	// Value slot per candidate triple.
+	st.slotOfTriple = make([]int, nTri)
+	for ti, tr := range s.Triples {
+		vs := s.ItemValues[tr.D]
+		st.slotOfTriple[ti] = sort.SearchInts(vs, tr.V)
+	}
+
+	// (source, predicate) cells and per-extractor attempt scopes.
+	nPred := len(s.Predicates)
+	if nPred == 0 {
+		nPred = 1
+	}
+	st.numCells = nSrc * nPred
+	cellOf := func(w, d int) int {
+		p := 0
+		if len(s.PredOfItem) > d {
+			p = s.PredOfItem[d]
+		}
+		return w*nPred + p
+	}
+	st.cellOfTriple = make([]int, nTri)
+	for ti, tr := range s.Triples {
+		st.cellOfTriple[ti] = cellOf(tr.W, tr.D)
+	}
+	st.cellsOfExtractor = make([][]int, nExt)
+	seenCell := make(map[[2]int]bool)
+	for i, o := range s.Obs {
+		if !st.extIncluded[o.E] {
+			continue
+		}
+		c := st.cellOfTriple[st.tripleOfObs[i]]
+		k := [2]int{o.E, c}
+		if !seenCell[k] {
+			seenCell[k] = true
+			st.cellsOfExtractor[o.E] = append(st.cellsOfExtractor[o.E], c)
+		}
+	}
+
+	// Prior log odds.
+	lo := stats.Logit(opt.Alpha)
+	st.alphaLO = make([]float64, nTri)
+	for ti := range st.alphaLO {
+		st.alphaLO[ti] = lo
+	}
+	return st
+}
+
+// estimateC computes p(C_wdv=1|X) for every candidate triple (Eq 15 with the
+// confidence-weighted vote count of Eq 31).
+func (st *state) estimateC(cProb []float64) {
+	s := st.s
+	for e := range st.pre {
+		st.pre[e] = PresenceVote(st.r[e], st.q[e])
+		st.ab[e] = AbsenceVote(st.r[e], st.q[e])
+	}
+
+	// Base absence mass per (source, predicate) cell, or globally.
+	var totalAbs float64
+	var cellAbs []float64
+	if st.opt.Scope == ScopeAllExtractors {
+		for e, inc := range st.extIncluded {
+			if inc {
+				totalAbs += st.ab[e]
+			}
+		}
+	} else {
+		cellAbs = make([]float64, st.numCells)
+		for e, cells := range st.cellsOfExtractor {
+			for _, c := range cells {
+				cellAbs[c] += st.ab[e]
+			}
+		}
+	}
+
+	parallel.ForEach(len(s.Triples), st.opt.Workers, func(ti int) {
+		var vcc float64
+		if st.opt.Scope == ScopeAllExtractors {
+			vcc = totalAbs
+		} else {
+			vcc = cellAbs[st.cellOfTriple[ti]]
+		}
+		for _, oi := range s.ByTriple[ti] {
+			o := s.Obs[oi]
+			if !st.extIncluded[o.E] {
+				continue
+			}
+			// The extractor's absence vote is already in the base mass;
+			// replace it with the soft mixture c·Pre + (1-c)·Abs (Eq 31).
+			vcc += st.conf[oi] * (st.pre[o.E] - st.ab[o.E])
+		}
+		cProb[ti] = stats.Sigmoid(vcc + st.alphaLO[ti])
+	})
+}
+
+// estimateV computes p(Vd|X) for every item (Eqs 23-25), optionally using
+// the MAP Ĉ instead of the soft weights (§3.3.2 vs §3.3.3).
+func (st *state) estimateV(cProb []float64, valueProb [][]float64, restMass []float64, coveredItem []bool) {
+	s := st.s
+	parallel.ForEach(len(s.Items), st.opt.Workers, func(d int) {
+		vs := s.ItemValues[d]
+		scores := make([]float64, len(vs))
+		covered := false
+		for _, ti := range s.TriplesOfItem[d] {
+			tr := s.Triples[ti]
+			if !st.srcIncluded[tr.W] || !st.coveredTriple[ti] {
+				continue
+			}
+			covered = true
+			w := cProb[ti]
+			if !st.opt.WeightedVote {
+				if w >= 0.5 {
+					w = 1
+				} else {
+					w = 0
+				}
+			}
+			scores[st.slotOfTriple[ti]] += w * SourceVote(st.a[tr.W], st.opt.N)
+		}
+		coveredItem[d] = covered
+		if !covered {
+			valueProb[d] = make([]float64, len(vs))
+			restMass[d] = 0
+			return
+		}
+		rest := st.opt.N + 1 - len(vs)
+		if rest < 0 {
+			rest = 0
+		}
+		probs, rm := stats.SoftmaxWithRest(scores, rest, 0)
+		valueProb[d] = probs
+		restMass[d] = rm
+	})
+}
+
+// estimateA updates source accuracies (Eq 28, or Eq 27 when WeightedVote is
+// off). Both sums range over candidates the MAP estimate considers provided
+// (the paper's "dv : Ĉwdv > 0"); Eq 28 additionally weights them by p(C|X).
+// The gate matters: under heavy extraction noise, candidates the model
+// already disbelieves would otherwise flood the denominator with phantom
+// "provided" mass and bias every accuracy towards zero.
+func (st *state) estimateA(cProb []float64, valueProb [][]float64) {
+	s := st.s
+	parallel.ForEach(len(s.Sources), st.opt.Workers, func(w int) {
+		if !st.srcIncluded[w] {
+			return
+		}
+		var num, den float64
+		for _, ti := range s.TriplesOfSource[w] {
+			if !st.coveredTriple[ti] || cProb[ti] < 0.5 {
+				continue
+			}
+			tr := s.Triples[ti]
+			weight := cProb[ti]
+			if !st.opt.WeightedVote {
+				weight = 1 // Eq 27: plain average over Ĉ=1 candidates
+			}
+			num += weight * valueProb[tr.D][st.slotOfTriple[ti]]
+			den += weight
+		}
+		if den > 0 {
+			a := num / den
+			if c := st.opt.AccuracyClamp; c > 0.5 && c < 1 {
+				a = stats.Clamp(a, 1-c, c)
+			}
+			st.a[w] = stats.ClampProb(a)
+		}
+	})
+}
+
+// estimatePRQ updates extractor precision and recall (Eqs 29-33) and derives
+// Q via Eq 7.
+func (st *state) estimatePRQ(cProb []float64) {
+	s := st.s
+
+	// Per-cell total correctness mass, used by the recall denominator under
+	// ScopeAttemptedSources.
+	var totalC float64
+	cellC := make([]float64, st.numCells)
+	for ti := range s.Triples {
+		if !st.coveredTriple[ti] {
+			continue
+		}
+		cellC[st.cellOfTriple[ti]] += cProb[ti]
+		totalC += cProb[ti]
+	}
+
+	parallel.ForEach(len(s.Extractors), st.opt.Workers, func(e int) {
+		if !st.extIncluded[e] {
+			return
+		}
+		var num, pDen float64
+		for _, oi := range s.ObsOfExtractor[e] {
+			c := st.conf[oi]
+			if c <= 0 {
+				continue
+			}
+			ti := st.tripleOfObs[oi]
+			p := cProb[ti]
+			if st.opt.LeaveOneOut {
+				// Score the extraction by the rest of the evidence: strip
+				// this extractor's presence vote (and its share of the base
+				// absence mass) from the posterior's log odds.
+				lo := stats.Logit(p) - c*(st.pre[e]-st.ab[e]) - st.ab[e]
+				p = stats.Sigmoid(lo)
+			}
+			num += c * p
+			pDen += c
+		}
+		var rDen float64
+		if st.opt.Scope == ScopeAllExtractors {
+			rDen = totalC
+		} else {
+			for _, cell := range st.cellsOfExtractor[e] {
+				rDen += cellC[cell]
+			}
+		}
+		k := st.opt.Smoothing
+		if pDen > 0 {
+			st.p[e] = stats.ClampProb((num + k/2) / (pDen + k))
+		}
+		if rDen > 0 {
+			st.r[e] = stats.ClampProb((num + k/2) / (rDen + k))
+		}
+		st.q[e] = QFromPR(st.p[e], st.r[e], st.opt.Gamma)
+		if st.q[e] < st.opt.QFloor {
+			st.q[e] = st.opt.QFloor
+		}
+	})
+}
+
+// applyExplicitExtractorInits re-imposes caller-pinned extractor parameters
+// on top of whatever the bootstrap estimated.
+func (st *state) applyExplicitExtractorInits() {
+	for e := range st.p {
+		if !st.extIncluded[e] {
+			continue
+		}
+		p, hasP := st.opt.InitialExtractorPrecision[e]
+		r, hasR := st.opt.InitialExtractorRecall[e]
+		if hasP {
+			st.p[e] = stats.ClampProb(p)
+		}
+		if hasR {
+			st.r[e] = stats.ClampProb(r)
+		}
+		if hasP || hasR {
+			st.q[e] = QFromPR(st.p[e], st.r[e], st.opt.Gamma)
+			if st.q[e] < st.opt.QFloor {
+				st.q[e] = st.opt.QFloor
+			}
+		}
+		if q, ok := st.opt.InitialExtractorQ[e]; ok {
+			st.q[e] = stats.ClampProb(q)
+		}
+	}
+}
+
+// updateAlpha re-estimates the prior p(C_wdv=1) per candidate triple from
+// the current value posterior and source accuracy (Eq 26).
+func (st *state) updateAlpha(valueProb [][]float64) {
+	s := st.s
+	parallel.ForEach(len(s.Triples), st.opt.Workers, func(ti int) {
+		tr := s.Triples[ti]
+		if len(valueProb[tr.D]) == 0 {
+			return
+		}
+		pv := valueProb[tr.D][st.slotOfTriple[ti]]
+		a := st.a[tr.W]
+		alpha := pv*a + (1-pv)*(1-a)
+		st.alphaLO[ti] = stats.Logit(alpha)
+	})
+}
+
+func maxDelta(a, b []float64) float64 {
+	var m float64
+	for i := range a {
+		if d := math.Abs(a[i] - b[i]); d > m {
+			m = d
+		}
+	}
+	return m
+}

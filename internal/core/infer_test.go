@@ -1,0 +1,509 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"testing"
+	"testing/quick"
+
+	"kbt/internal/parallel"
+	"kbt/internal/triple"
+)
+
+// smallWorld builds a corpus with two reliable extractors and one noisy one
+// over sources of varying accuracy, with multiple items per source.
+func smallWorld() (*triple.Dataset, []string) {
+	d := triple.NewDataset()
+	items := []string{"i0", "i1", "i2", "i3", "i4", "i5"}
+	truth := map[string]string{}
+	for _, it := range items {
+		truth[it] = "true-" + it
+		d.MarkTrue(it, "p", truth[it])
+	}
+	provide := func(w string, goodItems, badItems []string) {
+		for _, it := range goodItems {
+			v := truth[it]
+			d.MarkProvided(w, w+"/1", it, "p", v)
+			for _, e := range []string{"E1", "E2"} {
+				d.Add(triple.Record{Extractor: e, Pattern: "p", Website: w, Page: w + "/1",
+					Subject: it, Predicate: "p", Object: v})
+			}
+		}
+		for _, it := range badItems {
+			v := "false-" + it
+			d.MarkProvided(w, w+"/1", it, "p", v)
+			for _, e := range []string{"E1", "E2"} {
+				d.Add(triple.Record{Extractor: e, Pattern: "p", Website: w, Page: w + "/1",
+					Subject: it, Predicate: "p", Object: v})
+			}
+		}
+	}
+	provide("good1", items, nil)
+	provide("good2", items, nil)
+	provide("good3", items[:5], items[5:])
+	provide("bad1", items[:1], items[1:])
+	// Noisy extractor E3 hallucinates wrong values on the good sources.
+	for _, it := range items[:3] {
+		d.Add(triple.Record{Extractor: "E3", Pattern: "p", Website: "good1", Page: "good1/1",
+			Subject: it, Predicate: "p", Object: "halluc-" + it})
+	}
+	return d, items
+}
+
+func compileSmall(t *testing.T) *triple.Snapshot {
+	t.Helper()
+	d, _ := smallWorld()
+	return d.Compile(triple.CompileOptions{
+		SourceKey:    triple.SourceKeyWebsite,
+		ExtractorKey: triple.ExtractorKeyName,
+	})
+}
+
+func TestRunValidation(t *testing.T) {
+	s := compileSmall(t)
+	mk := func(mut func(*Options)) Options {
+		o := DefaultOptions()
+		mut(&o)
+		return o
+	}
+	bad := []Options{
+		mk(func(o *Options) { o.N = 0 }),
+		mk(func(o *Options) { o.Gamma = 0 }),
+		mk(func(o *Options) { o.Gamma = 1 }),
+		mk(func(o *Options) { o.Alpha = 0 }),
+		mk(func(o *Options) { o.MaxIter = 0 }),
+		mk(func(o *Options) { o.InitAccuracy = 1 }),
+		mk(func(o *Options) { o.InitRecall = 0 }),
+		mk(func(o *Options) { o.InitQ = 1 }),
+	}
+	for i, o := range bad {
+		if _, err := Run(s, o); err == nil {
+			t.Errorf("case %d should error", i)
+		}
+	}
+	if _, err := Run(nil, DefaultOptions()); err == nil {
+		t.Error("nil snapshot must error")
+	}
+}
+
+func TestGoodSourcesOutrankBadSources(t *testing.T) {
+	s := compileSmall(t)
+	res, err := Run(s, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	aGood := res.A[s.SourceID("good1")]
+	aBad := res.A[s.SourceID("bad1")]
+	if aGood <= aBad {
+		t.Fatalf("good source KBT %v should exceed bad source %v", aGood, aBad)
+	}
+	if aGood < 0.7 {
+		t.Errorf("good source KBT = %v, want high", aGood)
+	}
+}
+
+func TestHallucinationsBlamedOnExtractorNotSource(t *testing.T) {
+	s := compileSmall(t)
+	res, err := Run(s, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// E3 only produced unsupported values; its precision must drop below
+	// the reliable extractors'.
+	pE1 := res.P[s.ExtractorID("E1")]
+	pE3 := res.P[s.ExtractorID("E3")]
+	if pE3 >= pE1 {
+		t.Fatalf("noisy extractor precision %v should be below %v", pE3, pE1)
+	}
+	// good1 (the hallucination target) must stay comparable to good2.
+	a1 := res.A[s.SourceID("good1")]
+	a2 := res.A[s.SourceID("good2")]
+	if math.Abs(a1-a2) > 0.15 {
+		t.Errorf("hallucinations should not tank good1: %v vs good2 %v", a1, a2)
+	}
+	// And the hallucinated triples must get low extraction correctness.
+	d0 := s.ItemID("i0", "p")
+	ti := s.TripleIndex(s.SourceID("good1"), d0, s.ValueID("halluc-i0"))
+	if ti < 0 {
+		t.Fatal("missing hallucinated candidate")
+	}
+	if res.CProb[ti] > 0.5 {
+		t.Errorf("hallucinated triple p(C)=%v, want low", res.CProb[ti])
+	}
+}
+
+func TestProbabilityMassPerItem(t *testing.T) {
+	s := compileSmall(t)
+	res, err := Run(s, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for d := range s.Items {
+		if !res.CoveredItem[d] {
+			continue
+		}
+		var total float64
+		for _, p := range res.ValueProb[d] {
+			if p < 0 || p > 1 || math.IsNaN(p) {
+				t.Fatalf("item %d: bad probability %v", d, p)
+			}
+			total += p
+		}
+		total += res.RestMass[d]
+		if math.Abs(total-1) > 1e-9 {
+			t.Fatalf("item %d: mass %v", d, total)
+		}
+	}
+	for ti, c := range res.CProb {
+		if c < 0 || c > 1 || math.IsNaN(c) {
+			t.Fatalf("triple %d: bad cprob %v", ti, c)
+		}
+	}
+	for w, a := range res.A {
+		if a <= 0 || a >= 1 {
+			t.Fatalf("source %d accuracy %v not clamped", w, a)
+		}
+	}
+}
+
+func TestMinSupportExclusionAndKBTGate(t *testing.T) {
+	d, _ := smallWorld()
+	// A tiny source with one triple.
+	d.Add(triple.Record{Extractor: "E1", Pattern: "p", Website: "tiny", Page: "tiny/1",
+		Subject: "solo", Predicate: "p", Object: "v"})
+	s := d.Compile(triple.CompileOptions{
+		SourceKey: triple.SourceKeyWebsite, ExtractorKey: triple.ExtractorKeyName})
+	opt := DefaultOptions()
+	opt.MinSourceSupport = 3
+	res, err := Run(s, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tiny := s.SourceID("tiny")
+	if res.SourceIncluded[tiny] {
+		t.Error("tiny source should be excluded")
+	}
+	if res.A[tiny] != opt.InitAccuracy {
+		t.Error("excluded source accuracy must stay at default")
+	}
+	if _, ok := res.KBT(tiny, 5); ok {
+		t.Error("excluded source must not be KBT-reportable")
+	}
+	solo := s.ItemID("solo", "p")
+	if res.CoveredItem[solo] {
+		t.Error("item provided only by excluded source must be uncovered")
+	}
+	// A healthy source is reportable.
+	good := s.SourceID("good1")
+	if _, ok := res.KBT(good, 5); !ok {
+		t.Error("good1 should be KBT-reportable")
+	}
+	if _, ok := res.KBT(good, 1e9); ok {
+		t.Error("threshold above expected triples must gate reporting")
+	}
+	if _, ok := res.KBT(-1, 0); ok {
+		t.Error("out-of-range source id")
+	}
+}
+
+func TestExtractorMinSupport(t *testing.T) {
+	d, _ := smallWorld()
+	d.Add(triple.Record{Extractor: "Eonce", Pattern: "p", Website: "good1", Page: "good1/1",
+		Subject: "i0", Predicate: "p", Object: "weird"})
+	s := d.Compile(triple.CompileOptions{
+		SourceKey: triple.SourceKeyWebsite, ExtractorKey: triple.ExtractorKeyName})
+	opt := DefaultOptions()
+	opt.MinExtractorSupport = 2
+	res, err := Run(s, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eo := s.ExtractorID("Eonce")
+	if res.ExtractorIncluded[eo] {
+		t.Error("single-observation extractor should be excluded")
+	}
+	// The triple observed only by the excluded extractor is uncovered.
+	ti := s.TripleIndex(s.SourceID("good1"), s.ItemID("i0", "p"), s.ValueID("weird"))
+	if res.CoveredTriple[ti] {
+		t.Error("triple seen only by excluded extractor must be uncovered")
+	}
+}
+
+func TestWeightedVoteVsMAP(t *testing.T) {
+	// An uncertain extraction (confidence-driven cProb near 0.5) influences
+	// the weighted estimator but is an all-or-nothing vote under MAP;
+	// the two must differ on ambiguous data (Table 6 row 1).
+	s := compileSmall(t)
+	optW := DefaultOptions()
+	resW, err := Run(s, optW)
+	if err != nil {
+		t.Fatal(err)
+	}
+	optM := DefaultOptions()
+	optM.WeightedVote = false
+	resM, err := Run(s, optM)
+	if err != nil {
+		t.Fatal(err)
+	}
+	diff := 0.0
+	for d := range s.Items {
+		for k := range resW.ValueProb[d] {
+			diff += math.Abs(resW.ValueProb[d][k] - resM.ValueProb[d][k])
+		}
+	}
+	if diff == 0 {
+		t.Error("weighted and MAP estimators should differ on noisy data")
+	}
+}
+
+func TestConfidenceSoftEvidenceExample34(t *testing.T) {
+	// Example 3.4: E1 extracts T from W3/W4 with confidence .85, E3 with .5.
+	// Thresholding at .7 discards E3's extractions and leaves USA and Kenya
+	// tied 2-2; soft evidence keeps USA ahead.
+	d := triple.NewDataset()
+	add := func(e, w, v string, conf float64) {
+		d.Add(triple.Record{Extractor: e, Pattern: "p", Website: w, Page: w + "/1",
+			Subject: "Obama", Predicate: "nationality", Object: v, Confidence: conf})
+	}
+	for _, w := range []string{"W1", "W2"} {
+		add("E1", w, "USA", 1)
+		add("E3", w, "USA", 1)
+	}
+	for _, w := range []string{"W3", "W4"} {
+		add("E1", w, "USA", 0.85)
+		add("E3", w, "USA", 0.5)
+	}
+	for _, w := range []string{"W5", "W6"} {
+		add("E1", w, "Kenya", 1)
+		add("E3", w, "Kenya", 1)
+	}
+	s := d.Compile(triple.CompileOptions{
+		SourceKey: triple.SourceKeyWebsite, ExtractorKey: triple.ExtractorKeyName})
+
+	soft := DefaultOptions()
+	soft.FreezeSources = true
+	soft.FreezeExtractors = true
+	soft.Tol = 0
+	resSoft, err := Run(s, soft)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hard := soft
+	hard.UseConfidence = false
+	hard.BinarizeAt = 0.7
+	resHard, err := Run(s, hard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	di := s.ItemID("Obama", "nationality")
+	vUSA, vKenya := s.ValueID("USA"), s.ValueID("Kenya")
+	pU, _ := resSoft.TripleProb(di, vUSA)
+	pK, _ := resSoft.TripleProb(di, vKenya)
+	if pU <= pK {
+		t.Errorf("soft evidence should prefer USA: %v vs %v", pU, pK)
+	}
+	hU, _ := resHard.TripleProb(di, vUSA)
+	hK, _ := resHard.TripleProb(di, vKenya)
+	// After thresholding, W3/W4 lose their strongest support; the USA lead
+	// must shrink (the paper's example has them exactly tied).
+	if (hU - hK) >= (pU - pK) {
+		t.Errorf("thresholding should shrink USA's lead: soft %v hard %v", pU-pK, hU-hK)
+	}
+}
+
+func TestScopeAllVsAttempted(t *testing.T) {
+	// An extractor that never touched source w should count as absence
+	// evidence under ScopeAllExtractors but not under ScopeAttemptedSources.
+	d := triple.NewDataset()
+	d.Add(triple.Record{Extractor: "E1", Pattern: "p", Website: "w1", Page: "w1/1",
+		Subject: "s", Predicate: "p", Object: "v"})
+	d.Add(triple.Record{Extractor: "E1", Pattern: "p", Website: "w1", Page: "w1/1",
+		Subject: "s2", Predicate: "p", Object: "v2"})
+	// E2 works only on w2.
+	d.Add(triple.Record{Extractor: "E2", Pattern: "p", Website: "w2", Page: "w2/1",
+		Subject: "s", Predicate: "p", Object: "v"})
+	s := d.Compile(triple.CompileOptions{
+		SourceKey: triple.SourceKeyWebsite, ExtractorKey: triple.ExtractorKeyName})
+	base := DefaultOptions()
+	base.FreezeSources = true
+	base.FreezeExtractors = true
+	base.MaxIter = 1
+	attempted := base
+	attempted.Scope = ScopeAttemptedSources
+	all := base
+	all.Scope = ScopeAllExtractors
+	rAtt, err := Run(s, attempted)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rAll, err := Run(s, all)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ti := s.TripleIndex(s.SourceID("w1"), s.ItemID("s", "p"), s.ValueID("v"))
+	// Under ScopeAll, E2's absence vote (negative) lowers the posterior.
+	if !(rAll.CProb[ti] < rAtt.CProb[ti]) {
+		t.Errorf("scope-all %v should be below scope-attempted %v",
+			rAll.CProb[ti], rAtt.CProb[ti])
+	}
+}
+
+func TestParallelMatchesSerial(t *testing.T) {
+	s := compileSmall(t)
+	opt1 := DefaultOptions()
+	opt1.Workers = 1
+	optN := DefaultOptions()
+	optN.Workers = 8
+	r1, err := Run(s, opt1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rN, err := Run(s, optN)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for w := range r1.A {
+		if r1.A[w] != rN.A[w] {
+			t.Fatalf("A[%d] differs across worker counts: %v vs %v", w, r1.A[w], rN.A[w])
+		}
+	}
+	for ti := range r1.CProb {
+		if r1.CProb[ti] != rN.CProb[ti] {
+			t.Fatalf("CProb[%d] differs: %v vs %v", ti, r1.CProb[ti], rN.CProb[ti])
+		}
+	}
+}
+
+func TestStageTimerPopulated(t *testing.T) {
+	s := compileSmall(t)
+	opt := DefaultOptions()
+	opt.Timer = parallel.NewStageTimer()
+	if _, err := Run(s, opt); err != nil {
+		t.Fatal(err)
+	}
+	for _, stage := range []string{StageExtCorr, StageTriplePr, StageSrcAccu, StageExtQuality} {
+		if opt.Timer.Total(stage) <= 0 {
+			t.Errorf("stage %q not timed", stage)
+		}
+	}
+}
+
+func TestFreezeOptions(t *testing.T) {
+	s := compileSmall(t)
+	opt := DefaultOptions()
+	opt.FreezeSources = true
+	opt.FreezeExtractors = true
+	opt.Tol = 0
+	res, err := Run(s, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, a := range res.A {
+		if a != opt.InitAccuracy {
+			t.Fatalf("frozen source accuracy moved: %v", a)
+		}
+	}
+	for e := range res.R {
+		if res.R[e] != opt.InitRecall || res.Q[e] != opt.InitQ {
+			t.Fatalf("frozen extractor params moved: R=%v Q=%v", res.R[e], res.Q[e])
+		}
+	}
+}
+
+func TestConvergenceFlag(t *testing.T) {
+	s := compileSmall(t)
+	opt := DefaultOptions()
+	opt.MaxIter = 100
+	opt.Tol = 1e-12
+	res, err := Run(s, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Converged {
+		t.Error("expected convergence within 100 iterations")
+	}
+	if res.Iterations >= 100 {
+		t.Errorf("iterations = %d, expected early stop", res.Iterations)
+	}
+}
+
+func TestExpectedTriplesAccounting(t *testing.T) {
+	s := compileSmall(t)
+	res, err := Run(s, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var total float64
+	for _, x := range res.ExpectedTriples {
+		if x < 0 {
+			t.Fatalf("negative expected triples %v", x)
+		}
+		total += x
+	}
+	var sumC float64
+	for _, c := range res.CProb {
+		sumC += c
+	}
+	if math.Abs(total-sumC) > 1e-9 {
+		t.Errorf("expected triples %v != sum cprob %v", total, sumC)
+	}
+}
+
+func TestQPRRoundTrip(t *testing.T) {
+	if err := quick.Check(func(p0, r0, g0 float64) bool {
+		p := 0.05 + 0.9*math.Mod(math.Abs(p0), 1)
+		r := 0.05 + 0.9*math.Mod(math.Abs(r0), 1)
+		g := 0.05 + 0.9*math.Mod(math.Abs(g0), 1)
+		if math.IsNaN(p) || math.IsNaN(r) || math.IsNaN(g) {
+			return true
+		}
+		q := QFromPR(p, r, g)
+		if q >= 1-1e-9 || q <= 1e-9 {
+			return true // clamped; inversion not exact
+		}
+		return math.Abs(PFromQR(q, r, g)-p) < 1e-6
+	}, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSourceVote(t *testing.T) {
+	// Example 3.2: ln(10*0.6/0.4) = 2.7.
+	if got := SourceVote(0.6, 10); math.Abs(got-2.708) > 0.01 {
+		t.Errorf("SourceVote(0.6,10) = %v, want 2.708", got)
+	}
+	// Monotonic in accuracy.
+	if SourceVote(0.9, 10) <= SourceVote(0.6, 10) {
+		t.Error("SourceVote must increase with accuracy")
+	}
+}
+
+func TestRedundancyImprovesConfidence(t *testing.T) {
+	// Property: more independent sources providing the same value should not
+	// reduce the inferred probability of that value.
+	prev := 0.0
+	for k := 2; k <= 8; k++ {
+		d := triple.NewDataset()
+		for i := 0; i < k; i++ {
+			w := fmt.Sprintf("w%d", i)
+			for _, e := range []string{"E1", "E2"} {
+				d.Add(triple.Record{Extractor: e, Pattern: "p", Website: w, Page: w + "/1",
+					Subject: "s", Predicate: "p", Object: "X"})
+			}
+		}
+		// one dissenter
+		d.Add(triple.Record{Extractor: "E1", Pattern: "p", Website: "wd", Page: "wd/1",
+			Subject: "s", Predicate: "p", Object: "Y"})
+		s := d.Compile(triple.CompileOptions{
+			SourceKey: triple.SourceKeyWebsite, ExtractorKey: triple.ExtractorKeyName})
+		res, err := Run(s, DefaultOptions())
+		if err != nil {
+			t.Fatal(err)
+		}
+		p, _ := res.TripleProb(s.ItemID("s", "p"), s.ValueID("X"))
+		if p < prev-1e-6 {
+			t.Fatalf("k=%d: p(X)=%v dropped from %v", k, p, prev)
+		}
+		prev = p
+	}
+}

@@ -1,0 +1,269 @@
+package granularity
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"kbt/internal/triple"
+)
+
+func mkRecord(website, predicate, page string) triple.Record {
+	return triple.Record{
+		Extractor: "E1", Pattern: "pat", Website: website, Page: page,
+		Subject: "s", Predicate: predicate, Object: "o",
+	}
+}
+
+func unitSizes(labels []string) map[string]int {
+	m := make(map[string]int)
+	for _, l := range labels {
+		m[l]++
+	}
+	return m
+}
+
+func TestExample42(t *testing.T) {
+	// Example 4.2: 1000 sources ⟨W, Pi, URLi⟩, one triple each, same
+	// website; sizes in [5,500]. Stage 1 merges to ⟨W,Pi⟩, stage 2 to ⟨W⟩,
+	// stage 3 splits the size-1000 unit into two buckets of 500.
+	var records []triple.Record
+	for i := 0; i < 1000; i++ {
+		records = append(records, mkRecord("W", fmt.Sprintf("P%d", i), fmt.Sprintf("W/url%d", i)))
+	}
+	labels, rep, err := Sources(records, 5, 500, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sizes := unitSizes(labels)
+	if len(sizes) != 2 {
+		t.Fatalf("final units = %d, want 2 (%v)", len(sizes), rep)
+	}
+	for unit, n := range sizes {
+		if n != 500 {
+			t.Errorf("unit %q size = %d, want 500", unit, n)
+		}
+		if !strings.HasPrefix(unit, "W\x1f#") {
+			t.Errorf("split bucket label %q should derive from the website unit", unit)
+		}
+	}
+	if rep.Splits != 1 || rep.SplitBuckets != 2 {
+		t.Errorf("report: %+v", rep)
+	}
+	if rep.FinalUnits != 2 {
+		t.Errorf("FinalUnits = %d", rep.FinalUnits)
+	}
+}
+
+func TestDesiredSizePassesThrough(t *testing.T) {
+	var records []triple.Record
+	for i := 0; i < 10; i++ {
+		records = append(records, mkRecord("W", "P", "W/u"))
+	}
+	labels, rep, err := Sources(records, 5, 500, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sizes := unitSizes(labels)
+	if len(sizes) != 1 {
+		t.Fatalf("units = %v", sizes)
+	}
+	for unit := range sizes {
+		if unit != triple.SourceKeyFinest(records[0]) {
+			t.Errorf("pass-through should keep the finest key, got %q", unit)
+		}
+	}
+	if rep.Merges != 0 || rep.Splits != 0 {
+		t.Errorf("report: %+v", rep)
+	}
+}
+
+func TestMergeStopsAtDesiredSize(t *testing.T) {
+	// Three sources under one ⟨website,predicate⟩ parent, two triples each:
+	// merging once reaches size 6 >= m=5 and must stop there, not at the
+	// website level (Example 4.1).
+	var records []triple.Record
+	for i := 0; i < 3; i++ {
+		for j := 0; j < 2; j++ {
+			records = append(records, mkRecord("site1.com", "date_of_birth", fmt.Sprintf("site1.com/u%d", i)))
+		}
+	}
+	labels, _, err := Sources(records, 5, 500, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sizes := unitSizes(labels)
+	if len(sizes) != 1 {
+		t.Fatalf("units = %v", sizes)
+	}
+	for unit, n := range sizes {
+		if n != 6 {
+			t.Errorf("merged unit size = %d", n)
+		}
+		if unit != "site1.com\x1fdate_of_birth" {
+			t.Errorf("merge should stop at ⟨website,predicate⟩, got %q", unit)
+		}
+	}
+}
+
+func TestTopLevelTooSmallIsKept(t *testing.T) {
+	// A single record: merging reaches the website level still below m;
+	// GETPARENT = ⊥ so the unit is kept as-is.
+	records := []triple.Record{mkRecord("tiny.com", "p", "tiny.com/1")}
+	labels, rep, err := Sources(records, 5, 500, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if labels[0] != "tiny.com" {
+		t.Errorf("label = %q, want website-level unit", labels[0])
+	}
+	if rep.FinalUnits != 1 {
+		t.Errorf("report: %+v", rep)
+	}
+}
+
+func TestSplitBucketsBalanced(t *testing.T) {
+	var records []triple.Record
+	for i := 0; i < 1203; i++ {
+		records = append(records, mkRecord("big.com", "p", "big.com/1"))
+	}
+	labels, rep, err := Sources(records, 5, 500, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sizes := unitSizes(labels)
+	if len(sizes) != 3 {
+		t.Fatalf("buckets = %d, want ceil(1203/500)=3", len(sizes))
+	}
+	for unit, n := range sizes {
+		if n < 400 || n > 402 {
+			t.Errorf("bucket %q size = %d, want ~401", unit, n)
+		}
+	}
+	if rep.Splits != 1 || rep.SplitBuckets != 3 {
+		t.Errorf("report: %+v", rep)
+	}
+}
+
+func TestSplitDeterministicBySeed(t *testing.T) {
+	var records []triple.Record
+	for i := 0; i < 100; i++ {
+		records = append(records, mkRecord("big.com", "p", "big.com/1"))
+	}
+	l1, _, _ := Sources(records, 1, 10, 42)
+	l2, _, _ := Sources(records, 1, 10, 42)
+	for i := range l1 {
+		if l1[i] != l2[i] {
+			t.Fatal("same seed must give identical assignments")
+		}
+	}
+}
+
+func TestExtractorHierarchy(t *testing.T) {
+	var records []triple.Record
+	// One extractor with 3 patterns, 2 records each; m=5 forces merging up
+	// to ⟨extractor, pattern⟩? No: parent of ⟨e,pat,pred,site⟩ is
+	// ⟨e,pat,pred⟩ (size 2), then ⟨e,pat⟩ (size 2), then ⟨e⟩ (size 6 >= 5).
+	for p := 0; p < 3; p++ {
+		for j := 0; j < 2; j++ {
+			records = append(records, triple.Record{
+				Extractor: "E1", Pattern: fmt.Sprintf("pat%d", p),
+				Website: "w", Page: "w/1", Subject: "s", Predicate: "pred", Object: "o",
+			})
+		}
+	}
+	labels, _, err := Extractors(records, 5, 500, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sizes := unitSizes(labels)
+	if len(sizes) != 1 {
+		t.Fatalf("units = %v", sizes)
+	}
+	for unit := range sizes {
+		if unit != "E1" {
+			t.Errorf("expected merge to extractor level, got %q", unit)
+		}
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	records := []triple.Record{mkRecord("w", "p", "w/1")}
+	if _, _, err := SplitAndMerge(records, Config{MinSize: 5, MaxSize: 10}); err == nil {
+		t.Error("missing levels should error")
+	}
+	if _, _, err := SplitAndMerge(records, Config{MinSize: 10, MaxSize: 5, Levels: SourceLevels()}); err == nil {
+		t.Error("m > M should error")
+	}
+	if _, _, err := SplitAndMerge(records, Config{MinSize: 0, MaxSize: 0, Levels: SourceLevels()}); err == nil {
+		t.Error("M=0 should error")
+	}
+}
+
+func TestEmptyRecords(t *testing.T) {
+	labels, rep, err := Sources(nil, 5, 500, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(labels) != 0 || rep.FinalUnits != 0 {
+		t.Errorf("empty input: %v %+v", labels, rep)
+	}
+}
+
+func TestPropertyAllRecordsLabeledAndBounded(t *testing.T) {
+	// Property: every record gets a label; no unit exceeds MaxSize unless it
+	// sits at the top with fewer than MinSize (impossible: top units above
+	// MaxSize are split; only sub-MinSize top units pass through).
+	f := func(seed uint16, nSites, perSite uint8) bool {
+		sites := int(nSites%8) + 1
+		per := int(perSite%40) + 1
+		var records []triple.Record
+		for s := 0; s < sites; s++ {
+			for i := 0; i < per; i++ {
+				records = append(records, mkRecord(
+					fmt.Sprintf("site%d", s),
+					fmt.Sprintf("p%d", i%3),
+					fmt.Sprintf("site%d/u%d", s, i%7)))
+			}
+		}
+		labels, _, err := Sources(records, 4, 12, int64(seed))
+		if err != nil {
+			return false
+		}
+		sizes := unitSizes(labels)
+		for _, l := range labels {
+			if l == "" {
+				return false
+			}
+		}
+		for _, n := range sizes {
+			if n > 12 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCompileWithLabels(t *testing.T) {
+	// End-to-end: SplitAndMerge output feeds Compile via SourceLabels.
+	d := triple.NewDataset()
+	for i := 0; i < 20; i++ {
+		d.Add(mkRecord("w", fmt.Sprintf("p%d", i), fmt.Sprintf("w/u%d", i)))
+	}
+	labels, _, err := Sources(d.Records, 5, 8, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := d.Compile(triple.CompileOptions{SourceLabels: labels})
+	if len(s.Sources) == 20 {
+		t.Error("labels should have merged the 20 singleton sources")
+	}
+	if len(s.Obs) != 20 {
+		t.Errorf("observations = %d, want 20", len(s.Obs))
+	}
+}

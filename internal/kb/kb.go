@@ -1,0 +1,268 @@
+// Package kb implements the external knowledge base the paper uses for gold
+// labels — a stand-in for Freebase [2]. It stores typed entities, a predicate
+// schema, and ground-truth facts, and provides the two gold-standard
+// labelling methods of §5.3.1:
+//
+//   - LCWA, the Local Closed-World Assumption: a triple (s,p,o) is true if
+//     present in the KB; false if the KB knows some other value for (s,p);
+//     unknown otherwise.
+//   - Type checking: a triple is false (and an extraction mistake) if s = o,
+//     if subject or object type is incompatible with the predicate schema,
+//     or if a numeric object falls outside the predicate's expected range.
+package kb
+
+import (
+	"errors"
+	"fmt"
+	"strconv"
+)
+
+// Type names an entity class (person, place, film, ...).
+type Type string
+
+// Predicate describes one attribute in the schema.
+type Predicate struct {
+	Name string
+	// SubjectType and ObjectType constrain the triple's endpoints. An empty
+	// ObjectType means the object is a literal, not an entity.
+	SubjectType, ObjectType Type
+	// Functional predicates admit a single true value per subject
+	// (nationality, date_of_birth); the single-truth assumption is exact
+	// for them.
+	Functional bool
+	// Numeric marks literal-valued predicates whose objects must parse as
+	// numbers inside [Min, Max] (e.g. an athlete's weight under 1000
+	// pounds, the paper's example).
+	Numeric  bool
+	Min, Max float64
+}
+
+// KB is the in-memory knowledge base.
+type KB struct {
+	predicates map[string]Predicate
+	entityType map[string]Type
+	// facts: subject -> predicate -> set of objects.
+	facts map[string]map[string]map[string]bool
+}
+
+// New returns an empty KB.
+func New() *KB {
+	return &KB{
+		predicates: make(map[string]Predicate),
+		entityType: make(map[string]Type),
+		facts:      make(map[string]map[string]map[string]bool),
+	}
+}
+
+// AddPredicate registers a schema predicate.
+func (kb *KB) AddPredicate(p Predicate) error {
+	if p.Name == "" {
+		return errors.New("kb: predicate needs a name")
+	}
+	if p.Numeric && p.ObjectType != "" {
+		return fmt.Errorf("kb: predicate %s cannot be both numeric and entity-valued", p.Name)
+	}
+	kb.predicates[p.Name] = p
+	return nil
+}
+
+// Predicate looks up a schema predicate.
+func (kb *KB) Predicate(name string) (Predicate, bool) {
+	p, ok := kb.predicates[name]
+	return p, ok
+}
+
+// Predicates returns the number of registered predicates.
+func (kb *KB) Predicates() int { return len(kb.predicates) }
+
+// AddEntity registers an entity with its type.
+func (kb *KB) AddEntity(name string, t Type) {
+	kb.entityType[name] = t
+}
+
+// EntityType returns the type of a known entity.
+func (kb *KB) EntityType(name string) (Type, bool) {
+	t, ok := kb.entityType[name]
+	return t, ok
+}
+
+// AddFact records a ground-truth triple. The subject/object must satisfy the
+// schema; functional predicates reject a second distinct object.
+func (kb *KB) AddFact(s, p, o string) error {
+	pred, ok := kb.predicates[p]
+	if !ok {
+		return fmt.Errorf("kb: unknown predicate %q", p)
+	}
+	if v := kb.typeCheck(s, pred, o); v != NoViolation {
+		return fmt.Errorf("kb: fact (%s,%s,%s) violates schema: %v", s, p, o, v)
+	}
+	byPred, ok := kb.facts[s]
+	if !ok {
+		byPred = make(map[string]map[string]bool)
+		kb.facts[s] = byPred
+	}
+	objs, ok := byPred[p]
+	if !ok {
+		objs = make(map[string]bool)
+		byPred[p] = objs
+	}
+	if pred.Functional && len(objs) > 0 && !objs[o] {
+		return fmt.Errorf("kb: functional predicate %s already has a value for %s", p, s)
+	}
+	objs[o] = true
+	return nil
+}
+
+// HasFact reports whether (s,p,o) is in the KB.
+func (kb *KB) HasFact(s, p, o string) bool {
+	return kb.facts[s][p][o]
+}
+
+// Objects returns the known objects for (s,p) (nil if none).
+func (kb *KB) Objects(s, p string) []string {
+	objs := kb.facts[s][p]
+	if len(objs) == 0 {
+		return nil
+	}
+	out := make([]string, 0, len(objs))
+	for o := range objs {
+		out = append(out, o)
+	}
+	return out
+}
+
+// NumFacts counts all stored triples.
+func (kb *KB) NumFacts() int {
+	n := 0
+	for _, byPred := range kb.facts {
+		for _, objs := range byPred {
+			n += len(objs)
+		}
+	}
+	return n
+}
+
+// Label is an LCWA gold label.
+type Label int
+
+const (
+	// Unknown: the KB has no value for (s,p); the triple is removed from
+	// the evaluation set.
+	Unknown Label = iota
+	// True: the triple appears in the KB.
+	True
+	// False: the KB knows (s,p) with only other values — locally complete.
+	False
+)
+
+func (l Label) String() string {
+	switch l {
+	case True:
+		return "true"
+	case False:
+		return "false"
+	default:
+		return "unknown"
+	}
+}
+
+// LCWA applies the Local Closed-World Assumption to (s,p,o).
+func (kb *KB) LCWA(s, p, o string) Label {
+	objs := kb.facts[s][p]
+	if len(objs) == 0 {
+		return Unknown
+	}
+	if objs[o] {
+		return True
+	}
+	return False
+}
+
+// Violation classifies a type-check failure.
+type Violation int
+
+const (
+	NoViolation Violation = iota
+	// SubjectEqualsObject: s = o (rule 1 of §5.3.1).
+	SubjectEqualsObject
+	// TypeMismatch: subject or object type incompatible with the predicate
+	// (rule 2).
+	TypeMismatch
+	// OutOfRange: numeric object outside the expected range (rule 3).
+	OutOfRange
+)
+
+func (v Violation) String() string {
+	switch v {
+	case SubjectEqualsObject:
+		return "subject=object"
+	case TypeMismatch:
+		return "type mismatch"
+	case OutOfRange:
+		return "out of range"
+	default:
+		return "ok"
+	}
+}
+
+// TypeCheck applies the §5.3.1 rules to (s,p,o). Unknown predicates and
+// unknown subjects are not checkable and pass.
+func (kb *KB) TypeCheck(s, p, o string) Violation {
+	pred, ok := kb.predicates[p]
+	if !ok {
+		return NoViolation
+	}
+	return kb.typeCheck(s, pred, o)
+}
+
+func (kb *KB) typeCheck(s string, pred Predicate, o string) Violation {
+	if s == o {
+		return SubjectEqualsObject
+	}
+	if pred.SubjectType != "" {
+		if st, known := kb.entityType[s]; known && st != pred.SubjectType {
+			return TypeMismatch
+		}
+	}
+	if pred.Numeric {
+		x, err := strconv.ParseFloat(o, 64)
+		if err != nil {
+			return TypeMismatch
+		}
+		if x < pred.Min || x > pred.Max {
+			return OutOfRange
+		}
+		return NoViolation
+	}
+	if pred.ObjectType != "" {
+		ot, known := kb.entityType[o]
+		if !known {
+			// An entity-valued predicate with an unreconciled object is an
+			// extraction mistake (entity linking failed).
+			return TypeMismatch
+		}
+		if ot != pred.ObjectType {
+			return TypeMismatch
+		}
+	}
+	return NoViolation
+}
+
+// GoldLabel combines both labelling methods as the paper's gold standard
+// does: type-violating triples are false (and extraction mistakes); else the
+// LCWA label applies.
+//
+// isTrue is meaningful only when known is true.
+func (kb *KB) GoldLabel(s, p, o string) (isTrue, known, typeErr bool) {
+	if kb.TypeCheck(s, p, o) != NoViolation {
+		return false, true, true
+	}
+	switch kb.LCWA(s, p, o) {
+	case True:
+		return true, true, false
+	case False:
+		return false, true, false
+	default:
+		return false, false, false
+	}
+}

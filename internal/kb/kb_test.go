@@ -1,0 +1,177 @@
+package kb
+
+import "testing"
+
+func personKB(t *testing.T) *KB {
+	t.Helper()
+	k := New()
+	mustPred := func(p Predicate) {
+		if err := k.AddPredicate(p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	mustPred(Predicate{Name: "nationality", SubjectType: "person", ObjectType: "country", Functional: true})
+	mustPred(Predicate{Name: "child", SubjectType: "person", ObjectType: "person"})
+	mustPred(Predicate{Name: "weight_lbs", SubjectType: "person", Numeric: true, Min: 1, Max: 1000})
+	k.AddEntity("Obama", "person")
+	k.AddEntity("Malia", "person")
+	k.AddEntity("USA", "country")
+	k.AddEntity("Kenya", "country")
+	if err := k.AddFact("Obama", "nationality", "USA"); err != nil {
+		t.Fatal(err)
+	}
+	if err := k.AddFact("Obama", "child", "Malia"); err != nil {
+		t.Fatal(err)
+	}
+	if err := k.AddFact("Obama", "weight_lbs", "180"); err != nil {
+		t.Fatal(err)
+	}
+	return k
+}
+
+func TestAddPredicateValidation(t *testing.T) {
+	k := New()
+	if err := k.AddPredicate(Predicate{}); err == nil {
+		t.Error("empty name should error")
+	}
+	if err := k.AddPredicate(Predicate{Name: "x", Numeric: true, ObjectType: "person"}); err == nil {
+		t.Error("numeric + entity-valued should error")
+	}
+	if err := k.AddPredicate(Predicate{Name: "ok", Numeric: true, Min: 0, Max: 10}); err != nil {
+		t.Error(err)
+	}
+	if _, ok := k.Predicate("ok"); !ok {
+		t.Error("predicate lookup failed")
+	}
+	if k.Predicates() != 1 {
+		t.Errorf("predicates = %d", k.Predicates())
+	}
+}
+
+func TestAddFactValidation(t *testing.T) {
+	k := personKB(t)
+	if err := k.AddFact("Obama", "unknown_pred", "x"); err == nil {
+		t.Error("unknown predicate should error")
+	}
+	// Functional predicate rejects a second value.
+	if err := k.AddFact("Obama", "nationality", "Kenya"); err == nil {
+		t.Error("second nationality should error")
+	}
+	// Re-adding the same value is fine.
+	if err := k.AddFact("Obama", "nationality", "USA"); err != nil {
+		t.Error(err)
+	}
+	// Non-functional accepts multiple.
+	k.AddEntity("Sasha", "person")
+	if err := k.AddFact("Obama", "child", "Sasha"); err != nil {
+		t.Error(err)
+	}
+	if got := len(k.Objects("Obama", "child")); got != 2 {
+		t.Errorf("children = %d", got)
+	}
+	// Schema-violating facts rejected.
+	if err := k.AddFact("Obama", "nationality", "Malia"); err == nil {
+		t.Error("person as nationality should violate schema")
+	}
+	if err := k.AddFact("Obama", "weight_lbs", "5000"); err == nil {
+		t.Error("out-of-range weight should error")
+	}
+}
+
+func TestLCWA(t *testing.T) {
+	k := personKB(t)
+	if got := k.LCWA("Obama", "nationality", "USA"); got != True {
+		t.Errorf("in-KB triple = %v", got)
+	}
+	if got := k.LCWA("Obama", "nationality", "Kenya"); got != False {
+		t.Errorf("conflicting triple = %v, want False (local completeness)", got)
+	}
+	if got := k.LCWA("Obama", "spouse", "Michelle"); got != Unknown {
+		t.Errorf("unseen (s,p) = %v, want Unknown", got)
+	}
+	if got := k.LCWA("Nobody", "nationality", "USA"); got != Unknown {
+		t.Errorf("unknown subject = %v, want Unknown", got)
+	}
+	for _, l := range []Label{True, False, Unknown} {
+		if l.String() == "" {
+			t.Error("label string empty")
+		}
+	}
+}
+
+func TestTypeCheck(t *testing.T) {
+	k := personKB(t)
+	cases := []struct {
+		s, p, o string
+		want    Violation
+	}{
+		{"Obama", "nationality", "USA", NoViolation},
+		{"Obama", "nationality", "Obama", SubjectEqualsObject},
+		{"Obama", "nationality", "Malia", TypeMismatch},      // person, not country
+		{"Obama", "nationality", "garbage##", TypeMismatch},  // unreconciled entity
+		{"USA", "nationality", "Kenya", TypeMismatch},        // subject not a person
+		{"Obama", "weight_lbs", "180", NoViolation},
+		{"Obama", "weight_lbs", "1800", OutOfRange},          // paper's athlete example
+		{"Obama", "weight_lbs", "-5", OutOfRange},
+		{"Obama", "weight_lbs", "not-a-number", TypeMismatch},
+		{"Obama", "no_such_pred", "x", NoViolation},          // unknown predicates pass
+		{"Mystery", "nationality", "USA", NoViolation},       // unknown subject passes
+	}
+	for _, c := range cases {
+		if got := k.TypeCheck(c.s, c.p, c.o); got != c.want {
+			t.Errorf("TypeCheck(%s,%s,%s) = %v, want %v", c.s, c.p, c.o, got, c.want)
+		}
+	}
+	for _, v := range []Violation{NoViolation, SubjectEqualsObject, TypeMismatch, OutOfRange} {
+		if v.String() == "" {
+			t.Error("violation string empty")
+		}
+	}
+}
+
+func TestGoldLabel(t *testing.T) {
+	k := personKB(t)
+	// In-KB: true.
+	isTrue, known, typeErr := k.GoldLabel("Obama", "nationality", "USA")
+	if !isTrue || !known || typeErr {
+		t.Errorf("in-KB: %v %v %v", isTrue, known, typeErr)
+	}
+	// LCWA false.
+	isTrue, known, typeErr = k.GoldLabel("Obama", "nationality", "Kenya")
+	if isTrue || !known || typeErr {
+		t.Errorf("LCWA-false: %v %v %v", isTrue, known, typeErr)
+	}
+	// Type error: false and an extraction mistake.
+	isTrue, known, typeErr = k.GoldLabel("Obama", "weight_lbs", "9999")
+	if isTrue || !known || !typeErr {
+		t.Errorf("type error: %v %v %v", isTrue, known, typeErr)
+	}
+	// Unknown.
+	_, known, _ = k.GoldLabel("Obama", "spouse", "Michelle")
+	if known {
+		t.Error("unseen (s,p) should be unknown")
+	}
+}
+
+func TestCounts(t *testing.T) {
+	k := personKB(t)
+	if k.NumFacts() != 3 {
+		t.Errorf("facts = %d", k.NumFacts())
+	}
+	if !k.HasFact("Obama", "child", "Malia") {
+		t.Error("HasFact")
+	}
+	if k.HasFact("Obama", "child", "Nobody") {
+		t.Error("HasFact false positive")
+	}
+	if k.Objects("Nobody", "child") != nil {
+		t.Error("Objects for unknown subject should be nil")
+	}
+	typ, ok := k.EntityType("Obama")
+	if !ok || typ != "person" {
+		t.Errorf("EntityType = %v %v", typ, ok)
+	}
+	if _, ok := k.EntityType("Nobody"); ok {
+		t.Error("unknown entity type")
+	}
+}

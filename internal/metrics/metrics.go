@@ -1,0 +1,286 @@
+// Package metrics implements the evaluation measures of §5.1.1: square
+// losses (SqV, SqC, SqA), weighted deviation (WDev) over the paper's exact
+// probability buckets, area under the precision-recall curve (AUC-PR),
+// coverage, and the calibration / PR curve series behind Figures 8 and 9,
+// plus the histogram helpers behind Figures 5-7.
+package metrics
+
+import (
+	"math"
+	"sort"
+)
+
+// Labeled pairs a predicted probability with its gold-standard label.
+type Labeled struct {
+	Pred float64
+	True bool
+}
+
+// SquareLoss returns the mean of (pred - I(true))² — the SqV/SqC style
+// losses. An empty input yields 0.
+func SquareLoss(items []Labeled) float64 {
+	if len(items) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, it := range items {
+		truth := 0.0
+		if it.True {
+			truth = 1
+		}
+		d := it.Pred - truth
+		sum += d * d
+	}
+	return sum / float64(len(items))
+}
+
+// wdevEdges returns the paper's bucket boundaries: [0,0.01)...[0.04,0.05),
+// [0.05,0.1)...[0.9,0.95), [0.95,0.96)...[0.99,1), and [1,1].
+// "most triples fall in [0,0.05) and [0.95,1], so we used a finer
+// granularity there" (§5.1.1).
+func wdevEdges() []float64 {
+	var edges []float64
+	for i := 0; i <= 4; i++ {
+		edges = append(edges, float64(i)*0.01)
+	}
+	for x := 0.05; x < 0.949; x += 0.05 {
+		edges = append(edges, math.Round(x*100)/100)
+	}
+	for i := 95; i <= 99; i++ {
+		edges = append(edges, float64(i)*0.01)
+	}
+	edges = append(edges, 1.0)
+	return edges
+}
+
+// bucketOf returns the index of the WDev bucket containing p; the final
+// bucket is the singleton [1,1].
+func bucketOf(edges []float64, p float64) int {
+	if p >= 1 {
+		return len(edges) // the [1,1] bucket
+	}
+	if p < 0 {
+		p = 0
+	}
+	// Find the last edge <= p.
+	i := sort.SearchFloat64s(edges, p)
+	if i < len(edges) && edges[i] == p {
+		return i
+	}
+	return i - 1
+}
+
+// WDev measures calibration: triples are grouped by predicted probability
+// into the paper's buckets; for each bucket the empirical accuracy (fraction
+// of gold-true triples) acts as the real probability, and WDev is the
+// average squared difference between predicted and real probability,
+// weighted by bucket size. Lower is better.
+func WDev(items []Labeled) float64 {
+	if len(items) == 0 {
+		return 0
+	}
+	edges := wdevEdges()
+	nBuckets := len(edges) + 1
+	sumPred := make([]float64, nBuckets)
+	sumTrue := make([]float64, nBuckets)
+	count := make([]float64, nBuckets)
+	for _, it := range items {
+		b := bucketOf(edges, it.Pred)
+		sumPred[b] += it.Pred
+		if it.True {
+			sumTrue[b]++
+		}
+		count[b]++
+	}
+	var wdev float64
+	for b := 0; b < nBuckets; b++ {
+		if count[b] == 0 {
+			continue
+		}
+		meanPred := sumPred[b] / count[b]
+		real := sumTrue[b] / count[b]
+		d := meanPred - real
+		wdev += count[b] * d * d
+	}
+	return wdev / float64(len(items))
+}
+
+// CalibrationPoint is one bucket of the calibration curve (Figure 8).
+type CalibrationPoint struct {
+	// Predicted is the mean predicted probability in the bucket; Real is
+	// the empirical accuracy; Count is the bucket population.
+	Predicted, Real float64
+	Count           int
+}
+
+// CalibrationCurve returns the per-bucket calibration points, skipping empty
+// buckets, ordered by predicted probability.
+func CalibrationCurve(items []Labeled) []CalibrationPoint {
+	edges := wdevEdges()
+	nBuckets := len(edges) + 1
+	sumPred := make([]float64, nBuckets)
+	sumTrue := make([]float64, nBuckets)
+	count := make([]int, nBuckets)
+	for _, it := range items {
+		b := bucketOf(edges, it.Pred)
+		sumPred[b] += it.Pred
+		if it.True {
+			sumTrue[b]++
+		}
+		count[b]++
+	}
+	var pts []CalibrationPoint
+	for b := 0; b < nBuckets; b++ {
+		if count[b] == 0 {
+			continue
+		}
+		pts = append(pts, CalibrationPoint{
+			Predicted: sumPred[b] / float64(count[b]),
+			Real:      sumTrue[b] / float64(count[b]),
+			Count:     count[b],
+		})
+	}
+	sort.Slice(pts, func(i, j int) bool { return pts[i].Predicted < pts[j].Predicted })
+	return pts
+}
+
+// PRPoint is one point of the precision-recall curve (Figure 9).
+type PRPoint struct {
+	Recall, Precision float64
+}
+
+// PRCurve orders items by predicted probability (descending) and emits one
+// point per distinct score cutoff. Ties share a single point.
+func PRCurve(items []Labeled) []PRPoint {
+	if len(items) == 0 {
+		return nil
+	}
+	sorted := append([]Labeled(nil), items...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].Pred > sorted[j].Pred })
+	var totalPos float64
+	for _, it := range sorted {
+		if it.True {
+			totalPos++
+		}
+	}
+	if totalPos == 0 {
+		return nil
+	}
+	var pts []PRPoint
+	var tp, fp float64
+	for i := 0; i < len(sorted); {
+		j := i
+		for j < len(sorted) && sorted[j].Pred == sorted[i].Pred {
+			if sorted[j].True {
+				tp++
+			} else {
+				fp++
+			}
+			j++
+		}
+		pts = append(pts, PRPoint{
+			Recall:    tp / totalPos,
+			Precision: tp / (tp + fp),
+		})
+		i = j
+	}
+	return pts
+}
+
+// AUCPR computes the area under the precision-recall curve by trapezoidal
+// integration over the cutoff points, anchored at recall 0 with the first
+// cutoff's precision. Returns 0 when there are no positives. Higher is
+// better.
+func AUCPR(items []Labeled) float64 {
+	pts := PRCurve(items)
+	if len(pts) == 0 {
+		return 0
+	}
+	var area float64
+	prevR, prevP := 0.0, pts[0].Precision
+	for _, pt := range pts {
+		area += (pt.Recall - prevR) * (pt.Precision + prevP) / 2
+		prevR, prevP = pt.Recall, pt.Precision
+	}
+	return area
+}
+
+// Coverage returns the fraction of total items that received a prediction.
+func Coverage(predicted, total int) float64 {
+	if total == 0 {
+		return 0
+	}
+	return float64(predicted) / float64(total)
+}
+
+// Bin is one cell of a fixed-width histogram.
+type Bin struct {
+	Lo, Hi float64
+	Count  int
+}
+
+// Histogram buckets values into [lo,hi) with the given width; values outside
+// the range clamp into the first/last bin. Used for the KBT distribution of
+// Figure 7 and the correctness distributions of Figure 6.
+func Histogram(values []float64, lo, hi, width float64) []Bin {
+	if width <= 0 || hi <= lo {
+		return nil
+	}
+	n := int(math.Ceil((hi - lo) / width))
+	bins := make([]Bin, n)
+	for i := range bins {
+		bins[i].Lo = lo + float64(i)*width
+		bins[i].Hi = bins[i].Lo + width
+	}
+	for _, v := range values {
+		i := int((v - lo) / width)
+		if i < 0 {
+			i = 0
+		}
+		if i >= n {
+			i = n - 1
+		}
+		bins[i].Count++
+	}
+	return bins
+}
+
+// SizeBucket is one cell of the paper's Figure 5 size distribution:
+// exact counts 1..10, then decades 11-100, 100-1K, 1K-10K, 10K-100K,
+// 100K-1M, >1M.
+type SizeBucket struct {
+	Label string
+	Count int
+}
+
+// SizeDistribution buckets per-unit triple counts using Figure 5's scheme.
+func SizeDistribution(sizes []int) []SizeBucket {
+	labels := []string{"1", "2", "3", "4", "5", "6", "7", "8", "9", "10",
+		"11-100", "100-1K", "1K-10K", "10K-100K", "100K-1M", ">1M"}
+	counts := make([]int, len(labels))
+	for _, s := range sizes {
+		switch {
+		case s <= 0:
+			continue
+		case s <= 10:
+			counts[s-1]++
+		case s <= 100:
+			counts[10]++
+		case s <= 1000:
+			counts[11]++
+		case s <= 10000:
+			counts[12]++
+		case s <= 100000:
+			counts[13]++
+		case s <= 1000000:
+			counts[14]++
+		default:
+			counts[15]++
+		}
+	}
+	out := make([]SizeBucket, len(labels))
+	for i, l := range labels {
+		out[i] = SizeBucket{Label: l, Count: counts[i]}
+	}
+	return out
+}

@@ -1,0 +1,261 @@
+package metrics
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestSquareLoss(t *testing.T) {
+	items := []Labeled{{Pred: 1, True: true}, {Pred: 0, True: false}}
+	if got := SquareLoss(items); got != 0 {
+		t.Errorf("perfect predictions loss = %v", got)
+	}
+	items = []Labeled{{Pred: 0, True: true}, {Pred: 1, True: false}}
+	if got := SquareLoss(items); got != 1 {
+		t.Errorf("worst predictions loss = %v", got)
+	}
+	items = []Labeled{{Pred: 0.5, True: true}}
+	if got := SquareLoss(items); got != 0.25 {
+		t.Errorf("loss = %v", got)
+	}
+	if got := SquareLoss(nil); got != 0 {
+		t.Errorf("empty loss = %v", got)
+	}
+}
+
+func TestWDevEdges(t *testing.T) {
+	edges := wdevEdges()
+	// 5 fine low + 18 coarse + 5 fine high + the 1.0 edge = 29 edges.
+	if len(edges) != 29 {
+		t.Fatalf("edges = %d: %v", len(edges), edges)
+	}
+	if edges[0] != 0 || edges[4] != 0.04 || edges[5] != 0.05 || edges[6] != 0.1 {
+		t.Errorf("low edges wrong: %v", edges[:8])
+	}
+	last := edges[len(edges)-1]
+	if last != 1.0 {
+		t.Errorf("last edge = %v", last)
+	}
+	if edges[len(edges)-2] != 0.99 {
+		t.Errorf("second-to-last edge = %v", edges[len(edges)-2])
+	}
+	for i := 1; i < len(edges); i++ {
+		if edges[i] <= edges[i-1] {
+			t.Fatalf("edges not increasing at %d: %v", i, edges)
+		}
+	}
+}
+
+func TestBucketOf(t *testing.T) {
+	edges := wdevEdges()
+	cases := []struct {
+		p    float64
+		same float64 // probability that should land in the same bucket
+		diff float64 // probability that must land elsewhere
+	}{
+		{0.001, 0.009, 0.011},
+		{0.06, 0.09, 0.11},
+		{0.955, 0.959, 0.965},
+	}
+	for _, c := range cases {
+		if bucketOf(edges, c.p) != bucketOf(edges, c.same) {
+			t.Errorf("%v and %v should share a bucket", c.p, c.same)
+		}
+		if bucketOf(edges, c.p) == bucketOf(edges, c.diff) {
+			t.Errorf("%v and %v should differ", c.p, c.diff)
+		}
+	}
+	// Exactly 1.0 gets its own bucket.
+	if bucketOf(edges, 1.0) == bucketOf(edges, 0.995) {
+		t.Error("[1,1] must be a separate bucket")
+	}
+	if bucketOf(edges, -0.5) != 0 {
+		t.Error("negative clamps to first bucket")
+	}
+	if bucketOf(edges, 2) != len(edges) {
+		t.Error(">1 goes to the [1,1] bucket")
+	}
+}
+
+func TestWDevCalibrated(t *testing.T) {
+	// A perfectly calibrated predictor: 100 items at 0.3 of which 30 true.
+	var items []Labeled
+	for i := 0; i < 100; i++ {
+		items = append(items, Labeled{Pred: 0.3, True: i < 30})
+	}
+	if got := WDev(items); got > 1e-12 {
+		t.Errorf("calibrated WDev = %v, want 0", got)
+	}
+	// A badly calibrated one: predicts 0.9 but only 10% true.
+	items = nil
+	for i := 0; i < 100; i++ {
+		items = append(items, Labeled{Pred: 0.9, True: i < 10})
+	}
+	if got := WDev(items); math.Abs(got-0.64) > 1e-9 {
+		t.Errorf("miscalibrated WDev = %v, want 0.64", got)
+	}
+	if got := WDev(nil); got != 0 {
+		t.Errorf("empty WDev = %v", got)
+	}
+}
+
+func TestCalibrationCurve(t *testing.T) {
+	var items []Labeled
+	for i := 0; i < 50; i++ {
+		items = append(items, Labeled{Pred: 0.2, True: i < 10}) // real 0.2
+	}
+	for i := 0; i < 50; i++ {
+		items = append(items, Labeled{Pred: 0.8, True: i < 40}) // real 0.8
+	}
+	pts := CalibrationCurve(items)
+	if len(pts) != 2 {
+		t.Fatalf("points = %v", pts)
+	}
+	if math.Abs(pts[0].Predicted-0.2) > 1e-9 || math.Abs(pts[0].Real-0.2) > 1e-9 {
+		t.Errorf("point 0 = %+v", pts[0])
+	}
+	if math.Abs(pts[1].Predicted-0.8) > 1e-9 || math.Abs(pts[1].Real-0.8) > 1e-9 {
+		t.Errorf("point 1 = %+v", pts[1])
+	}
+	if pts[0].Count != 50 || pts[1].Count != 50 {
+		t.Errorf("counts: %+v", pts)
+	}
+}
+
+func TestPRCurveAndAUCPerfect(t *testing.T) {
+	// Perfect ranking: all positives above all negatives.
+	var items []Labeled
+	for i := 0; i < 10; i++ {
+		items = append(items, Labeled{Pred: 0.9 - float64(i)*0.001, True: true})
+	}
+	for i := 0; i < 10; i++ {
+		items = append(items, Labeled{Pred: 0.1 - float64(i)*0.001, True: false})
+	}
+	auc := AUCPR(items)
+	if math.Abs(auc-1) > 1e-9 {
+		t.Errorf("perfect AUC-PR = %v, want 1", auc)
+	}
+	pts := PRCurve(items)
+	if pts[len(pts)-1].Recall != 1 {
+		t.Errorf("final recall = %v", pts[len(pts)-1].Recall)
+	}
+}
+
+func TestAUCPRRandomBaseline(t *testing.T) {
+	// All items share one score: AUC equals the positive rate.
+	var items []Labeled
+	for i := 0; i < 100; i++ {
+		items = append(items, Labeled{Pred: 0.5, True: i < 25})
+	}
+	auc := AUCPR(items)
+	if math.Abs(auc-0.25) > 1e-9 {
+		t.Errorf("tied AUC-PR = %v, want 0.25", auc)
+	}
+}
+
+func TestAUCPRNoPositives(t *testing.T) {
+	items := []Labeled{{Pred: 0.9, True: false}, {Pred: 0.1, True: false}}
+	if got := AUCPR(items); got != 0 {
+		t.Errorf("AUC with no positives = %v", got)
+	}
+	if got := AUCPR(nil); got != 0 {
+		t.Errorf("empty AUC = %v", got)
+	}
+	if PRCurve(items) != nil {
+		t.Error("PR curve with no positives should be nil")
+	}
+}
+
+func TestAUCPRBetterRankingWins(t *testing.T) {
+	good := []Labeled{
+		{0.9, true}, {0.8, true}, {0.7, false}, {0.6, true}, {0.5, false}, {0.4, false},
+	}
+	bad := []Labeled{
+		{0.9, false}, {0.8, false}, {0.7, true}, {0.6, false}, {0.5, true}, {0.4, true},
+	}
+	if AUCPR(good) <= AUCPR(bad) {
+		t.Errorf("good ranking %v should beat bad %v", AUCPR(good), AUCPR(bad))
+	}
+}
+
+func TestAUCPRBounds(t *testing.T) {
+	f := func(seed uint32) bool {
+		x := seed
+		next := func() float64 {
+			x = x*1664525 + 1013904223
+			return float64(x%1000) / 999
+		}
+		var items []Labeled
+		for i := 0; i < 60; i++ {
+			items = append(items, Labeled{Pred: next(), True: next() > 0.5})
+		}
+		auc := AUCPR(items)
+		return auc >= 0 && auc <= 1+1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCoverage(t *testing.T) {
+	if got := Coverage(93, 100); got != 0.93 {
+		t.Errorf("coverage = %v", got)
+	}
+	if got := Coverage(0, 0); got != 0 {
+		t.Errorf("empty coverage = %v", got)
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	values := []float64{0.05, 0.15, 0.15, 0.95, 1.0, -0.2, 1.7}
+	bins := Histogram(values, 0, 1, 0.1)
+	if len(bins) != 10 {
+		t.Fatalf("bins = %d", len(bins))
+	}
+	if bins[0].Count != 2 { // 0.05 and clamped -0.2
+		t.Errorf("bin0 = %d", bins[0].Count)
+	}
+	if bins[1].Count != 2 {
+		t.Errorf("bin1 = %d", bins[1].Count)
+	}
+	if bins[9].Count != 3 { // 0.95, 1.0 clamped, 1.7 clamped
+		t.Errorf("bin9 = %d", bins[9].Count)
+	}
+	total := 0
+	for _, b := range bins {
+		total += b.Count
+	}
+	if total != len(values) {
+		t.Errorf("histogram lost values: %d", total)
+	}
+	if Histogram(values, 0, 1, 0) != nil || Histogram(values, 1, 0, 0.1) != nil {
+		t.Error("invalid histogram params should return nil")
+	}
+}
+
+func TestSizeDistribution(t *testing.T) {
+	sizes := []int{1, 1, 2, 10, 11, 100, 101, 1000, 5000, 99999, 500000, 2000000, 0, -3}
+	buckets := SizeDistribution(sizes)
+	byLabel := map[string]int{}
+	for _, b := range buckets {
+		byLabel[b.Label] = b.Count
+	}
+	checks := map[string]int{
+		"1": 2, "2": 1, "10": 1, "11-100": 2, "100-1K": 2,
+		"1K-10K": 1, "10K-100K": 1, "100K-1M": 1, ">1M": 1,
+	}
+	for label, want := range checks {
+		if byLabel[label] != want {
+			t.Errorf("bucket %q = %d, want %d", label, byLabel[label], want)
+		}
+	}
+	// Non-positive sizes are dropped.
+	total := 0
+	for _, b := range buckets {
+		total += b.Count
+	}
+	if total != 12 {
+		t.Errorf("total bucketed = %d, want 12", total)
+	}
+}

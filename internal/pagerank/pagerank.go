@@ -1,0 +1,208 @@
+// Package pagerank implements the classic PageRank algorithm (Brin & Page
+// 1998) over a sparse web graph. The paper compares KBT against PageRank as
+// an exogenous popularity signal (§5.4.1, Figure 10); this package provides
+// the comparator over the simulated hyperlink graph.
+package pagerank
+
+import (
+	"errors"
+	"math"
+	"sort"
+)
+
+// Graph is a directed hyperlink graph over string-named nodes (websites or
+// webpages). Build it incrementally with AddEdge/AddNode.
+type Graph struct {
+	names []string
+	idx   map[string]int
+	out   [][]int32
+}
+
+// NewGraph returns an empty graph.
+func NewGraph() *Graph {
+	return &Graph{idx: make(map[string]int)}
+}
+
+// AddNode ensures node exists and returns its id.
+func (g *Graph) AddNode(name string) int {
+	if i, ok := g.idx[name]; ok {
+		return i
+	}
+	i := len(g.names)
+	g.idx[name] = i
+	g.names = append(g.names, name)
+	g.out = append(g.out, nil)
+	return i
+}
+
+// AddEdge adds a directed link from -> to (self-links are dropped; parallel
+// edges are kept, matching a page linking twice).
+func (g *Graph) AddEdge(from, to string) {
+	f, t := g.AddNode(from), g.AddNode(to)
+	if f == t {
+		return
+	}
+	g.out[f] = append(g.out[f], int32(t))
+}
+
+// NumNodes returns the node count.
+func (g *Graph) NumNodes() int { return len(g.names) }
+
+// Node returns the name of node i.
+func (g *Graph) Node(i int) string { return g.names[i] }
+
+// ID returns the id of a node name, or -1.
+func (g *Graph) ID(name string) int {
+	if i, ok := g.idx[name]; ok {
+		return i
+	}
+	return -1
+}
+
+// Options configures the power iteration.
+type Options struct {
+	// Damping is the probability of following a link (default 0.85).
+	Damping float64
+	// MaxIter bounds the power iterations (default 100).
+	MaxIter int
+	// Tol is the L1 convergence threshold (default 1e-9).
+	Tol float64
+}
+
+// DefaultOptions returns the standard PageRank settings.
+func DefaultOptions() Options {
+	return Options{Damping: 0.85, MaxIter: 100, Tol: 1e-9}
+}
+
+// Result holds the computed ranks.
+type Result struct {
+	// Rank is the stationary probability per node (sums to 1).
+	Rank []float64
+	// Normalized is Rank scaled to [0,1] by the maximum (the paper
+	// normalises PageRank scores to [0,1] for Figure 10).
+	Normalized []float64
+	// Iterations actually run; Converged reports the L1 criterion was met.
+	Iterations int
+	Converged  bool
+}
+
+// Compute runs power iteration with uniform teleportation and dangling-mass
+// redistribution.
+func Compute(g *Graph, opt Options) (*Result, error) {
+	n := g.NumNodes()
+	if n == 0 {
+		return nil, errors.New("pagerank: empty graph")
+	}
+	if opt.Damping < 0 || opt.Damping >= 1 {
+		return nil, errors.New("pagerank: damping must be in [0,1)")
+	}
+	if opt.MaxIter < 1 {
+		return nil, errors.New("pagerank: MaxIter must be >= 1")
+	}
+
+	rank := make([]float64, n)
+	next := make([]float64, n)
+	for i := range rank {
+		rank[i] = 1 / float64(n)
+	}
+
+	res := &Result{}
+	for iter := 1; iter <= opt.MaxIter; iter++ {
+		base := (1 - opt.Damping) / float64(n)
+		var dangling float64
+		for i := range next {
+			next[i] = 0
+		}
+		for u := 0; u < n; u++ {
+			if len(g.out[u]) == 0 {
+				dangling += rank[u]
+				continue
+			}
+			share := opt.Damping * rank[u] / float64(len(g.out[u]))
+			for _, v := range g.out[u] {
+				next[v] += share
+			}
+		}
+		spread := base + opt.Damping*dangling/float64(n)
+		var delta float64
+		for i := range next {
+			next[i] += spread
+			delta += math.Abs(next[i] - rank[i])
+		}
+		rank, next = next, rank
+		res.Iterations = iter
+		if delta < opt.Tol {
+			res.Converged = true
+			break
+		}
+	}
+
+	res.Rank = rank
+	res.Normalized = make([]float64, n)
+	maxR := 0.0
+	for _, r := range rank {
+		if r > maxR {
+			maxR = r
+		}
+	}
+	if maxR > 0 {
+		for i, r := range rank {
+			res.Normalized[i] = r / maxR
+		}
+	}
+	return res, nil
+}
+
+// TopK returns the k highest-ranked node names (ties broken by name for
+// determinism).
+func (r *Result) TopK(g *Graph, k int) []string {
+	type nr struct {
+		name string
+		rank float64
+	}
+	all := make([]nr, g.NumNodes())
+	for i := range all {
+		all[i] = nr{g.Node(i), r.Rank[i]}
+	}
+	sort.Slice(all, func(i, j int) bool {
+		if all[i].rank != all[j].rank {
+			return all[i].rank > all[j].rank
+		}
+		return all[i].name < all[j].name
+	})
+	if k > len(all) {
+		k = len(all)
+	}
+	out := make([]string, k)
+	for i := 0; i < k; i++ {
+		out[i] = all[i].name
+	}
+	return out
+}
+
+// PercentileRank returns, for each node, the fraction of nodes with strictly
+// lower rank — the paper reports PageRank positions as percentiles ("top
+// 15%", "bottom 50%").
+func (r *Result) PercentileRank() []float64 {
+	n := len(r.Rank)
+	idx := make([]int, n)
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(a, b int) bool { return r.Rank[idx[a]] < r.Rank[idx[b]] })
+	pct := make([]float64, n)
+	i := 0
+	for i < n {
+		j := i
+		for j < n && r.Rank[idx[j]] == r.Rank[idx[i]] {
+			j++
+		}
+		// All ties get the same percentile: the count of strictly lower.
+		p := float64(i) / float64(n)
+		for k := i; k < j; k++ {
+			pct[idx[k]] = p
+		}
+		i = j
+	}
+	return pct
+}

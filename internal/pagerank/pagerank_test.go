@@ -1,0 +1,183 @@
+package pagerank
+
+import (
+	"fmt"
+	"math"
+	"testing"
+)
+
+func TestComputeValidation(t *testing.T) {
+	if _, err := Compute(NewGraph(), DefaultOptions()); err == nil {
+		t.Error("empty graph should error")
+	}
+	g := NewGraph()
+	g.AddEdge("a", "b")
+	bad := []Options{
+		{Damping: 1, MaxIter: 10},
+		{Damping: -0.1, MaxIter: 10},
+		{Damping: 0.85, MaxIter: 0},
+	}
+	for i, o := range bad {
+		if _, err := Compute(g, o); err == nil {
+			t.Errorf("case %d should error", i)
+		}
+	}
+}
+
+func TestRankSumsToOne(t *testing.T) {
+	g := NewGraph()
+	g.AddEdge("a", "b")
+	g.AddEdge("b", "c")
+	g.AddEdge("c", "a")
+	g.AddEdge("a", "c")
+	g.AddNode("dangling")
+	res, err := Compute(g, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sum float64
+	for _, r := range res.Rank {
+		if r < 0 {
+			t.Fatalf("negative rank %v", r)
+		}
+		sum += r
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		t.Errorf("rank sum = %v", sum)
+	}
+	if !res.Converged {
+		t.Error("small graph should converge")
+	}
+}
+
+func TestPopularNodeRanksHigher(t *testing.T) {
+	g := NewGraph()
+	// Many nodes link to "hub"; "leaf" gets no links.
+	for i := 0; i < 20; i++ {
+		g.AddEdge(fmt.Sprintf("n%d", i), "hub")
+	}
+	g.AddEdge("hub", "n0")
+	g.AddNode("leaf")
+	res, err := Compute(g, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Rank[g.ID("hub")] <= res.Rank[g.ID("leaf")] {
+		t.Errorf("hub %v should outrank leaf %v",
+			res.Rank[g.ID("hub")], res.Rank[g.ID("leaf")])
+	}
+	top := res.TopK(g, 1)
+	if top[0] != "hub" {
+		t.Errorf("top node = %q", top[0])
+	}
+}
+
+func TestSymmetricCycleUniform(t *testing.T) {
+	g := NewGraph()
+	g.AddEdge("a", "b")
+	g.AddEdge("b", "c")
+	g.AddEdge("c", "a")
+	res, err := Compute(g, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		if math.Abs(res.Rank[i]-1.0/3) > 1e-6 {
+			t.Errorf("cycle node %d rank = %v, want 1/3", i, res.Rank[i])
+		}
+		if math.Abs(res.Normalized[i]-1) > 1e-6 {
+			t.Errorf("normalized = %v, want 1", res.Normalized[i])
+		}
+	}
+}
+
+func TestSelfLinksDropped(t *testing.T) {
+	g := NewGraph()
+	g.AddEdge("a", "a")
+	g.AddEdge("a", "b")
+	res, err := Compute(g, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// a's entire link mass goes to b; b is dangling so mass recycles.
+	if res.Rank[g.ID("b")] <= res.Rank[g.ID("a")] {
+		t.Errorf("b should outrank a: %v vs %v", res.Rank[g.ID("b")], res.Rank[g.ID("a")])
+	}
+}
+
+func TestNormalizedInUnitRange(t *testing.T) {
+	g := NewGraph()
+	for i := 0; i < 50; i++ {
+		g.AddEdge(fmt.Sprintf("x%d", i), fmt.Sprintf("x%d", (i*7+1)%50))
+		g.AddEdge(fmt.Sprintf("x%d", i), "hub")
+	}
+	res, err := Compute(g, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	maxSeen := 0.0
+	for _, v := range res.Normalized {
+		if v < 0 || v > 1 {
+			t.Fatalf("normalized out of range: %v", v)
+		}
+		if v > maxSeen {
+			maxSeen = v
+		}
+	}
+	if maxSeen != 1 {
+		t.Errorf("max normalized = %v, want 1", maxSeen)
+	}
+}
+
+func TestPercentileRank(t *testing.T) {
+	g := NewGraph()
+	for i := 0; i < 9; i++ {
+		g.AddEdge(fmt.Sprintf("n%d", i), "top")
+	}
+	res, err := Compute(g, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	pct := res.PercentileRank()
+	topPct := pct[g.ID("top")]
+	if topPct < 0.85 {
+		t.Errorf("top node percentile = %v", topPct)
+	}
+	// The nine identical sources share one percentile.
+	p0 := pct[g.ID("n0")]
+	for i := 1; i < 9; i++ {
+		if pct[g.ID(fmt.Sprintf("n%d", i))] != p0 {
+			t.Error("tied nodes must share a percentile")
+		}
+	}
+	if p0 != 0 {
+		t.Errorf("lowest tier percentile = %v, want 0", p0)
+	}
+}
+
+func TestAddNodeIdempotent(t *testing.T) {
+	g := NewGraph()
+	a := g.AddNode("a")
+	if g.AddNode("a") != a {
+		t.Error("AddNode must be idempotent")
+	}
+	if g.ID("missing") != -1 {
+		t.Error("missing node id should be -1")
+	}
+	if g.Node(a) != "a" {
+		t.Error("Node roundtrip")
+	}
+}
+
+func TestDanglingOnlyGraph(t *testing.T) {
+	g := NewGraph()
+	g.AddNode("a")
+	g.AddNode("b")
+	res, err := Compute(g, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(res.Rank[0]-0.5) > 1e-9 || math.Abs(res.Rank[1]-0.5) > 1e-9 {
+		t.Errorf("dangling-only ranks = %v", res.Rank)
+	}
+}

@@ -1,0 +1,118 @@
+package parallel
+
+import (
+	"sync/atomic"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestForEachCoversAllIndices(t *testing.T) {
+	for _, workers := range []int{0, 1, 2, 7, 100} {
+		n := 1000
+		hits := make([]int32, n)
+		ForEach(n, workers, func(i int) { atomic.AddInt32(&hits[i], 1) })
+		for i, h := range hits {
+			if h != 1 {
+				t.Fatalf("workers=%d: index %d hit %d times", workers, i, h)
+			}
+		}
+	}
+}
+
+func TestForEachEdgeCases(t *testing.T) {
+	called := false
+	ForEach(0, 4, func(i int) { called = true })
+	ForEach(-3, 4, func(i int) { called = true })
+	if called {
+		t.Error("ForEach must not call fn for n<=0")
+	}
+	count := 0
+	ForEach(1, 16, func(i int) { count++ })
+	if count != 1 {
+		t.Errorf("n=1 count = %d", count)
+	}
+}
+
+func TestForEachPropertyCoverage(t *testing.T) {
+	f := func(n uint8, workers uint8) bool {
+		nn := int(n%200) + 1
+		var total int64
+		ForEach(nn, int(workers%8), func(i int) { atomic.AddInt64(&total, int64(i)) })
+		return total == int64(nn*(nn-1)/2)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMapReduceSum(t *testing.T) {
+	for _, workers := range []int{0, 1, 3, 8} {
+		got := MapReduce(1000, workers,
+			func() int { return 0 },
+			func(acc, i int) int { return acc + i },
+			func(a, b int) int { return a + b })
+		if got != 499500 {
+			t.Fatalf("workers=%d: sum = %d", workers, got)
+		}
+	}
+}
+
+func TestMapReduceDeterministicFloats(t *testing.T) {
+	run := func() float64 {
+		return MapReduce(10000, 4,
+			func() float64 { return 0 },
+			func(acc float64, i int) float64 { return acc + 1.0/float64(i+1) },
+			func(a, b float64) float64 { return a + b })
+	}
+	a := run()
+	for i := 0; i < 5; i++ {
+		if run() != a {
+			t.Fatal("MapReduce float result not reproducible")
+		}
+	}
+}
+
+func TestMapReduceEmpty(t *testing.T) {
+	got := MapReduce(0, 4,
+		func() int { return 42 },
+		func(acc, i int) int { return acc + i },
+		func(a, b int) int { return a + b })
+	if got != 42 {
+		t.Errorf("empty MapReduce = %d, want identity 42", got)
+	}
+}
+
+func TestStageTimer(t *testing.T) {
+	st := NewStageTimer()
+	st.Time("a", func() { time.Sleep(2 * time.Millisecond) })
+	st.Add("b", 5*time.Millisecond)
+	st.Add("a", 1*time.Millisecond)
+	if st.Total("a") < 3*time.Millisecond {
+		t.Errorf("stage a total = %v", st.Total("a"))
+	}
+	if st.Total("b") != 5*time.Millisecond {
+		t.Errorf("stage b total = %v", st.Total("b"))
+	}
+	stages := st.Stages()
+	if len(stages) != 2 || stages[0] != "a" || stages[1] != "b" {
+		t.Errorf("stages = %v", stages)
+	}
+	if st.Sum() < 8*time.Millisecond {
+		t.Errorf("sum = %v", st.Sum())
+	}
+}
+
+func TestStageTimerNilSafe(t *testing.T) {
+	var st *StageTimer
+	st.Add("x", time.Second)
+	if st.Total("x") != 0 || st.Sum() != 0 || st.Stages() != nil {
+		t.Error("nil StageTimer must be inert")
+	}
+}
+
+func TestDefaultWorkersPositive(t *testing.T) {
+	if DefaultWorkers() < 1 {
+		t.Error("DefaultWorkers must be >= 1")
+	}
+}

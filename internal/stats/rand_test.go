@@ -1,0 +1,184 @@
+package stats
+
+import (
+	"math"
+	"testing"
+)
+
+func TestRNGDeterminism(t *testing.T) {
+	a, b := NewRNG(7), NewRNG(7)
+	for i := 0; i < 100; i++ {
+		if a.Float64() != b.Float64() {
+			t.Fatal("same seed must produce identical streams")
+		}
+	}
+}
+
+func TestForkIndependence(t *testing.T) {
+	parent := NewRNG(42)
+	c1 := parent.Fork(1)
+	c2 := parent.Fork(2)
+	c1again := NewRNG(42).Fork(1)
+	// Same fork id reproduces the same stream regardless of parent usage.
+	for i := 0; i < 50; i++ {
+		if c1.Float64() != c1again.Float64() {
+			t.Fatal("fork must be reproducible")
+		}
+	}
+	// Different ids produce different streams (overwhelmingly likely).
+	same := 0
+	d1, d2 := NewRNG(42).Fork(1), c2
+	for i := 0; i < 50; i++ {
+		if d1.Float64() == d2.Float64() {
+			same++
+		}
+	}
+	if same > 5 {
+		t.Fatalf("forks with different ids look identical (%d/50 equal)", same)
+	}
+}
+
+func TestForkDoesNotAdvanceParent(t *testing.T) {
+	p1, p2 := NewRNG(9), NewRNG(9)
+	_ = p1.Fork(3)
+	if p1.Float64() != p2.Float64() {
+		t.Fatal("Fork must not consume parent randomness")
+	}
+}
+
+func TestBernoulli(t *testing.T) {
+	g := NewRNG(1)
+	n, hits := 20000, 0
+	for i := 0; i < n; i++ {
+		if g.Bernoulli(0.3) {
+			hits++
+		}
+	}
+	frac := float64(hits) / float64(n)
+	if math.Abs(frac-0.3) > 0.02 {
+		t.Errorf("Bernoulli(0.3) frequency = %v", frac)
+	}
+	if g.Bernoulli(0) {
+		t.Error("Bernoulli(0) must be false")
+	}
+	if !g.Bernoulli(1.0000001) {
+		t.Error("Bernoulli(>1) must be true")
+	}
+}
+
+func TestGammaMoments(t *testing.T) {
+	g := NewRNG(2)
+	for _, shape := range []float64{0.5, 1, 2.5, 9} {
+		n := 30000
+		var sum float64
+		for i := 0; i < n; i++ {
+			sum += g.Gamma(shape)
+		}
+		mean := sum / float64(n)
+		// Gamma(shape,1) has mean = shape.
+		if math.Abs(mean-shape)/shape > 0.05 {
+			t.Errorf("Gamma(%v) mean = %v", shape, mean)
+		}
+	}
+	if g.Gamma(0) != 0 || g.Gamma(-1) != 0 {
+		t.Error("Gamma with non-positive shape should return 0")
+	}
+}
+
+func TestBetaMoments(t *testing.T) {
+	g := NewRNG(3)
+	a, b := 8.0, 2.0 // mean 0.8, like the paper's default source accuracy
+	n := 30000
+	var sum float64
+	for i := 0; i < n; i++ {
+		x := g.Beta(a, b)
+		if x < 0 || x > 1 {
+			t.Fatalf("Beta sample out of range: %v", x)
+		}
+		sum += x
+	}
+	mean := sum / float64(n)
+	if math.Abs(mean-0.8) > 0.01 {
+		t.Errorf("Beta(8,2) mean = %v, want ~0.8", mean)
+	}
+	if g.Beta(0, 1) != 0.5 {
+		t.Error("degenerate Beta should return 0.5")
+	}
+}
+
+func TestZipfSkew(t *testing.T) {
+	g := NewRNG(4)
+	z := g.Zipf(1.5, 1000)
+	counts := make([]int, 1000)
+	n := 50000
+	for i := 0; i < n; i++ {
+		r := z.Next()
+		if r < 0 || r >= 1000 {
+			t.Fatalf("Zipf rank out of range: %d", r)
+		}
+		counts[r]++
+	}
+	// Rank 0 must dominate rank 10 which must dominate rank 100.
+	if !(counts[0] > counts[10] && counts[10] > counts[100]) {
+		t.Errorf("Zipf not skewed: c0=%d c10=%d c100=%d", counts[0], counts[10], counts[100])
+	}
+	// s<=1 must not panic.
+	_ = g.Zipf(0.5, 10).Next()
+	_ = g.Zipf(2, 1).Next()
+}
+
+func TestCategorical(t *testing.T) {
+	g := NewRNG(5)
+	w := []float64{0, 1, 3}
+	counts := make([]int, 3)
+	n := 40000
+	for i := 0; i < n; i++ {
+		counts[g.Categorical(w)]++
+	}
+	if counts[0] != 0 {
+		t.Errorf("zero-weight index sampled %d times", counts[0])
+	}
+	ratio := float64(counts[2]) / float64(counts[1])
+	if math.Abs(ratio-3) > 0.3 {
+		t.Errorf("Categorical ratio = %v, want ~3", ratio)
+	}
+	// Degenerate cases fall back sanely.
+	if got := g.Categorical(nil); got != 0 {
+		t.Errorf("Categorical(nil) = %d", got)
+	}
+	idx := g.Categorical([]float64{0, 0})
+	if idx < 0 || idx > 1 {
+		t.Errorf("Categorical all-zero = %d", idx)
+	}
+}
+
+func TestTruncatedBeta(t *testing.T) {
+	g := NewRNG(6)
+	for i := 0; i < 1000; i++ {
+		x := g.TruncatedBeta(2, 2, 0.4, 0.6)
+		if x < 0.4 || x > 0.6 {
+			t.Fatalf("TruncatedBeta out of range: %v", x)
+		}
+	}
+}
+
+func TestPermShuffle(t *testing.T) {
+	g := NewRNG(8)
+	p := g.Perm(10)
+	seen := make(map[int]bool)
+	for _, v := range p {
+		if v < 0 || v >= 10 || seen[v] {
+			t.Fatalf("invalid permutation %v", p)
+		}
+		seen[v] = true
+	}
+	xs := []int{1, 2, 3, 4, 5}
+	g.Shuffle(len(xs), func(i, j int) { xs[i], xs[j] = xs[j], xs[i] })
+	sum := 0
+	for _, v := range xs {
+		sum += v
+	}
+	if sum != 15 {
+		t.Fatalf("shuffle lost elements: %v", xs)
+	}
+}

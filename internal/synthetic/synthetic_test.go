@@ -1,0 +1,233 @@
+package synthetic
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"kbt/internal/triple"
+)
+
+func TestGenerateValidation(t *testing.T) {
+	bad := []Params{
+		{NumSources: 0, NumExtractors: 5, TriplesPerSource: 10},
+		{NumSources: 5, NumExtractors: 0, TriplesPerSource: 10},
+		{NumSources: 5, NumExtractors: 5, TriplesPerSource: 0},
+		{NumSources: 5, NumExtractors: 5, TriplesPerSource: 100, NumDataItems: 10},
+		func() Params { p := DefaultParams(); p.SourceAccuracy = 1.5; return p }(),
+	}
+	for i, p := range bad {
+		if _, err := Generate(p); err == nil {
+			t.Errorf("case %d should error", i)
+		}
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	p := DefaultParams()
+	w1, err := Generate(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w2, err := Generate(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(w1.Dataset.Records) != len(w2.Dataset.Records) {
+		t.Fatal("nondeterministic record count")
+	}
+	for i := range w1.Dataset.Records {
+		if w1.Dataset.Records[i] != w2.Dataset.Records[i] {
+			t.Fatalf("record %d differs", i)
+		}
+	}
+	p.Seed = 99
+	w3, err := Generate(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	same := w3.Dataset.Records[0] == w1.Dataset.Records[0] &&
+		len(w3.Dataset.Records) == len(w1.Dataset.Records)
+	if same && len(w1.Dataset.Records) > 10 {
+		// Extremely unlikely the full sets coincide; spot check a few.
+		diff := false
+		for i := 0; i < 10 && i < len(w1.Dataset.Records); i++ {
+			if w1.Dataset.Records[i] != w3.Dataset.Records[i] {
+				diff = true
+				break
+			}
+		}
+		if !diff {
+			t.Error("different seeds produced identical data")
+		}
+	}
+}
+
+func TestSourceAccuracyNearParameter(t *testing.T) {
+	p := DefaultParams()
+	p.TriplesPerSource = 500
+	p.NumDataItems = 1000
+	w, err := Generate(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var mean float64
+	for _, a := range w.TrueAccuracy {
+		mean += a
+	}
+	mean /= float64(len(w.TrueAccuracy))
+	if math.Abs(mean-p.SourceAccuracy) > 0.05 {
+		t.Errorf("mean empirical accuracy = %v, want ~%v", mean, p.SourceAccuracy)
+	}
+}
+
+func TestExtractorQualityNearParameters(t *testing.T) {
+	p := DefaultParams()
+	p.TriplesPerSource = 300
+	p.NumDataItems = 600
+	p.NumSources = 20
+	w, err := Generate(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantP := math.Pow(p.ComponentPrecision, 3)
+	for name, et := range w.ExtractorStats {
+		if et.Extractions == 0 {
+			continue
+		}
+		if math.Abs(et.Precision()-wantP) > 0.08 {
+			t.Errorf("%s precision = %v, want ~%v", name, et.Precision(), wantP)
+		}
+		// Recall across processed sources ≈ R * P^3 for fully-correct
+		// extraction of a provided triple... no: Recall counts correct
+		// extractions / provided seen = R * P³.
+		wantR := p.ExtractorRecall * wantP
+		if math.Abs(et.Recall()-wantR) > 0.08 {
+			t.Errorf("%s recall = %v, want ~%v", name, et.Recall(), wantR)
+		}
+	}
+}
+
+func TestProvidedGroundTruthConsistent(t *testing.T) {
+	p := DefaultParams()
+	p.TriplesPerSource = 20
+	p.NumDataItems = 40
+	w, err := Generate(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Every source provides exactly TriplesPerSource triples.
+	perSite := map[string]int{}
+	for key := range w.Dataset.Provided {
+		site := strings.SplitN(key, "\x1f", 2)[0]
+		perSite[site]++
+	}
+	if len(perSite) != p.NumSources {
+		t.Fatalf("providing sites = %d", len(perSite))
+	}
+	for site, n := range perSite {
+		if n != p.TriplesPerSource {
+			t.Errorf("%s provides %d, want %d", site, n, p.TriplesPerSource)
+		}
+	}
+}
+
+func TestCorruptionRate(t *testing.T) {
+	// With P=1 every extraction matches a provided triple.
+	p := DefaultParams()
+	p.ComponentPrecision = 1
+	w, err := Generate(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range w.Dataset.Records {
+		if !w.ProvidedTruth(r.Website, r.Subject, r.Predicate, r.Object) {
+			t.Fatalf("P=1 produced a wrong extraction: %+v", r)
+		}
+	}
+	for _, et := range w.ExtractorStats {
+		if et.Correct != et.Extractions {
+			t.Errorf("P=1 stats: %+v", et)
+		}
+	}
+	// With P=0 essentially every extraction is corrupted.
+	p.ComponentPrecision = 0
+	w, err = Generate(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	correct := 0
+	for _, et := range w.ExtractorStats {
+		correct += et.Correct
+	}
+	total := 0
+	for _, et := range w.ExtractorStats {
+		total += et.Extractions
+	}
+	if total > 0 && float64(correct)/float64(total) > 0.05 {
+		t.Errorf("P=0 still has %d/%d correct", correct, total)
+	}
+}
+
+func TestRecallZeroMeansNoExtractions(t *testing.T) {
+	p := DefaultParams()
+	p.ExtractorRecall = 0
+	w, err := Generate(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(w.Dataset.Records) != 0 {
+		t.Errorf("R=0 produced %d records", len(w.Dataset.Records))
+	}
+}
+
+func TestCoverageZeroMeansNoExtractions(t *testing.T) {
+	p := DefaultParams()
+	p.ExtractorCoverage = 0
+	w, err := Generate(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(w.Dataset.Records) != 0 {
+		t.Errorf("δ=0 produced %d records", len(w.Dataset.Records))
+	}
+}
+
+func TestCompileSnapshot(t *testing.T) {
+	w, err := Generate(DefaultParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := w.Compile()
+	if len(s.Sources) > w.Params.NumSources {
+		t.Errorf("sources = %d", len(s.Sources))
+	}
+	if len(s.Extractors) > w.Params.NumExtractors {
+		t.Errorf("extractors = %d", len(s.Extractors))
+	}
+	if len(s.Obs) == 0 {
+		t.Fatal("no observations")
+	}
+	// Items include pool items; some corruption items may also appear.
+	if _, ok := w.TrueValueOf(w.Items[0].Subject, w.Items[0].Predicate); !ok {
+		t.Error("pool item missing true value")
+	}
+	if _, ok := w.TrueValueOf("nope", "nope"); ok {
+		t.Error("unknown item should not have truth")
+	}
+}
+
+func TestRecordShape(t *testing.T) {
+	w, err := Generate(DefaultParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range w.Dataset.Records[:10] {
+		if r.Website == "" || r.Page == "" || r.Subject == "" || r.Predicate == "" || r.Object == "" {
+			t.Fatalf("incomplete record: %+v", r)
+		}
+		if triple.SourceKeyWebsite(r) != r.Website {
+			t.Fatal("website key mismatch")
+		}
+	}
+}

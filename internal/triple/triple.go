@@ -1,0 +1,396 @@
+// Package triple defines the data model shared by every layer of the KBT
+// reproduction: knowledge triples, data items, extraction records with full
+// provenance, and the compiled sparse observation matrix X = {X_ewdv} that
+// the probabilistic models consume.
+//
+// The paper represents a triple (subject, predicate, object) as a
+// (data item, value) pair where the data item is (subject, predicate). Each
+// observation records that extractor e extracted value v for data item d on
+// web source w, optionally with a confidence in [0,1] (§3.5).
+package triple
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Record is one raw extraction with full provenance, before any choice of
+// source/extractor granularity. It corresponds to a single X_ewdv = 1 cell
+// (or a soft cell when Confidence < 1).
+type Record struct {
+	// Extractor names the extraction system (one of KV's 16 in the paper).
+	Extractor string
+	// Pattern is the extraction pattern within the extractor.
+	Pattern string
+	// Website is the registrable domain of the page, e.g. "wiki.com".
+	Website string
+	// Page is the specific URL, e.g. "wiki.com/page1".
+	Page string
+	// Subject, Predicate, Object form the extracted knowledge triple.
+	Subject   string
+	Predicate string
+	Object    string
+	// Confidence is the extractor's probability that the page really
+	// provides the triple. Zero means "unspecified" and is treated as 1,
+	// matching §5.1.2 ("if an extractor does not provide confidence, we
+	// assume the confidence is 1").
+	Confidence float64
+}
+
+// Conf returns the effective confidence of the record in (0,1].
+func (r Record) Conf() float64 {
+	if r.Confidence <= 0 {
+		return 1
+	}
+	if r.Confidence > 1 {
+		return 1
+	}
+	return r.Confidence
+}
+
+// ItemKey returns the data-item identity (subject, predicate) of the record.
+func (r Record) ItemKey() string { return r.Subject + "\x1f" + r.Predicate }
+
+// TripleKey returns the full (subject, predicate, object) identity.
+func (r Record) TripleKey() string {
+	return r.Subject + "\x1f" + r.Predicate + "\x1f" + r.Object
+}
+
+// SourceKeyFunc maps a record to the label of the source unit it belongs to
+// under some granularity (e.g. website-only, or website|predicate|page).
+type SourceKeyFunc func(Record) string
+
+// ExtractorKeyFunc maps a record to the label of the extractor unit it
+// belongs to under some granularity.
+type ExtractorKeyFunc func(Record) string
+
+// The paper's source feature vector is ⟨website, predicate, webpage⟩ ordered
+// most-general-first (§4); the extractor vector is ⟨extractor, pattern,
+// predicate, website⟩. These helpers build the standard key functions.
+
+// SourceKeyWebsite groups records by website only (coarsest source).
+func SourceKeyWebsite(r Record) string { return r.Website }
+
+// SourceKeyWebsitePredicate groups by ⟨website, predicate⟩.
+func SourceKeyWebsitePredicate(r Record) string {
+	return r.Website + "\x1f" + r.Predicate
+}
+
+// SourceKeyFinest groups by ⟨website, predicate, webpage⟩, the finest source
+// granularity used in the paper's experiments (§5.1.2).
+func SourceKeyFinest(r Record) string {
+	return r.Website + "\x1f" + r.Predicate + "\x1f" + r.Page
+}
+
+// SourceKeyPage groups by webpage (used when treating each URL as a source).
+func SourceKeyPage(r Record) string { return r.Page }
+
+// ExtractorKeyName groups by extractor system only (coarsest).
+func ExtractorKeyName(r Record) string { return r.Extractor }
+
+// ExtractorKeyFinest groups by ⟨extractor, pattern, predicate, website⟩, the
+// finest extractor granularity used in the paper's experiments.
+func ExtractorKeyFinest(r Record) string {
+	return r.Extractor + "\x1f" + r.Pattern + "\x1f" + r.Predicate + "\x1f" + r.Website
+}
+
+// ProvenanceKey groups by the single-layer "provenance" 4-tuple
+// (extractor, website, predicate, pattern) of §5.1.2.
+func ProvenanceKey(r Record) string {
+	return r.Extractor + "\x1f" + r.Website + "\x1f" + r.Predicate + "\x1f" + r.Pattern
+}
+
+// Dataset accumulates raw extraction records plus, optionally, the triples
+// each source truly provides (ground truth available from simulators and the
+// motivating example; absent for real crawls).
+type Dataset struct {
+	Records []Record
+
+	// Provided, when non-nil, maps source-truth: ProvidedKey(w,d,v) entries
+	// that web sources actually state. Used for SqC evaluation and for the
+	// single-layer/multi-layer comparisons on synthetic data.
+	Provided map[string]bool
+
+	// TrueValue, when non-nil, maps an item key to the value that is correct
+	// in the real world. Used for SqV evaluation on synthetic data.
+	TrueValue map[string]string
+}
+
+// NewDataset returns an empty dataset.
+func NewDataset() *Dataset {
+	return &Dataset{}
+}
+
+// Add appends an extraction record.
+func (d *Dataset) Add(r Record) {
+	d.Records = append(d.Records, r)
+}
+
+// MarkProvided records ground truth that page (on website) truly provides
+// the triple. pageSourceKey must agree with the SourceKeyFunc later used to
+// compile the dataset; we store it keyed by the finest key and re-derive.
+func (d *Dataset) MarkProvided(website, page, subject, predicate, object string) {
+	if d.Provided == nil {
+		d.Provided = make(map[string]bool)
+	}
+	d.Provided[ProvidedKey(website, page, subject, predicate, object)] = true
+}
+
+// ProvidedKey builds the canonical ground-truth key for a provided triple.
+func ProvidedKey(website, page, subject, predicate, object string) string {
+	return website + "\x1f" + page + "\x1f" + subject + "\x1f" + predicate + "\x1f" + object
+}
+
+// MarkTrue records the real-world true value of a data item.
+func (d *Dataset) MarkTrue(subject, predicate, value string) {
+	if d.TrueValue == nil {
+		d.TrueValue = make(map[string]string)
+	}
+	d.TrueValue[subject+"\x1f"+predicate] = value
+}
+
+// Observation is one compiled cell of the observation matrix with dense ids.
+type Observation struct {
+	E    int     // extractor unit
+	W    int     // source unit
+	D    int     // data item
+	V    int     // value (dense per dataset, shared across items)
+	Conf float64 // p(X_ewdv = 1), in (0,1]
+}
+
+// Snapshot is the compiled, id-dense view of a Dataset at a fixed
+// source/extractor granularity. It is immutable after Compile.
+type Snapshot struct {
+	Obs []Observation
+
+	Sources    []string // source-unit labels, indexed by Observation.W
+	Extractors []string // extractor-unit labels, indexed by Observation.E
+	Items      []string // data-item keys, indexed by Observation.D
+	Values     []string // value labels, indexed by Observation.V
+
+	// Predicates interns the predicate vocabulary; PredOfItem maps each
+	// data item to its predicate id. The multi-layer model scopes extractor
+	// absence votes by (source, predicate) cells.
+	Predicates []string
+	PredOfItem []int
+
+	sourceIdx    map[string]int
+	extractorIdx map[string]int
+	itemIdx      map[string]int
+	valueIdx     map[string]int
+	predIdx      map[string]int
+
+	// ItemValues lists, per data item, the distinct candidate values observed
+	// for it (sorted ascending for determinism).
+	ItemValues [][]int
+
+	// ByTriple groups observation indices by (W,D,V) candidate triple;
+	// Triples lists the distinct candidate triples in deterministic order.
+	Triples  []TripleRef
+	ByTriple [][]int // parallel to Triples: indices into Obs
+
+	// TriplesOfItem indexes, per data item, the candidate triples (indices
+	// into Triples) that mention it.
+	TriplesOfItem [][]int
+
+	// TriplesOfSource indexes, per source, the candidate triples provided
+	// candidates for it.
+	TriplesOfSource [][]int
+
+	// ObsOfExtractor indexes, per extractor, its observation indices.
+	ObsOfExtractor [][]int
+
+	// SourcesOfExtractor lists, per extractor, the distinct sources it
+	// extracted at least one triple from (its "attempted" scope).
+	SourcesOfExtractor [][]int
+}
+
+// TripleRef identifies one candidate triple (a (w,d,v) combination with at
+// least one extraction).
+type TripleRef struct {
+	W, D, V int
+}
+
+// CompileOptions selects the granularity for Compile.
+type CompileOptions struct {
+	SourceKey    SourceKeyFunc
+	ExtractorKey ExtractorKeyFunc
+
+	// SourceLabels / ExtractorLabels, when non-nil, override the key
+	// functions with a precomputed per-record label (parallel to
+	// Dataset.Records). The granularity package produces these: split
+	// assignments are random partitions, not pure functions of the record.
+	SourceLabels    []string
+	ExtractorLabels []string
+}
+
+// Compile builds a Snapshot from the dataset at the requested granularity.
+// Duplicate (e,w,d,v) cells are merged keeping the maximum confidence.
+// Defaults: finest source and extractor granularity per §5.1.2.
+func (d *Dataset) Compile(opt CompileOptions) *Snapshot {
+	if opt.SourceKey == nil {
+		opt.SourceKey = SourceKeyFinest
+	}
+	if opt.ExtractorKey == nil {
+		opt.ExtractorKey = ExtractorKeyFinest
+	}
+	s := &Snapshot{
+		sourceIdx:    make(map[string]int),
+		extractorIdx: make(map[string]int),
+		itemIdx:      make(map[string]int),
+		valueIdx:     make(map[string]int),
+		predIdx:      make(map[string]int),
+	}
+	type cellKey struct{ e, w, d, v int }
+	cells := make(map[cellKey]float64, len(d.Records))
+	for ri, r := range d.Records {
+		eKey := opt.ExtractorKey(r)
+		if opt.ExtractorLabels != nil {
+			eKey = opt.ExtractorLabels[ri]
+		}
+		wKey := opt.SourceKey(r)
+		if opt.SourceLabels != nil {
+			wKey = opt.SourceLabels[ri]
+		}
+		e := intern(&s.Extractors, s.extractorIdx, eKey)
+		w := intern(&s.Sources, s.sourceIdx, wKey)
+		di := intern(&s.Items, s.itemIdx, r.ItemKey())
+		if di == len(s.PredOfItem) {
+			s.PredOfItem = append(s.PredOfItem, intern(&s.Predicates, s.predIdx, r.Predicate))
+		}
+		v := intern(&s.Values, s.valueIdx, r.Object)
+		k := cellKey{e, w, di, v}
+		if c := r.Conf(); c > cells[k] {
+			cells[k] = c
+		}
+	}
+	s.Obs = make([]Observation, 0, len(cells))
+	for k, conf := range cells {
+		s.Obs = append(s.Obs, Observation{E: k.e, W: k.w, D: k.d, V: k.v, Conf: conf})
+	}
+	sort.Slice(s.Obs, func(i, j int) bool {
+		a, b := s.Obs[i], s.Obs[j]
+		if a.D != b.D {
+			return a.D < b.D
+		}
+		if a.W != b.W {
+			return a.W < b.W
+		}
+		if a.V != b.V {
+			return a.V < b.V
+		}
+		return a.E < b.E
+	})
+	s.buildIndexes()
+	return s
+}
+
+func intern(list *[]string, idx map[string]int, key string) int {
+	if i, ok := idx[key]; ok {
+		return i
+	}
+	i := len(*list)
+	idx[key] = i
+	*list = append(*list, key)
+	return i
+}
+
+func (s *Snapshot) buildIndexes() {
+	// Candidate triples.
+	type twdv struct{ w, d, v int }
+	tripleIdx := make(map[twdv]int)
+	for i, o := range s.Obs {
+		k := twdv{o.W, o.D, o.V}
+		ti, ok := tripleIdx[k]
+		if !ok {
+			ti = len(s.Triples)
+			tripleIdx[k] = ti
+			s.Triples = append(s.Triples, TripleRef{W: o.W, D: o.D, V: o.V})
+			s.ByTriple = append(s.ByTriple, nil)
+		}
+		s.ByTriple[ti] = append(s.ByTriple[ti], i)
+	}
+
+	// Per-item candidate values and triples.
+	s.ItemValues = make([][]int, len(s.Items))
+	s.TriplesOfItem = make([][]int, len(s.Items))
+	s.TriplesOfSource = make([][]int, len(s.Sources))
+	seenVal := make(map[[2]int]bool)
+	for ti, tr := range s.Triples {
+		s.TriplesOfItem[tr.D] = append(s.TriplesOfItem[tr.D], ti)
+		s.TriplesOfSource[tr.W] = append(s.TriplesOfSource[tr.W], ti)
+		vk := [2]int{tr.D, tr.V}
+		if !seenVal[vk] {
+			seenVal[vk] = true
+			s.ItemValues[tr.D] = append(s.ItemValues[tr.D], tr.V)
+		}
+	}
+	for d := range s.ItemValues {
+		sort.Ints(s.ItemValues[d])
+	}
+
+	// Per-extractor observation lists and attempted-source scopes.
+	s.ObsOfExtractor = make([][]int, len(s.Extractors))
+	seenSrc := make(map[[2]int]bool)
+	s.SourcesOfExtractor = make([][]int, len(s.Extractors))
+	for i, o := range s.Obs {
+		s.ObsOfExtractor[o.E] = append(s.ObsOfExtractor[o.E], i)
+		sk := [2]int{o.E, o.W}
+		if !seenSrc[sk] {
+			seenSrc[sk] = true
+			s.SourcesOfExtractor[o.E] = append(s.SourcesOfExtractor[o.E], o.W)
+		}
+	}
+	for e := range s.SourcesOfExtractor {
+		sort.Ints(s.SourcesOfExtractor[e])
+	}
+}
+
+// SourceID returns the dense id of a source label, or -1 if absent.
+func (s *Snapshot) SourceID(label string) int {
+	if i, ok := s.sourceIdx[label]; ok {
+		return i
+	}
+	return -1
+}
+
+// ExtractorID returns the dense id of an extractor label, or -1 if absent.
+func (s *Snapshot) ExtractorID(label string) int {
+	if i, ok := s.extractorIdx[label]; ok {
+		return i
+	}
+	return -1
+}
+
+// ItemID returns the dense id of a data-item key, or -1 if absent.
+func (s *Snapshot) ItemID(subject, predicate string) int {
+	if i, ok := s.itemIdx[subject+"\x1f"+predicate]; ok {
+		return i
+	}
+	return -1
+}
+
+// ValueID returns the dense id of a value label, or -1 if absent.
+func (s *Snapshot) ValueID(label string) int {
+	if i, ok := s.valueIdx[label]; ok {
+		return i
+	}
+	return -1
+}
+
+// TripleIndex returns the candidate-triple index for (w,d,v), or -1.
+func (s *Snapshot) TripleIndex(w, d, v int) int {
+	for _, ti := range s.TriplesOfItem[d] {
+		tr := s.Triples[ti]
+		if tr.W == w && tr.V == v {
+			return ti
+		}
+	}
+	return -1
+}
+
+// Stats returns a short human-readable summary of the snapshot.
+func (s *Snapshot) Stats() string {
+	return fmt.Sprintf("%d observations, %d candidate triples, %d sources, %d extractors, %d items, %d values",
+		len(s.Obs), len(s.Triples), len(s.Sources), len(s.Extractors), len(s.Items), len(s.Values))
+}

@@ -1,0 +1,134 @@
+package triple
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// TSV codec for extraction records. The on-disk format is one record per
+// line with 9 tab-separated columns:
+//
+//	extractor  pattern  website  page  subject  predicate  object  confidence
+//
+// (confidence is optional; a missing or empty column means 1.0). Lines that
+// are blank or start with '#' are skipped. This is the interchange format
+// accepted by cmd/kbt.
+
+// WriteTSV writes all records of the dataset to w.
+func WriteTSV(w io.Writer, d *Dataset) error {
+	bw := bufio.NewWriter(w)
+	for _, r := range d.Records {
+		if err := writeRecord(bw, r); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+func writeRecord(w io.Writer, r Record) error {
+	_, err := fmt.Fprintf(w, "%s\t%s\t%s\t%s\t%s\t%s\t%s\t%s\n",
+		escape(r.Extractor), escape(r.Pattern), escape(r.Website), escape(r.Page),
+		escape(r.Subject), escape(r.Predicate), escape(r.Object),
+		strconv.FormatFloat(r.Conf(), 'g', -1, 64))
+	return err
+}
+
+// ReadTSV parses records from r into a new Dataset.
+func ReadTSV(r io.Reader) (*Dataset, error) {
+	d := NewDataset()
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 4*1024*1024)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := sc.Text()
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		rec, err := parseLine(line)
+		if err != nil {
+			return nil, fmt.Errorf("triple: line %d: %w", lineNo, err)
+		}
+		d.Add(rec)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("triple: scan: %w", err)
+	}
+	return d, nil
+}
+
+func parseLine(line string) (Record, error) {
+	cols := strings.Split(line, "\t")
+	if len(cols) < 7 {
+		return Record{}, fmt.Errorf("expected >=7 columns, got %d", len(cols))
+	}
+	rec := Record{
+		Extractor: unescape(cols[0]),
+		Pattern:   unescape(cols[1]),
+		Website:   unescape(cols[2]),
+		Page:      unescape(cols[3]),
+		Subject:   unescape(cols[4]),
+		Predicate: unescape(cols[5]),
+		Object:    unescape(cols[6]),
+	}
+	if len(cols) >= 8 && cols[7] != "" {
+		c, err := strconv.ParseFloat(cols[7], 64)
+		if err != nil {
+			return Record{}, fmt.Errorf("bad confidence %q: %w", cols[7], err)
+		}
+		if c < 0 || c > 1 {
+			return Record{}, fmt.Errorf("confidence %v out of [0,1]", c)
+		}
+		rec.Confidence = c
+	}
+	return rec, nil
+}
+
+// escape protects tabs and newlines inside field values.
+func escape(s string) string {
+	if !strings.ContainsAny(s, "\t\n\\") {
+		return s
+	}
+	var b strings.Builder
+	for _, c := range s {
+		switch c {
+		case '\t':
+			b.WriteString(`\t`)
+		case '\n':
+			b.WriteString(`\n`)
+		case '\\':
+			b.WriteString(`\\`)
+		default:
+			b.WriteRune(c)
+		}
+	}
+	return b.String()
+}
+
+func unescape(s string) string {
+	if !strings.Contains(s, `\`) {
+		return s
+	}
+	var b strings.Builder
+	for i := 0; i < len(s); i++ {
+		if s[i] == '\\' && i+1 < len(s) {
+			switch s[i+1] {
+			case 't':
+				b.WriteByte('\t')
+			case 'n':
+				b.WriteByte('\n')
+			case '\\':
+				b.WriteByte('\\')
+			default:
+				b.WriteByte(s[i+1])
+			}
+			i++
+			continue
+		}
+		b.WriteByte(s[i])
+	}
+	return b.String()
+}

@@ -1,0 +1,77 @@
+package triple
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestTSVRoundTrip(t *testing.T) {
+	d := NewDataset()
+	d.Add(Record{Extractor: "E1", Pattern: "p\t1", Website: "w.com", Page: "w.com/a",
+		Subject: "Barack Obama", Predicate: "nationality", Object: "USA", Confidence: 0.85})
+	d.Add(Record{Extractor: "E2", Pattern: "p2", Website: "x.com", Page: "x.com/b",
+		Subject: "line\nbreak", Predicate: "p", Object: "back\\slash"})
+
+	var buf bytes.Buffer
+	if err := WriteTSV(&buf, d); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadTSV(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Records) != 2 {
+		t.Fatalf("records = %d, want 2", len(got.Records))
+	}
+	if got.Records[0].Pattern != "p\t1" {
+		t.Errorf("tab not round-tripped: %q", got.Records[0].Pattern)
+	}
+	if got.Records[0].Confidence != 0.85 {
+		t.Errorf("confidence = %v", got.Records[0].Confidence)
+	}
+	if got.Records[1].Subject != "line\nbreak" {
+		t.Errorf("newline not round-tripped: %q", got.Records[1].Subject)
+	}
+	if got.Records[1].Object != "back\\slash" {
+		t.Errorf("backslash not round-tripped: %q", got.Records[1].Object)
+	}
+	if got.Records[1].Conf() != 1 {
+		t.Errorf("default confidence = %v, want 1", got.Records[1].Conf())
+	}
+}
+
+func TestReadTSVSkipsCommentsAndBlank(t *testing.T) {
+	in := "# a comment\n\nE1\tp\tw\tw/1\ts\tpred\to\t0.5\n"
+	d, err := ReadTSV(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(d.Records) != 1 {
+		t.Fatalf("records = %d, want 1", len(d.Records))
+	}
+}
+
+func TestReadTSVErrors(t *testing.T) {
+	cases := []string{
+		"E1\tp\tw\tw/1\ts\tpred\n",           // too few columns
+		"E1\tp\tw\tw/1\ts\tpred\to\tnope\n",  // bad confidence
+		"E1\tp\tw\tw/1\ts\tpred\to\t1.5\n",   // out-of-range confidence
+		"E1\tp\tw\tw/1\ts\tpred\to\t-0.25\n", // negative confidence
+	}
+	for _, in := range cases {
+		if _, err := ReadTSV(strings.NewReader(in)); err == nil {
+			t.Errorf("expected error for %q", in)
+		}
+	}
+}
+
+func TestReadTSVMissingConfidenceColumn(t *testing.T) {
+	d, err := ReadTSV(strings.NewReader("E1\tp\tw\tw/1\ts\tpred\to\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Records[0].Conf() != 1 {
+		t.Errorf("missing confidence should mean 1, got %v", d.Records[0].Conf())
+	}
+}

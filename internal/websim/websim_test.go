@@ -1,0 +1,317 @@
+package websim
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"kbt/internal/metrics"
+	"kbt/internal/pagerank"
+)
+
+func genDefault(t *testing.T) *World {
+	t.Helper()
+	w, err := Generate(DefaultParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return w
+}
+
+func TestGenerateValidation(t *testing.T) {
+	bad := []Params{
+		{NumSites: 0, EntitiesPerType: 50, NumExtractors: 4, MaxPagesPerSite: 5, MaxTriplesPerPage: 5},
+		{NumSites: 5, EntitiesPerType: 1, NumExtractors: 4, MaxPagesPerSite: 5, MaxTriplesPerPage: 5},
+		{NumSites: 5, EntitiesPerType: 50, NumExtractors: 0, MaxPagesPerSite: 5, MaxTriplesPerPage: 5},
+		{NumSites: 5, EntitiesPerType: 50, NumExtractors: 4, MaxPagesPerSite: 0, MaxTriplesPerPage: 5},
+		func() Params { p := DefaultParams(); p.KBCoverage = 2; return p }(),
+	}
+	for i, p := range bad {
+		if _, err := Generate(p); err == nil {
+			t.Errorf("case %d should error", i)
+		}
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	w1 := genDefault(t)
+	w2 := genDefault(t)
+	if len(w1.Dataset.Records) != len(w2.Dataset.Records) {
+		t.Fatal("record counts differ")
+	}
+	for i := range w1.Dataset.Records {
+		if w1.Dataset.Records[i] != w2.Dataset.Records[i] {
+			t.Fatalf("record %d differs", i)
+		}
+	}
+}
+
+func TestSiteKindsPresent(t *testing.T) {
+	p := DefaultParams()
+	p.NumSites = 400
+	w, err := Generate(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := map[SiteKind]int{}
+	for _, s := range w.Sites {
+		counts[s.Kind]++
+	}
+	for _, k := range []SiteKind{Normal, Gossip, TailQuality, TrivialHeavy} {
+		if counts[k] == 0 {
+			t.Errorf("no sites of kind %v", k)
+		}
+		if k.String() == "" {
+			t.Error("kind string empty")
+		}
+	}
+	// Gossip sites must be inaccurate and popular; tail sites the reverse.
+	for _, s := range w.Sites {
+		switch s.Kind {
+		case Gossip:
+			if s.Accuracy > 0.45 {
+				t.Errorf("gossip site accuracy %v too high", s.Accuracy)
+			}
+			if s.Popularity < 50 {
+				t.Errorf("gossip site popularity %v too low", s.Popularity)
+			}
+		case TailQuality:
+			if s.Accuracy < 0.88 {
+				t.Errorf("tail site accuracy %v too low", s.Accuracy)
+			}
+			if s.Popularity > 1 {
+				t.Errorf("tail site popularity %v too high", s.Popularity)
+			}
+		}
+	}
+}
+
+func TestEmpiricalAccuracyTracksGenerative(t *testing.T) {
+	p := DefaultParams()
+	p.NumSites = 150
+	w, err := Generate(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sumDiff float64
+	var n int
+	for _, s := range w.Sites {
+		if s.Provided < 30 {
+			continue
+		}
+		sumDiff += math.Abs(s.Empirical - s.Accuracy)
+		n++
+	}
+	if n == 0 {
+		t.Fatal("no sites with enough triples")
+	}
+	if sumDiff/float64(n) > 0.12 {
+		t.Errorf("mean |empirical-generative| = %v", sumDiff/float64(n))
+	}
+}
+
+func TestLongTailShape(t *testing.T) {
+	p := DefaultParams()
+	p.NumSites = 300
+	w, err := Generate(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Per-URL distinct extracted-triple counts must be long-tailed: a large
+	// share of URLs carry few triples (the paper: 74% of URLs < 5 triples).
+	distinct := map[string]bool{}
+	perURL := map[string]int{}
+	for _, r := range w.Dataset.Records {
+		key := r.Page + "\x1f" + r.TripleKey()
+		if !distinct[key] {
+			distinct[key] = true
+			perURL[r.Page]++
+		}
+	}
+	sizes := make([]int, 0, len(perURL))
+	small := 0
+	for _, n := range perURL {
+		sizes = append(sizes, n)
+		if n < 5 {
+			small++
+		}
+	}
+	frac := float64(small) / float64(len(perURL))
+	if frac < 0.2 {
+		t.Errorf("small-URL fraction = %v, want a long tail", frac)
+	}
+	dist := metrics.SizeDistribution(sizes)
+	total := 0
+	for _, b := range dist {
+		total += b.Count
+	}
+	if total != len(perURL) {
+		t.Errorf("distribution total = %d, want %d", total, len(perURL))
+	}
+}
+
+func TestTypeErrorsInjected(t *testing.T) {
+	w := genDefault(t)
+	typeErrs := 0
+	for _, r := range w.Dataset.Records {
+		if w.KB.TypeCheck(r.Subject, r.Predicate, r.Object) != 0 {
+			typeErrs++
+		}
+	}
+	if typeErrs == 0 {
+		t.Error("no type-violating extractions injected")
+	}
+	frac := float64(typeErrs) / float64(len(w.Dataset.Records))
+	if frac > 0.5 {
+		t.Errorf("type-error fraction = %v, too high", frac)
+	}
+}
+
+func TestGoldLabelsAvailable(t *testing.T) {
+	w := genDefault(t)
+	known, trueCnt := 0, 0
+	for _, r := range w.Dataset.Records {
+		isTrue, k, _ := w.KB.GoldLabel(r.Subject, r.Predicate, r.Object)
+		if k {
+			known++
+			if isTrue {
+				trueCnt++
+			}
+		}
+	}
+	if known == 0 {
+		t.Fatal("no gold labels")
+	}
+	fracKnown := float64(known) / float64(len(w.Dataset.Records))
+	if fracKnown < 0.2 {
+		t.Errorf("gold coverage = %v, want a usable fraction", fracKnown)
+	}
+	if trueCnt == 0 || trueCnt == known {
+		t.Errorf("gold labels degenerate: %d/%d true", trueCnt, known)
+	}
+}
+
+func TestPageRankDecoupledFromAccuracy(t *testing.T) {
+	p := DefaultParams()
+	p.NumSites = 300
+	w, err := Generate(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := pagerank.Compute(w.Graph, pagerank.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Gossip sites should sit high in PageRank despite low accuracy.
+	pct := res.PercentileRank()
+	var gossipPct, tailPct []float64
+	for _, s := range w.Sites {
+		id := w.Graph.ID(s.Name)
+		if id < 0 {
+			continue
+		}
+		switch s.Kind {
+		case Gossip:
+			gossipPct = append(gossipPct, pct[id])
+		case TailQuality:
+			tailPct = append(tailPct, pct[id])
+		}
+	}
+	if len(gossipPct) == 0 || len(tailPct) == 0 {
+		t.Skip("no gossip/tail sites generated")
+	}
+	mean := func(xs []float64) float64 {
+		var s float64
+		for _, x := range xs {
+			s += x
+		}
+		return s / float64(len(xs))
+	}
+	if mean(gossipPct) <= mean(tailPct) {
+		t.Errorf("gossip PageRank percentile %v should exceed tail %v",
+			mean(gossipPct), mean(tailPct))
+	}
+}
+
+func TestConfidencesSane(t *testing.T) {
+	w := genDefault(t)
+	withConf, without := 0, 0
+	for _, r := range w.Dataset.Records {
+		c := r.Conf()
+		if c <= 0 || c > 1 {
+			t.Fatalf("confidence out of range: %v", c)
+		}
+		if c == 1 {
+			without++
+		} else {
+			withConf++
+		}
+	}
+	if withConf == 0 {
+		t.Error("no confidence-scored extractions")
+	}
+	if without == 0 {
+		t.Error("no full-confidence extractions (some extractors should omit confidence)")
+	}
+}
+
+func TestScale(t *testing.T) {
+	p := DefaultParams().Scale(0.5)
+	if p.NumSites != 40 {
+		t.Errorf("scaled sites = %d", p.NumSites)
+	}
+	p = DefaultParams().Scale(0.001)
+	if p.NumSites < 1 {
+		t.Error("scale must keep sizes positive")
+	}
+}
+
+func TestLookups(t *testing.T) {
+	w := genDefault(t)
+	s, ok := w.SiteOf(w.Sites[0].Name)
+	if !ok || s.Name != w.Sites[0].Name {
+		t.Error("SiteOf")
+	}
+	if _, ok := w.SiteOf("nope"); ok {
+		t.Error("SiteOf miss")
+	}
+	r := w.Dataset.Records[0]
+	if _, ok := w.TrueObject(r.Subject, r.Predicate); !ok && !strings.HasPrefix(r.Subject, "##") {
+		// Wrong-subject corruption keeps subjects in-pool, so truth should
+		// exist for all non-garbled subjects.
+		t.Errorf("no truth for %s/%s", r.Subject, r.Predicate)
+	}
+}
+
+func TestTrivialSitesPreferTrivialPredicates(t *testing.T) {
+	p := DefaultParams()
+	p.NumSites = 300
+	p.TrivialFrac = 0.2
+	w, err := Generate(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	trivialShare := func(kind SiteKind) float64 {
+		var triv, tot float64
+		for key := range w.Dataset.Provided {
+			parts := strings.Split(key, "\x1f")
+			site, pred := parts[0], parts[3]
+			st, _ := w.SiteOf(site)
+			if st.Kind != kind {
+				continue
+			}
+			tot++
+			if w.TrivialPredicates[pred] {
+				triv++
+			}
+		}
+		if tot == 0 {
+			return 0
+		}
+		return triv / tot
+	}
+	if trivialShare(TrivialHeavy) <= trivialShare(Normal) {
+		t.Errorf("trivial-heavy sites should provide more trivial facts: %v vs %v",
+			trivialShare(TrivialHeavy), trivialShare(Normal))
+	}
+}
