@@ -4,6 +4,8 @@
 //
 //	kbt estimate  [-granularity auto|website|page|finest] [-iters N]
 //	              [-min-support N] [-top K] [-triples] [-extractors] [file.tsv]
+//	kbt serve     [-granularity website|page|finest] [-shards N] [-batch N]
+//	              [-iters N] [-tol F] [-min-support N] [-top K] [file.tsv]
 //	kbt fuse      [-model accu|popaccu] [-n N] [-top K] [file.tsv]
 //	kbt generate  [-kind synthetic|web] [-scale F] [-seed N] [-o out.tsv]
 //
@@ -11,14 +13,22 @@
 //
 //	extractor  pattern  website  page  subject  predicate  object  [confidence]
 //
-// estimate and fuse read from stdin when no file is given.
+// estimate, serve and fuse read from stdin when no file is given. serve is
+// the incremental mode: it streams records into the sharded engine and
+// re-estimates on every blank input line (or every -batch records), printing
+// the updated ranking after each refresh — pipe a live extraction feed into
+// it instead of re-running estimate over a growing file.
 package main
 
 import (
+	"bufio"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"strings"
+	"time"
 
 	"kbt"
 	"kbt/internal/synthetic"
@@ -35,6 +45,8 @@ func main() {
 	switch os.Args[1] {
 	case "estimate":
 		err = cmdEstimate(os.Args[2:])
+	case "serve":
+		err = cmdServe(os.Args[2:])
 	case "fuse":
 		err = cmdFuse(os.Args[2:])
 	case "generate":
@@ -57,11 +69,22 @@ func usage() {
 
 commands:
   estimate   run the multi-layer model on extraction TSV, print KBT scores
+  serve      stream extraction TSV into the sharded incremental engine;
+             a blank line (or every -batch records) triggers a refresh
   fuse       run the single-layer ACCU/POPACCU baseline, print triple beliefs
   generate   emit a synthetic corpus as TSV (for demos and benchmarks)
 
 run "kbt <command> -h" for flags.
 `)
+}
+
+func toExtraction(rec triple.Record) kbt.Extraction {
+	return kbt.Extraction{
+		Extractor: rec.Extractor, Pattern: rec.Pattern,
+		Website: rec.Website, Page: rec.Page,
+		Subject: rec.Subject, Predicate: rec.Predicate, Object: rec.Object,
+		Confidence: rec.Confidence,
+	}
 }
 
 func readDataset(path string) (*kbt.Dataset, error) {
@@ -80,12 +103,7 @@ func readDataset(path string) (*kbt.Dataset, error) {
 	}
 	ds := kbt.NewDataset()
 	for _, rec := range td.Records {
-		ds.Add(kbt.Extraction{
-			Extractor: rec.Extractor, Pattern: rec.Pattern,
-			Website: rec.Website, Page: rec.Page,
-			Subject: rec.Subject, Predicate: rec.Predicate, Object: rec.Object,
-			Confidence: rec.Confidence,
-		})
+		ds.Add(toExtraction(rec))
 	}
 	return ds, nil
 }
@@ -147,6 +165,119 @@ func cmdEstimate(args []string) error {
 			fmt.Printf("%-30s %-20s %-20s %.4f\n",
 				clip(tv.Subject, 30), clip(tv.Predicate, 20), clip(tv.Object, 20), tv.Probability)
 		}
+	}
+	return nil
+}
+
+func cmdServe(args []string) error {
+	fs := flag.NewFlagSet("serve", flag.ExitOnError)
+	gran := fs.String("granularity", "website", "source granularity: website|page|finest")
+	shards := fs.Int("shards", 8, "item shards for the incremental E-step")
+	batch := fs.Int("batch", 0, "auto-refresh every N records (0 = only on blank lines / EOF)")
+	iters := fs.Int("iters", 5, "EM iterations per refresh")
+	tol := fs.Float64("tol", 1e-4, "parameter-delta convergence tolerance; converged warm refreshes stop after one partial pass")
+	minSupport := fs.Int("min-support", 3, "minimum observations per source/extractor")
+	top := fs.Int("top", 10, "number of sources to print per refresh (0 = all)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	opt := kbt.DefaultEngineOptions()
+	opt.Shards = *shards
+	opt.Iterations = *iters
+	opt.Tol = *tol
+	opt.MinSupport = *minSupport
+	switch *gran {
+	case "website":
+		opt.Granularity = kbt.GranularityWebsite
+	case "page":
+		opt.Granularity = kbt.GranularityPage
+	case "finest":
+		opt.Granularity = kbt.GranularityFinest
+	default:
+		return fmt.Errorf("unknown granularity %q (serve cannot re-split units incrementally, so auto is unavailable)", *gran)
+	}
+	eng, err := kbt.NewEngine(opt)
+	if err != nil {
+		return err
+	}
+
+	var in io.Reader = os.Stdin
+	if path := fs.Arg(0); path != "" {
+		f, err := os.Open(path)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		in = f
+	}
+
+	refreshCount := 0
+	refresh := func() error {
+		if eng.Len() == 0 {
+			return nil
+		}
+		start := time.Now()
+		res, err := eng.Refresh()
+		if err != nil {
+			return err
+		}
+		elapsed := time.Since(start)
+		stats, _ := eng.Stats()
+		mode := "cold"
+		if stats.Warm {
+			mode = fmt.Sprintf("warm %d/%d shards", stats.FirstPassShards, stats.TotalShards)
+		}
+		fmt.Printf("-- refresh #%d: %d records, %s, %d iterations in %v\n",
+			refreshCount+1, eng.Len(), mode, stats.Iterations, elapsed.Round(time.Microsecond))
+		refreshCount++
+		for i, s := range res.Sources() {
+			if *top > 0 && i >= *top {
+				break
+			}
+			fmt.Printf("%-50s %8.4f %10.1f %v\n", clip(s.Name, 50), s.KBT, s.ExpectedTriples, s.Reportable)
+		}
+		return nil
+	}
+
+	sc := bufio.NewScanner(in)
+	sc.Buffer(make([]byte, 0, 64*1024), 4*1024*1024)
+	lineNo, sinceRefresh := 0, 0
+	for sc.Scan() {
+		lineNo++
+		line := sc.Text()
+		if strings.HasPrefix(line, "#") {
+			continue
+		}
+		if line == "" {
+			if err := refresh(); err != nil {
+				return err
+			}
+			sinceRefresh = 0
+			continue
+		}
+		rec, err := triple.ParseTSVLine(line)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "kbt serve: line %d: %v (skipped)\n", lineNo, err)
+			continue
+		}
+		eng.Ingest(toExtraction(rec))
+		sinceRefresh++
+		if *batch > 0 && sinceRefresh >= *batch {
+			if err := refresh(); err != nil {
+				return err
+			}
+			sinceRefresh = 0
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return err
+	}
+	if eng.Len() == 0 {
+		return errors.New("serve: no records read")
+	}
+	if sinceRefresh > 0 || refreshCount == 0 {
+		return refresh()
 	}
 	return nil
 }

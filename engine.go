@@ -1,0 +1,156 @@
+package kbt
+
+import (
+	"errors"
+	"fmt"
+
+	"kbt/internal/engine"
+	"kbt/internal/triple"
+)
+
+// EngineOptions configures NewEngine. Start from DefaultEngineOptions. The
+// model knobs mirror Options; the engine additionally fixes a shard count
+// and requires a granularity whose source units are pure functions of each
+// record (GranularityAuto's split-and-merge reassigns units as data grows,
+// so it is only available through the batch EstimateKBT).
+type EngineOptions struct {
+	// Granularity picks the source unit: GranularityWebsite (default),
+	// GranularityPage or GranularityFinest. GranularityAuto is rejected.
+	Granularity SourceGranularity
+	// Shards is the number of item partitions for the incremental E-step
+	// (default 8).
+	Shards int
+
+	// DomainSize, Iterations, MinSupport, MinReportableTriples,
+	// UseConfidence, AllExtractorsVoteAbsence and Workers have the same
+	// meaning as in Options.
+	DomainSize               int
+	Iterations               int
+	MinSupport               int
+	MinReportableTriples     float64
+	UseConfidence            bool
+	AllExtractorsVoteAbsence bool
+	Workers                  int
+
+	// Tol declares convergence when no parameter moves by more than this
+	// between EM iterations (0 = the core default, 1e-9). Converged
+	// refreshes stop early, and a warm Refresh whose ingest barely moves
+	// the estimates returns after a single partial pass — production
+	// deployments trading a little precision for steady-state refresh
+	// latency should raise this to ~1e-4.
+	Tol float64
+}
+
+// DefaultEngineOptions mirrors DefaultOptions at website granularity.
+func DefaultEngineOptions() EngineOptions {
+	return EngineOptions{
+		Granularity:          GranularityWebsite,
+		Shards:               8,
+		DomainSize:           10,
+		Iterations:           5,
+		MinSupport:           3,
+		MinReportableTriples: 5,
+		UseConfidence:        true,
+	}
+}
+
+// Engine estimates KBT incrementally over a growing stream of extractions:
+// Ingest appends evidence, Refresh re-estimates. The first Refresh runs the
+// full multi-layer model exactly as EstimateKBT does at the same
+// granularity; later Refreshes warm-start from the previous posteriors and
+// re-run the first inference pass only over the shards the new records
+// touched. Safe for concurrent use.
+type Engine struct {
+	eng *engine.Engine
+	opt EngineOptions
+}
+
+// NewEngine builds an empty incremental engine.
+func NewEngine(opt EngineOptions) (*Engine, error) {
+	if opt.Iterations < 1 {
+		return nil, errors.New("kbt: Iterations must be >= 1")
+	}
+	if opt.DomainSize < 1 {
+		return nil, errors.New("kbt: DomainSize must be >= 1")
+	}
+
+	eopt := engine.DefaultOptions()
+	if opt.Shards > 0 {
+		eopt.Shards = opt.Shards
+	}
+	if opt.Granularity == GranularityAuto {
+		return nil, errors.New("kbt: GranularityAuto is not supported incrementally; use GranularityWebsite, GranularityPage or GranularityFinest (or the batch EstimateKBT)")
+	}
+	var ok bool
+	eopt.SourceKey, eopt.ExtractorKey, ok = granularityKeys(opt.Granularity)
+	if !ok {
+		return nil, fmt.Errorf("kbt: unknown granularity %d", opt.Granularity)
+	}
+
+	mopt := coreOptions(opt.DomainSize, opt.Iterations, opt.MinSupport,
+		opt.UseConfidence, opt.AllExtractorsVoteAbsence)
+	if opt.Tol > 0 {
+		mopt.Tol = opt.Tol
+	}
+	eopt.Core = mopt
+	eopt.Workers = opt.Workers
+
+	return &Engine{eng: engine.New(eopt), opt: opt}, nil
+}
+
+// Ingest appends extractions; they take effect at the next Refresh.
+func (e *Engine) Ingest(batch ...Extraction) {
+	recs := make([]triple.Record, len(batch))
+	for i, x := range batch {
+		recs[i] = x.record()
+	}
+	e.eng.Ingest(recs...)
+}
+
+// Len returns the number of extractions ingested so far.
+func (e *Engine) Len() int { return e.eng.Len() }
+
+// Pending returns the number of extractions awaiting a Refresh.
+func (e *Engine) Pending() int { return e.eng.Pending() }
+
+// Refresh re-estimates the model and returns the updated result, with the
+// same accessors EstimateKBT's Result provides.
+func (e *Engine) Refresh() (*Result, error) {
+	r, err := e.eng.Refresh()
+	if err != nil {
+		return nil, err
+	}
+	return &Result{
+		snap: r.Snapshot,
+		res:  r.Inference,
+		opt:  Options{MinReportableTriples: e.opt.MinReportableTriples},
+	}, nil
+}
+
+// RefreshStats describes the work the most recent Refresh performed.
+type RefreshStats struct {
+	// Warm reports whether the refresh reused the previous posteriors.
+	Warm bool
+	// FirstPassShards of TotalShards were re-estimated in the first EM
+	// iteration; a small fraction means the ingest stayed local.
+	FirstPassShards, TotalShards int
+	// Iterations is the number of EM iterations run; Converged reports
+	// whether the parameters settled before the iteration cap.
+	Iterations int
+	Converged  bool
+}
+
+// Stats reports the most recent Refresh, or false before the first one.
+func (e *Engine) Stats() (RefreshStats, bool) {
+	r := e.eng.Last()
+	if r == nil {
+		return RefreshStats{}, false
+	}
+	return RefreshStats{
+		Warm:            r.Warm,
+		FirstPassShards: r.FirstPassShards,
+		TotalShards:     r.TotalShards,
+		Iterations:      r.Inference.Iterations,
+		Converged:       r.Inference.Converged,
+	}, true
+}

@@ -1,0 +1,3 @@
+module kbt
+
+go 1.24

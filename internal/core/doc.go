@@ -1,0 +1,19 @@
+// Package core implements the paper's primary contribution: the multi-layer
+// probabilistic model of §3 that jointly estimates
+//
+//   - extraction correctness  C_wdv — did source w really provide (d,v)?
+//   - triple truthfulness     V_d   — which value is true for data item d?
+//   - source accuracy         A_w   — the Knowledge-Based Trust score
+//   - extractor quality       P_e, R_e (precision / recall), with
+//     Q_e = γ/(1-γ) · (1-P_e)/P_e · R_e   (Eq 7)
+//
+// using the EM-like procedure of Algorithm 1. Unlike the single-layer
+// baseline (package fusion), the model separates the two error channels:
+// wrong facts on a page versus wrong extractions from the page.
+//
+// Run is the monolithic batch driver. The EM type exposes the same stages
+// individually — with the shardable E-steps accepting index subsets — for
+// callers that orchestrate the loop themselves; package engine uses it to
+// run incremental, sharded refreshes that reproduce Run's arithmetic
+// exactly on a cold start.
+package core

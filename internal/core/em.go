@@ -1,0 +1,157 @@
+package core
+
+import (
+	"errors"
+
+	"kbt/internal/triple"
+)
+
+// This file exposes the individual steps of Algorithm 1 to callers that
+// orchestrate the EM loop themselves — concretely the sharded incremental
+// engine (package engine), which partitions the E-step across item shards
+// and interleaves it with global M-steps. Run remains the canonical
+// monolithic driver; both paths execute the identical per-index math, so a
+// cold engine run and Run produce the same posteriors.
+
+// EM wraps the mutable inference state for external orchestration. Create
+// one with NewEM, then drive iterations as Run does:
+//
+//	em.Bootstrap(cProb)                 // once, before the first iteration
+//	for each iteration:
+//	    em.BeginIteration()             // refresh presence/absence votes
+//	    em.EStepTriples(cProb, ...)     // Stage I   (shardable)
+//	    em.EStepItems(...)              // Stage II  (shardable)
+//	    em.MStepSources(...)            // Stage III (global)
+//	    em.MStepExtractors(cProb)       // Stage IV  (global)
+//	    em.UpdatePrior(...)             // Eq 26     (shardable)
+//
+// The subset parameters of the shardable steps accept nil for "all indices";
+// non-nil subsets must jointly cover the index space across calls within one
+// iteration, and disjoint subsets may run concurrently.
+type EM struct {
+	st *state
+}
+
+// NewEM validates opt and builds the inference state for the snapshot,
+// exactly as Run does before its first iteration.
+func NewEM(s *triple.Snapshot, opt Options) (*EM, error) {
+	if s == nil {
+		return nil, errors.New("core: nil snapshot")
+	}
+	if err := validate(opt); err != nil {
+		return nil, err
+	}
+	return &EM{st: newState(s, opt)}, nil
+}
+
+// Bootstrap performs the pre-iteration extractor M-step from the prior
+// p(C)=Alpha (see Options.DisableBootstrap), filling cProb with the prior as
+// a side effect. It is a no-op when the options disable it, matching Run.
+func (em *EM) Bootstrap(cProb []float64) {
+	st := em.st
+	if st.opt.DisableBootstrap || st.opt.FreezeExtractors {
+		return
+	}
+	for ti := range cProb {
+		cProb[ti] = st.opt.Alpha
+	}
+	st.estimatePRQ(cProb)
+	st.applyExplicitExtractorInits()
+}
+
+// BeginIteration recomputes the per-extractor presence/absence votes and the
+// base absence masses from the current parameters. Call once per iteration,
+// before any EStepTriples call.
+func (em *EM) BeginIteration() { em.st.prepareVotes() }
+
+// EStepTriples runs Stage I — extraction correctness p(C|X) — for the
+// candidate triples in tis (nil = all), writing into cProb.
+func (em *EM) EStepTriples(cProb []float64, tis []int, workers int) {
+	em.st.estimateCSubset(cProb, tis, workers)
+}
+
+// EStepItems runs Stage II — triple truthfulness p(V|X) — for the data items
+// in items (nil = all), writing valueProb, restMass and coveredItem.
+func (em *EM) EStepItems(cProb []float64, valueProb [][]float64, restMass []float64, coveredItem []bool, items []int, workers int) {
+	em.st.estimateVSubset(cProb, valueProb, restMass, coveredItem, items, workers)
+}
+
+// MStepSources runs Stage III — source accuracy re-estimation — over every
+// source. It is a no-op under Options.FreezeSources.
+func (em *EM) MStepSources(cProb []float64, valueProb [][]float64) {
+	if em.st.opt.FreezeSources {
+		return
+	}
+	em.st.estimateA(cProb, valueProb)
+}
+
+// MStepExtractors runs Stage IV — extractor precision/recall/Q — over every
+// extractor. It is a no-op under Options.FreezeExtractors.
+func (em *EM) MStepExtractors(cProb []float64) {
+	if em.st.opt.FreezeExtractors {
+		return
+	}
+	em.st.estimatePRQ(cProb)
+}
+
+// UpdatePrior re-estimates the prior p(C_wdv=1) (Eq 26) for the candidate
+// triples in tis (nil = all) from the current value posterior. The caller is
+// responsible for the Options.UpdatePrior / UpdatePriorFromIter schedule.
+func (em *EM) UpdatePrior(valueProb [][]float64, tis []int, workers int) {
+	em.st.updateAlphaSubset(valueProb, tis, workers)
+}
+
+// A returns the live per-source accuracy slice — the caller may read it for
+// convergence deltas or overwrite entries to warm-start.
+func (em *EM) A() []float64 { return em.st.a }
+
+// P, R and Q return the live per-extractor parameter slices. Callers that
+// overwrite P or R to warm-start should overwrite Q consistently (Eq 7).
+func (em *EM) P() []float64 { return em.st.p }
+func (em *EM) R() []float64 { return em.st.r }
+func (em *EM) Q() []float64 { return em.st.q }
+
+// PriorLogOdds returns the live per-candidate-triple prior log odds. A warm
+// start seeds entries from a previous run's posterior before iterating.
+func (em *EM) PriorLogOdds() []float64 { return em.st.alphaLO }
+
+// SourceIncluded and ExtractorIncluded report which units met the support
+// thresholds (read-only).
+func (em *EM) SourceIncluded() []bool    { return em.st.srcIncluded }
+func (em *EM) ExtractorIncluded() []bool { return em.st.extIncluded }
+
+// CoveredTriples marks candidate triples observed by an included extractor
+// (read-only).
+func (em *EM) CoveredTriples() []bool { return em.st.coveredTriple }
+
+// BuildResult assembles a Result from the EM state and the caller-owned
+// posterior arrays, deep-copying everything so the caller may keep mutating
+// its arrays across later refreshes.
+func (em *EM) BuildResult(cProb []float64, valueProb [][]float64, restMass []float64, coveredItem []bool, iterations int, converged bool) *Result {
+	st := em.st
+	s := st.s
+	res := &Result{
+		A:                 append([]float64(nil), st.a...),
+		P:                 append([]float64(nil), st.p...),
+		R:                 append([]float64(nil), st.r...),
+		Q:                 append([]float64(nil), st.q...),
+		CProb:             append([]float64(nil), cProb...),
+		ValueProb:         make([][]float64, len(valueProb)),
+		RestMass:          append([]float64(nil), restMass...),
+		CoveredTriple:     append([]bool(nil), st.coveredTriple...),
+		CoveredItem:       append([]bool(nil), coveredItem...),
+		SourceIncluded:    append([]bool(nil), st.srcIncluded...),
+		ExtractorIncluded: append([]bool(nil), st.extIncluded...),
+		ExpectedTriples:   make([]float64, len(s.Sources)),
+		Iterations:        iterations,
+		Converged:         converged,
+		snap:              s,
+	}
+	for d := range valueProb {
+		res.ValueProb[d] = append([]float64(nil), valueProb[d]...)
+	}
+	for ti, tr := range s.Triples {
+		res.ExpectedTriples[tr.W] += cProb[ti]
+	}
+	return res
+}

@@ -163,7 +163,7 @@ func Run(s *triple.Snapshot, opt Options) (*Result, error) {
 			st.updateAlpha(res.ValueProb)
 		}
 
-		if maxDelta(prevA, st.a)+maxDelta(prevP, st.p)+maxDelta(prevR, st.r) < opt.Tol {
+		if MaxDelta(prevA, st.a)+MaxDelta(prevP, st.p)+MaxDelta(prevR, st.r) < opt.Tol {
 			res.Converged = true
 			iter++
 			break
@@ -235,6 +235,12 @@ type state struct {
 	// attempted.
 	cellsOfExtractor [][]int
 	numCells         int
+
+	// totalAbs / cellAbs hold the base absence mass prepared by
+	// prepareVotes for the current iteration (global respectively per-cell,
+	// depending on Scope).
+	totalAbs float64
+	cellAbs  []float64
 }
 
 func newState(s *triple.Snapshot, opt Options) *state {
@@ -369,39 +375,63 @@ func newState(s *triple.Snapshot, opt Options) *state {
 	return st
 }
 
-// estimateC computes p(C_wdv=1|X) for every candidate triple (Eq 15 with the
-// confidence-weighted vote count of Eq 31).
-func (st *state) estimateC(cProb []float64) {
-	s := st.s
+// prepareVotes recomputes the per-extractor presence/absence votes (Eqs
+// 12-13) and the base absence mass — per (source, predicate) cell, or
+// globally under ScopeAllExtractors — from the current extractor parameters.
+// Must run once before estimateCSubset whenever R or Q may have changed.
+func (st *state) prepareVotes() {
 	for e := range st.pre {
 		st.pre[e] = PresenceVote(st.r[e], st.q[e])
 		st.ab[e] = AbsenceVote(st.r[e], st.q[e])
 	}
-
-	// Base absence mass per (source, predicate) cell, or globally.
-	var totalAbs float64
-	var cellAbs []float64
 	if st.opt.Scope == ScopeAllExtractors {
+		st.totalAbs = 0
 		for e, inc := range st.extIncluded {
 			if inc {
-				totalAbs += st.ab[e]
+				st.totalAbs += st.ab[e]
 			}
 		}
+		return
+	}
+	if st.cellAbs == nil {
+		st.cellAbs = make([]float64, st.numCells)
 	} else {
-		cellAbs = make([]float64, st.numCells)
-		for e, cells := range st.cellsOfExtractor {
-			for _, c := range cells {
-				cellAbs[c] += st.ab[e]
-			}
+		for c := range st.cellAbs {
+			st.cellAbs[c] = 0
 		}
 	}
+	for e, cells := range st.cellsOfExtractor {
+		for _, c := range cells {
+			st.cellAbs[c] += st.ab[e]
+		}
+	}
+}
 
-	parallel.ForEach(len(s.Triples), st.opt.Workers, func(ti int) {
+// forEachIndex runs fn over subset (or over all of [0,total) when subset is
+// nil) on the worker pool — the shared dispatch of the subset-capable
+// stages.
+func forEachIndex(total int, subset []int, workers int, fn func(i int)) {
+	if subset == nil {
+		parallel.ForEach(total, workers, fn)
+		return
+	}
+	parallel.ForEach(len(subset), workers, func(k int) { fn(subset[k]) })
+}
+
+// estimateCSubset computes p(C_wdv=1|X) (Eq 15 with the confidence-weighted
+// vote count of Eq 31) for the candidate triples listed in tis, or for every
+// candidate triple when tis is nil. Each index's computation is independent,
+// so a caller may partition the triple space and invoke this concurrently on
+// disjoint subsets. prepareVotes must have run since the last parameter
+// update.
+func (st *state) estimateCSubset(cProb []float64, tis []int, workers int) {
+	s := st.s
+	forEachIndex(len(s.Triples), tis, workers, func(ti int) {
 		var vcc float64
 		if st.opt.Scope == ScopeAllExtractors {
-			vcc = totalAbs
+			vcc = st.totalAbs
 		} else {
-			vcc = cellAbs[st.cellOfTriple[ti]]
+			vcc = st.cellAbs[st.cellOfTriple[ti]]
 		}
 		for _, oi := range s.ByTriple[ti] {
 			o := s.Obs[oi]
@@ -416,11 +446,19 @@ func (st *state) estimateC(cProb []float64) {
 	})
 }
 
-// estimateV computes p(Vd|X) for every item (Eqs 23-25), optionally using
-// the MAP Ĉ instead of the soft weights (§3.3.2 vs §3.3.3).
-func (st *state) estimateV(cProb []float64, valueProb [][]float64, restMass []float64, coveredItem []bool) {
+// estimateC computes p(C_wdv=1|X) for every candidate triple.
+func (st *state) estimateC(cProb []float64) {
+	st.prepareVotes()
+	st.estimateCSubset(cProb, nil, st.opt.Workers)
+}
+
+// estimateVSubset computes p(Vd|X) (Eqs 23-25) for the items listed in
+// items, or for every item when items is nil, optionally using the MAP Ĉ
+// instead of the soft weights (§3.3.2 vs §3.3.3). Like estimateCSubset, the
+// per-item computations are independent and safe to partition.
+func (st *state) estimateVSubset(cProb []float64, valueProb [][]float64, restMass []float64, coveredItem []bool, items []int, workers int) {
 	s := st.s
-	parallel.ForEach(len(s.Items), st.opt.Workers, func(d int) {
+	forEachIndex(len(s.Items), items, workers, func(d int) {
 		vs := s.ItemValues[d]
 		scores := make([]float64, len(vs))
 		covered := false
@@ -454,6 +492,11 @@ func (st *state) estimateV(cProb []float64, valueProb [][]float64, restMass []fl
 		valueProb[d] = probs
 		restMass[d] = rm
 	})
+}
+
+// estimateV computes p(Vd|X) for every item.
+func (st *state) estimateV(cProb []float64, valueProb [][]float64, restMass []float64, coveredItem []bool) {
+	st.estimateVSubset(cProb, valueProb, restMass, coveredItem, nil, st.opt.Workers)
 }
 
 // estimateA updates source accuracies (Eq 28, or Eq 27 when WeightedVote is
@@ -579,11 +622,12 @@ func (st *state) applyExplicitExtractorInits() {
 	}
 }
 
-// updateAlpha re-estimates the prior p(C_wdv=1) per candidate triple from
-// the current value posterior and source accuracy (Eq 26).
-func (st *state) updateAlpha(valueProb [][]float64) {
+// updateAlphaSubset re-estimates the prior p(C_wdv=1) from the current value
+// posterior and source accuracy (Eq 26), for the candidate triples listed in
+// tis or for every candidate triple when tis is nil.
+func (st *state) updateAlphaSubset(valueProb [][]float64, tis []int, workers int) {
 	s := st.s
-	parallel.ForEach(len(s.Triples), st.opt.Workers, func(ti int) {
+	forEachIndex(len(s.Triples), tis, workers, func(ti int) {
 		tr := s.Triples[ti]
 		if len(valueProb[tr.D]) == 0 {
 			return
@@ -595,7 +639,15 @@ func (st *state) updateAlpha(valueProb [][]float64) {
 	})
 }
 
-func maxDelta(a, b []float64) float64 {
+// updateAlpha re-estimates the prior for every candidate triple.
+func (st *state) updateAlpha(valueProb [][]float64) {
+	st.updateAlphaSubset(valueProb, nil, st.opt.Workers)
+}
+
+// MaxDelta returns the largest absolute elementwise difference between two
+// equal-length parameter vectors — the quantity Run's convergence test (and
+// the engine's, which must match it) sums across A, P and R.
+func MaxDelta(a, b []float64) float64 {
 	var m float64
 	for i := range a {
 		if d := math.Abs(a[i] - b[i]); d > m {

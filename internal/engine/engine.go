@@ -1,0 +1,459 @@
+// Package engine provides a sharded, incremental driver for the multi-layer
+// KBT model — the serving-oriented counterpart to the batch core.Run.
+//
+// The batch path recompiles and re-estimates the whole corpus on every
+// change. The engine instead partitions the data-item space into shards
+// (triple.Shard), keeps the posteriors and model parameters of the previous
+// estimation, and on Refresh after an Ingest:
+//
+//   - recompiles the snapshot (dense ids are append-only, so previous
+//     per-source/per-extractor parameters carry over by id),
+//   - warm-starts EM from the previous parameters and priors,
+//   - runs the first E-step only over the dirty shards — those owning an
+//     item that shares a (source, predicate) absence-vote cell with a new
+//     record — before falling back to full passes while parameters still
+//     move.
+//
+// Stages I and II of Algorithm 1 are independent per candidate triple
+// respectively per item, so each shard's E-step runs as one task on the
+// internal/parallel worker pool with no cross-shard writes; stages III and
+// IV (the per-source and per-extractor M-steps) stay global. A cold Refresh
+// executes the identical per-index arithmetic as core.Run and reproduces its
+// posteriors exactly.
+package engine
+
+import (
+	"errors"
+	"sync"
+
+	"kbt/internal/core"
+	"kbt/internal/parallel"
+	"kbt/internal/triple"
+)
+
+// Options configures an Engine. Start from DefaultOptions.
+type Options struct {
+	// Shards is the number of item partitions (default 8). More shards
+	// mean finer-grained dirtiness tracking and more parallel E-step tasks.
+	Shards int
+	// Core configures the multi-layer model (default core.DefaultOptions).
+	Core core.Options
+	// SourceKey and ExtractorKey fix the granularity. They must be pure
+	// functions of the record — the split-and-merge "auto" granularity
+	// reassigns units as data grows and is not supported incrementally.
+	// Defaults: triple.SourceKeyWebsite, triple.ExtractorKeyName.
+	SourceKey    triple.SourceKeyFunc
+	ExtractorKey triple.ExtractorKeyFunc
+	// Workers bounds the parallelism of the sharded E-step and the global
+	// M-steps. Non-zero values supersede Core.Workers; 0 defers to
+	// Core.Workers, with 0 there too meaning all CPUs.
+	Workers int
+}
+
+// DefaultOptions returns the engine defaults: 8 shards, website sources,
+// per-system extractors, and the paper's model settings.
+func DefaultOptions() Options {
+	return Options{
+		Shards:       8,
+		Core:         core.DefaultOptions(),
+		SourceKey:    triple.SourceKeyWebsite,
+		ExtractorKey: triple.ExtractorKeyName,
+	}
+}
+
+// Result is the outcome of one Refresh.
+type Result struct {
+	// Snapshot is the compiled view the inference ran on.
+	Snapshot *triple.Snapshot
+	// Inference holds the posteriors and parameter estimates, in the same
+	// shape core.Run returns.
+	Inference *core.Result
+	// Warm reports whether the refresh warm-started from a previous one.
+	Warm bool
+	// FirstPassShards is the number of shards the first EM iteration
+	// re-estimated (== TotalShards on a cold refresh); TotalShards is the
+	// configured shard count.
+	FirstPassShards, TotalShards int
+}
+
+// Engine accumulates extraction records and re-estimates KBT incrementally.
+// All methods are safe for concurrent use; Ingest never blocks on a running
+// Refresh (the estimation runs outside the state lock), so a live feed can
+// keep streaming while the model re-estimates.
+type Engine struct {
+	// refreshMu serialises Refresh calls; mu guards the fields below and
+	// is held only briefly (Ingest, accessors, Refresh's snapshot/publish
+	// phases). The persisted warm-start state is written exclusively by
+	// Refresh, so the estimation phase may read it without mu.
+	refreshMu sync.Mutex
+	mu        sync.Mutex
+	opt       Options
+
+	ds      *triple.Dataset
+	pending []triple.Record // ingested since the last Refresh
+
+	// State persisted across refreshes. Dense source/extractor/item/value
+	// ids are stable across recompiles (interning follows record order and
+	// records only append), so parameters indexed by them carry over
+	// directly; per-triple and per-item-slot state is remapped by identity.
+	snap        *triple.Snapshot
+	a, p, r, q  []float64
+	alphaLO     []float64
+	cProb       []float64
+	valueProb   [][]float64
+	restMass    []float64
+	coveredItem []bool
+	srcInc      []bool
+	extInc      []bool
+
+	last *Result
+}
+
+// New returns an empty engine.
+func New(opt Options) *Engine {
+	if opt.Shards < 1 {
+		opt.Shards = DefaultOptions().Shards
+	}
+	if opt.SourceKey == nil {
+		opt.SourceKey = triple.SourceKeyWebsite
+	}
+	if opt.ExtractorKey == nil {
+		opt.ExtractorKey = triple.ExtractorKeyName
+	}
+	return &Engine{opt: opt, ds: triple.NewDataset()}
+}
+
+// Ingest appends extraction records. The new evidence takes effect at the
+// next Refresh.
+func (e *Engine) Ingest(recs ...triple.Record) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	for _, r := range recs {
+		e.ds.Add(r)
+		e.pending = append(e.pending, r)
+	}
+}
+
+// Len returns the number of records ingested so far.
+func (e *Engine) Len() int {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return len(e.ds.Records)
+}
+
+// Pending returns the number of records ingested since the last Refresh.
+func (e *Engine) Pending() int {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return len(e.pending)
+}
+
+// Last returns the most recent Refresh result, or nil before the first one.
+func (e *Engine) Last() *Result {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.last
+}
+
+// Refresh re-estimates the model over everything ingested so far and caches
+// the result. The first call runs cold — identical to core.Run on the full
+// dataset; later calls warm-start from the previous posteriors and only
+// re-run the first E-step over the shards the new records touched. Calling
+// Refresh with no new records resumes EM from the previous fixed point
+// (useful when a prior run stopped at MaxIter before converging).
+func (e *Engine) Refresh() (*Result, error) {
+	e.refreshMu.Lock()
+	defer e.refreshMu.Unlock()
+
+	// Snapshot the inputs under the state lock, estimate unlocked so
+	// concurrent Ingest keeps streaming, then publish under the lock.
+	// Records ingested after this point are left for the next Refresh.
+	e.mu.Lock()
+	nRec := len(e.ds.Records)
+	if nRec == 0 {
+		e.mu.Unlock()
+		return nil, errors.New("engine: empty dataset")
+	}
+	warm := e.snap != nil
+	nPending := len(e.pending)
+
+	// Nothing new and the previous refresh converged: the estimates are
+	// already at the fixed point, so serve them unchanged — with the
+	// iteration count reflecting that no EM ran.
+	if warm && nPending == 0 && e.last != nil && e.last.Inference.Converged {
+		inf := *e.last.Inference
+		inf.Iterations = 0
+		res := &Result{
+			Snapshot:        e.snap,
+			Inference:       &inf,
+			Warm:            true,
+			FirstPassShards: 0,
+			TotalShards:     e.last.TotalShards,
+		}
+		e.last = res
+		e.mu.Unlock()
+		return res, nil
+	}
+	records := e.ds.Records[:nRec:nRec]
+	pending := append([]triple.Record(nil), e.pending[:nPending]...)
+	e.mu.Unlock()
+
+	prev := e.snap
+	snap := (&triple.Dataset{Records: records}).Compile(triple.CompileOptions{
+		SourceKey:    e.opt.SourceKey,
+		ExtractorKey: e.opt.ExtractorKey,
+	})
+	shards := snap.Shards(e.opt.Shards)
+
+	copt := e.opt.Core
+	copt.Workers = e.workers()
+	em, err := core.NewEM(snap, copt)
+	if err != nil {
+		return nil, err
+	}
+
+	nTri, nItem := len(snap.Triples), len(snap.Items)
+	cProb := make([]float64, nTri)
+	valueProb := make([][]float64, nItem)
+	restMass := make([]float64, nItem)
+	coveredItem := make([]bool, nItem)
+
+	var dirty []int // shard indices for the first iteration
+	if !warm {
+		em.Bootstrap(cProb)
+		dirty = allShards(len(shards))
+	} else {
+		e.carryOver(em, snap, prev, cProb, valueProb, restMass, coveredItem)
+		if len(pending) == 0 {
+			// Resuming an unconverged run (the converged case returned
+			// above): the cached posteriors already reproduce the cached
+			// parameters, so a partial pass would measure zero delta and
+			// stall. Re-estimate everything to make progress.
+			dirty = allShards(len(shards))
+		} else {
+			dirty = e.dirtyShards(em, snap, prev, pending, len(shards))
+		}
+	}
+	firstPass := len(dirty)
+
+	// The EM loop mirrors core.Run stage for stage; only the index sets of
+	// the shardable stages differ, and each index's arithmetic is
+	// identical, so a cold run reproduces Run's posteriors exactly.
+	nSrc, nExt := len(snap.Sources), len(snap.Extractors)
+	prevA := make([]float64, nSrc)
+	prevP := make([]float64, nExt)
+	prevR := make([]float64, nExt)
+	converged := false
+	iter := 0
+	for iter = 1; iter <= copt.MaxIter; iter++ {
+		copy(prevA, em.A())
+		copy(prevP, em.P())
+		copy(prevR, em.R())
+
+		em.BeginIteration()
+		e.eStep(em, shards, dirty, cProb, valueProb, restMass, coveredItem)
+		em.MStepSources(cProb, valueProb)
+		em.MStepExtractors(cProb)
+
+		// Warm refreshes start from settled parameters, so the prior
+		// refinement of Eq 26 applies from the first iteration; cold runs
+		// follow the paper's UpdatePriorFromIter schedule.
+		if copt.UpdatePrior && (warm || iter+1 >= copt.UpdatePriorFromIter) {
+			e.updatePrior(em, shards, dirty, valueProb)
+		}
+
+		delta := core.MaxDelta(prevA, em.A()) + core.MaxDelta(prevP, em.P()) + core.MaxDelta(prevR, em.R())
+		if delta < copt.Tol {
+			converged = true
+			iter++
+			break
+		}
+		// Parameters moved: every shard's cached posteriors are stale.
+		dirty = allShards(len(shards))
+	}
+	if iter > copt.MaxIter {
+		iter = copt.MaxIter
+	}
+
+	res := &Result{
+		Snapshot:        snap,
+		Inference:       em.BuildResult(cProb, valueProb, restMass, coveredItem, iter, converged),
+		Warm:            warm,
+		FirstPassShards: firstPass,
+		TotalShards:     len(shards),
+	}
+
+	// Publish and persist for the next warm start. Pending records that
+	// arrived while estimating stay queued for the next Refresh.
+	e.mu.Lock()
+	e.snap = snap
+	e.a, e.p, e.r, e.q = em.A(), em.P(), em.R(), em.Q()
+	e.alphaLO = em.PriorLogOdds()
+	e.cProb, e.valueProb, e.restMass, e.coveredItem = cProb, valueProb, restMass, coveredItem
+	e.srcInc = em.SourceIncluded()
+	e.extInc = em.ExtractorIncluded()
+	e.pending = append(e.pending[:0:0], e.pending[nPending:]...)
+	e.last = res
+	e.mu.Unlock()
+	return res, nil
+}
+
+// eStep runs Stages I+II for the given shards, one pool task per shard.
+// Stage II of a shard reads only the Stage I outputs of the same shard
+// (an item's candidate triples live in the item's shard), so fusing the two
+// stages per shard is equivalent to the monolithic two-pass order. When the
+// dirty set is smaller than the pool, the leftover workers parallelise
+// within each shard instead of idling.
+func (e *Engine) eStep(em *core.EM, shards []triple.Shard, dirty []int, cProb []float64, valueProb [][]float64, restMass []float64, coveredItem []bool) {
+	inner := e.innerWorkers(len(dirty))
+	parallel.ForEach(len(dirty), e.workers(), func(i int) {
+		sh := shards[dirty[i]]
+		em.EStepTriples(cProb, sh.Triples, inner)
+		em.EStepItems(cProb, valueProb, restMass, coveredItem, sh.Items, inner)
+	})
+}
+
+// updatePrior refreshes the Eq 26 prior for the dirty shards' triples. Clean
+// shards keep the prior derived from their unchanged value posteriors.
+func (e *Engine) updatePrior(em *core.EM, shards []triple.Shard, dirty []int, valueProb [][]float64) {
+	inner := e.innerWorkers(len(dirty))
+	parallel.ForEach(len(dirty), e.workers(), func(i int) {
+		em.UpdatePrior(valueProb, shards[dirty[i]].Triples, inner)
+	})
+}
+
+// workers resolves the effective worker bound: Options.Workers when set,
+// else Core.Workers (0 = all CPUs, resolved downstream).
+func (e *Engine) workers() int {
+	if e.opt.Workers != 0 {
+		return e.opt.Workers
+	}
+	return e.opt.Core.Workers
+}
+
+// innerWorkers splits the pool between across-shard and within-shard
+// parallelism: nTasks concurrent shard tasks leave workers/nTasks workers
+// each for their inner loops.
+func (e *Engine) innerWorkers(nTasks int) int {
+	if nTasks == 0 {
+		return 1
+	}
+	workers := e.workers()
+	if workers <= 0 {
+		workers = parallel.DefaultWorkers()
+	}
+	if nTasks >= workers {
+		return 1
+	}
+	return (workers + nTasks - 1) / nTasks
+}
+
+// carryOver seeds the fresh EM state from the previous refresh: parameters
+// by stable dense id, per-triple prior and correctness posterior by (w,d,v)
+// identity, and per-item value posteriors by value id.
+func (e *Engine) carryOver(em *core.EM, snap, prev *triple.Snapshot, cProb []float64, valueProb [][]float64, restMass []float64, coveredItem []bool) {
+	copy(em.A(), e.a)
+	copy(em.P(), e.p)
+	copy(em.R(), e.r)
+	copy(em.Q(), e.q)
+
+	oldTriple := make(map[triple.TripleRef]int, len(prev.Triples))
+	for ti, tr := range prev.Triples {
+		oldTriple[tr] = ti
+	}
+	lo := em.PriorLogOdds()
+	for ti, tr := range snap.Triples {
+		if oti, ok := oldTriple[tr]; ok {
+			lo[ti] = e.alphaLO[oti]
+			cProb[ti] = e.cProb[oti]
+		} else {
+			cProb[ti] = e.opt.Core.Alpha
+		}
+	}
+
+	for d := range valueProb {
+		newVs := snap.ItemValues[d]
+		row := make([]float64, len(newVs))
+		if d < len(prev.Items) {
+			oldVs := prev.ItemValues[d]
+			oldRow := e.valueProb[d]
+			j := 0
+			for k, v := range newVs {
+				for j < len(oldVs) && oldVs[j] < v {
+					j++
+				}
+				if j < len(oldVs) && oldVs[j] == v && k < len(row) && j < len(oldRow) {
+					row[k] = oldRow[j]
+				}
+			}
+			restMass[d] = e.restMass[d]
+			coveredItem[d] = e.coveredItem[d]
+		}
+		valueProb[d] = row
+	}
+}
+
+// dirtyShards picks the shards the first warm iteration must re-estimate:
+// every shard owning an item that shares a (source, predicate) cell with a
+// pending record — new items, new candidate values, raised confidences and
+// changed absence masses all live in those cells. Structural changes with
+// global reach (a support threshold flipping a unit's inclusion, or new
+// extractors under ScopeAllExtractors, whose absence mass is corpus-wide)
+// escalate to all shards.
+func (e *Engine) dirtyShards(em *core.EM, snap, prev *triple.Snapshot, pending []triple.Record, nShards int) []int {
+	if inclusionChanged(e.srcInc, em.SourceIncluded()) || inclusionChanged(e.extInc, em.ExtractorIncluded()) {
+		return allShards(nShards)
+	}
+	if e.opt.Core.Scope == core.ScopeAllExtractors && len(snap.Extractors) > len(prev.Extractors) {
+		return allShards(nShards)
+	}
+
+	type cell struct{ w, p int }
+	touched := make(map[cell]bool, len(pending))
+	for _, rec := range pending {
+		w := snap.SourceID(e.opt.SourceKey(rec))
+		d := snap.ItemID(rec.Subject, rec.Predicate)
+		if w < 0 || d < 0 {
+			// Cannot happen for a compiled record; fall back to full pass.
+			return allShards(nShards)
+		}
+		touched[cell{w, snap.PredOfItem[d]}] = true
+	}
+
+	dirtyItem := make([]bool, len(snap.Items))
+	for _, tr := range snap.Triples {
+		if touched[cell{tr.W, snap.PredOfItem[tr.D]}] {
+			dirtyItem[tr.D] = true
+		}
+	}
+	dirtySet := make([]bool, nShards)
+	for d, isDirty := range dirtyItem {
+		if isDirty {
+			dirtySet[triple.ShardOf(snap.Items[d], nShards)] = true
+		}
+	}
+	var dirty []int
+	for si, isDirty := range dirtySet {
+		if isDirty {
+			dirty = append(dirty, si)
+		}
+	}
+	return dirty
+}
+
+func inclusionChanged(old, cur []bool) bool {
+	for i := range old {
+		if i < len(cur) && old[i] != cur[i] {
+			return true
+		}
+	}
+	return false
+}
+
+func allShards(n int) []int {
+	out := make([]int, n)
+	for i := range out {
+		out[i] = i
+	}
+	return out
+}

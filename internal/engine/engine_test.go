@@ -1,0 +1,373 @@
+package engine
+
+import (
+	"fmt"
+	"math"
+	"testing"
+
+	"kbt/internal/core"
+	"kbt/internal/triple"
+	"kbt/internal/websim"
+)
+
+// corpus returns a mid-size simulated web crawl for equivalence checks.
+func corpus(t testing.TB) []triple.Record {
+	t.Helper()
+	p := websim.DefaultParams().Scale(0.3)
+	p.Seed = 11
+	world, err := websim.Generate(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return world.Dataset.Records
+}
+
+func maxAbsDiff(a, b []float64) float64 {
+	if len(a) != len(b) {
+		return math.Inf(1)
+	}
+	var m float64
+	for i := range a {
+		if d := math.Abs(a[i] - b[i]); d > m {
+			m = d
+		}
+	}
+	return m
+}
+
+// TestColdRefreshMatchesCoreRun: a cold engine refresh must reproduce the
+// monolithic core.Run posteriors exactly, for any shard count.
+func TestColdRefreshMatchesCoreRun(t *testing.T) {
+	recs := corpus(t)
+	ds := triple.NewDataset()
+	for _, r := range recs {
+		ds.Add(r)
+	}
+	snap := ds.Compile(triple.CompileOptions{
+		SourceKey:    triple.SourceKeyWebsite,
+		ExtractorKey: triple.ExtractorKeyName,
+	})
+	copt := core.DefaultOptions()
+	copt.MinSourceSupport = 3
+	copt.MinExtractorSupport = 3
+	want, err := core.Run(snap, copt)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for _, shards := range []int{1, 4, 7} {
+		t.Run(fmt.Sprintf("shards=%d", shards), func(t *testing.T) {
+			opt := DefaultOptions()
+			opt.Shards = shards
+			opt.Core = copt
+			eng := New(opt)
+			eng.Ingest(recs...)
+			res, err := eng.Refresh()
+			if err != nil {
+				t.Fatal(err)
+			}
+			got := res.Inference
+			if res.Warm {
+				t.Error("first refresh reported warm")
+			}
+			if res.FirstPassShards != shards || res.TotalShards != shards {
+				t.Errorf("cold refresh shards = %d/%d, want %d/%d",
+					res.FirstPassShards, res.TotalShards, shards, shards)
+			}
+			if d := maxAbsDiff(got.A, want.A); d > 1e-9 {
+				t.Errorf("source accuracy diverges: max |Δ| = %g", d)
+			}
+			if d := maxAbsDiff(got.P, want.P); d > 1e-9 {
+				t.Errorf("extractor precision diverges: max |Δ| = %g", d)
+			}
+			if d := maxAbsDiff(got.R, want.R); d > 1e-9 {
+				t.Errorf("extractor recall diverges: max |Δ| = %g", d)
+			}
+			if d := maxAbsDiff(got.CProb, want.CProb); d > 1e-9 {
+				t.Errorf("extraction correctness diverges: max |Δ| = %g", d)
+			}
+			for di := range want.ValueProb {
+				if d := maxAbsDiff(got.ValueProb[di], want.ValueProb[di]); d > 1e-9 {
+					t.Errorf("value posterior of item %d diverges: max |Δ| = %g", di, d)
+				}
+			}
+			if got.Iterations != want.Iterations || got.Converged != want.Converged {
+				t.Errorf("iterations/converged = %d/%v, want %d/%v",
+					got.Iterations, got.Converged, want.Iterations, want.Converged)
+			}
+		})
+	}
+}
+
+// noisyConsensus builds a corpus with an unambiguous optimum: every item has
+// a clear majority value (four accurate sites against one bad one) plus a
+// hallucinating extractor, so EM has a single well-separated fixed point and
+// cold and warm trajectories must meet there. Each item gets its own
+// predicate, which also confines each item to its own absence-vote cell.
+func noisyConsensus(nItems int) []triple.Record {
+	var recs []triple.Record
+	add := func(e, w, subj, pred, obj string, conf float64) {
+		recs = append(recs, triple.Record{
+			Extractor: e, Website: w, Page: w + "/x",
+			Subject: subj, Predicate: pred, Object: obj, Confidence: conf,
+		})
+	}
+	goodSites := []string{"g1.com", "g2.com", "g3.com", "g4.com"}
+	for i := 0; i < nItems; i++ {
+		subj := fmt.Sprintf("S%03d", i)
+		pred := fmt.Sprintf("pred%03d", i)
+		truth := "V" + subj
+		for _, w := range goodSites {
+			add("E1", w, subj, pred, truth, 1)
+			add("E2", w, subj, pred, truth, 0.9)
+		}
+		add("E1", "bad.com", subj, pred, "Wrong"+subj, 1)
+		add("E2", "bad.com", subj, pred, "Wrong"+subj, 0.9)
+		// E3 reads the good sites correctly but hallucinates an extra
+		// value on g1.com for every third item.
+		for _, w := range goodSites {
+			add("E3", w, subj, pred, truth, 0.8)
+		}
+		if i%3 == 0 {
+			add("E3", "g1.com", subj, pred, "Halluc"+subj, 0.8)
+		}
+	}
+	return recs
+}
+
+// TestIncrementalRefreshConvergesToColdRun: ingesting in two batches with a
+// warm Refresh in between must converge to the same fixed point as one cold
+// run over everything.
+func TestIncrementalRefreshConvergesToColdRun(t *testing.T) {
+	recs := noisyConsensus(48)
+	cut := len(recs) - len(recs)/10
+
+	copt := core.DefaultOptions()
+	copt.MaxIter = 80
+	copt.Tol = 1e-12
+
+	opt := DefaultOptions()
+	opt.Shards = 8
+	opt.Core = copt
+
+	cold := New(opt)
+	cold.Ingest(recs...)
+	wantRes, err := cold.Refresh()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := wantRes.Inference
+	if !want.Converged {
+		t.Fatalf("cold run did not converge in %d iterations", copt.MaxIter)
+	}
+
+	inc := New(opt)
+	inc.Ingest(recs[:cut]...)
+	if _, err := inc.Refresh(); err != nil {
+		t.Fatal(err)
+	}
+	inc.Ingest(recs[cut:]...)
+	gotRes, err := inc.Refresh()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := gotRes.Inference
+	if !gotRes.Warm {
+		t.Error("second refresh was not warm")
+	}
+	if !got.Converged {
+		t.Fatalf("incremental refresh did not converge in %d iterations", copt.MaxIter)
+	}
+
+	if d := maxAbsDiff(got.A, want.A); d > 1e-6 {
+		t.Errorf("incremental source accuracy diverges: max |Δ| = %g", d)
+	}
+	if d := maxAbsDiff(got.P, want.P); d > 1e-6 {
+		t.Errorf("incremental precision diverges: max |Δ| = %g", d)
+	}
+	if d := maxAbsDiff(got.CProb, want.CProb); d > 1e-6 {
+		t.Errorf("incremental extraction correctness diverges: max |Δ| = %g", d)
+	}
+	for di := range want.ValueProb {
+		if d := maxAbsDiff(got.ValueProb[di], want.ValueProb[di]); d > 1e-6 {
+			t.Errorf("incremental value posterior of item %d diverges: max |Δ| = %g", di, d)
+		}
+	}
+}
+
+// localDataset builds a corpus where every item has its own predicate, so
+// each (source, predicate) absence cell contains exactly one item and an
+// ingest touching one item dirties only that item's shard.
+func localDataset(nItems int) []triple.Record {
+	var recs []triple.Record
+	for i := 0; i < nItems; i++ {
+		subj := fmt.Sprintf("S%03d", i)
+		pred := fmt.Sprintf("pred%03d", i)
+		for _, w := range []string{"a.com", "b.com", "c.com"} {
+			for _, e := range []string{"E1", "E2"} {
+				recs = append(recs, triple.Record{
+					Extractor: e, Website: w, Page: w + "/x",
+					Subject: subj, Predicate: pred, Object: "v" + subj,
+				})
+			}
+		}
+	}
+	return recs
+}
+
+// TestWarmRefreshTouchesOnlyDirtyShards: a small ingest confined to one
+// absence cell must re-estimate a strict subset of shards on its first pass.
+func TestWarmRefreshTouchesOnlyDirtyShards(t *testing.T) {
+	opt := DefaultOptions()
+	opt.Shards = 8
+	opt.Core.MinSourceSupport = 1
+	opt.Core.MinExtractorSupport = 1
+
+	eng := New(opt)
+	eng.Ingest(localDataset(64)...)
+	if _, err := eng.Refresh(); err != nil {
+		t.Fatal(err)
+	}
+
+	// One new extraction for an existing item: a conflicting value from an
+	// existing extractor on an existing site.
+	eng.Ingest(triple.Record{
+		Extractor: "E2", Website: "c.com", Page: "c.com/x",
+		Subject: "S007", Predicate: "pred007", Object: "wrong",
+	})
+	res, err := eng.Refresh()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Warm {
+		t.Fatal("second refresh was not warm")
+	}
+	if res.FirstPassShards >= res.TotalShards {
+		t.Errorf("first pass touched %d/%d shards, want a strict subset",
+			res.FirstPassShards, res.TotalShards)
+	}
+	if res.FirstPassShards < 1 {
+		t.Error("first pass touched no shard despite a pending record")
+	}
+
+	// The new candidate triple must be covered by the result.
+	d := res.Snapshot.ItemID("S007", "pred007")
+	v := res.Snapshot.ValueID("wrong")
+	if d < 0 || v < 0 {
+		t.Fatal("ingested triple missing from snapshot")
+	}
+	if p, ok := res.Inference.TripleProb(d, v); !ok || p < 0 || p > 1 {
+		t.Errorf("ingested triple posterior = %v (covered=%v)", p, ok)
+	}
+}
+
+// TestRefreshWithoutPendingIsStable: once converged, refreshing without new
+// data must be warm, touch no shard, and keep the estimates bit-identical.
+func TestRefreshWithoutPendingIsStable(t *testing.T) {
+	opt := DefaultOptions()
+	opt.Shards = 4
+	opt.Core.MaxIter = 100
+	eng := New(opt)
+	eng.Ingest(localDataset(16)...)
+	first, err := eng.Refresh()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !first.Inference.Converged {
+		t.Fatalf("first refresh did not converge in %d iterations", opt.Core.MaxIter)
+	}
+	second, err := eng.Refresh()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !second.Warm {
+		t.Error("second refresh not warm")
+	}
+	if second.FirstPassShards != 0 {
+		t.Errorf("no-op refresh touched %d shards", second.FirstPassShards)
+	}
+	if d := maxAbsDiff(first.Inference.A, second.Inference.A); d > 1e-12 {
+		t.Errorf("no-op refresh moved source accuracies by %g", d)
+	}
+	if d := maxAbsDiff(first.Inference.CProb, second.Inference.CProb); d > 1e-12 {
+		t.Errorf("no-op refresh moved correctness posteriors by %g", d)
+	}
+}
+
+// TestRefreshWithoutPendingResumesUnconvergedEM: when the previous refresh
+// stopped at MaxIter, a no-ingest Refresh must run full passes and make
+// progress rather than measuring a zero delta against its own cached
+// posteriors and claiming convergence.
+func TestRefreshWithoutPendingResumesUnconvergedEM(t *testing.T) {
+	opt := DefaultOptions()
+	opt.Shards = 4
+	opt.Core.MaxIter = 2 // guaranteed unconverged
+	eng := New(opt)
+	eng.Ingest(noisyConsensus(12)...)
+	first, err := eng.Refresh()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if first.Inference.Converged {
+		t.Fatal("expected an unconverged first refresh")
+	}
+	second, err := eng.Refresh()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !second.Warm {
+		t.Error("resume refresh not warm")
+	}
+	if second.FirstPassShards != second.TotalShards {
+		t.Errorf("resume refresh ran %d/%d shards, want a full pass",
+			second.FirstPassShards, second.TotalShards)
+	}
+	if d := maxAbsDiff(first.Inference.A, second.Inference.A); d == 0 {
+		t.Error("resume refresh made no progress on source accuracies")
+	}
+}
+
+// TestConcurrentIngestDuringRefresh: a live feed must be able to keep
+// ingesting while refreshes run, with no record lost or double-consumed.
+func TestConcurrentIngestDuringRefresh(t *testing.T) {
+	opt := DefaultOptions()
+	opt.Shards = 4
+	eng := New(opt)
+	eng.Ingest(noisyConsensus(24)...)
+
+	const extra = 200
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < extra; i++ {
+			eng.Ingest(triple.Record{
+				Extractor: "E1", Website: "g1.com", Page: "g1.com/x",
+				Subject: fmt.Sprintf("Live%03d", i), Predicate: fmt.Sprintf("livepred%03d", i),
+				Object: "v",
+			})
+		}
+	}()
+	for i := 0; i < 5; i++ {
+		if _, err := eng.Refresh(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	<-done
+	res, err := eng.Refresh()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if eng.Pending() != 0 {
+		t.Errorf("Pending = %d after final refresh, want 0", eng.Pending())
+	}
+	if got := len(res.Snapshot.Items); got != 24+extra {
+		t.Errorf("final snapshot has %d items, want %d", got, 24+extra)
+	}
+}
+
+// TestRefreshEmpty: refreshing an empty engine is an error.
+func TestRefreshEmpty(t *testing.T) {
+	if _, err := New(DefaultOptions()).Refresh(); err == nil {
+		t.Fatal("expected error for empty engine")
+	}
+}

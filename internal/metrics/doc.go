@@ -1,0 +1,6 @@
+// Package metrics implements the evaluation measures of §5.1.1: square
+// losses (SqV, SqC, SqA), weighted deviation (WDev) over the paper's exact
+// probability buckets, area under the precision-recall curve (AUC-PR),
+// coverage, and the calibration / PR curve series behind Figures 8 and 9,
+// plus the histogram helpers behind Figures 5-7.
+package metrics

@@ -1,12 +1,3 @@
-// Package parallel is a small deterministic data-parallel execution helper,
-// standing in for the FlumeJava/Map-Reduce substrate the paper ran on (§5.3.4).
-//
-// Every inference stage of the multi-layer model (extraction correctness,
-// triple truthfulness, source accuracy, extractor quality) is expressed as a
-// parallel loop over a dense index space with results written to disjoint
-// slots, so execution order cannot affect the outcome. Reductions run the
-// combine step sequentially over per-chunk partials in chunk order, keeping
-// floating-point results reproducible run-to-run for a fixed worker count.
 package parallel
 
 import (

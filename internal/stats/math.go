@@ -1,10 +1,3 @@
-// Package stats provides the small numeric toolkit used throughout the KBT
-// reproduction: logistic-scale helpers for vote counting, numerically stable
-// softmax for value posteriors, probability clamping, random samplers for the
-// synthetic workloads, and summary statistics for the evaluation harness.
-//
-// Everything here is deterministic given a seed and uses only the standard
-// library, as the rest of the module requires.
 package stats
 
 import (

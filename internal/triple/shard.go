@@ -1,0 +1,51 @@
+package triple
+
+import "hash/fnv"
+
+// Shard is one partition of a Snapshot's data-item space. Items (and the
+// candidate triples that mention them) are assigned by hashing the item key,
+// so the Stage I and Stage II loops of the multi-layer model — which are
+// independent per candidate triple respectively per item — can run shard by
+// shard with no cross-shard writes. Sources and extractors are NOT
+// partitioned: their M-steps aggregate across every shard.
+type Shard struct {
+	// Items lists the data-item ids owned by the shard, ascending.
+	Items []int
+	// Triples lists the candidate-triple indices (into Snapshot.Triples)
+	// whose data item is owned by the shard, ascending.
+	Triples []int
+}
+
+// ShardOf returns the shard index of an item key under n shards. The
+// assignment depends only on the key string (FNV-1a), never on dense ids or
+// dataset order, so an item stays in the same shard as the dataset grows and
+// is recompiled around it.
+func ShardOf(itemKey string, n int) int {
+	if n <= 1 {
+		return 0
+	}
+	h := fnv.New32a()
+	h.Write([]byte(itemKey))
+	return int(h.Sum32() % uint32(n))
+}
+
+// Shards partitions the snapshot's data items into n shards by ShardOf.
+// Every item and every candidate triple appears in exactly one shard; a
+// shard may be empty. n < 1 is treated as 1.
+func (s *Snapshot) Shards(n int) []Shard {
+	if n < 1 {
+		n = 1
+	}
+	shards := make([]Shard, n)
+	itemShard := make([]int, len(s.Items))
+	for d, key := range s.Items {
+		si := ShardOf(key, n)
+		itemShard[d] = si
+		shards[si].Items = append(shards[si].Items, d)
+	}
+	for ti, tr := range s.Triples {
+		si := itemShard[tr.D]
+		shards[si].Triples = append(shards[si].Triples, ti)
+	}
+	return shards
+}

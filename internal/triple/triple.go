@@ -1,12 +1,3 @@
-// Package triple defines the data model shared by every layer of the KBT
-// reproduction: knowledge triples, data items, extraction records with full
-// provenance, and the compiled sparse observation matrix X = {X_ewdv} that
-// the probabilistic models consume.
-//
-// The paper represents a triple (subject, predicate, object) as a
-// (data item, value) pair where the data item is (subject, predicate). Each
-// observation records that extractor e extracted value v for data item d on
-// web source w, optionally with a confidence in [0,1] (§3.5).
 package triple
 
 import (

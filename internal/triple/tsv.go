@@ -60,6 +60,11 @@ func ReadTSV(r io.Reader) (*Dataset, error) {
 	return d, nil
 }
 
+// ParseTSVLine parses a single TSV record line — the streaming counterpart
+// to ReadTSV for callers that feed records into an incremental consumer as
+// they arrive. Blank and comment lines are the caller's concern.
+func ParseTSVLine(line string) (Record, error) { return parseLine(line) }
+
 func parseLine(line string) (Record, error) {
 	cols := strings.Split(line, "\t")
 	if len(cols) < 7 {

@@ -63,14 +63,31 @@ func NewDataset() *Dataset {
 	return &Dataset{d: triple.NewDataset()}
 }
 
-// Add appends one extraction.
-func (ds *Dataset) Add(e Extraction) {
-	ds.d.Add(triple.Record{
+// record converts the extraction to the internal representation — the single
+// field mapping shared by the batch and incremental ingest paths.
+func (e Extraction) record() triple.Record {
+	return triple.Record{
 		Extractor: e.Extractor, Pattern: e.Pattern,
 		Website: e.Website, Page: e.Page,
 		Subject: e.Subject, Predicate: e.Predicate, Object: e.Object,
 		Confidence: e.Confidence,
-	})
+	}
+}
+
+// fromRecord is record's inverse, for in-package callers that already hold
+// internal records (the benchmark harness).
+func fromRecord(r triple.Record) Extraction {
+	return Extraction{
+		Extractor: r.Extractor, Pattern: r.Pattern,
+		Website: r.Website, Page: r.Page,
+		Subject: r.Subject, Predicate: r.Predicate, Object: r.Object,
+		Confidence: r.Confidence,
+	}
+}
+
+// Add appends one extraction.
+func (ds *Dataset) Add(e Extraction) {
+	ds.d.Add(e.record())
 }
 
 // Len returns the number of extractions added.
@@ -285,8 +302,7 @@ func EstimateKBT(ds *Dataset, opt Options) (*Result, error) {
 	}
 
 	copt := triple.CompileOptions{}
-	switch opt.Granularity {
-	case GranularityAuto:
+	if opt.Granularity == GranularityAuto {
 		m, M := opt.MinSourceSize, opt.MaxSourceSize
 		if M <= 0 {
 			M = 10000
@@ -304,29 +320,17 @@ func EstimateKBT(ds *Dataset, opt Options) (*Result, error) {
 		}
 		copt.SourceLabels = srcLabels
 		copt.ExtractorLabels = extLabels
-	case GranularityWebsite:
-		copt.SourceKey = triple.SourceKeyWebsite
-		copt.ExtractorKey = triple.ExtractorKeyName
-	case GranularityPage:
-		copt.SourceKey = triple.SourceKeyPage
-		copt.ExtractorKey = triple.ExtractorKeyName
-	case GranularityFinest:
-		copt.SourceKey = triple.SourceKeyFinest
-		copt.ExtractorKey = triple.ExtractorKeyFinest
-	default:
-		return nil, fmt.Errorf("kbt: unknown granularity %d", opt.Granularity)
+	} else {
+		var ok bool
+		copt.SourceKey, copt.ExtractorKey, ok = granularityKeys(opt.Granularity)
+		if !ok {
+			return nil, fmt.Errorf("kbt: unknown granularity %d", opt.Granularity)
+		}
 	}
 	snap := ds.d.Compile(copt)
 
-	mopt := core.DefaultOptions()
-	mopt.N = opt.DomainSize
-	mopt.MaxIter = opt.Iterations
-	mopt.MinSourceSupport = opt.MinSupport
-	mopt.MinExtractorSupport = opt.MinSupport
-	mopt.UseConfidence = opt.UseConfidence
-	if opt.AllExtractorsVoteAbsence {
-		mopt.Scope = core.ScopeAllExtractors
-	}
+	mopt := coreOptions(opt.DomainSize, opt.Iterations, opt.MinSupport,
+		opt.UseConfidence, opt.AllExtractorsVoteAbsence)
 	mopt.Workers = opt.Workers
 	res, err := core.Run(snap, mopt)
 	if err != nil {
@@ -515,6 +519,37 @@ func FuseSingleLayer(ds *Dataset, opt FusionOptions) (*FusionResult, error) {
 		return nil, err
 	}
 	return &FusionResult{snap: snap, res: res}, nil
+}
+
+// granularityKeys maps a fixed (pure per-record) granularity to its source
+// and extractor key functions. GranularityAuto has no key functions — its
+// split-and-merge labels are partitions of the whole dataset — and returns
+// ok=false, as does an unknown value.
+func granularityKeys(g SourceGranularity) (triple.SourceKeyFunc, triple.ExtractorKeyFunc, bool) {
+	switch g {
+	case GranularityWebsite:
+		return triple.SourceKeyWebsite, triple.ExtractorKeyName, true
+	case GranularityPage:
+		return triple.SourceKeyPage, triple.ExtractorKeyName, true
+	case GranularityFinest:
+		return triple.SourceKeyFinest, triple.ExtractorKeyFinest, true
+	}
+	return nil, nil, false
+}
+
+// coreOptions maps the shared public model knobs onto core.Options — the
+// single mapping both EstimateKBT and NewEngine go through.
+func coreOptions(domainSize, iterations, minSupport int, useConfidence, allExtractorsVoteAbsence bool) core.Options {
+	mopt := core.DefaultOptions()
+	mopt.N = domainSize
+	mopt.MaxIter = iterations
+	mopt.MinSourceSupport = minSupport
+	mopt.MinExtractorSupport = minSupport
+	mopt.UseConfidence = useConfidence
+	if allExtractorsVoteAbsence {
+		mopt.Scope = core.ScopeAllExtractors
+	}
+	return mopt
 }
 
 // displayLabel renders internal \x1f-joined unit labels with "|".
