@@ -357,6 +357,142 @@ func toExtractions(records []triple.Record) []Extraction {
 	return out
 }
 
+// servingCorpus builds a deterministic serving-shaped corpus of about n
+// extractions. Each data item carries its own predicate (so absence-vote
+// cells, and with them warm-refresh dirtiness, stay local) and is witnessed
+// by four of 24 websites stratified into accuracy tiers — two reliable
+// sites, one that errs on 30% of its items, one on 70% — read by three
+// extractors of varying quality, one of which hallucinates an extra value
+// on every third item. The conflict structure makes a cold estimation work
+// for its fixed point (stratifying site accuracy and extractor precision
+// takes EM many iterations), while the stream is statistically stationary,
+// so a warm engine absorbs fresh items with the parameters it already has —
+// the regime the serving engine exists for. Items are numbered from
+// firstItem, so successive calls generate disjoint fresh items.
+func servingCorpus(firstItem, n int) []Extraction {
+	const goodSites, midSites, badSites = 12, 6, 6
+	out := make([]Extraction, 0, n)
+	add := func(e, w, subj, pred, obj string, conf float64) {
+		out = append(out, Extraction{
+			Extractor: e, Pattern: "pat", Website: w, Page: w + "/x",
+			Subject: subj, Predicate: pred, Object: obj, Confidence: conf,
+		})
+	}
+	for i := firstItem; len(out) < n; i++ {
+		subj := fmt.Sprintf("S%07d", i)
+		pred := fmt.Sprintf("pred%07d", i)
+		truth := "v" + subj
+		wrong := "w" + subj
+		witness := []struct {
+			site string
+			obj  string
+		}{
+			{fmt.Sprintf("good%02d.com", i%goodSites), truth},
+			{fmt.Sprintf("good%02d.com", (i+5)%goodSites), truth},
+			{fmt.Sprintf("mid%02d.com", i%midSites), truth},
+			{fmt.Sprintf("bad%02d.com", i%badSites), truth},
+		}
+		if i%10 < 3 {
+			witness[2].obj = wrong // mid-tier sites err on 30% of items
+		}
+		if i%10 < 7 {
+			witness[3].obj = wrong // bad-tier sites err on 70% of items
+		}
+		for _, wt := range witness {
+			add("E1", wt.site, subj, pred, wt.obj, 1)
+			add("E2", wt.site, subj, pred, wt.obj, 0.9)
+			add("E3", wt.site, subj, pred, wt.obj, 0.8)
+		}
+		if i%3 == 0 { // E3 hallucinates an extra value on every third item
+			add("E3", witness[0].site, subj, pred, "halluc"+subj, 0.8)
+		}
+	}
+	return out[:n]
+}
+
+// refreshBenchOptions are shared by the warm and cold refresh benchmarks so
+// their ns/op are directly comparable: converged warm refreshes stop after
+// one partial pass at Tol=1e-4, the production serving configuration.
+func refreshBenchOptions() EngineOptions {
+	opt := DefaultEngineOptions()
+	opt.Iterations = 30
+	opt.Tol = 1e-4
+	opt.Shards = 64
+	return opt
+}
+
+// BenchmarkRefreshWarm measures the steady-state serving loop — ingest a
+// small batch, warm-Refresh — at growing corpus × ingest sizes. With the
+// append-only Snapshot.Extend path, the snapshot work is proportional to
+// the ingest, so ns/op must grow far slower than the corpus (the remaining
+// corpus-size dependence is the global M-steps of the converged-check pass).
+func BenchmarkRefreshWarm(b *testing.B) {
+	for _, corpusN := range []int{10_000, 100_000} {
+		base := servingCorpus(0, corpusN)
+		for _, ingestN := range []int{10, 100, 1000} {
+			b.Run(fmt.Sprintf("corpus=%d/ingest=%d", corpusN, ingestN), func(b *testing.B) {
+				eng, err := NewEngine(refreshBenchOptions())
+				if err != nil {
+					b.Fatal(err)
+				}
+				if err := eng.Ingest(base...); err != nil {
+					b.Fatal(err)
+				}
+				if _, err := eng.Refresh(); err != nil {
+					b.Fatal(err)
+				}
+				next := corpusN // first unused item number
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					b.StopTimer()
+					batch := servingCorpus(next, ingestN)
+					next += ingestN
+					b.StartTimer()
+					if err := eng.Ingest(batch...); err != nil {
+						b.Fatal(err)
+					}
+					if _, err := eng.Refresh(); err != nil {
+						b.Fatal(err)
+					}
+				}
+				b.StopTimer()
+				if stats, ok := eng.Stats(); ok {
+					if !stats.Extended {
+						b.Fatal("warm refresh did not take the Extend path")
+					}
+					b.ReportMetric(float64(stats.FirstPassShards), "dirty-shards")
+				}
+			})
+		}
+	}
+}
+
+// BenchmarkRefreshCold is the baseline BenchmarkRefreshWarm beats: a full
+// compile plus cold estimation over the same corpora. The warm/cold ns/op
+// ratio at corpus=100000 is the headline number for the Extend path.
+func BenchmarkRefreshCold(b *testing.B) {
+	for _, corpusN := range []int{10_000, 100_000} {
+		base := servingCorpus(0, corpusN)
+		b.Run(fmt.Sprintf("corpus=%d", corpusN), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				b.StopTimer()
+				eng, err := NewEngine(refreshBenchOptions())
+				if err != nil {
+					b.Fatal(err)
+				}
+				if err := eng.Ingest(base...); err != nil {
+					b.Fatal(err)
+				}
+				b.StartTimer()
+				if _, err := eng.Refresh(); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(float64(corpusN), "extractions")
+		})
+	}
+}
+
 // BenchmarkSyntheticGeneration measures the §5.2.1 generator.
 func BenchmarkSyntheticGeneration(b *testing.B) {
 	p := synthetic.DefaultParams()

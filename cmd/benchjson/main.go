@@ -1,0 +1,152 @@
+// Command benchjson converts `go test -bench` text output into a stable
+// JSON document, so CI can archive one machine-readable benchmark artifact
+// per commit; the sequence of those per-commit artifacts forms the
+// repository's performance trajectory.
+//
+// Usage:
+//
+//	go test -bench 'Refresh' -benchtime 1x -run xxx . | benchjson -commit $GITHUB_SHA -o BENCH_ci.json
+//
+// The output records the toolchain header (goos/goarch/pkg/cpu), and per
+// benchmark the parallelism suffix, iteration count and every reported
+// metric (ns/op, B/op, allocs/op and custom b.ReportMetric units alike).
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// Report is the top-level JSON document.
+type Report struct {
+	Commit     string      `json:"commit,omitempty"`
+	Time       string      `json:"time"`
+	Goos       string      `json:"goos,omitempty"`
+	Goarch     string      `json:"goarch,omitempty"`
+	Pkg        string      `json:"pkg,omitempty"`
+	CPU        string      `json:"cpu,omitempty"`
+	Benchmarks []Benchmark `json:"benchmarks"`
+}
+
+// Benchmark is one `Benchmark...` result line.
+type Benchmark struct {
+	// Name is the benchmark name with the -P parallelism suffix stripped,
+	// e.g. "BenchmarkRefreshWarm/corpus=100000/ingest=10".
+	Name string `json:"name"`
+	// Procs is the GOMAXPROCS suffix of the result line (1 when absent).
+	Procs int `json:"procs"`
+	// Iterations is b.N for the reported run.
+	Iterations int `json:"iterations"`
+	// Metrics maps unit -> value for every "value unit" pair on the line.
+	Metrics map[string]float64 `json:"metrics"`
+}
+
+func main() {
+	commit := flag.String("commit", os.Getenv("GITHUB_SHA"), "commit hash to stamp the report with (default $GITHUB_SHA)")
+	out := flag.String("o", "", "output file (default stdout)")
+	flag.Parse()
+
+	rep, err := Parse(os.Stdin)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	rep.Commit = *commit
+	rep.Time = time.Now().UTC().Format(time.RFC3339)
+
+	w := io.Writer(os.Stdout)
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchjson:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		w = f
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(rep); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+}
+
+// Parse reads `go test -bench` output and collects the header and every
+// benchmark result line. Unrecognised lines (test logs, PASS/ok trailers)
+// are skipped; a malformed Benchmark line is an error, so CI fails loudly
+// instead of archiving a silently truncated artifact.
+func Parse(r io.Reader) (*Report, error) {
+	rep := &Report{Benchmarks: []Benchmark{}}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		switch {
+		case strings.HasPrefix(line, "goos:"):
+			rep.Goos = strings.TrimSpace(strings.TrimPrefix(line, "goos:"))
+		case strings.HasPrefix(line, "goarch:"):
+			rep.Goarch = strings.TrimSpace(strings.TrimPrefix(line, "goarch:"))
+		case strings.HasPrefix(line, "pkg:"):
+			rep.Pkg = strings.TrimSpace(strings.TrimPrefix(line, "pkg:"))
+		case strings.HasPrefix(line, "cpu:"):
+			rep.CPU = strings.TrimSpace(strings.TrimPrefix(line, "cpu:"))
+		case strings.HasPrefix(line, "Benchmark"):
+			b, err := parseBenchLine(line)
+			if err != nil {
+				return nil, err
+			}
+			rep.Benchmarks = append(rep.Benchmarks, b)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return rep, nil
+}
+
+// parseBenchLine parses one result line:
+//
+//	BenchmarkName-8   1   123456 ns/op   2.000 dirty-shards
+func parseBenchLine(line string) (Benchmark, error) {
+	f := strings.Fields(line)
+	if len(f) < 4 || len(f)%2 != 0 {
+		return Benchmark{}, fmt.Errorf("malformed benchmark line %q", line)
+	}
+	name, procs := splitProcs(f[0])
+	iters, err := strconv.Atoi(f[1])
+	if err != nil {
+		return Benchmark{}, fmt.Errorf("malformed iteration count in %q: %v", line, err)
+	}
+	b := Benchmark{Name: name, Procs: procs, Iterations: iters, Metrics: make(map[string]float64, (len(f)-2)/2)}
+	for i := 2; i < len(f); i += 2 {
+		v, err := strconv.ParseFloat(f[i], 64)
+		if err != nil {
+			return Benchmark{}, fmt.Errorf("malformed metric value in %q: %v", line, err)
+		}
+		b.Metrics[f[i+1]] = v
+	}
+	return b, nil
+}
+
+// splitProcs strips the trailing -GOMAXPROCS suffix go test appends to the
+// benchmark name. Sub-benchmark segments may themselves end in digits, so
+// only a final all-digit segment after the last '-' counts.
+func splitProcs(name string) (string, int) {
+	i := strings.LastIndexByte(name, '-')
+	if i < 0 {
+		return name, 1
+	}
+	p, err := strconv.Atoi(name[i+1:])
+	if err != nil || p < 1 {
+		return name, 1
+	}
+	return name[:i], p
+}

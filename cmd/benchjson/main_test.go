@@ -1,0 +1,82 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+const sampleOutput = `goos: linux
+goarch: amd64
+pkg: kbt
+cpu: Intel(R) Xeon(R) Processor @ 2.10GHz
+BenchmarkRefreshWarm/corpus=100000/ingest=10-8         	       1	  30474651 ns/op	         1.000 dirty-shards
+BenchmarkRefreshCold/corpus=100000-8                   	       2	 211077057 ns/op	    100000 extractions
+BenchmarkShardedVsMonolithic/sharded-16-8              	       1	  52000000 ns/op	        16.00 shards
+some test log line that should be ignored
+PASS
+ok  	kbt	1.606s
+`
+
+func TestParse(t *testing.T) {
+	rep, err := Parse(strings.NewReader(sampleOutput))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Goos != "linux" || rep.Goarch != "amd64" || rep.Pkg != "kbt" {
+		t.Errorf("header = %q/%q/%q", rep.Goos, rep.Goarch, rep.Pkg)
+	}
+	if !strings.Contains(rep.CPU, "Xeon") {
+		t.Errorf("cpu = %q", rep.CPU)
+	}
+	if len(rep.Benchmarks) != 3 {
+		t.Fatalf("parsed %d benchmarks, want 3", len(rep.Benchmarks))
+	}
+
+	b := rep.Benchmarks[0]
+	if b.Name != "BenchmarkRefreshWarm/corpus=100000/ingest=10" || b.Procs != 8 {
+		t.Errorf("benchmark 0 = %q procs=%d", b.Name, b.Procs)
+	}
+	if b.Iterations != 1 || b.Metrics["ns/op"] != 30474651 || b.Metrics["dirty-shards"] != 1 {
+		t.Errorf("benchmark 0 = %+v", b)
+	}
+
+	if b := rep.Benchmarks[1]; b.Iterations != 2 || b.Metrics["extractions"] != 100000 {
+		t.Errorf("benchmark 1 = %+v", b)
+	}
+
+	// The "-16" here is a sub-benchmark suffix, not GOMAXPROCS; only the
+	// final segment is stripped.
+	if b := rep.Benchmarks[2]; b.Name != "BenchmarkShardedVsMonolithic/sharded-16" || b.Procs != 8 {
+		t.Errorf("benchmark 2 = %q procs=%d", b.Name, b.Procs)
+	}
+}
+
+func TestParseMalformed(t *testing.T) {
+	for _, in := range []string{
+		"BenchmarkX-8 notanumber 5 ns/op",
+		"BenchmarkX-8 1 oops ns/op",
+		"BenchmarkX-8 1 5",
+	} {
+		if _, err := Parse(strings.NewReader(in)); err == nil {
+			t.Errorf("Parse(%q) should fail", in)
+		}
+	}
+}
+
+func TestSplitProcs(t *testing.T) {
+	for _, tc := range []struct {
+		in    string
+		name  string
+		procs int
+	}{
+		{"BenchmarkFoo-8", "BenchmarkFoo", 8},
+		{"BenchmarkFoo", "BenchmarkFoo", 1},
+		{"BenchmarkFoo/sub=3-16", "BenchmarkFoo/sub=3", 16},
+		{"BenchmarkFoo/a-b", "BenchmarkFoo/a-b", 1},
+	} {
+		name, procs := splitProcs(tc.in)
+		if name != tc.name || procs != tc.procs {
+			t.Errorf("splitProcs(%q) = %q,%d; want %q,%d", tc.in, name, procs, tc.name, tc.procs)
+		}
+	}
+}

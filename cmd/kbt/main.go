@@ -5,7 +5,8 @@
 //	kbt estimate  [-granularity auto|website|page|finest] [-iters N]
 //	              [-min-support N] [-top K] [-triples] [-extractors] [file.tsv]
 //	kbt serve     [-granularity website|page|finest] [-shards N] [-batch N]
-//	              [-iters N] [-tol F] [-min-support N] [-top K] [file.tsv]
+//	              [-iters N] [-tol F] [-min-support N] [-top K] [-recompile]
+//	              [file.tsv]
 //	kbt fuse      [-model accu|popaccu] [-n N] [-top K] [file.tsv]
 //	kbt generate  [-kind synthetic|web] [-scale F] [-seed N] [-o out.tsv]
 //
@@ -178,6 +179,7 @@ func cmdServe(args []string) error {
 	tol := fs.Float64("tol", 1e-4, "parameter-delta convergence tolerance; converged warm refreshes stop after one partial pass")
 	minSupport := fs.Int("min-support", 3, "minimum observations per source/extractor")
 	top := fs.Int("top", 10, "number of sources to print per refresh (0 = all)")
+	recompile := fs.Bool("recompile", false, "recompile the snapshot over the whole corpus on every refresh instead of extending the previous one (slow equivalence-oracle path)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -187,6 +189,7 @@ func cmdServe(args []string) error {
 	opt.Iterations = *iters
 	opt.Tol = *tol
 	opt.MinSupport = *minSupport
+	opt.FullRecompile = *recompile
 	switch *gran {
 	case "website":
 		opt.Granularity = kbt.GranularityWebsite
@@ -226,7 +229,11 @@ func cmdServe(args []string) error {
 		stats, _ := eng.Stats()
 		mode := "cold"
 		if stats.Warm {
-			mode = fmt.Sprintf("warm %d/%d shards", stats.FirstPassShards, stats.TotalShards)
+			compile := "extend"
+			if !stats.Extended {
+				compile = "recompile"
+			}
+			mode = fmt.Sprintf("warm %s %d/%d shards", compile, stats.FirstPassShards, stats.TotalShards)
 		}
 		fmt.Printf("-- refresh #%d: %d records, %s, %d iterations in %v\n",
 			refreshCount+1, eng.Len(), mode, stats.Iterations, elapsed.Round(time.Microsecond))
@@ -261,7 +268,10 @@ func cmdServe(args []string) error {
 			fmt.Fprintf(os.Stderr, "kbt serve: line %d: %v (skipped)\n", lineNo, err)
 			continue
 		}
-		eng.Ingest(toExtraction(rec))
+		if err := eng.Ingest(toExtraction(rec)); err != nil {
+			fmt.Fprintf(os.Stderr, "kbt serve: line %d: %v (skipped)\n", lineNo, err)
+			continue
+		}
 		sinceRefresh++
 		if *batch > 0 && sinceRefresh >= *batch {
 			if err := refresh(); err != nil {

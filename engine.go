@@ -39,6 +39,13 @@ type EngineOptions struct {
 	// deployments trading a little precision for steady-state refresh
 	// latency should raise this to ~1e-4.
 	Tol float64
+
+	// FullRecompile forces every Refresh to recompile the snapshot over the
+	// whole corpus instead of extending the previous one. The append-only
+	// extension is bit-identical to a recompile and proportional to the
+	// ingest, so this stays off in production; it is kept as an equivalence
+	// oracle and operational escape hatch.
+	FullRecompile bool
 }
 
 // DefaultEngineOptions mirrors DefaultOptions at website granularity.
@@ -94,17 +101,23 @@ func NewEngine(opt EngineOptions) (*Engine, error) {
 	}
 	eopt.Core = mopt
 	eopt.Workers = opt.Workers
+	eopt.FullRecompile = opt.FullRecompile
 
 	return &Engine{eng: engine.New(eopt), opt: opt}, nil
 }
 
-// Ingest appends extractions; they take effect at the next Refresh.
-func (e *Engine) Ingest(batch ...Extraction) {
+// Ingest validates and appends extractions; they take effect at the next
+// Refresh. Extractions with empty identity fields, a confidence outside
+// [0,1], or that map to an empty source/extractor unit under the engine's
+// granularity are rejected with an error, and the whole batch is discarded —
+// catching at the door what would otherwise compile into degenerate units
+// and silently skew later refreshes.
+func (e *Engine) Ingest(batch ...Extraction) error {
 	recs := make([]triple.Record, len(batch))
 	for i, x := range batch {
 		recs[i] = x.record()
 	}
-	e.eng.Ingest(recs...)
+	return e.eng.Ingest(recs...)
 }
 
 // Len returns the number of extractions ingested so far.
@@ -131,6 +144,9 @@ func (e *Engine) Refresh() (*Result, error) {
 type RefreshStats struct {
 	// Warm reports whether the refresh reused the previous posteriors.
 	Warm bool
+	// Extended reports whether the refresh built its snapshot by extending
+	// the previous one (O(ingest)) rather than recompiling the corpus.
+	Extended bool
 	// FirstPassShards of TotalShards were re-estimated in the first EM
 	// iteration; a small fraction means the ingest stayed local.
 	FirstPassShards, TotalShards int
@@ -148,6 +164,7 @@ func (e *Engine) Stats() (RefreshStats, bool) {
 	}
 	return RefreshStats{
 		Warm:            r.Warm,
+		Extended:        r.Extended,
 		FirstPassShards: r.FirstPassShards,
 		TotalShards:     r.TotalShards,
 		Iterations:      r.Inference.Iterations,

@@ -160,6 +160,9 @@ func TestEngineIncrementalIngest(t *testing.T) {
 	if !ok || !stats.Warm {
 		t.Errorf("second refresh stats = %+v, ok=%v; want warm", stats, ok)
 	}
+	if !stats.Extended {
+		t.Errorf("warm refresh should report Extended, got %+v", stats)
+	}
 
 	pUSA, okUSA := res.TripleProbability("Obama", "nationality", "USA")
 	pKenya, _ := res.TripleProbability("Obama", "nationality", "Kenya")
@@ -195,5 +198,83 @@ func TestNewEngineValidation(t *testing.T) {
 	}
 	if _, err := eng.Refresh(); err == nil {
 		t.Error("refresh of empty engine should fail")
+	}
+}
+
+// TestEngineIngestValidation: the public Ingest must reject malformed
+// extractions atomically instead of letting them skew later refreshes.
+func TestEngineIngestValidation(t *testing.T) {
+	eng, err := NewEngine(DefaultEngineOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	good := Extraction{Extractor: "E1", Website: "a.com", Page: "a.com/x",
+		Subject: "S", Predicate: "p", Object: "v"}
+	bad := good
+	bad.Object = ""
+	if err := eng.Ingest(good, bad); err == nil {
+		t.Fatal("expected validation error for an empty Object")
+	}
+	if eng.Len() != 0 {
+		t.Errorf("rejected batch left %d extractions behind", eng.Len())
+	}
+	bad = good
+	bad.Confidence = -1
+	if err := eng.Ingest(bad); err == nil {
+		t.Error("expected validation error for a negative confidence")
+	}
+	if err := eng.Ingest(good); err != nil {
+		t.Errorf("valid extraction rejected: %v", err)
+	}
+	if eng.Len() != 1 {
+		t.Errorf("Len = %d after one valid ingest, want 1", eng.Len())
+	}
+}
+
+// TestEngineFullRecompileOption: the oracle path must stay available through
+// the public options and agree with the default Extend path.
+func TestEngineFullRecompileOption(t *testing.T) {
+	batch := paperExample()
+	run := func(full bool) (*Result, RefreshStats) {
+		opt := DefaultEngineOptions()
+		opt.MinSupport = 1
+		opt.FullRecompile = full
+		eng, err := NewEngine(opt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := eng.Ingest(batch[:10]...); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := eng.Refresh(); err != nil {
+			t.Fatal(err)
+		}
+		if err := eng.Ingest(batch[10:]...); err != nil {
+			t.Fatal(err)
+		}
+		res, err := eng.Refresh()
+		if err != nil {
+			t.Fatal(err)
+		}
+		stats, _ := eng.Stats()
+		return res, stats
+	}
+	fast, fastStats := run(false)
+	oracle, oracleStats := run(true)
+	if !fastStats.Extended {
+		t.Errorf("default warm refresh should extend, got %+v", fastStats)
+	}
+	if oracleStats.Extended {
+		t.Errorf("FullRecompile refresh should not extend, got %+v", oracleStats)
+	}
+	wantTriples, gotTriples := oracle.Triples(), fast.Triples()
+	if len(wantTriples) != len(gotTriples) {
+		t.Fatalf("triple counts diverge: %d vs %d", len(gotTriples), len(wantTriples))
+	}
+	for i, w := range wantTriples {
+		g := gotTriples[i]
+		if g != w {
+			t.Errorf("triple %d: extend path %+v, recompile path %+v", i, g, w)
+		}
 	}
 }

@@ -115,6 +115,11 @@ func (em *EM) Q() []float64 { return em.st.q }
 // start seeds entries from a previous run's posterior before iterating.
 func (em *EM) PriorLogOdds() []float64 { return em.st.alphaLO }
 
+// CLogOdds returns the live per-candidate-triple log odds of the extraction
+// correctness posterior — the Stage I vote-sum cache the leave-one-out
+// M-step reads. A warm start seeds it together with the cProb it mirrors.
+func (em *EM) CLogOdds() []float64 { return em.st.cLO }
+
 // SourceIncluded and ExtractorIncluded report which units met the support
 // thresholds (read-only).
 func (em *EM) SourceIncluded() []bool    { return em.st.srcIncluded }

@@ -112,6 +112,7 @@ func Run(s *triple.Snapshot, opt Options) (*Result, error) {
 	prevA := make([]float64, nSrc)
 	prevP := make([]float64, nExt)
 	prevR := make([]float64, nExt)
+	prevLO := make([]float64, nTri)
 
 	// Bootstrap: one extractor M-step from the prior p(C)=Alpha, so the
 	// first absence votes use data-driven per-unit recall instead of the
@@ -159,11 +160,22 @@ func Run(s *triple.Snapshot, opt Options) (*Result, error) {
 		// Re-estimate the prior p(C_wdv=1) for the next iteration (Eq 26);
 		// the paper starts using the refined prior at iteration
 		// UpdatePriorFromIter.
+		priorDelta := 0.0
 		if opt.UpdatePrior && iter+1 >= opt.UpdatePriorFromIter {
+			copy(prevLO, st.alphaLO)
 			st.updateAlpha(res.ValueProb)
+			priorDelta = MaxDeltaLogistic(prevLO, st.alphaLO)
 		}
 
-		if MaxDelta(prevA, st.a)+MaxDelta(prevP, st.p)+MaxDelta(prevR, st.r) < opt.Tol {
+		// Convergence must account for the prior movement too, and cannot be
+		// declared before the prior schedule has engaged at all: the Eq 26
+		// update runs after the M-steps, so a loose Tol could otherwise
+		// declare convergence on an iteration whose prior shift is still
+		// reshaping the posterior landscape (or that never refined the prior
+		// in the first place) — a false fixed point the next estimation
+		// would immediately leave.
+		priorSettled := !opt.UpdatePrior || iter+1 >= opt.UpdatePriorFromIter
+		if priorSettled && MaxDelta(prevA, st.a)+MaxDelta(prevP, st.p)+MaxDelta(prevR, st.r)+priorDelta < opt.Tol {
 			res.Converged = true
 			iter++
 			break
@@ -219,6 +231,19 @@ type state struct {
 	// conf[i] is the effective confidence of observation i after applying
 	// the UseConfidence / BinarizeAt policy.
 	conf []float64
+
+	// cLO[ti] caches the log odds of cProb[ti] as computed by the last
+	// estimateCSubset covering ti (the Eq 15 vote sum before the sigmoid).
+	// The leave-one-out precision estimator needs exactly this quantity per
+	// observation; reading the cache instead of re-deriving Logit(cProb)
+	// saves two transcendentals per observation per iteration on the
+	// hottest M-step, and is more accurate where the posterior saturates.
+	cLO []float64
+
+	// cellC is the per-cell correctness-mass buffer estimatePRQ refills
+	// each call, kept on the state to avoid re-allocating numCells floats
+	// per iteration.
+	cellC []float64
 
 	// tripleOfObs maps observation index -> candidate-triple index.
 	tripleOfObs []int
@@ -353,25 +378,37 @@ func newState(s *triple.Snapshot, opt Options) *state {
 		st.cellOfTriple[ti] = cellOf(tr.W, tr.D)
 	}
 	st.cellsOfExtractor = make([][]int, nExt)
-	seenCell := make(map[[2]int]bool)
-	for i, o := range s.Obs {
-		if !st.extIncluded[o.E] {
+	// Dedup (extractor, cell) pairs with a stamp array instead of a map:
+	// this pass touches every observation on every refresh of the serving
+	// engine, and hashing dominates an otherwise linear loop. Walking
+	// ObsOfExtractor keeps each extractor's observations contiguous (in
+	// global observation order, so the cell lists come out exactly as the
+	// map-based global pass produced them), letting one stamp value per
+	// extractor suffice.
+	cellStamp := make([]int32, st.numCells)
+	for e, obsIdxs := range s.ObsOfExtractor {
+		if !st.extIncluded[e] {
 			continue
 		}
-		c := st.cellOfTriple[st.tripleOfObs[i]]
-		k := [2]int{o.E, c}
-		if !seenCell[k] {
-			seenCell[k] = true
-			st.cellsOfExtractor[o.E] = append(st.cellsOfExtractor[o.E], c)
+		for _, oi := range obsIdxs {
+			c := st.cellOfTriple[st.tripleOfObs[oi]]
+			if cellStamp[c] != int32(e)+1 {
+				cellStamp[c] = int32(e) + 1
+				st.cellsOfExtractor[e] = append(st.cellsOfExtractor[e], c)
+			}
 		}
 	}
 
-	// Prior log odds.
+	// Prior log odds, and the matching log-odds cache for the prior-valued
+	// cProb every estimation starts from.
 	lo := stats.Logit(opt.Alpha)
 	st.alphaLO = make([]float64, nTri)
+	st.cLO = make([]float64, nTri)
 	for ti := range st.alphaLO {
 		st.alphaLO[ti] = lo
+		st.cLO[ti] = lo
 	}
+	st.cellC = make([]float64, st.numCells)
 	return st
 }
 
@@ -396,13 +433,25 @@ func (st *state) prepareVotes() {
 	if st.cellAbs == nil {
 		st.cellAbs = make([]float64, st.numCells)
 	} else {
-		for c := range st.cellAbs {
-			st.cellAbs[c] = 0
-		}
+		st.zeroAttemptedCells(st.cellAbs)
 	}
 	for e, cells := range st.cellsOfExtractor {
 		for _, c := range cells {
 			st.cellAbs[c] += st.ab[e]
+		}
+	}
+}
+
+// zeroAttemptedCells clears the entries of a numCells-sized buffer that any
+// included extractor attempts — the only cells the vote and recall
+// accumulators ever write. Cell space is the dense (source × predicate)
+// product and grows with the corpus, but the attempted subset tracks the
+// observations, so clearing per iteration stays proportional to the data
+// rather than the product space.
+func (st *state) zeroAttemptedCells(buf []float64) {
+	for _, cells := range st.cellsOfExtractor {
+		for _, c := range cells {
+			buf[c] = 0
 		}
 	}
 }
@@ -442,7 +491,8 @@ func (st *state) estimateCSubset(cProb []float64, tis []int, workers int) {
 			// replace it with the soft mixture c·Pre + (1-c)·Abs (Eq 31).
 			vcc += st.conf[oi] * (st.pre[o.E] - st.ab[o.E])
 		}
-		cProb[ti] = stats.Sigmoid(vcc + st.alphaLO[ti])
+		st.cLO[ti] = vcc + st.alphaLO[ti]
+		cProb[ti] = stats.Sigmoid(st.cLO[ti])
 	})
 }
 
@@ -542,7 +592,8 @@ func (st *state) estimatePRQ(cProb []float64) {
 	// Per-cell total correctness mass, used by the recall denominator under
 	// ScopeAttemptedSources.
 	var totalC float64
-	cellC := make([]float64, st.numCells)
+	cellC := st.cellC
+	st.zeroAttemptedCells(cellC)
 	for ti := range s.Triples {
 		if !st.coveredTriple[ti] {
 			continue
@@ -566,8 +617,9 @@ func (st *state) estimatePRQ(cProb []float64) {
 			if st.opt.LeaveOneOut {
 				// Score the extraction by the rest of the evidence: strip
 				// this extractor's presence vote (and its share of the base
-				// absence mass) from the posterior's log odds.
-				lo := stats.Logit(p) - c*(st.pre[e]-st.ab[e]) - st.ab[e]
+				// absence mass) from the posterior's log odds, read straight
+				// from the Stage I vote-sum cache.
+				lo := st.cLO[ti] - c*(st.pre[e]-st.ab[e]) - st.ab[e]
 				p = stats.Sigmoid(lo)
 			}
 			num += c * p
@@ -651,6 +703,25 @@ func MaxDelta(a, b []float64) float64 {
 	var m float64
 	for i := range a {
 		if d := math.Abs(a[i] - b[i]); d > m {
+			m = d
+		}
+	}
+	return m
+}
+
+// MaxDeltaLogistic returns the largest absolute elementwise difference
+// between two equal-length log-odds vectors, measured in probability space —
+// the prior-movement term of the convergence test, commensurate with the
+// A/P/R deltas. The logistic's derivative is at most 1/4, so entries whose
+// log-odds moved by less than four times the current maximum cannot raise
+// it and skip the sigmoids; near a fixed point almost every entry does.
+func MaxDeltaLogistic(a, b []float64) float64 {
+	var m float64
+	for i := range a {
+		if math.Abs(a[i]-b[i]) <= 4*m {
+			continue
+		}
+		if d := math.Abs(stats.Sigmoid(a[i]) - stats.Sigmoid(b[i])); d > m {
 			m = d
 		}
 	}

@@ -6,9 +6,13 @@
 // (triple.Shard), keeps the posteriors and model parameters of the previous
 // estimation, and on Refresh after an Ingest:
 //
-//   - recompiles the snapshot (dense ids are append-only, so previous
-//     per-source/per-extractor parameters carry over by id),
-//   - warm-starts EM from the previous parameters and priors,
+//   - extends the previous snapshot with the pending records
+//     (triple.Snapshot.Extend — append-only, bit-identical to a full
+//     recompile but proportional to the ingest; Options.FullRecompile keeps
+//     the Compile path as the equivalence oracle),
+//   - warm-starts EM from the previous parameters and priors (ids are
+//     append-only, so per-source/per-extractor parameters carry over by id
+//     and per-triple state by index prefix),
 //   - runs the first E-step only over the dirty shards — those owning an
 //     item that shares a (source, predicate) absence-vote cell with a new
 //     record — before falling back to full passes while parameters still
@@ -24,6 +28,8 @@ package engine
 
 import (
 	"errors"
+	"fmt"
+	"math"
 	"sync"
 
 	"kbt/internal/core"
@@ -48,6 +54,12 @@ type Options struct {
 	// M-steps. Non-zero values supersede Core.Workers; 0 defers to
 	// Core.Workers, with 0 there too meaning all CPUs.
 	Workers int
+	// FullRecompile forces every Refresh to rebuild the snapshot with
+	// Dataset.Compile over the whole corpus instead of extending the
+	// previous snapshot. Extend is bit-identical and O(ingest), so this is
+	// off by default; it remains as the equivalence oracle in tests and as
+	// an operational escape hatch.
+	FullRecompile bool
 }
 
 // DefaultOptions returns the engine defaults: 8 shards, website sources,
@@ -70,6 +82,9 @@ type Result struct {
 	Inference *core.Result
 	// Warm reports whether the refresh warm-started from a previous one.
 	Warm bool
+	// Extended reports whether the snapshot was built by extending the
+	// previous one (the O(ingest) path) rather than recompiling the corpus.
+	Extended bool
 	// FirstPassShards is the number of shards the first EM iteration
 	// re-estimated (== TotalShards on a cold refresh); TotalShards is the
 	// configured shard count.
@@ -95,11 +110,16 @@ type Engine struct {
 	// State persisted across refreshes. Dense source/extractor/item/value
 	// ids are stable across recompiles (interning follows record order and
 	// records only append), so parameters indexed by them carry over
-	// directly; per-triple and per-item-slot state is remapped by identity.
+	// directly; per-triple and per-item-slot state carries over by index
+	// prefix on the Extend path, or is remapped by identity under
+	// FullRecompile. shards holds the current snapshot's shard views,
+	// extended in place with the snapshot on the warm path.
 	snap        *triple.Snapshot
+	shards      []triple.Shard
 	a, p, r, q  []float64
 	alphaLO     []float64
 	cProb       []float64
+	cLO         []float64
 	valueProb   [][]float64
 	restMass    []float64
 	coveredItem []bool
@@ -123,15 +143,52 @@ func New(opt Options) *Engine {
 	return &Engine{opt: opt, ds: triple.NewDataset()}
 }
 
-// Ingest appends extraction records. The new evidence takes effect at the
-// next Refresh.
-func (e *Engine) Ingest(recs ...triple.Record) {
+// Ingest validates and appends extraction records. The new evidence takes
+// effect at the next Refresh.
+//
+// Validation happens here, not at Refresh: a malformed record (empty
+// identity fields, an out-of-range confidence, or a record the configured
+// granularity maps to an empty unit label) would otherwise compile into a
+// degenerate source or value and silently skew every later estimate. The
+// batch is atomic — on error no record is ingested.
+func (e *Engine) Ingest(recs ...triple.Record) error {
+	for i := range recs {
+		if err := e.validateRecord(recs[i]); err != nil {
+			return fmt.Errorf("engine: rejecting ingest batch, record %d: %w", i, err)
+		}
+	}
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	for _, r := range recs {
 		e.ds.Add(r)
 		e.pending = append(e.pending, r)
 	}
+	return nil
+}
+
+// validateRecord rejects records that cannot compile consistently.
+func (e *Engine) validateRecord(r triple.Record) error {
+	switch {
+	case r.Extractor == "":
+		return errors.New("empty Extractor")
+	case r.Website == "":
+		return errors.New("empty Website")
+	case r.Subject == "":
+		return errors.New("empty Subject")
+	case r.Predicate == "":
+		return errors.New("empty Predicate")
+	case r.Object == "":
+		return errors.New("empty Object")
+	case math.IsNaN(r.Confidence) || r.Confidence < 0 || r.Confidence > 1:
+		return fmt.Errorf("confidence %v outside [0,1] (0 means unspecified)", r.Confidence)
+	}
+	if e.opt.SourceKey(r) == "" {
+		return errors.New("record maps to an empty source label under the configured granularity (missing Page?)")
+	}
+	if e.opt.ExtractorKey(r) == "" {
+		return errors.New("record maps to an empty extractor label under the configured granularity")
+	}
+	return nil
 }
 
 // Len returns the number of records ingested so far.
@@ -184,9 +241,12 @@ func (e *Engine) Refresh() (*Result, error) {
 		inf := *e.last.Inference
 		inf.Iterations = 0
 		res := &Result{
-			Snapshot:        e.snap,
-			Inference:       &inf,
-			Warm:            true,
+			Snapshot:  e.snap,
+			Inference: &inf,
+			Warm:      true,
+			// No snapshot work happened at all; report the mode the engine
+			// is configured for, so FullRecompile diagnostics stay honest.
+			Extended:        !e.opt.FullRecompile,
 			FirstPassShards: 0,
 			TotalShards:     e.last.TotalShards,
 		}
@@ -196,14 +256,36 @@ func (e *Engine) Refresh() (*Result, error) {
 	}
 	records := e.ds.Records[:nRec:nRec]
 	pending := append([]triple.Record(nil), e.pending[:nPending]...)
+	prevShards := e.shards
 	e.mu.Unlock()
 
+	// Warm path: extend the previous snapshot and its shard views with just
+	// the pending records — pending is exactly the record suffix ingested
+	// since prev was built, so the result is bit-identical to recompiling
+	// the corpus, at O(ingest) cost. Cold (and FullRecompile) refreshes
+	// compile from scratch.
 	prev := e.snap
-	snap := (&triple.Dataset{Records: records}).Compile(triple.CompileOptions{
-		SourceKey:    e.opt.SourceKey,
-		ExtractorKey: e.opt.ExtractorKey,
-	})
-	shards := snap.Shards(e.opt.Shards)
+	var snap *triple.Snapshot
+	var shards []triple.Shard
+	extended := false
+	if warm && !e.opt.FullRecompile {
+		if len(pending) == 0 {
+			// Resuming an unconverged run: zero new records means the grown
+			// snapshot would be content-identical, so reuse it outright
+			// instead of paying Extend's table copies.
+			snap, shards = prev, prevShards
+		} else {
+			snap = prev.Extend(pending)
+			shards = snap.ExtendShards(prevShards, len(prev.Items), len(prev.Triples))
+		}
+		extended = true
+	} else {
+		snap = (&triple.Dataset{Records: records}).Compile(triple.CompileOptions{
+			SourceKey:    e.opt.SourceKey,
+			ExtractorKey: e.opt.ExtractorKey,
+		})
+		shards = snap.Shards(e.opt.Shards)
+	}
 
 	copt := e.opt.Core
 	copt.Workers = e.workers()
@@ -223,7 +305,7 @@ func (e *Engine) Refresh() (*Result, error) {
 		em.Bootstrap(cProb)
 		dirty = allShards(len(shards))
 	} else {
-		e.carryOver(em, snap, prev, cProb, valueProb, restMass, coveredItem)
+		e.carryOver(em, snap, prev, extended, cProb, valueProb, restMass, coveredItem)
 		if len(pending) == 0 {
 			// Resuming an unconverged run (the converged case returned
 			// above): the cached posteriors already reproduce the cached
@@ -243,7 +325,9 @@ func (e *Engine) Refresh() (*Result, error) {
 	prevA := make([]float64, nSrc)
 	prevP := make([]float64, nExt)
 	prevR := make([]float64, nExt)
+	prevLO := make([]float64, nTri)
 	converged := false
+	driftSinceFullPass := 0.0
 	iter := 0
 	for iter = 1; iter <= copt.MaxIter; iter++ {
 		copy(prevA, em.A())
@@ -257,18 +341,39 @@ func (e *Engine) Refresh() (*Result, error) {
 
 		// Warm refreshes start from settled parameters, so the prior
 		// refinement of Eq 26 applies from the first iteration; cold runs
-		// follow the paper's UpdatePriorFromIter schedule.
+		// follow the paper's UpdatePriorFromIter schedule. The prior's own
+		// movement joins the convergence delta, exactly as in core.Run —
+		// without it, a loose Tol declares convergence while Eq 26 is still
+		// reshaping the posterior landscape, and the next warm refresh
+		// starts with a large correction instead of a settled fixed point.
+		priorDelta := 0.0
 		if copt.UpdatePrior && (warm || iter+1 >= copt.UpdatePriorFromIter) {
+			copy(prevLO, em.PriorLogOdds())
 			e.updatePrior(em, shards, dirty, valueProb)
+			priorDelta = core.MaxDeltaLogistic(prevLO, em.PriorLogOdds())
 		}
 
-		delta := core.MaxDelta(prevA, em.A()) + core.MaxDelta(prevP, em.P()) + core.MaxDelta(prevR, em.R())
-		if delta < copt.Tol {
+		paramDelta := core.MaxDelta(prevA, em.A()) + core.MaxDelta(prevP, em.P()) + core.MaxDelta(prevR, em.R())
+		priorSettled := !copt.UpdatePrior || warm || iter+1 >= copt.UpdatePriorFromIter
+		if priorSettled && paramDelta+priorDelta < copt.Tol {
 			converged = true
 			iter++
 			break
 		}
-		// Parameters moved: every shard's cached posteriors are stale.
+		driftSinceFullPass += paramDelta
+		if driftSinceFullPass < copt.Tol {
+			// The global parameters have moved less than Tol in total since
+			// the clean shards' cached posteriors were last computed, so a
+			// full pass would change them by under the tolerance. Keep
+			// iterating over the dirty set until the local prior settles.
+			// Accumulating the drift (rather than testing each iteration's
+			// delta alone) keeps many sub-Tol steps from compounding into an
+			// above-Tol inconsistency between cached posteriors and the
+			// published parameters.
+			continue
+		}
+		// Global parameters moved: every shard's cached posteriors are stale.
+		driftSinceFullPass = 0
 		dirty = allShards(len(shards))
 	}
 	if iter > copt.MaxIter {
@@ -279,6 +384,7 @@ func (e *Engine) Refresh() (*Result, error) {
 		Snapshot:        snap,
 		Inference:       em.BuildResult(cProb, valueProb, restMass, coveredItem, iter, converged),
 		Warm:            warm,
+		Extended:        extended,
 		FirstPassShards: firstPass,
 		TotalShards:     len(shards),
 	}
@@ -287,8 +393,10 @@ func (e *Engine) Refresh() (*Result, error) {
 	// arrived while estimating stay queued for the next Refresh.
 	e.mu.Lock()
 	e.snap = snap
+	e.shards = shards
 	e.a, e.p, e.r, e.q = em.A(), em.P(), em.R(), em.Q()
 	e.alphaLO = em.PriorLogOdds()
+	e.cLO = em.CLogOdds()
 	e.cProb, e.valueProb, e.restMass, e.coveredItem = cProb, valueProb, restMass, coveredItem
 	e.srcInc = em.SourceIncluded()
 	e.extInc = em.ExtractorIncluded()
@@ -349,25 +457,42 @@ func (e *Engine) innerWorkers(nTasks int) int {
 }
 
 // carryOver seeds the fresh EM state from the previous refresh: parameters
-// by stable dense id, per-triple prior and correctness posterior by (w,d,v)
-// identity, and per-item value posteriors by value id.
-func (e *Engine) carryOver(em *core.EM, snap, prev *triple.Snapshot, cProb []float64, valueProb [][]float64, restMass []float64, coveredItem []bool) {
+// by stable dense id, per-triple prior and correctness posterior by index
+// prefix (Extend path — prev.Triples is a strict prefix of snap.Triples) or
+// by (w,d,v) identity (FullRecompile path), and per-item value posteriors by
+// value id.
+func (e *Engine) carryOver(em *core.EM, snap, prev *triple.Snapshot, extended bool, cProb []float64, valueProb [][]float64, restMass []float64, coveredItem []bool) {
 	copy(em.A(), e.a)
 	copy(em.P(), e.p)
 	copy(em.R(), e.r)
 	copy(em.Q(), e.q)
 
-	oldTriple := make(map[triple.TripleRef]int, len(prev.Triples))
-	for ti, tr := range prev.Triples {
-		oldTriple[tr] = ti
-	}
 	lo := em.PriorLogOdds()
-	for ti, tr := range snap.Triples {
-		if oti, ok := oldTriple[tr]; ok {
-			lo[ti] = e.alphaLO[oti]
-			cProb[ti] = e.cProb[oti]
-		} else {
+	clo := em.CLogOdds()
+	if extended {
+		// Extend guarantees id- and index-stability, so the carry-over is a
+		// prefix copy; new triples keep NewEM's default prior log odds and
+		// start from the Alpha prior, exactly as the rematching path would
+		// leave them.
+		copy(lo, e.alphaLO)
+		copy(cProb, e.cProb)
+		copy(clo, e.cLO)
+		for ti := len(prev.Triples); ti < len(snap.Triples); ti++ {
 			cProb[ti] = e.opt.Core.Alpha
+		}
+	} else {
+		oldTriple := make(map[triple.TripleRef]int, len(prev.Triples))
+		for ti, tr := range prev.Triples {
+			oldTriple[tr] = ti
+		}
+		for ti, tr := range snap.Triples {
+			if oti, ok := oldTriple[tr]; ok {
+				lo[ti] = e.alphaLO[oti]
+				cProb[ti] = e.cProb[oti]
+				clo[ti] = e.cLO[oti]
+			} else {
+				cProb[ti] = e.opt.Core.Alpha
+			}
 		}
 	}
 

@@ -371,3 +371,121 @@ func TestRefreshEmpty(t *testing.T) {
 		t.Fatal("expected error for empty engine")
 	}
 }
+
+// TestExtendRefreshMatchesFullRecompile: the warm Extend path must produce
+// bit-identical snapshots and posteriors to the FullRecompile oracle across
+// a sequence of incremental refreshes — the structural equivalence of
+// Snapshot.Extend carried through the entire inference stack.
+func TestExtendRefreshMatchesFullRecompile(t *testing.T) {
+	recs := corpus(t)
+	cuts := []int{len(recs) / 2, len(recs) * 3 / 4, len(recs) - 7, len(recs)}
+
+	opt := DefaultOptions()
+	opt.Shards = 8
+	opt.Core.MinSourceSupport = 3
+	opt.Core.MinExtractorSupport = 3
+
+	fast := New(opt)
+	oracleOpt := opt
+	oracleOpt.FullRecompile = true
+	oracle := New(oracleOpt)
+
+	start := 0
+	for step, cut := range cuts {
+		if err := fast.Ingest(recs[start:cut]...); err != nil {
+			t.Fatal(err)
+		}
+		if err := oracle.Ingest(recs[start:cut]...); err != nil {
+			t.Fatal(err)
+		}
+		start = cut
+
+		got, err := fast.Refresh()
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := oracle.Refresh()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.Extended != (step > 0) {
+			t.Errorf("step %d: Extended = %v, want %v", step, got.Extended, step > 0)
+		}
+		if want.Extended {
+			t.Errorf("step %d: FullRecompile refresh reported Extended", step)
+		}
+		if g, w := got.Snapshot.Stats(), want.Snapshot.Stats(); g != w {
+			t.Fatalf("step %d: snapshot stats diverge:\n got  %s\n want %s", step, g, w)
+		}
+		if d := maxAbsDiff(got.Inference.A, want.Inference.A); d != 0 {
+			t.Errorf("step %d: source accuracy not bit-identical: max |Δ| = %g", step, d)
+		}
+		if d := maxAbsDiff(got.Inference.P, want.Inference.P); d != 0 {
+			t.Errorf("step %d: precision not bit-identical: max |Δ| = %g", step, d)
+		}
+		if d := maxAbsDiff(got.Inference.R, want.Inference.R); d != 0 {
+			t.Errorf("step %d: recall not bit-identical: max |Δ| = %g", step, d)
+		}
+		if d := maxAbsDiff(got.Inference.CProb, want.Inference.CProb); d != 0 {
+			t.Errorf("step %d: correctness posterior not bit-identical: max |Δ| = %g", step, d)
+		}
+		for di := range want.Inference.ValueProb {
+			if d := maxAbsDiff(got.Inference.ValueProb[di], want.Inference.ValueProb[di]); d != 0 {
+				t.Errorf("step %d: value posterior of item %d not bit-identical: max |Δ| = %g", step, di, d)
+			}
+		}
+		if got.Inference.Iterations != want.Inference.Iterations {
+			t.Errorf("step %d: iterations = %d, want %d", step, got.Inference.Iterations, want.Inference.Iterations)
+		}
+	}
+}
+
+// TestIngestValidation: malformed records must be rejected at the door,
+// atomically, instead of compiling into degenerate units.
+func TestIngestValidation(t *testing.T) {
+	good := triple.Record{
+		Extractor: "E1", Website: "a.com", Page: "a.com/x",
+		Subject: "S", Predicate: "p", Object: "v",
+	}
+	bad := []struct {
+		name string
+		mut  func(*triple.Record)
+	}{
+		{"empty extractor", func(r *triple.Record) { r.Extractor = "" }},
+		{"empty website", func(r *triple.Record) { r.Website = "" }},
+		{"empty subject", func(r *triple.Record) { r.Subject = "" }},
+		{"empty predicate", func(r *triple.Record) { r.Predicate = "" }},
+		{"empty object", func(r *triple.Record) { r.Object = "" }},
+		{"negative confidence", func(r *triple.Record) { r.Confidence = -0.5 }},
+		{"confidence above one", func(r *triple.Record) { r.Confidence = 1.5 }},
+		{"NaN confidence", func(r *triple.Record) { r.Confidence = math.NaN() }},
+	}
+	for _, tc := range bad {
+		t.Run(tc.name, func(t *testing.T) {
+			eng := New(DefaultOptions())
+			r := good
+			tc.mut(&r)
+			// The batch is atomic: a valid record alongside the bad one must
+			// not be ingested either.
+			if err := eng.Ingest(good, r); err == nil {
+				t.Fatal("expected validation error")
+			}
+			if eng.Len() != 0 {
+				t.Errorf("rejected batch left %d records behind", eng.Len())
+			}
+		})
+	}
+
+	// Granularity-dependent: page-keyed sources reject records without a
+	// page, while website-keyed engines accept the same record.
+	noPage := good
+	noPage.Page = ""
+	pageOpt := DefaultOptions()
+	pageOpt.SourceKey = triple.SourceKeyPage
+	if err := New(pageOpt).Ingest(noPage); err == nil {
+		t.Error("page-granularity engine accepted a record without a Page")
+	}
+	if err := New(DefaultOptions()).Ingest(noPage); err != nil {
+		t.Errorf("website-granularity engine rejected a page-less record: %v", err)
+	}
+}

@@ -4,8 +4,8 @@ import (
 	"sort"
 
 	"kbt/internal/core"
-	"kbt/internal/metrics"
 	"kbt/internal/granularity"
+	"kbt/internal/metrics"
 	"kbt/internal/pagerank"
 	"kbt/internal/stats"
 	"kbt/internal/triple"

@@ -179,7 +179,7 @@ func runSyntheticOnce(p synthetic.Params) (single, multi SynthEval, err error) {
 
 // Fig3Row is one x-position of Figure 3: losses at a given extractor count.
 type Fig3Row struct {
-	NumExtractors                  int
+	NumExtractors                   int
 	SingleSqV, SingleSqC, SingleSqA float64
 	MultiSqV, MultiSqC, MultiSqA    float64
 }

@@ -107,15 +107,15 @@ func TestTypeCheck(t *testing.T) {
 	}{
 		{"Obama", "nationality", "USA", NoViolation},
 		{"Obama", "nationality", "Obama", SubjectEqualsObject},
-		{"Obama", "nationality", "Malia", TypeMismatch},      // person, not country
-		{"Obama", "nationality", "garbage##", TypeMismatch},  // unreconciled entity
-		{"USA", "nationality", "Kenya", TypeMismatch},        // subject not a person
+		{"Obama", "nationality", "Malia", TypeMismatch},     // person, not country
+		{"Obama", "nationality", "garbage##", TypeMismatch}, // unreconciled entity
+		{"USA", "nationality", "Kenya", TypeMismatch},       // subject not a person
 		{"Obama", "weight_lbs", "180", NoViolation},
-		{"Obama", "weight_lbs", "1800", OutOfRange},          // paper's athlete example
+		{"Obama", "weight_lbs", "1800", OutOfRange}, // paper's athlete example
 		{"Obama", "weight_lbs", "-5", OutOfRange},
 		{"Obama", "weight_lbs", "not-a-number", TypeMismatch},
-		{"Obama", "no_such_pred", "x", NoViolation},          // unknown predicates pass
-		{"Mystery", "nationality", "USA", NoViolation},       // unknown subject passes
+		{"Obama", "no_such_pred", "x", NoViolation},    // unknown predicates pass
+		{"Mystery", "nationality", "USA", NoViolation}, // unknown subject passes
 	}
 	for _, c := range cases {
 		if got := k.TypeCheck(c.s, c.p, c.o); got != c.want {

@@ -11,13 +11,18 @@
 // A Dataset accumulates raw Records; Compile freezes them into an immutable
 // Snapshot at a chosen source/extractor granularity, interning labels into
 // dense ids and building the inverted indexes (per-item, per-source,
-// per-extractor) the inference stages walk. Because interning follows
-// record order and records only append, the dense ids of a recompiled,
-// grown dataset extend the previous ones — the property the incremental
-// engine relies on to carry parameters across refreshes.
+// per-extractor) the inference stages walk. The canonical order of every
+// table is first appearance in record order, so compilation is append-only:
+// the dense ids of a grown dataset extend the previous ones, and
+// Snapshot.Extend materialises that directly — it builds the grown
+// snapshot from the previous one and just the new records, bit-identical
+// to a full Compile at cost proportional to the ingest. This pair of
+// properties is what the incremental engine relies on to carry parameters
+// across refreshes and to keep warm-refresh compilation O(ingest).
 //
 // Snapshot.Shards partitions the item space by hashing item keys (see
 // Shard), giving the engine stable, disjoint slices of the E-step index
-// space. The TSV codec (ReadTSV / WriteTSV / ParseTSVLine) is the
-// interchange format of cmd/kbt.
+// space; ExtendShards grows the views alongside Extend. The TSV codec
+// (ReadTSV / WriteTSV / ParseTSVLine) is the interchange format of
+// cmd/kbt.
 package triple

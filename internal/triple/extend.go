@@ -1,0 +1,69 @@
+package triple
+
+import "slices"
+
+// Extend compiles records on top of the snapshot, producing a new snapshot
+// equal to compiling the parent's records followed by the new ones in one
+// batch — bit-identical tables, indexes and canonical order, hence
+// bit-identical downstream inference. The parent is not mutated and remains
+// fully usable.
+//
+// Cost: the flat tables (observations, labels, dense-id maps' outer slices)
+// are copied by cheap memcpy/header-copy; all per-row index construction and
+// label interning is proportional to the new records and the items they
+// touch, not the corpus. Inverted-index rows untouched by the new records
+// share backing arrays with the parent; interning maps are layered
+// copy-on-write (flattened past a fixed depth, so lookup cost stays bounded
+// across arbitrarily long Extend lineages).
+//
+// Invariants the child guarantees relative to its parent:
+//
+//   - dense ids are stable: every source/extractor/item/value/predicate
+//     keeps its id, and new labels take the next ids in first-appearance
+//     order;
+//   - Triples is append-only: parent.Triples is a strict prefix of
+//     child.Triples, so per-triple state carries over by index;
+//   - Obs is append-only except that a duplicate (e,w,d,v) cell with higher
+//     confidence raises the existing observation's Conf (in the child only).
+//
+// Extend panics if the parent was compiled with positional label overrides
+// (CompileOptions.SourceLabels/ExtractorLabels): those labels are parallel
+// to the original record slice and cannot classify new records.
+func (s *Snapshot) Extend(records []Record) *Snapshot {
+	if s.labelCompiled {
+		panic("triple: Extend on a snapshot compiled with positional label overrides")
+	}
+	c := &Snapshot{
+		Obs:        append(make([]Observation, 0, len(s.Obs)+len(records)), s.Obs...),
+		Sources:    slices.Clone(s.Sources),
+		Extractors: slices.Clone(s.Extractors),
+		Items:      slices.Clone(s.Items),
+		Values:     slices.Clone(s.Values),
+		Predicates: slices.Clone(s.Predicates),
+		PredOfItem: slices.Clone(s.PredOfItem),
+
+		sourceIdx:    s.sourceIdx.child(s.Sources),
+		extractorIdx: s.extractorIdx.child(s.Extractors),
+		itemIdx:      s.itemIdx.child(s.Items),
+		valueIdx:     s.valueIdx.child(s.Values),
+		predIdx:      s.predIdx.child(s.Predicates),
+
+		copt: s.copt,
+
+		// Outer index slices are cloned so row clones and appends never
+		// write into the parent's arrays; the rows themselves stay shared
+		// until the appender touches them.
+		ItemValues:         slices.Clone(s.ItemValues),
+		Triples:            slices.Clone(s.Triples),
+		ByTriple:           slices.Clone(s.ByTriple),
+		TriplesOfItem:      slices.Clone(s.TriplesOfItem),
+		TriplesOfSource:    slices.Clone(s.TriplesOfSource),
+		ObsOfExtractor:     slices.Clone(s.ObsOfExtractor),
+		SourcesOfExtractor: slices.Clone(s.SourcesOfExtractor),
+	}
+	ap := newAppender(c, nil, nil)
+	for ri := range records {
+		ap.add(ri, records[ri])
+	}
+	return c
+}

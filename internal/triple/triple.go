@@ -2,6 +2,7 @@ package triple
 
 import (
 	"fmt"
+	"slices"
 	"sort"
 )
 
@@ -150,7 +151,15 @@ type Observation struct {
 }
 
 // Snapshot is the compiled, id-dense view of a Dataset at a fixed
-// source/extractor granularity. It is immutable after Compile.
+// source/extractor granularity. It is immutable after Compile (and after
+// Extend, which builds a child snapshot without mutating its parent).
+//
+// Canonical order: observations, candidate triples and all dense ids follow
+// the first appearance of their label/cell in record order. Because records
+// only ever append, this makes compilation itself append-only — compiling a
+// grown dataset yields a snapshot whose tables are strict prefixes-plus-
+// appends of the old ones, and Extend reproduces Compile's output exactly
+// (bit-identical indexes, hence bit-identical downstream inference).
 type Snapshot struct {
 	Obs []Observation
 
@@ -165,11 +174,18 @@ type Snapshot struct {
 	Predicates []string
 	PredOfItem []int
 
-	sourceIdx    map[string]int
-	extractorIdx map[string]int
-	itemIdx      map[string]int
-	valueIdx     map[string]int
-	predIdx      map[string]int
+	sourceIdx    *internTable
+	extractorIdx *internTable
+	itemIdx      *internTable
+	valueIdx     *internTable
+	predIdx      *internTable
+
+	// copt records the granularity the snapshot was compiled at, so Extend
+	// can keep applying it. labelCompiled marks snapshots built from
+	// positional label overrides, which cannot extend (the labels are
+	// parallel to the original record slice only).
+	copt          CompileOptions
+	labelCompiled bool
 
 	// ItemValues lists, per data item, the distinct candidate values observed
 	// for it (sorted ascending for determinism).
@@ -211,6 +227,7 @@ type CompileOptions struct {
 	// functions with a precomputed per-record label (parallel to
 	// Dataset.Records). The granularity package produces these: split
 	// assignments are random partitions, not pure functions of the record.
+	// Snapshots compiled with label overrides cannot Extend.
 	SourceLabels    []string
 	ExtractorLabels []string
 }
@@ -226,120 +243,219 @@ func (d *Dataset) Compile(opt CompileOptions) *Snapshot {
 		opt.ExtractorKey = ExtractorKeyFinest
 	}
 	s := &Snapshot{
-		sourceIdx:    make(map[string]int),
-		extractorIdx: make(map[string]int),
-		itemIdx:      make(map[string]int),
-		valueIdx:     make(map[string]int),
-		predIdx:      make(map[string]int),
+		Obs:           make([]Observation, 0, len(d.Records)),
+		sourceIdx:     newInternTable(),
+		extractorIdx:  newInternTable(),
+		itemIdx:       newInternTable(),
+		valueIdx:      newInternTable(),
+		predIdx:       newInternTable(),
+		copt:          CompileOptions{SourceKey: opt.SourceKey, ExtractorKey: opt.ExtractorKey},
+		labelCompiled: opt.SourceLabels != nil || opt.ExtractorLabels != nil,
 	}
-	type cellKey struct{ e, w, d, v int }
-	cells := make(map[cellKey]float64, len(d.Records))
-	for ri, r := range d.Records {
-		eKey := opt.ExtractorKey(r)
-		if opt.ExtractorLabels != nil {
-			eKey = opt.ExtractorLabels[ri]
-		}
-		wKey := opt.SourceKey(r)
-		if opt.SourceLabels != nil {
-			wKey = opt.SourceLabels[ri]
-		}
-		e := intern(&s.Extractors, s.extractorIdx, eKey)
-		w := intern(&s.Sources, s.sourceIdx, wKey)
-		di := intern(&s.Items, s.itemIdx, r.ItemKey())
-		if di == len(s.PredOfItem) {
-			s.PredOfItem = append(s.PredOfItem, intern(&s.Predicates, s.predIdx, r.Predicate))
-		}
-		v := intern(&s.Values, s.valueIdx, r.Object)
-		k := cellKey{e, w, di, v}
-		if c := r.Conf(); c > cells[k] {
-			cells[k] = c
-		}
+	ap := newAppender(s, opt.SourceLabels, opt.ExtractorLabels)
+	for ri := range d.Records {
+		ap.add(ri, d.Records[ri])
 	}
-	s.Obs = make([]Observation, 0, len(cells))
-	for k, conf := range cells {
-		s.Obs = append(s.Obs, Observation{E: k.e, W: k.w, D: k.d, V: k.v, Conf: conf})
-	}
-	sort.Slice(s.Obs, func(i, j int) bool {
-		a, b := s.Obs[i], s.Obs[j]
-		if a.D != b.D {
-			return a.D < b.D
-		}
-		if a.W != b.W {
-			return a.W < b.W
-		}
-		if a.V != b.V {
-			return a.V < b.V
-		}
-		return a.E < b.E
-	})
-	s.buildIndexes()
 	return s
 }
 
-func intern(list *[]string, idx map[string]int, key string) int {
-	if i, ok := idx[key]; ok {
+// internTable interns labels into dense ids with copy-on-write layering:
+// a child table records only the labels first seen after the fork and
+// delegates older labels to its parent chain. Chains are flattened once
+// they grow past maxInternDepth, bounding lookup cost across arbitrarily
+// long Extend lineages without copying the full vocabulary on every fork.
+type internTable struct {
+	idx    map[string]int
+	parent *internTable
+	depth  int
+}
+
+const maxInternDepth = 16
+
+func newInternTable() *internTable {
+	return &internTable{idx: make(map[string]int)}
+}
+
+// child forks a copy-on-write view of the table. labels is the authoritative
+// id→label list, used to flatten deep chains.
+func (t *internTable) child(labels []string) *internTable {
+	if t.depth+1 >= maxInternDepth {
+		idx := make(map[string]int, len(labels))
+		for i, l := range labels {
+			idx[l] = i
+		}
+		return &internTable{idx: idx}
+	}
+	return &internTable{idx: make(map[string]int), parent: t, depth: t.depth + 1}
+}
+
+func (t *internTable) lookup(key string) (int, bool) {
+	for tt := t; tt != nil; tt = tt.parent {
+		if i, ok := tt.idx[key]; ok {
+			return i, true
+		}
+	}
+	return 0, false
+}
+
+// intern returns the id of key, assigning the next dense id (and appending
+// the label to list) on first sight.
+func (t *internTable) intern(list *[]string, key string) int {
+	if i, ok := t.lookup(key); ok {
 		return i
 	}
 	i := len(*list)
-	idx[key] = i
+	t.idx[key] = i
 	*list = append(*list, key)
 	return i
 }
 
-func (s *Snapshot) buildIndexes() {
-	// Candidate triples.
-	type twdv struct{ w, d, v int }
-	tripleIdx := make(map[twdv]int)
-	for i, o := range s.Obs {
-		k := twdv{o.W, o.D, o.V}
-		ti, ok := tripleIdx[k]
-		if !ok {
-			ti = len(s.Triples)
-			tripleIdx[k] = ti
-			s.Triples = append(s.Triples, TripleRef{W: o.W, D: o.D, V: o.V})
-			s.ByTriple = append(s.ByTriple, nil)
+// appender is the transient per-call state of the shared append-only build
+// path used by both Compile (from an empty snapshot) and Extend (from a
+// copy-on-write child of the parent). It maintains every inverted index
+// incrementally, cloning a parent-owned row the first time the call touches
+// it, and seeds its candidate-triple/observation lookup maps lazily per data
+// item — so an Extend call does work proportional to the new records plus
+// the items they touch, never the corpus.
+type appender struct {
+	s                    *Snapshot
+	srcLabels, extLabels []string // positional overrides (Compile only)
+
+	tripleIdx map[TripleRef]int // (w,d,v) -> triple index, seeded per item
+	obsIdx    map[[2]int]int    // (triple index, e) -> obs index
+	seeded    []bool            // items whose parent rows are loaded
+
+	// Row-ownership bookkeeping: rows with index >= the n*0 watermark were
+	// created by this call; older rows are cloned before the first append.
+	nItems0, nTriples0, nSources0, nExtractors0 int
+	ownedItemRows, ownedTripleRows              map[int]bool
+	ownedSourceRows, ownedExtractorRows         map[int]bool
+	ownedValueRows, ownedExtractorSrcRows       map[int]bool
+}
+
+func newAppender(s *Snapshot, srcLabels, extLabels []string) *appender {
+	ap := &appender{
+		s:         s,
+		srcLabels: srcLabels, extLabels: extLabels,
+		tripleIdx:             make(map[TripleRef]int),
+		obsIdx:                make(map[[2]int]int),
+		seeded:                make([]bool, len(s.Items)),
+		nItems0:               len(s.Items),
+		nTriples0:             len(s.Triples),
+		nSources0:             len(s.Sources),
+		nExtractors0:          len(s.Extractors),
+		ownedItemRows:         make(map[int]bool),
+		ownedTripleRows:       make(map[int]bool),
+		ownedSourceRows:       make(map[int]bool),
+		ownedExtractorRows:    make(map[int]bool),
+		ownedValueRows:        make(map[int]bool),
+		ownedExtractorSrcRows: make(map[int]bool),
+	}
+	return ap
+}
+
+// own clones rows[i] unless this call already owns it (created it, or cloned
+// it earlier), making an in-place append safe without mutating the parent.
+func own(rows [][]int, owned map[int]bool, i, watermark int) {
+	if i >= watermark || owned[i] {
+		return
+	}
+	rows[i] = slices.Clone(rows[i])
+	owned[i] = true
+}
+
+// seedItem loads the parent's candidate triples and observations for item d
+// into the lookup maps, once per call. Rows added by this call are entered
+// into the maps at creation, so seeding before the item's first addition
+// captures exactly the parent state.
+func (ap *appender) seedItem(d int) {
+	if d >= len(ap.seeded) || ap.seeded[d] {
+		return
+	}
+	ap.seeded[d] = true
+	s := ap.s
+	for _, ti := range s.TriplesOfItem[d] {
+		ap.tripleIdx[s.Triples[ti]] = ti
+		for _, oi := range s.ByTriple[ti] {
+			ap.obsIdx[[2]int{ti, s.Obs[oi].E}] = oi
 		}
-		s.ByTriple[ti] = append(s.ByTriple[ti], i)
+	}
+}
+
+// add appends one record, updating every table and index to exactly the
+// state a full Compile over the concatenated records would produce.
+func (ap *appender) add(ri int, r Record) {
+	s := ap.s
+	eKey := s.copt.ExtractorKey(r)
+	if ap.extLabels != nil {
+		eKey = ap.extLabels[ri]
+	}
+	wKey := s.copt.SourceKey(r)
+	if ap.srcLabels != nil {
+		wKey = ap.srcLabels[ri]
+	}
+	e := s.extractorIdx.intern(&s.Extractors, eKey)
+	if e == len(s.ObsOfExtractor) {
+		s.ObsOfExtractor = append(s.ObsOfExtractor, nil)
+		s.SourcesOfExtractor = append(s.SourcesOfExtractor, nil)
+	}
+	w := s.sourceIdx.intern(&s.Sources, wKey)
+	if w == len(s.TriplesOfSource) {
+		s.TriplesOfSource = append(s.TriplesOfSource, nil)
+	}
+	d := s.itemIdx.intern(&s.Items, r.ItemKey())
+	if d == len(s.PredOfItem) {
+		s.PredOfItem = append(s.PredOfItem, s.predIdx.intern(&s.Predicates, r.Predicate))
+		s.TriplesOfItem = append(s.TriplesOfItem, nil)
+		s.ItemValues = append(s.ItemValues, nil)
+	}
+	v := s.valueIdx.intern(&s.Values, r.Object)
+
+	ap.seedItem(d)
+	tr := TripleRef{W: w, D: d, V: v}
+	ti, ok := ap.tripleIdx[tr]
+	if !ok {
+		ti = len(s.Triples)
+		ap.tripleIdx[tr] = ti
+		s.Triples = append(s.Triples, tr)
+		s.ByTriple = append(s.ByTriple, nil)
+		own(s.TriplesOfItem, ap.ownedItemRows, d, ap.nItems0)
+		s.TriplesOfItem[d] = append(s.TriplesOfItem[d], ti)
+		own(s.TriplesOfSource, ap.ownedSourceRows, w, ap.nSources0)
+		s.TriplesOfSource[w] = append(s.TriplesOfSource[w], ti)
+		vs := s.ItemValues[d]
+		if k := sort.SearchInts(vs, v); k == len(vs) || vs[k] != v {
+			own(s.ItemValues, ap.ownedValueRows, d, ap.nItems0)
+			s.ItemValues[d] = slices.Insert(s.ItemValues[d], k, v)
+		}
 	}
 
-	// Per-item candidate values and triples.
-	s.ItemValues = make([][]int, len(s.Items))
-	s.TriplesOfItem = make([][]int, len(s.Items))
-	s.TriplesOfSource = make([][]int, len(s.Sources))
-	seenVal := make(map[[2]int]bool)
-	for ti, tr := range s.Triples {
-		s.TriplesOfItem[tr.D] = append(s.TriplesOfItem[tr.D], ti)
-		s.TriplesOfSource[tr.W] = append(s.TriplesOfSource[tr.W], ti)
-		vk := [2]int{tr.D, tr.V}
-		if !seenVal[vk] {
-			seenVal[vk] = true
-			s.ItemValues[tr.D] = append(s.ItemValues[tr.D], tr.V)
+	ok2 := [2]int{ti, e}
+	if oi, dup := ap.obsIdx[ok2]; dup {
+		// Duplicate (e,w,d,v) cell: keep the maximum confidence. The obs
+		// slice is owned by this call (Extend copies it up front).
+		if c := r.Conf(); c > s.Obs[oi].Conf {
+			s.Obs[oi].Conf = c
 		}
+		return
 	}
-	for d := range s.ItemValues {
-		sort.Ints(s.ItemValues[d])
-	}
-
-	// Per-extractor observation lists and attempted-source scopes.
-	s.ObsOfExtractor = make([][]int, len(s.Extractors))
-	seenSrc := make(map[[2]int]bool)
-	s.SourcesOfExtractor = make([][]int, len(s.Extractors))
-	for i, o := range s.Obs {
-		s.ObsOfExtractor[o.E] = append(s.ObsOfExtractor[o.E], i)
-		sk := [2]int{o.E, o.W}
-		if !seenSrc[sk] {
-			seenSrc[sk] = true
-			s.SourcesOfExtractor[o.E] = append(s.SourcesOfExtractor[o.E], o.W)
-		}
-	}
-	for e := range s.SourcesOfExtractor {
-		sort.Ints(s.SourcesOfExtractor[e])
+	oi := len(s.Obs)
+	ap.obsIdx[ok2] = oi
+	s.Obs = append(s.Obs, Observation{E: e, W: w, D: d, V: v, Conf: r.Conf()})
+	own(s.ByTriple, ap.ownedTripleRows, ti, ap.nTriples0)
+	s.ByTriple[ti] = append(s.ByTriple[ti], oi)
+	own(s.ObsOfExtractor, ap.ownedExtractorRows, e, ap.nExtractors0)
+	s.ObsOfExtractor[e] = append(s.ObsOfExtractor[e], oi)
+	srcs := s.SourcesOfExtractor[e]
+	if k := sort.SearchInts(srcs, w); k == len(srcs) || srcs[k] != w {
+		own(s.SourcesOfExtractor, ap.ownedExtractorSrcRows, e, ap.nExtractors0)
+		s.SourcesOfExtractor[e] = slices.Insert(s.SourcesOfExtractor[e], k, w)
 	}
 }
 
 // SourceID returns the dense id of a source label, or -1 if absent.
 func (s *Snapshot) SourceID(label string) int {
-	if i, ok := s.sourceIdx[label]; ok {
+	if i, ok := s.sourceIdx.lookup(label); ok {
 		return i
 	}
 	return -1
@@ -347,7 +463,7 @@ func (s *Snapshot) SourceID(label string) int {
 
 // ExtractorID returns the dense id of an extractor label, or -1 if absent.
 func (s *Snapshot) ExtractorID(label string) int {
-	if i, ok := s.extractorIdx[label]; ok {
+	if i, ok := s.extractorIdx.lookup(label); ok {
 		return i
 	}
 	return -1
@@ -355,7 +471,7 @@ func (s *Snapshot) ExtractorID(label string) int {
 
 // ItemID returns the dense id of a data-item key, or -1 if absent.
 func (s *Snapshot) ItemID(subject, predicate string) int {
-	if i, ok := s.itemIdx[subject+"\x1f"+predicate]; ok {
+	if i, ok := s.itemIdx.lookup(subject + "\x1f" + predicate); ok {
 		return i
 	}
 	return -1
@@ -363,7 +479,7 @@ func (s *Snapshot) ItemID(subject, predicate string) int {
 
 // ValueID returns the dense id of a value label, or -1 if absent.
 func (s *Snapshot) ValueID(label string) int {
-	if i, ok := s.valueIdx[label]; ok {
+	if i, ok := s.valueIdx.lookup(label); ok {
 		return i
 	}
 	return -1
