@@ -422,10 +422,12 @@ func refreshBenchOptions() EngineOptions {
 }
 
 // BenchmarkRefreshWarm measures the steady-state serving loop — ingest a
-// small batch, warm-Refresh — at growing corpus × ingest sizes. With the
-// append-only Snapshot.Extend path, the snapshot work is proportional to
-// the ingest, so ns/op must grow far slower than the corpus (the remaining
-// corpus-size dependence is the global M-steps of the converged-check pass).
+// small batch, warm-Refresh — at growing corpus × ingest sizes. Snapshot
+// compilation (Snapshot.Extend), EM state construction (core.NewEMFrom) and
+// the partial iterations' M-steps (incremental aggregates) are all
+// proportional to the ingest; the remaining corpus-size dependence is the
+// escalated full E-step pass an ingest big enough to move the global
+// parameters by more than Tol still triggers.
 func BenchmarkRefreshWarm(b *testing.B) {
 	for _, corpusN := range []int{10_000, 100_000} {
 		base := servingCorpus(0, corpusN)
@@ -461,6 +463,8 @@ func BenchmarkRefreshWarm(b *testing.B) {
 						b.Fatal("warm refresh did not take the Extend path")
 					}
 					b.ReportMetric(float64(stats.FirstPassShards), "dirty-shards")
+					b.ReportMetric(float64(stats.AggDeltaSteps), "delta-msteps")
+					b.ReportMetric(float64(stats.AggFullSteps), "full-msteps")
 				}
 			})
 		}

@@ -6,10 +6,18 @@
 // Usage:
 //
 //	go test -bench 'Refresh' -benchtime 1x -run xxx . | benchjson -commit $GITHUB_SHA -o BENCH_ci.json
+//	benchjson -compare old.json -max-regress 0.20 [-filter regex] new.json
 //
-// The output records the toolchain header (goos/goarch/pkg/cpu), and per
+// Convert mode records the toolchain header (goos/goarch/pkg/cpu), and per
 // benchmark the parallelism suffix, iteration count and every reported
 // metric (ns/op, B/op, allocs/op and custom b.ReportMetric units alike).
+//
+// Compare mode diffs the ns/op of benchmarks present in both artifacts
+// (optionally restricted by -filter) and exits non-zero when any slowed down
+// by more than -max-regress — the CI gate that turns the artifact trail into
+// an enforced perf budget. New benchmarks without a baseline are reported
+// but never fail the gate (the suite is allowed to grow); gated benchmarks
+// that vanished do fail it, so a rename cannot silently shrink coverage.
 package main
 
 import (
@@ -19,6 +27,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"regexp"
 	"strconv"
 	"strings"
 	"time"
@@ -26,12 +35,17 @@ import (
 
 // Report is the top-level JSON document.
 type Report struct {
-	Commit     string      `json:"commit,omitempty"`
-	Time       string      `json:"time"`
-	Goos       string      `json:"goos,omitempty"`
-	Goarch     string      `json:"goarch,omitempty"`
-	Pkg        string      `json:"pkg,omitempty"`
-	CPU        string      `json:"cpu,omitempty"`
+	Commit string `json:"commit,omitempty"`
+	Time   string `json:"time"`
+	Goos   string `json:"goos,omitempty"`
+	Goarch string `json:"goarch,omitempty"`
+	Pkg    string `json:"pkg,omitempty"`
+	CPU    string `json:"cpu,omitempty"`
+	// Benchtime records the -benchtime the run used (stamped via the
+	// -benchtime flag; go test does not echo it). Compare mode refuses to
+	// gate two reports whose benchtimes differ — their samples are not
+	// comparable at a fixed threshold.
+	Benchtime  string      `json:"benchtime,omitempty"`
 	Benchmarks []Benchmark `json:"benchmarks"`
 }
 
@@ -50,8 +64,29 @@ type Benchmark struct {
 
 func main() {
 	commit := flag.String("commit", os.Getenv("GITHUB_SHA"), "commit hash to stamp the report with (default $GITHUB_SHA)")
+	benchtime := flag.String("benchtime", "", "benchtime the run used, stamped into the report (compare mode skips mismatched benchtimes)")
 	out := flag.String("o", "", "output file (default stdout)")
+	compare := flag.String("compare", "", "compare mode: path to the baseline report; the new report is the positional argument")
+	maxRegress := flag.Float64("max-regress", 0.20, "compare mode: maximum allowed fractional ns/op regression before failing")
+	filter := flag.String("filter", "", "compare mode: only gate benchmarks whose name matches this regexp")
 	flag.Parse()
+
+	if *compare != "" {
+		if flag.NArg() != 1 {
+			fmt.Fprintln(os.Stderr, "benchjson: -compare needs exactly one positional argument (the new report)")
+			os.Exit(2)
+		}
+		regressions, err := CompareFiles(*compare, flag.Arg(0), *filter, *maxRegress, os.Stdout)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchjson:", err)
+			os.Exit(1)
+		}
+		if regressions > 0 {
+			fmt.Fprintf(os.Stderr, "benchjson: %d benchmark(s) regressed more than %.0f%% or vanished from the gated set\n", regressions, *maxRegress*100)
+			os.Exit(1)
+		}
+		return
+	}
 
 	rep, err := Parse(os.Stdin)
 	if err != nil {
@@ -59,6 +94,7 @@ func main() {
 		os.Exit(1)
 	}
 	rep.Commit = *commit
+	rep.Benchtime = *benchtime
 	rep.Time = time.Now().UTC().Format(time.RFC3339)
 
 	w := io.Writer(os.Stdout)
@@ -134,6 +170,103 @@ func parseBenchLine(line string) (Benchmark, error) {
 		b.Metrics[f[i+1]] = v
 	}
 	return b, nil
+}
+
+// CompareFiles loads two reports and compares them; see Compare.
+func CompareFiles(oldPath, newPath, filter string, maxRegress float64, w io.Writer) (regressions int, err error) {
+	oldRep, err := loadReport(oldPath)
+	if err != nil {
+		return 0, fmt.Errorf("baseline %s: %w", oldPath, err)
+	}
+	newRep, err := loadReport(newPath)
+	if err != nil {
+		return 0, fmt.Errorf("new report %s: %w", newPath, err)
+	}
+	return Compare(oldRep, newRep, filter, maxRegress, w)
+}
+
+func loadReport(path string) (*Report, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	var rep Report
+	if err := json.NewDecoder(f).Decode(&rep); err != nil {
+		return nil, err
+	}
+	return &rep, nil
+}
+
+// Compare diffs the ns/op of benchmarks present in both reports (restricted
+// to names matching filter when non-empty), writes one line per compared
+// benchmark, and returns how many failed the gate: regressed by more than
+// maxRegress, or vanished from the gated set (a rename or deletion must be
+// acknowledged, not silently shrink coverage — zero overlap at all is an
+// outright error). New benchmarks without a baseline are reported but never
+// fail the gate; the suite is allowed to grow.
+func Compare(oldRep, newRep *Report, filter string, maxRegress float64, w io.Writer) (regressions int, err error) {
+	if oldRep.Benchtime != newRep.Benchtime {
+		// Samples taken at different benchtimes have different variance; a
+		// fixed threshold over them gates noise, not regressions. Happens
+		// once whenever CI changes its benchtime: skip that transition.
+		fmt.Fprintf(w, "benchtime changed (%q -> %q): skipping comparison\n", oldRep.Benchtime, newRep.Benchtime)
+		return 0, nil
+	}
+	var re *regexp.Regexp
+	if filter != "" {
+		re, err = regexp.Compile(filter)
+		if err != nil {
+			return 0, fmt.Errorf("bad -filter: %w", err)
+		}
+	}
+	oldNs := make(map[string]float64, len(oldRep.Benchmarks))
+	for _, b := range oldRep.Benchmarks {
+		if ns, ok := b.Metrics["ns/op"]; ok {
+			oldNs[b.Name] = ns
+		}
+	}
+	compared := 0
+	seen := make(map[string]bool)
+	for _, b := range newRep.Benchmarks {
+		if re != nil && !re.MatchString(b.Name) {
+			continue
+		}
+		ns, ok := b.Metrics["ns/op"]
+		if !ok {
+			continue
+		}
+		seen[b.Name] = true
+		was, ok := oldNs[b.Name]
+		if !ok {
+			fmt.Fprintf(w, "NEW      %-55s %14.0f ns/op (no baseline)\n", b.Name, ns)
+			continue
+		}
+		compared++
+		change := ns/was - 1
+		verdict := "ok      "
+		if change > maxRegress {
+			verdict = "REGRESS "
+			regressions++
+		} else if change < -maxRegress {
+			verdict = "faster  "
+		}
+		fmt.Fprintf(w, "%s %-55s %14.0f -> %14.0f ns/op  (%+.1f%%)\n", verdict, b.Name, was, ns, change*100)
+	}
+	for _, b := range oldRep.Benchmarks {
+		if _, gated := b.Metrics["ns/op"]; !gated || seen[b.Name] || (re != nil && !re.MatchString(b.Name)) {
+			continue
+		}
+		// A gated benchmark that vanished fails the gate: a rename or
+		// deletion must be acknowledged (by updating the filter or the
+		// baseline), not silently shrink the gated set.
+		fmt.Fprintf(w, "GONE     %-55s (in baseline only)\n", b.Name)
+		regressions++
+	}
+	if compared == 0 {
+		return 0, fmt.Errorf("no overlapping benchmarks to compare (filter %q): the gate would be vacuous", filter)
+	}
+	return regressions, nil
 }
 
 // splitProcs strips the trailing -GOMAXPROCS suffix go test appends to the

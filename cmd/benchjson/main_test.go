@@ -1,6 +1,8 @@
 package main
 
 import (
+	"encoding/json"
+	"os"
 	"strings"
 	"testing"
 )
@@ -78,5 +80,122 @@ func TestSplitProcs(t *testing.T) {
 		if name != tc.name || procs != tc.procs {
 			t.Errorf("splitProcs(%q) = %q,%d; want %q,%d", tc.in, name, procs, tc.name, tc.procs)
 		}
+	}
+}
+
+func benchRep(names []string, ns []float64) *Report {
+	rep := &Report{}
+	for i, n := range names {
+		rep.Benchmarks = append(rep.Benchmarks, Benchmark{
+			Name: n, Procs: 1, Iterations: 1,
+			Metrics: map[string]float64{"ns/op": ns[i]},
+		})
+	}
+	return rep
+}
+
+func TestCompare(t *testing.T) {
+	oldRep := benchRep(
+		[]string{"BenchmarkRefreshWarm/corpus=100000/ingest=100", "BenchmarkRefreshCold/corpus=100000", "BenchmarkOther"},
+		[]float64{100, 200, 300})
+	newRep := benchRep(
+		[]string{"BenchmarkRefreshWarm/corpus=100000/ingest=100", "BenchmarkRefreshCold/corpus=100000", "BenchmarkOther", "BenchmarkBrandNew"},
+		[]float64{115, 250, 1000, 50})
+
+	var out strings.Builder
+	// Only the Refresh benches are gated: the warm one is within 20%, the
+	// cold one regressed 25%.
+	n, err := Compare(oldRep, newRep, `^BenchmarkRefresh(Warm|Cold)`, 0.20, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 1 {
+		t.Fatalf("regressions = %d, want 1 (cold only)\n%s", n, out.String())
+	}
+	if !strings.Contains(out.String(), "REGRESS") || strings.Contains(out.String(), "BenchmarkOther") {
+		t.Errorf("unexpected compare output:\n%s", out.String())
+	}
+
+	// Without the filter the 3.3x "Other" regression is gated too; the
+	// baseline-less benchmark is reported but never fails the gate.
+	out.Reset()
+	n, err = Compare(oldRep, newRep, "", 0.20, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 2 {
+		t.Fatalf("regressions = %d, want 2\n%s", n, out.String())
+	}
+	if !strings.Contains(out.String(), "NEW") {
+		t.Errorf("baseline-less benchmark not reported:\n%s", out.String())
+	}
+
+	if _, err := Compare(oldRep, newRep, "(", 0.20, &out); err == nil {
+		t.Error("bad filter regexp should error")
+	}
+
+	// Zero overlap (e.g. the gated benchmark was renamed away) must error,
+	// not silently pass a vacuous gate — and the vanished baseline entry is
+	// reported.
+	out.Reset()
+	if _, err := Compare(oldRep, benchRep([]string{"BenchmarkRenamed"}, []float64{1}), "", 0.20, &out); err == nil {
+		t.Error("zero overlapping benchmarks should error")
+	}
+	if !strings.Contains(out.String(), "GONE") {
+		t.Errorf("vanished baseline benchmarks not reported:\n%s", out.String())
+	}
+
+	// A partially renamed gated set still overlaps, so it cannot hide
+	// behind the zero-overlap error: the vanished benchmark itself fails
+	// the gate.
+	out.Reset()
+	n, err = Compare(
+		benchRep([]string{"BenchmarkA", "BenchmarkB"}, []float64{100, 100}),
+		benchRep([]string{"BenchmarkB", "BenchmarkRenamedA"}, []float64{100, 100}),
+		"", 0.20, &out)
+	if err != nil || n != 1 {
+		t.Errorf("vanished gated benchmark: n=%d err=%v, want 1 failure\n%s", n, err, out.String())
+	}
+
+	// Mismatched benchtimes are not comparable at a fixed threshold: the
+	// transition run skips the gate instead of flagging noise.
+	out.Reset()
+	newRep.Benchtime = "3x"
+	n, err = Compare(oldRep, newRep, "", 0.20, &out)
+	if err != nil || n != 0 {
+		t.Errorf("benchtime transition should skip: n=%d err=%v\n%s", n, err, out.String())
+	}
+	if !strings.Contains(out.String(), "benchtime changed") {
+		t.Errorf("benchtime transition not reported:\n%s", out.String())
+	}
+	newRep.Benchtime = ""
+}
+
+func TestCompareFiles(t *testing.T) {
+	dir := t.TempDir()
+	write := func(name string, rep *Report) string {
+		path := dir + "/" + name
+		f, err := os.Create(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer f.Close()
+		if err := json.NewEncoder(f).Encode(rep); err != nil {
+			t.Fatal(err)
+		}
+		return path
+	}
+	oldPath := write("old.json", benchRep([]string{"BenchmarkA"}, []float64{100}))
+	newPath := write("new.json", benchRep([]string{"BenchmarkA"}, []float64{130}))
+	var out strings.Builder
+	n, err := CompareFiles(oldPath, newPath, "", 0.20, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 1 {
+		t.Fatalf("regressions = %d, want 1\n%s", n, out.String())
+	}
+	if _, err := CompareFiles(dir+"/missing.json", newPath, "", 0.20, &out); err == nil {
+		t.Error("missing baseline should error")
 	}
 }

@@ -6,11 +6,13 @@
 //	              [-min-support N] [-top K] [-triples] [-extractors] [file.tsv]
 //	kbt serve     [-granularity website|page|finest] [-shards N] [-batch N]
 //	              [-iters N] [-tol F] [-min-support N] [-top K] [-recompile]
-//	              [file.tsv]
+//	              [-full-aggregates] [file.tsv]
 //	kbt fuse      [-model accu|popaccu] [-n N] [-top K] [file.tsv]
 //	kbt generate  [-kind synthetic|web] [-scale F] [-seed N] [-o out.tsv]
 //
-// The TSV interchange format is one extraction per line:
+// The TSV interchange format is one extraction per line, 8 tab-separated
+// columns with the last one optional (omitted or empty confidence means
+// "unspecified", which the model treats as 1):
 //
 //	extractor  pattern  website  page  subject  predicate  object  [confidence]
 //
@@ -179,7 +181,8 @@ func cmdServe(args []string) error {
 	tol := fs.Float64("tol", 1e-4, "parameter-delta convergence tolerance; converged warm refreshes stop after one partial pass")
 	minSupport := fs.Int("min-support", 3, "minimum observations per source/extractor")
 	top := fs.Int("top", 10, "number of sources to print per refresh (0 = all)")
-	recompile := fs.Bool("recompile", false, "recompile the snapshot over the whole corpus on every refresh instead of extending the previous one (slow equivalence-oracle path)")
+	recompile := fs.Bool("recompile", false, "rebuild snapshot, EM state and M-step aggregates over the whole corpus on every refresh instead of extending them incrementally (slow equivalence-oracle path)")
+	fullAgg := fs.Bool("full-aggregates", false, "aggregate the global M-steps over the whole corpus every iteration instead of applying dirty-set deltas (keeps the incremental snapshot/state path)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -190,6 +193,7 @@ func cmdServe(args []string) error {
 	opt.Tol = *tol
 	opt.MinSupport = *minSupport
 	opt.FullRecompile = *recompile
+	opt.FullAggregates = *fullAgg
 	switch *gran {
 	case "website":
 		opt.Granularity = kbt.GranularityWebsite
@@ -228,12 +232,19 @@ func cmdServe(args []string) error {
 		elapsed := time.Since(start)
 		stats, _ := eng.Stats()
 		mode := "cold"
-		if stats.Warm {
+		if stats.NoOp {
+			// Nothing pending and already converged: the cached result was
+			// served with no snapshot or estimation work at all.
+			mode = "no-op"
+		} else if stats.Warm {
 			compile := "extend"
 			if !stats.Extended {
 				compile = "recompile"
 			}
 			mode = fmt.Sprintf("warm %s %d/%d shards", compile, stats.FirstPassShards, stats.TotalShards)
+			if stats.AggDeltaSteps+stats.AggFullSteps > 0 {
+				mode += fmt.Sprintf(", %dΔ/%d full M-steps", stats.AggDeltaSteps, stats.AggFullSteps)
+			}
 		}
 		fmt.Printf("-- refresh #%d: %d records, %s, %d iterations in %v\n",
 			refreshCount+1, eng.Len(), mode, stats.Iterations, elapsed.Round(time.Microsecond))

@@ -41,11 +41,19 @@ type EngineOptions struct {
 	Tol float64
 
 	// FullRecompile forces every Refresh to recompile the snapshot over the
-	// whole corpus instead of extending the previous one. The append-only
-	// extension is bit-identical to a recompile and proportional to the
-	// ingest, so this stays off in production; it is kept as an equivalence
-	// oracle and operational escape hatch.
+	// whole corpus, rebuild the EM working state from it, and aggregate
+	// every M-step over the corpus — instead of extending the previous
+	// snapshot and EM state and applying dirty-set deltas to the M-step
+	// aggregates. The incremental paths reproduce this oracle (state
+	// extension bit-identically, the delta aggregates to ≤1e-9), so it
+	// stays off in production; it is kept as an equivalence oracle and
+	// operational escape hatch.
 	FullRecompile bool
+	// FullAggregates keeps the incremental snapshot/state path but
+	// aggregates the global M-steps over the whole corpus every iteration
+	// instead of applying dirty-set deltas — the bit-exact middle point
+	// between FullRecompile and the default.
+	FullAggregates bool
 }
 
 // DefaultEngineOptions mirrors DefaultOptions at website granularity.
@@ -102,6 +110,7 @@ func NewEngine(opt EngineOptions) (*Engine, error) {
 	eopt.Core = mopt
 	eopt.Workers = opt.Workers
 	eopt.FullRecompile = opt.FullRecompile
+	eopt.FullAggregates = opt.FullAggregates
 
 	return &Engine{eng: engine.New(eopt), opt: opt}, nil
 }
@@ -145,8 +154,13 @@ type RefreshStats struct {
 	// Warm reports whether the refresh reused the previous posteriors.
 	Warm bool
 	// Extended reports whether the refresh built its snapshot by extending
-	// the previous one (O(ingest)) rather than recompiling the corpus.
+	// the previous one (O(ingest)) rather than recompiling the corpus. False
+	// on a NoOp refresh, which did neither.
 	Extended bool
+	// NoOp reports that the refresh had nothing to do — no pending
+	// extractions and an already-converged estimate — and served the cached
+	// result unchanged.
+	NoOp bool
 	// FirstPassShards of TotalShards were re-estimated in the first EM
 	// iteration; a small fraction means the ingest stayed local.
 	FirstPassShards, TotalShards int
@@ -154,6 +168,11 @@ type RefreshStats struct {
 	// whether the parameters settled before the iteration cap.
 	Iterations int
 	Converged  bool
+	// AggDeltaSteps / AggFullSteps count the global M-step stage invocations
+	// that updated the incremental aggregates by dirty-set deltas
+	// respectively re-aggregated over the corpus (both zero under
+	// FullRecompile / FullAggregates).
+	AggDeltaSteps, AggFullSteps int
 }
 
 // Stats reports the most recent Refresh, or false before the first one.
@@ -165,9 +184,12 @@ func (e *Engine) Stats() (RefreshStats, bool) {
 	return RefreshStats{
 		Warm:            r.Warm,
 		Extended:        r.Extended,
+		NoOp:            r.NoOp,
 		FirstPassShards: r.FirstPassShards,
 		TotalShards:     r.TotalShards,
 		Iterations:      r.Inference.Iterations,
 		Converged:       r.Inference.Converged,
+		AggDeltaSteps:   r.AggDeltaSteps,
+		AggFullSteps:    r.AggFullSteps,
 	}, true
 }

@@ -18,16 +18,22 @@ import (
 //
 //	em.Bootstrap(cProb)                 // once, before the first iteration
 //	for each iteration:
-//	    em.BeginIteration()             // refresh presence/absence votes
+//	    em.BeginIteration(refreshVotes) // ready per-iteration vote state
 //	    em.EStepTriples(cProb, ...)     // Stage I   (shardable)
 //	    em.EStepItems(...)              // Stage II  (shardable)
 //	    em.MStepSources(...)            // Stage III (global)
-//	    em.MStepExtractors(cProb)       // Stage IV  (global)
+//	    em.MStepExtractors(...)         // Stage IV  (global)
 //	    em.UpdatePrior(...)             // Eq 26     (shardable)
 //
-// The subset parameters of the shardable steps accept nil for "all indices";
-// non-nil subsets must jointly cover the index space across calls within one
-// iteration, and disjoint subsets may run concurrently.
+// The subset parameters of the shardable stages accept nil for "all
+// indices"; non-nil subsets must jointly cover the index space across calls
+// within one iteration, and disjoint subsets may run concurrently. The
+// global M-steps instead take the dirty triple lists of the iteration: with
+// Options.IncrementalAggregates they update the global sufficient statistics
+// from exactly those triples' contribution deltas (O(dirty)), and a nil list
+// — or the ReaggregateEvery cadence — re-aggregates in full. Without
+// incremental aggregates the lists are ignored and every call aggregates the
+// corpus, exactly as Run does.
 type EM struct {
 	st *state
 }
@@ -59,10 +65,34 @@ func (em *EM) Bootstrap(cProb []float64) {
 	st.applyExplicitExtractorInits()
 }
 
-// BeginIteration recomputes the per-extractor presence/absence votes and the
-// base absence masses from the current parameters. Call once per iteration,
-// before any EStepTriples call.
-func (em *EM) BeginIteration() { em.st.prepareVotes() }
+// BeginIteration readies the per-iteration vote state (source votes, base
+// absence masses) and advances the re-aggregation cadence. Call once per
+// iteration, before any EStepTriples call.
+//
+// refreshVotes recomputes the extractor presence/absence votes from the
+// current R and Q. Passing false reuses the previous votes — sound while the
+// parameters behind them have cumulatively moved less than the caller's
+// tolerance (core.Run refreshes every iteration; the engine freezes votes
+// under the same drift bound it applies to cached shard posteriors, which
+// also keeps the incremental M-step's per-observation caches exactly valid,
+// eliminating its vote-shift rescans).
+func (em *EM) BeginIteration(refreshVotes bool) {
+	if ag := em.st.agg; ag != nil {
+		ag.iter++
+		ag.fullTick = ag.iter%em.st.opt.ReaggregateEvery == 0
+	}
+	em.st.prepareVotes(refreshVotes)
+}
+
+// CarryVotesFrom copies prev's extractor presence/absence votes by dense id
+// prefix — the FullRecompile path's counterpart of the vote state NewEMFrom
+// carries implicitly, needed so both paths make identical vote-freezing
+// decisions. New extractors keep zero votes; callers must refresh votes
+// before freezing over a grown extractor set.
+func (em *EM) CarryVotesFrom(prev *EM) {
+	copy(em.st.pre, prev.st.pre)
+	copy(em.st.ab, prev.st.ab)
+}
 
 // EStepTriples runs Stage I — extraction correctness p(C|X) — for the
 // candidate triples in tis (nil = all), writing into cProb.
@@ -76,22 +106,61 @@ func (em *EM) EStepItems(cProb []float64, valueProb [][]float64, restMass []floa
 	em.st.estimateVSubset(cProb, valueProb, restMass, coveredItem, items, workers)
 }
 
-// MStepSources runs Stage III — source accuracy re-estimation — over every
-// source. It is a no-op under Options.FreezeSources.
-func (em *EM) MStepSources(cProb []float64, valueProb [][]float64) {
-	if em.st.opt.FreezeSources {
+// MStepSources runs Stage III — source accuracy re-estimation. dirtyTris
+// lists, per dirty shard, the candidate triples whose E-step outputs changed
+// since the previous M-step call; nil means "aggregate everything". Without
+// Options.IncrementalAggregates the lists are ignored (every call is a full
+// aggregation). It is a no-op under Options.FreezeSources.
+func (em *EM) MStepSources(cProb []float64, valueProb [][]float64, dirtyTris [][]int) {
+	st := em.st
+	if st.opt.FreezeSources {
 		return
 	}
-	em.st.estimateA(cProb, valueProb)
+	ag := st.agg
+	if ag == nil {
+		st.estimateA(cProb, valueProb)
+		return
+	}
+	if dirtyTris == nil || !ag.aValid || ag.fullTick {
+		st.estimateAFull(cProb, valueProb)
+		ag.fullSteps++
+		return
+	}
+	st.estimateADelta(cProb, valueProb, dirtyTris)
+	ag.deltaSteps++
 }
 
-// MStepExtractors runs Stage IV — extractor precision/recall/Q — over every
-// extractor. It is a no-op under Options.FreezeExtractors.
-func (em *EM) MStepExtractors(cProb []float64) {
-	if em.st.opt.FreezeExtractors {
+// MStepExtractors runs Stage IV — extractor precision/recall/Q — with the
+// same dirty-subset contract as MStepSources. It is a no-op under
+// Options.FreezeExtractors.
+func (em *EM) MStepExtractors(cProb []float64, dirtyTris [][]int) {
+	st := em.st
+	if st.opt.FreezeExtractors {
 		return
 	}
-	em.st.estimatePRQ(cProb)
+	ag := st.agg
+	if ag == nil {
+		st.estimatePRQ(cProb)
+		return
+	}
+	if dirtyTris == nil || !ag.eValid || ag.fullTick {
+		st.estimatePRQFull(cProb)
+		ag.fullSteps++
+		return
+	}
+	st.estimatePRQDelta(cProb, dirtyTris)
+	ag.deltaSteps++
+}
+
+// AggStepCounts reports how many M-step stage invocations have run the
+// incremental-delta respectively full-aggregation path over the EM's
+// lifetime (both zero without Options.IncrementalAggregates). Callers diff
+// across refreshes for per-refresh diagnostics.
+func (em *EM) AggStepCounts() (delta, full int) {
+	if ag := em.st.agg; ag != nil {
+		return ag.deltaSteps, ag.fullSteps
+	}
+	return 0, 0
 }
 
 // UpdatePrior re-estimates the prior p(C_wdv=1) (Eq 26) for the candidate
@@ -152,8 +221,18 @@ func (em *EM) BuildResult(cProb []float64, valueProb [][]float64, restMass []flo
 		Converged:         converged,
 		snap:              s,
 	}
+	// One flat backing array for all value-posterior rows: the deep copy
+	// runs every refresh, and a single allocation beats one per data item.
+	// Full-capacity sub-slices keep the rows independent for appenders.
+	total := 0
 	for d := range valueProb {
-		res.ValueProb[d] = append([]float64(nil), valueProb[d]...)
+		total += len(valueProb[d])
+	}
+	backing := make([]float64, 0, total)
+	for d := range valueProb {
+		n := len(backing)
+		backing = append(backing, valueProb[d]...)
+		res.ValueProb[d] = backing[n:len(backing):len(backing)]
 	}
 	for ti, tr := range s.Triples {
 		res.ExpectedTriples[tr.W] += cProb[ti]

@@ -208,6 +208,8 @@ func validate(opt Options) error {
 		return errors.New("core: InitRecall must be in (0,1)")
 	case opt.InitQ <= 0 || opt.InitQ >= 1:
 		return errors.New("core: InitQ must be in (0,1)")
+	case opt.IncrementalAggregates && opt.ReaggregateEvery < 1:
+		return errors.New("core: ReaggregateEvery must be >= 1 with IncrementalAggregates")
 	}
 	return nil
 }
@@ -220,7 +222,14 @@ type state struct {
 
 	a       []float64 // per source
 	p, r, q []float64 // per extractor
-	pre, ab []float64 // per extractor, recomputed each iteration
+	pre, ab []float64 // per extractor, recomputed by computeVotes
+	// voteDelta[e] is pre[e]-ab[e] for included extractors and 0 for
+	// excluded ones — the per-observation Stage I weight with the inclusion
+	// gate folded in (adding 0 is bit-neutral), kept in sync with pre/ab.
+	voteDelta []float64
+	// srcVote[w] caches SourceVote(a[w], N) per iteration, so Stage II reads
+	// two floats per triple instead of computing two logarithms.
+	srcVote []float64
 
 	alphaLO []float64 // per candidate triple: log odds of p(C=1) prior
 
@@ -247,101 +256,85 @@ type state struct {
 
 	// tripleOfObs maps observation index -> candidate-triple index.
 	tripleOfObs []int
+	// obsE mirrors Snapshot.Obs[i].E as a dense int32 sidecar: the Stage I
+	// inner loop touches one observation field, and loading 4 bytes instead
+	// of the 40-byte Observation struct keeps it cache-resident.
+	obsE []int32
 
 	// slotOfTriple maps candidate-triple index -> slot in ItemValues[d].
 	slotOfTriple []int
 
 	// Cell scoping for ScopeAttemptedSources: a cell is one (source,
 	// predicate) pair; an extractor "attempts" the cell if it extracted at
-	// least one triple there. cellOfTriple maps each candidate triple to
-	// its cell id (w*numPredicates + predicate).
+	// least one triple there. cellOfTriple maps each candidate triple to its
+	// cell id. Cell ids are interned per distinct (source, predicate) pair in
+	// first-appearance order over the triple list — not the dense
+	// source×predicate product — so they are append-only as the snapshot
+	// grows (a new predicate or source never renumbers existing cells),
+	// which is what lets extendState carry every cell-indexed structure over
+	// without a rebuild.
+	cellID       map[int64]int
 	cellOfTriple []int
 	// cellsOfExtractor lists the distinct cells each included extractor
-	// attempted.
+	// attempted, in first appearance order over the extractor's observations.
 	cellsOfExtractor [][]int
-	numCells         int
+	// extCellSeen marks the (extractor, cell) pairs already present in
+	// cellsOfExtractor. It is built lazily on the first extendState call —
+	// the stamp-array dedup newState uses is cheaper for a full build but
+	// cannot answer membership for later appends.
+	extCellSeen map[int64]bool
+	numCells    int
 
 	// totalAbs / cellAbs hold the base absence mass prepared by
 	// prepareVotes for the current iteration (global respectively per-cell,
-	// depending on Scope).
-	totalAbs float64
-	cellAbs  []float64
+	// depending on Scope). absenceStale marks them out of sync with the
+	// attempted-cell structure (fresh state, extension, inclusion change):
+	// prepareVotes then rebuilds them even when the votes themselves are
+	// frozen. Rebuilds always run in canonical order, so equal inputs give
+	// bit-equal masses regardless of construction history.
+	totalAbs     float64
+	cellAbs      []float64
+	absenceStale bool
+
+	// agg holds the persistent stage III/IV sufficient statistics when
+	// Options.IncrementalAggregates is on; nil otherwise. See aggregates.go.
+	agg *aggState
 }
 
 func newState(s *triple.Snapshot, opt Options) *state {
 	nSrc, nExt, nTri := len(s.Sources), len(s.Extractors), len(s.Triples)
-	st := &state{s: s, opt: opt}
+	st := &state{s: s, opt: opt, absenceStale: true}
 
 	// Support counts and inclusion.
-	srcSupport := make([]int, nSrc)
-	for w, tis := range s.TriplesOfSource {
-		srcSupport[w] = len(tis)
-	}
-	extSupport := make([]int, nExt)
-	for e, obs := range s.ObsOfExtractor {
-		extSupport[e] = len(obs)
-	}
-	st.srcIncluded = make([]bool, nSrc)
-	for w := range st.srcIncluded {
-		st.srcIncluded[w] = srcSupport[w] >= max(1, opt.MinSourceSupport)
-	}
-	st.extIncluded = make([]bool, nExt)
-	for e := range st.extIncluded {
-		st.extIncluded[e] = extSupport[e] >= max(1, opt.MinExtractorSupport)
-	}
+	st.srcIncluded, st.extIncluded = computeInclusion(s, opt)
 
 	// Parameters.
 	st.a = make([]float64, nSrc)
 	for w := range st.a {
-		st.a[w] = opt.InitAccuracy
-		if v, ok := opt.InitialSourceAccuracy[w]; ok && st.srcIncluded[w] {
-			st.a[w] = stats.ClampProb(v)
-		}
+		st.initSourceParam(w)
 	}
-	initP := PFromQR(opt.InitQ, opt.InitRecall, opt.Gamma)
 	st.p = make([]float64, nExt)
 	st.r = make([]float64, nExt)
 	st.q = make([]float64, nExt)
 	for e := range st.p {
-		st.p[e], st.r[e] = initP, opt.InitRecall
-		if v, ok := opt.InitialExtractorPrecision[e]; ok && st.extIncluded[e] {
-			st.p[e] = stats.ClampProb(v)
-		}
-		if v, ok := opt.InitialExtractorRecall[e]; ok && st.extIncluded[e] {
-			st.r[e] = stats.ClampProb(v)
-		}
-		st.q[e] = QFromPR(st.p[e], st.r[e], opt.Gamma)
-		// Honour the exact default Q when no smart initialisation applies,
-		// since InitQ and derived-from-P values can differ.
-		if _, ok := opt.InitialExtractorPrecision[e]; !ok {
-			st.q[e] = opt.InitQ
-		}
-		if v, ok := opt.InitialExtractorQ[e]; ok && st.extIncluded[e] {
-			st.q[e] = stats.ClampProb(v)
-		}
+		st.initExtractorParams(e)
 	}
 	st.pre = make([]float64, nExt)
 	st.ab = make([]float64, nExt)
+	st.voteDelta = make([]float64, nExt)
+	st.srcVote = make([]float64, nSrc)
 
 	// Effective confidences.
 	st.conf = make([]float64, len(s.Obs))
 	for i, o := range s.Obs {
-		c := o.Conf
-		if !opt.UseConfidence {
-			if opt.BinarizeAt >= 0 {
-				if c > opt.BinarizeAt {
-					c = 1
-				} else {
-					c = 0
-				}
-			} else {
-				c = 1
-			}
-		}
-		st.conf[i] = c
+		st.conf[i] = st.effConf(o.Conf)
 	}
 
 	// Observation -> triple mapping and per-triple coverage.
+	st.obsE = make([]int32, len(s.Obs))
+	for i, o := range s.Obs {
+		st.obsE[i] = int32(o.E)
+	}
 	st.tripleOfObs = make([]int, len(s.Obs))
 	st.coveredTriple = make([]bool, nTri)
 	for ti, idxs := range s.ByTriple {
@@ -360,31 +353,118 @@ func newState(s *triple.Snapshot, opt Options) *state {
 		st.slotOfTriple[ti] = sort.SearchInts(vs, tr.V)
 	}
 
-	// (source, predicate) cells and per-extractor attempt scopes.
-	nPred := len(s.Predicates)
-	if nPred == 0 {
-		nPred = 1
-	}
-	st.numCells = nSrc * nPred
-	cellOf := func(w, d int) int {
-		p := 0
-		if len(s.PredOfItem) > d {
-			p = s.PredOfItem[d]
-		}
-		return w*nPred + p
-	}
+	// (source, predicate) cells and per-extractor attempt scopes. Interning
+	// in triple order keeps cell ids deterministic: compiling the corpus and
+	// extending a parent snapshot produce the identical triple list, hence
+	// identical cell ids.
+	st.cellID = make(map[int64]int)
 	st.cellOfTriple = make([]int, nTri)
 	for ti, tr := range s.Triples {
-		st.cellOfTriple[ti] = cellOf(tr.W, tr.D)
+		st.cellOfTriple[ti] = st.internCell(tr.W, predOfItem(s, tr.D))
 	}
-	st.cellsOfExtractor = make([][]int, nExt)
-	// Dedup (extractor, cell) pairs with a stamp array instead of a map:
-	// this pass touches every observation on every refresh of the serving
-	// engine, and hashing dominates an otherwise linear loop. Walking
-	// ObsOfExtractor keeps each extractor's observations contiguous (in
-	// global observation order, so the cell lists come out exactly as the
-	// map-based global pass produced them), letting one stamp value per
-	// extractor suffice.
+	st.buildExtractorCells()
+
+	// Prior log odds, and the matching log-odds cache for the prior-valued
+	// cProb every estimation starts from.
+	lo := stats.Logit(opt.Alpha)
+	st.alphaLO = make([]float64, nTri)
+	st.cLO = make([]float64, nTri)
+	for ti := range st.alphaLO {
+		st.alphaLO[ti] = lo
+		st.cLO[ti] = lo
+	}
+	st.cellC = make([]float64, st.numCells)
+	if opt.IncrementalAggregates {
+		st.agg = newAggState(nSrc, nExt, nTri, len(s.Obs))
+	}
+	return st
+}
+
+// effConf applies the UseConfidence / BinarizeAt policy to a raw observation
+// confidence.
+func (st *state) effConf(c float64) float64 {
+	if st.opt.UseConfidence {
+		return c
+	}
+	if st.opt.BinarizeAt >= 0 {
+		if c > st.opt.BinarizeAt {
+			return 1
+		}
+		return 0
+	}
+	return 1
+}
+
+// computeInclusion evaluates the support thresholds for every source and
+// extractor of the snapshot. Fresh slices are returned so callers may compare
+// against (and keep) the previous generation's.
+func computeInclusion(s *triple.Snapshot, opt Options) (srcInc, extInc []bool) {
+	srcInc = make([]bool, len(s.Sources))
+	minSrc := max(1, opt.MinSourceSupport)
+	for w, tis := range s.TriplesOfSource {
+		srcInc[w] = len(tis) >= minSrc
+	}
+	extInc = make([]bool, len(s.Extractors))
+	minExt := max(1, opt.MinExtractorSupport)
+	for e, obs := range s.ObsOfExtractor {
+		extInc[e] = len(obs) >= minExt
+	}
+	return srcInc, extInc
+}
+
+// initSourceParam seeds source w's accuracy from the defaults and the
+// explicit initialisation map — the per-unit half of newState's parameter
+// setup, shared with extendState for units that appear later.
+func (st *state) initSourceParam(w int) {
+	st.a[w] = st.opt.InitAccuracy
+	if v, ok := st.opt.InitialSourceAccuracy[w]; ok && st.srcIncluded[w] {
+		st.a[w] = stats.ClampProb(v)
+	}
+}
+
+// initExtractorParams seeds extractor e's precision, recall and Q.
+func (st *state) initExtractorParams(e int) {
+	opt := st.opt
+	st.p[e], st.r[e] = PFromQR(opt.InitQ, opt.InitRecall, opt.Gamma), opt.InitRecall
+	if v, ok := opt.InitialExtractorPrecision[e]; ok && st.extIncluded[e] {
+		st.p[e] = stats.ClampProb(v)
+	}
+	if v, ok := opt.InitialExtractorRecall[e]; ok && st.extIncluded[e] {
+		st.r[e] = stats.ClampProb(v)
+	}
+	st.q[e] = QFromPR(st.p[e], st.r[e], opt.Gamma)
+	// Honour the exact default Q when no smart initialisation applies,
+	// since InitQ and derived-from-P values can differ.
+	if _, ok := opt.InitialExtractorPrecision[e]; !ok {
+		st.q[e] = opt.InitQ
+	}
+	if v, ok := opt.InitialExtractorQ[e]; ok && st.extIncluded[e] {
+		st.q[e] = stats.ClampProb(v)
+	}
+}
+
+// predOfItem returns the predicate id of data item d (0 when the snapshot
+// predates predicate interning).
+func predOfItem(s *triple.Snapshot, d int) int {
+	if d < len(s.PredOfItem) {
+		return s.PredOfItem[d]
+	}
+	return 0
+}
+
+// buildExtractorCells (re)builds the per-extractor attempted-cell lists from
+// scratch. Dedup uses a stamp array instead of a map: this pass touches every
+// observation, and hashing would dominate an otherwise linear loop. Walking
+// ObsOfExtractor keeps each extractor's observations contiguous (in global
+// observation order, so the cell lists come out exactly as a map-based global
+// pass would produce them), letting one stamp value per extractor suffice.
+// Any derived membership/reverse indexes are invalidated; they are rebuilt
+// lazily by the next extendState call.
+func (st *state) buildExtractorCells() {
+	s := st.s
+	st.cellsOfExtractor = make([][]int, len(s.Extractors))
+	st.extCellSeen = nil
+	st.absenceStale = true
 	cellStamp := make([]int32, st.numCells)
 	for e, obsIdxs := range s.ObsOfExtractor {
 		if !st.extIncluded[e] {
@@ -398,28 +478,62 @@ func newState(s *triple.Snapshot, opt Options) *state {
 			}
 		}
 	}
-
-	// Prior log odds, and the matching log-odds cache for the prior-valued
-	// cProb every estimation starts from.
-	lo := stats.Logit(opt.Alpha)
-	st.alphaLO = make([]float64, nTri)
-	st.cLO = make([]float64, nTri)
-	for ti := range st.alphaLO {
-		st.alphaLO[ti] = lo
-		st.cLO[ti] = lo
-	}
-	st.cellC = make([]float64, st.numCells)
-	return st
 }
 
-// prepareVotes recomputes the per-extractor presence/absence votes (Eqs
-// 12-13) and the base absence mass — per (source, predicate) cell, or
-// globally under ScopeAllExtractors — from the current extractor parameters.
-// Must run once before estimateCSubset whenever R or Q may have changed.
-func (st *state) prepareVotes() {
+// internCell returns the dense id of the (source, predicate) cell, assigning
+// the next id on first sight. Ids depend only on the first-appearance order
+// of pairs over the triple list, so they are stable under extension.
+func (st *state) internCell(w, p int) int {
+	key := int64(w)<<32 | int64(uint32(p))
+	if c, ok := st.cellID[key]; ok {
+		return c
+	}
+	c := st.numCells
+	st.cellID[key] = c
+	st.numCells++
+	return c
+}
+
+// computeVotes recomputes the per-extractor presence/absence votes (Eqs
+// 12-13) from the current R and Q. The engine may skip this while the
+// parameters behind the votes have cumulatively moved less than its
+// tolerance (the same staleness contract as its cached shard posteriors):
+// keeping the votes bitwise stable is what lets the incremental M-step reuse
+// its per-observation caches instead of re-scanning every vote-shifted
+// extractor.
+func (st *state) computeVotes() {
 	for e := range st.pre {
 		st.pre[e] = PresenceVote(st.r[e], st.q[e])
 		st.ab[e] = AbsenceVote(st.r[e], st.q[e])
+	}
+}
+
+// prepareVotes readies the per-iteration vote state: optionally refreshed
+// extractor votes, the Stage II per-source vote cache, the folded Stage I
+// vote deltas, and the base absence mass — per (source, predicate) cell, or
+// globally under ScopeAllExtractors. Everything derived here is rebuilt in
+// canonical order each call, so two states with equal parameters produce
+// bit-identical vote state regardless of how they were constructed.
+func (st *state) prepareVotes(refreshVotes bool) {
+	if refreshVotes {
+		st.computeVotes()
+	}
+	for w := range st.srcVote {
+		st.srcVote[w] = SourceVote(st.a[w], st.opt.N)
+	}
+	if !refreshVotes && !st.absenceStale {
+		// Frozen votes over an unchanged attempted-cell structure: the
+		// absence masses and vote deltas below would rebuild to their
+		// current values bit for bit.
+		return
+	}
+	st.absenceStale = false
+	for e := range st.voteDelta {
+		if st.extIncluded[e] {
+			st.voteDelta[e] = st.pre[e] - st.ab[e]
+		} else {
+			st.voteDelta[e] = 0
+		}
 	}
 	if st.opt.Scope == ScopeAllExtractors {
 		st.totalAbs = 0
@@ -430,7 +544,10 @@ func (st *state) prepareVotes() {
 		}
 		return
 	}
-	if st.cellAbs == nil {
+	// A fresh buffer is born all-zero; an extension may have grown numCells,
+	// in which case reallocating is equivalent to zeroing the attempted
+	// prefix (untouched cells are zero in either case).
+	if len(st.cellAbs) < st.numCells {
 		st.cellAbs = make([]float64, st.numCells)
 	} else {
 		st.zeroAttemptedCells(st.cellAbs)
@@ -475,30 +592,31 @@ func forEachIndex(total int, subset []int, workers int, fn func(i int)) {
 // update.
 func (st *state) estimateCSubset(cProb []float64, tis []int, workers int) {
 	s := st.s
+	byTriple, conf, obsE, vd := s.ByTriple, st.conf, st.obsE, st.voteDelta
+	cellAbs, cellOf := st.cellAbs, st.cellOfTriple
+	cLO, alphaLO := st.cLO, st.alphaLO
+	allScope, totalAbs := st.opt.Scope == ScopeAllExtractors, st.totalAbs
 	forEachIndex(len(s.Triples), tis, workers, func(ti int) {
-		var vcc float64
-		if st.opt.Scope == ScopeAllExtractors {
-			vcc = st.totalAbs
-		} else {
-			vcc = st.cellAbs[st.cellOfTriple[ti]]
+		vcc := totalAbs
+		if !allScope {
+			vcc = cellAbs[cellOf[ti]]
 		}
-		for _, oi := range s.ByTriple[ti] {
-			o := s.Obs[oi]
-			if !st.extIncluded[o.E] {
-				continue
-			}
+		for _, oi := range byTriple[ti] {
 			// The extractor's absence vote is already in the base mass;
 			// replace it with the soft mixture c·Pre + (1-c)·Abs (Eq 31).
-			vcc += st.conf[oi] * (st.pre[o.E] - st.ab[o.E])
+			// voteDelta folds the inclusion gate in: excluded extractors
+			// contribute a bit-neutral +0.
+			vcc += conf[oi] * vd[obsE[oi]]
 		}
-		st.cLO[ti] = vcc + st.alphaLO[ti]
-		cProb[ti] = stats.Sigmoid(st.cLO[ti])
+		lo := vcc + alphaLO[ti]
+		cLO[ti] = lo
+		cProb[ti] = stats.Sigmoid(lo)
 	})
 }
 
 // estimateC computes p(C_wdv=1|X) for every candidate triple.
 func (st *state) estimateC(cProb []float64) {
-	st.prepareVotes()
+	st.prepareVotes(true)
 	st.estimateCSubset(cProb, nil, st.opt.Workers)
 }
 
@@ -510,7 +628,20 @@ func (st *state) estimateVSubset(cProb []float64, valueProb [][]float64, restMas
 	s := st.s
 	forEachIndex(len(s.Items), items, workers, func(d int) {
 		vs := s.ItemValues[d]
-		scores := make([]float64, len(vs))
+		// The item's posterior row doubles as the score buffer: scores
+		// accumulate in place and the softmax transforms them in place, so
+		// the steady state allocates nothing per item. Rows are only ever
+		// read through the same arrays being written here; result snapshots
+		// deep-copy them.
+		row := valueProb[d]
+		if len(row) != len(vs) {
+			row = make([]float64, len(vs))
+			valueProb[d] = row
+		} else {
+			for i := range row {
+				row[i] = 0
+			}
+		}
 		covered := false
 		for _, ti := range s.TriplesOfItem[d] {
 			tr := s.Triples[ti]
@@ -526,21 +657,18 @@ func (st *state) estimateVSubset(cProb []float64, valueProb [][]float64, restMas
 					w = 0
 				}
 			}
-			scores[st.slotOfTriple[ti]] += w * SourceVote(st.a[tr.W], st.opt.N)
+			row[st.slotOfTriple[ti]] += w * st.srcVote[tr.W]
 		}
 		coveredItem[d] = covered
 		if !covered {
-			valueProb[d] = make([]float64, len(vs))
-			restMass[d] = 0
+			restMass[d] = 0 // row is all-zero: nothing was accumulated
 			return
 		}
 		rest := st.opt.N + 1 - len(vs)
 		if rest < 0 {
 			rest = 0
 		}
-		probs, rm := stats.SoftmaxWithRest(scores, rest, 0)
-		valueProb[d] = probs
-		restMass[d] = rm
+		restMass[d] = stats.SoftmaxWithRestInPlace(row, rest, 0)
 	})
 }
 
@@ -549,12 +677,43 @@ func (st *state) estimateV(cProb []float64, valueProb [][]float64, restMass []fl
 	st.estimateVSubset(cProb, valueProb, restMass, coveredItem, nil, st.opt.Workers)
 }
 
-// estimateA updates source accuracies (Eq 28, or Eq 27 when WeightedVote is
+// aContrib returns candidate triple ti's contribution to its source's
+// accuracy numerator and denominator (Eq 28, or Eq 27 when WeightedVote is
 // off). Both sums range over candidates the MAP estimate considers provided
 // (the paper's "dv : Ĉwdv > 0"); Eq 28 additionally weights them by p(C|X).
 // The gate matters: under heavy extraction noise, candidates the model
 // already disbelieves would otherwise flood the denominator with phantom
-// "provided" mass and bias every accuracy towards zero.
+// "provided" mass and bias every accuracy towards zero. Non-contributing
+// triples return (0, 0), which sums to a bit-identical result with skipping
+// them — the property the incremental aggregates rely on.
+func (st *state) aContrib(ti int, cProb []float64, valueProb [][]float64) (num, den float64) {
+	if !st.coveredTriple[ti] || cProb[ti] < 0.5 {
+		return 0, 0
+	}
+	tr := st.s.Triples[ti]
+	weight := cProb[ti]
+	if !st.opt.WeightedVote {
+		weight = 1 // Eq 27: plain average over Ĉ=1 candidates
+	}
+	return weight * valueProb[tr.D][st.slotOfTriple[ti]], weight
+}
+
+// deriveA turns a source's aggregated (num, den) into its accuracy estimate,
+// applying the clamp; a source with no provided mass keeps its previous
+// value, exactly as the paper's estimator leaves it untouched.
+func (st *state) deriveA(w int, num, den float64) {
+	if den <= 0 {
+		return
+	}
+	a := num / den
+	if c := st.opt.AccuracyClamp; c > 0.5 && c < 1 {
+		a = stats.Clamp(a, 1-c, c)
+	}
+	st.a[w] = stats.ClampProb(a)
+}
+
+// estimateA updates source accuracies (Eq 28 / Eq 27) by full aggregation
+// over every source's candidate triples.
 func (st *state) estimateA(cProb []float64, valueProb [][]float64) {
 	s := st.s
 	parallel.ForEach(len(s.Sources), st.opt.Workers, func(w int) {
@@ -563,29 +722,48 @@ func (st *state) estimateA(cProb []float64, valueProb [][]float64) {
 		}
 		var num, den float64
 		for _, ti := range s.TriplesOfSource[w] {
-			if !st.coveredTriple[ti] || cProb[ti] < 0.5 {
-				continue
-			}
-			tr := s.Triples[ti]
-			weight := cProb[ti]
-			if !st.opt.WeightedVote {
-				weight = 1 // Eq 27: plain average over Ĉ=1 candidates
-			}
-			num += weight * valueProb[tr.D][st.slotOfTriple[ti]]
-			den += weight
+			nc, dc := st.aContrib(ti, cProb, valueProb)
+			num += nc
+			den += dc
 		}
-		if den > 0 {
-			a := num / den
-			if c := st.opt.AccuracyClamp; c > 0.5 && c < 1 {
-				a = stats.Clamp(a, 1-c, c)
-			}
-			st.a[w] = stats.ClampProb(a)
-		}
+		st.deriveA(w, num, den)
 	})
 }
 
+// obsNumContrib returns observation oi's contribution to its extractor's
+// precision/recall numerator (Eqs 29-33): the effective confidence times the
+// extraction-correctness posterior, leave-one-out when configured.
+func (st *state) obsNumContrib(oi, ti, e int, c float64, cProb []float64) float64 {
+	p := cProb[ti]
+	if st.opt.LeaveOneOut {
+		// Score the extraction by the rest of the evidence: strip this
+		// extractor's presence vote (and its share of the base absence mass)
+		// from the posterior's log odds, read straight from the Stage I
+		// vote-sum cache.
+		lo := st.cLO[ti] - c*(st.pre[e]-st.ab[e]) - st.ab[e]
+		p = stats.Sigmoid(lo)
+	}
+	return c * p
+}
+
+// derivePRQ turns an extractor's aggregated (num, pDen, rDen) into its
+// precision, recall and Q estimates, with the smoothing and floors.
+func (st *state) derivePRQ(e int, num, pDen, rDen float64) {
+	k := st.opt.Smoothing
+	if pDen > 0 {
+		st.p[e] = stats.ClampProb((num + k/2) / (pDen + k))
+	}
+	if rDen > 0 {
+		st.r[e] = stats.ClampProb((num + k/2) / (rDen + k))
+	}
+	st.q[e] = QFromPR(st.p[e], st.r[e], st.opt.Gamma)
+	if st.q[e] < st.opt.QFloor {
+		st.q[e] = st.opt.QFloor
+	}
+}
+
 // estimatePRQ updates extractor precision and recall (Eqs 29-33) and derives
-// Q via Eq 7.
+// Q via Eq 7, by full aggregation over every extractor's observations.
 func (st *state) estimatePRQ(cProb []float64) {
 	s := st.s
 
@@ -612,17 +790,8 @@ func (st *state) estimatePRQ(cProb []float64) {
 			if c <= 0 {
 				continue
 			}
-			ti := st.tripleOfObs[oi]
-			p := cProb[ti]
-			if st.opt.LeaveOneOut {
-				// Score the extraction by the rest of the evidence: strip
-				// this extractor's presence vote (and its share of the base
-				// absence mass) from the posterior's log odds, read straight
-				// from the Stage I vote-sum cache.
-				lo := st.cLO[ti] - c*(st.pre[e]-st.ab[e]) - st.ab[e]
-				p = stats.Sigmoid(lo)
-			}
-			num += c * p
+			v := st.obsNumContrib(oi, st.tripleOfObs[oi], e, c, cProb)
+			num += v
 			pDen += c
 		}
 		var rDen float64
@@ -633,17 +802,7 @@ func (st *state) estimatePRQ(cProb []float64) {
 				rDen += cellC[cell]
 			}
 		}
-		k := st.opt.Smoothing
-		if pDen > 0 {
-			st.p[e] = stats.ClampProb((num + k/2) / (pDen + k))
-		}
-		if rDen > 0 {
-			st.r[e] = stats.ClampProb((num + k/2) / (rDen + k))
-		}
-		st.q[e] = QFromPR(st.p[e], st.r[e], st.opt.Gamma)
-		if st.q[e] < st.opt.QFloor {
-			st.q[e] = st.opt.QFloor
-		}
+		st.derivePRQ(e, num, pDen, rDen)
 	})
 }
 

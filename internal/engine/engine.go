@@ -10,18 +10,24 @@
 //     (triple.Snapshot.Extend — append-only, bit-identical to a full
 //     recompile but proportional to the ingest; Options.FullRecompile keeps
 //     the Compile path as the equivalence oracle),
-//   - warm-starts EM from the previous parameters and priors (ids are
-//     append-only, so per-source/per-extractor parameters carry over by id
-//     and per-triple state by index prefix),
+//   - extends the previous refresh's EM state the same way (core.NewEMFrom):
+//     parameters, priors, vote caches, coverage masks and every index
+//     structure carry over append-only, so no working array is rebuilt from
+//     the corpus,
 //   - runs the first E-step only over the dirty shards — those owning an
 //     item that shares a (source, predicate) absence-vote cell with a new
 //     record — before falling back to full passes while parameters still
-//     move.
+//     move,
+//   - updates the global M-step aggregates from exactly the dirty shards'
+//     contribution deltas (core.Options.IncrementalAggregates), with a
+//     periodic full re-aggregation bounding floating-point drift;
+//     Options.FullAggregates keeps every M-step a full aggregation.
 //
 // Stages I and II of Algorithm 1 are independent per candidate triple
 // respectively per item, so each shard's E-step runs as one task on the
 // internal/parallel worker pool with no cross-shard writes; stages III and
-// IV (the per-source and per-extractor M-steps) stay global. A cold Refresh
+// IV (the per-source and per-extractor M-steps) stay global but, on the
+// incremental path, cost only the dirty contributions. A cold Refresh
 // executes the identical per-index arithmetic as core.Run and reproduces its
 // posteriors exactly.
 package engine
@@ -55,11 +61,20 @@ type Options struct {
 	// Core.Workers, with 0 there too meaning all CPUs.
 	Workers int
 	// FullRecompile forces every Refresh to rebuild the snapshot with
-	// Dataset.Compile over the whole corpus instead of extending the
-	// previous snapshot. Extend is bit-identical and O(ingest), so this is
-	// off by default; it remains as the equivalence oracle in tests and as
-	// an operational escape hatch.
+	// Dataset.Compile over the whole corpus, rebuild the EM state from it,
+	// and aggregate every M-step in full — the pure batch-equivalent oracle.
+	// The incremental paths reproduce it (bit-identically for state
+	// extension, to ≤1e-9 for the delta aggregates), so this is off by
+	// default; it remains the equivalence oracle in tests and an operational
+	// escape hatch.
 	FullRecompile bool
+	// FullAggregates keeps the extended-state warm path but aggregates the
+	// global M-steps in full every iteration instead of applying dirty-set
+	// deltas. The middle point between the oracle and the default: state
+	// extension is bit-exact, so this mode matches FullRecompile to the bit,
+	// while the delta aggregates trade ~1e-12 of reaggregation drift for
+	// O(dirty) M-steps.
+	FullAggregates bool
 }
 
 // DefaultOptions returns the engine defaults: 8 shards, website sources,
@@ -84,11 +99,21 @@ type Result struct {
 	Warm bool
 	// Extended reports whether the snapshot was built by extending the
 	// previous one (the O(ingest) path) rather than recompiling the corpus.
+	// False on a NoOp refresh: no snapshot work happened at all.
 	Extended bool
+	// NoOp reports that the refresh had nothing to do — no pending records
+	// and an already-converged previous estimate — and served the cached
+	// result unchanged.
+	NoOp bool
 	// FirstPassShards is the number of shards the first EM iteration
 	// re-estimated (== TotalShards on a cold refresh); TotalShards is the
 	// configured shard count.
 	FirstPassShards, TotalShards int
+	// AggDeltaSteps / AggFullSteps count the global M-step stage invocations
+	// of this refresh that updated the incremental aggregates by dirty-set
+	// deltas respectively re-aggregated in full (both zero when incremental
+	// aggregates are disabled).
+	AggDeltaSteps, AggFullSteps int
 }
 
 // Engine accumulates extraction records and re-estimates KBT incrementally.
@@ -107,24 +132,30 @@ type Engine struct {
 	ds      *triple.Dataset
 	pending []triple.Record // ingested since the last Refresh
 
-	// State persisted across refreshes. Dense source/extractor/item/value
-	// ids are stable across recompiles (interning follows record order and
-	// records only append), so parameters indexed by them carry over
-	// directly; per-triple and per-item-slot state carries over by index
-	// prefix on the Extend path, or is remapped by identity under
-	// FullRecompile. shards holds the current snapshot's shard views,
-	// extended in place with the snapshot on the warm path.
+	// State persisted across refreshes. On the default path the EM state
+	// itself persists: core.NewEMFrom extends em's index structures,
+	// parameters, priors and M-step aggregates append-only with the
+	// snapshot, so nothing is rebuilt from the corpus. Under FullRecompile
+	// the previous em is only read, to remap the carried values into a
+	// freshly built state by stable dense id / (w,d,v) identity. The
+	// posterior arrays (cProb, valueProb, restMass, coveredItem) are
+	// engine-owned and likewise extended in place on the default path.
+	// shards holds the current snapshot's shard views, extended with the
+	// snapshot on the warm path. srcInc/extInc are cloned copies of the last
+	// refresh's inclusion masks, kept for dirty-shard escalation checks.
 	snap        *triple.Snapshot
 	shards      []triple.Shard
-	a, p, r, q  []float64
-	alphaLO     []float64
+	em          *core.EM
 	cProb       []float64
-	cLO         []float64
 	valueProb   [][]float64
 	restMass    []float64
 	coveredItem []bool
 	srcInc      []bool
 	extInc      []bool
+	// voteDrift accumulates the R/Q movement since the extractor votes were
+	// last recomputed, across iterations and refreshes; votes refresh once
+	// it reaches Tol (see the loop in Refresh).
+	voteDrift float64
 
 	last *Result
 }
@@ -236,17 +267,16 @@ func (e *Engine) Refresh() (*Result, error) {
 
 	// Nothing new and the previous refresh converged: the estimates are
 	// already at the fixed point, so serve them unchanged — with the
-	// iteration count reflecting that no EM ran.
+	// iteration count reflecting that no EM ran, and NoOp reporting that no
+	// snapshot work happened at all (neither an extension nor a recompile).
 	if warm && nPending == 0 && e.last != nil && e.last.Inference.Converged {
 		inf := *e.last.Inference
 		inf.Iterations = 0
 		res := &Result{
-			Snapshot:  e.snap,
-			Inference: &inf,
-			Warm:      true,
-			// No snapshot work happened at all; report the mode the engine
-			// is configured for, so FullRecompile diagnostics stay honest.
-			Extended:        !e.opt.FullRecompile,
+			Snapshot:        e.snap,
+			Inference:       &inf,
+			Warm:            true,
+			NoOp:            true,
 			FirstPassShards: 0,
 			TotalShards:     e.last.TotalShards,
 		}
@@ -289,43 +319,90 @@ func (e *Engine) Refresh() (*Result, error) {
 
 	copt := e.opt.Core
 	copt.Workers = e.workers()
-	em, err := core.NewEM(snap, copt)
-	if err != nil {
-		return nil, err
+	copt.IncrementalAggregates = !e.opt.FullRecompile && !e.opt.FullAggregates
+	if copt.IncrementalAggregates && copt.ReaggregateEvery < 1 {
+		// The engine switches the aggregates on itself, so it must also
+		// default the cadence knob callers with hand-built core.Options
+		// never had a reason to set.
+		copt.ReaggregateEvery = core.DefaultOptions().ReaggregateEvery
 	}
 
-	nTri, nItem := len(snap.Triples), len(snap.Items)
-	cProb := make([]float64, nTri)
-	valueProb := make([][]float64, nItem)
-	restMass := make([]float64, nItem)
-	coveredItem := make([]bool, nItem)
+	// Build the EM state: extended append-only from the previous refresh's
+	// on the warm default path, fresh otherwise. The posterior arrays follow
+	// the same split — extended in place versus freshly allocated (and, on
+	// the FullRecompile warm path, re-seeded by identity remap).
+	var em *core.EM
+	var err error
+	var cProb []float64
+	var valueProb [][]float64
+	var restMass []float64
+	var coveredItem []bool
+	if extended {
+		em, err = core.NewEMFrom(e.em, snap, copt)
+		if err != nil {
+			return nil, err
+		}
+		e.extendPosteriors(snap, prev, copt.Alpha)
+		cProb, valueProb, restMass, coveredItem = e.cProb, e.valueProb, e.restMass, e.coveredItem
+	} else {
+		em, err = core.NewEM(snap, copt)
+		if err != nil {
+			return nil, err
+		}
+		nTri, nItem := len(snap.Triples), len(snap.Items)
+		cProb = make([]float64, nTri)
+		valueProb = make([][]float64, nItem)
+		restMass = make([]float64, nItem)
+		coveredItem = make([]bool, nItem)
+		if warm {
+			e.carryOver(em, snap, prev, cProb, valueProb, restMass, coveredItem)
+		}
+	}
 
 	var dirty []int // shard indices for the first iteration
 	if !warm {
 		em.Bootstrap(cProb)
 		dirty = allShards(len(shards))
+	} else if len(pending) == 0 {
+		// Resuming an unconverged run (the converged case returned above):
+		// the cached posteriors already reproduce the cached parameters, so
+		// a partial pass would measure zero delta and stall. Re-estimate
+		// everything to make progress.
+		dirty = allShards(len(shards))
 	} else {
-		e.carryOver(em, snap, prev, extended, cProb, valueProb, restMass, coveredItem)
-		if len(pending) == 0 {
-			// Resuming an unconverged run (the converged case returned
-			// above): the cached posteriors already reproduce the cached
-			// parameters, so a partial pass would measure zero delta and
-			// stall. Re-estimate everything to make progress.
-			dirty = allShards(len(shards))
-		} else {
-			dirty = e.dirtyShards(em, snap, prev, pending, len(shards))
-		}
+		dirty = e.dirtyShards(em, snap, prev, pending, len(shards))
 	}
 	firstPass := len(dirty)
+	aggDelta0, aggFull0 := em.AggStepCounts()
 
 	// The EM loop mirrors core.Run stage for stage; only the index sets of
 	// the shardable stages differ, and each index's arithmetic is
 	// identical, so a cold run reproduces Run's posteriors exactly.
+	//
+	// baseDirty is the ingest's footprint — the shards whose inputs actually
+	// changed. Escalation to a full pass (and shrinking back to the
+	// footprint once a full pass has re-anchored every shard) moves `dirty`
+	// between baseDirty and all shards.
+	baseDirty := dirty
+	// Vote freezing: while the R/Q movement behind the extractor votes has
+	// accumulated less than Tol since the votes were last computed, reuse
+	// them — the same staleness bound as the cached shard posteriors, and
+	// the condition under which the incremental M-step's per-observation
+	// caches stay exactly valid (no vote-shift rescans). Cold refreshes
+	// always recompute (bit-identical to core.Run); structural changes force
+	// a recompute before any freezing.
+	voteForce := false
+	if warm {
+		voteForce = len(snap.Extractors) != len(prev.Extractors) ||
+			inclusionChanged(e.srcInc, em.SourceIncluded()) ||
+			inclusionChanged(e.extInc, em.ExtractorIncluded())
+	}
 	nSrc, nExt := len(snap.Sources), len(snap.Extractors)
 	prevA := make([]float64, nSrc)
 	prevP := make([]float64, nExt)
 	prevR := make([]float64, nExt)
-	prevLO := make([]float64, nTri)
+	prevQ := make([]float64, nExt)
+	prevLO := make([]float64, len(snap.Triples))
 	converged := false
 	driftSinceFullPass := 0.0
 	iter := 0
@@ -333,11 +410,33 @@ func (e *Engine) Refresh() (*Result, error) {
 		copy(prevA, em.A())
 		copy(prevP, em.P())
 		copy(prevR, em.R())
+		copy(prevQ, em.Q())
 
-		em.BeginIteration()
+		// Full-pass iterations refresh the votes opportunistically: their
+		// M-step re-aggregates (re-anchoring the vote-dependent caches)
+		// regardless, so the recompute is free there — and resetting the
+		// drift early keeps the following partial iterations on the frozen,
+		// rescan-free path.
+		refreshVotes := !warm || voteForce || e.voteDrift >= copt.Tol || len(dirty) == len(shards)
+		em.BeginIteration(refreshVotes)
+		if refreshVotes {
+			e.voteDrift = 0
+			voteForce = false
+		}
 		e.eStep(em, shards, dirty, cProb, valueProb, restMass, coveredItem)
-		em.MStepSources(cProb, valueProb)
-		em.MStepExtractors(cProb)
+		// A partial iteration hands the global M-steps exactly the dirty
+		// shards' triple lists — the triples whose E-step outputs changed —
+		// so the incremental aggregates update in O(dirty); a full pass
+		// (nil) re-aggregates the corpus.
+		var dirtyTris [][]int
+		if len(dirty) < len(shards) {
+			dirtyTris = make([][]int, len(dirty))
+			for i, si := range dirty {
+				dirtyTris[i] = shards[si].Triples
+			}
+		}
+		em.MStepSources(cProb, valueProb, dirtyTris)
+		em.MStepExtractors(cProb, dirtyTris)
 
 		// Warm refreshes start from settled parameters, so the prior
 		// refinement of Eq 26 applies from the first iteration; cold runs
@@ -354,6 +453,7 @@ func (e *Engine) Refresh() (*Result, error) {
 		}
 
 		paramDelta := core.MaxDelta(prevA, em.A()) + core.MaxDelta(prevP, em.P()) + core.MaxDelta(prevR, em.R())
+		e.voteDrift += core.MaxDelta(prevR, em.R()) + core.MaxDelta(prevQ, em.Q())
 		priorSettled := !copt.UpdatePrior || warm || iter+1 >= copt.UpdatePriorFromIter
 		if priorSettled && paramDelta+priorDelta < copt.Tol {
 			converged = true
@@ -363,13 +463,21 @@ func (e *Engine) Refresh() (*Result, error) {
 		driftSinceFullPass += paramDelta
 		if driftSinceFullPass < copt.Tol {
 			// The global parameters have moved less than Tol in total since
-			// the clean shards' cached posteriors were last computed, so a
-			// full pass would change them by under the tolerance. Keep
-			// iterating over the dirty set until the local prior settles.
-			// Accumulating the drift (rather than testing each iteration's
-			// delta alone) keeps many sub-Tol steps from compounding into an
-			// above-Tol inconsistency between cached posteriors and the
-			// published parameters.
+			// the out-of-footprint shards' posteriors were last computed, so
+			// a full pass would change them by under the tolerance. Keep
+			// iterating over the ingest footprint until the local prior
+			// settles; once an escalated full pass has re-anchored every
+			// shard, this also shrinks the E-step back to the footprint.
+			// (An escalated pass's Eq 26 refinement can move clean shards'
+			// priors by the settling response to the sub-Tol parameter
+			// shift; their cached posteriors then lag that one step until
+			// the next escalation or refresh re-anchors them — the same
+			// Tol-bounded staleness this contract has always accepted for
+			// parameter movement.) Accumulating the drift (rather than
+			// testing each iteration's delta alone) keeps many sub-Tol
+			// steps from compounding into an above-Tol inconsistency
+			// between cached posteriors and the published parameters.
+			dirty = baseDirty
 			continue
 		}
 		// Global parameters moved: every shard's cached posteriors are stale.
@@ -380,6 +488,7 @@ func (e *Engine) Refresh() (*Result, error) {
 		iter = copt.MaxIter
 	}
 
+	aggDelta, aggFull := em.AggStepCounts()
 	res := &Result{
 		Snapshot:        snap,
 		Inference:       em.BuildResult(cProb, valueProb, restMass, coveredItem, iter, converged),
@@ -387,19 +496,22 @@ func (e *Engine) Refresh() (*Result, error) {
 		Extended:        extended,
 		FirstPassShards: firstPass,
 		TotalShards:     len(shards),
+		AggDeltaSteps:   aggDelta - aggDelta0,
+		AggFullSteps:    aggFull - aggFull0,
 	}
 
-	// Publish and persist for the next warm start. Pending records that
-	// arrived while estimating stay queued for the next Refresh.
+	// Publish and persist for the next warm start. The inclusion masks are
+	// cloned because the next NewEMFrom replaces the EM's own slices while
+	// the dirty-shard escalation check needs this generation's. Pending
+	// records that arrived while estimating stay queued for the next
+	// Refresh.
 	e.mu.Lock()
 	e.snap = snap
 	e.shards = shards
-	e.a, e.p, e.r, e.q = em.A(), em.P(), em.R(), em.Q()
-	e.alphaLO = em.PriorLogOdds()
-	e.cLO = em.CLogOdds()
+	e.em = em
 	e.cProb, e.valueProb, e.restMass, e.coveredItem = cProb, valueProb, restMass, coveredItem
-	e.srcInc = em.SourceIncluded()
-	e.extInc = em.ExtractorIncluded()
+	e.srcInc = append([]bool(nil), em.SourceIncluded()...)
+	e.extInc = append([]bool(nil), em.ExtractorIncluded()...)
 	e.pending = append(e.pending[:0:0], e.pending[nPending:]...)
 	e.last = res
 	e.mu.Unlock()
@@ -456,43 +568,87 @@ func (e *Engine) innerWorkers(nTasks int) int {
 	return (workers + nTasks - 1) / nTasks
 }
 
-// carryOver seeds the fresh EM state from the previous refresh: parameters
-// by stable dense id, per-triple prior and correctness posterior by index
-// prefix (Extend path — prev.Triples is a strict prefix of snap.Triples) or
-// by (w,d,v) identity (FullRecompile path), and per-item value posteriors by
-// value id.
-func (e *Engine) carryOver(em *core.EM, snap, prev *triple.Snapshot, extended bool, cProb []float64, valueProb [][]float64, restMass []float64, coveredItem []bool) {
-	copy(em.A(), e.a)
-	copy(em.P(), e.p)
-	copy(em.R(), e.r)
-	copy(em.Q(), e.q)
+// extendPosteriors grows the engine-owned posterior arrays in place for an
+// extended snapshot: new candidate triples start from the Alpha prior, new
+// items from empty rows (the first E-step fills them — every new item is in
+// the dirty set by construction), and old items whose candidate-value list
+// gained an entry have their row remapped to the shifted slots. Everything
+// already in place carries over untouched, so the work is proportional to
+// the ingest.
+func (e *Engine) extendPosteriors(snap, prev *triple.Snapshot, alpha float64) {
+	if snap == prev {
+		return // resume on the identical snapshot
+	}
+	for ti := len(prev.Triples); ti < len(snap.Triples); ti++ {
+		e.cProb = append(e.cProb, alpha)
+	}
+
+	nOldItems := len(prev.Items)
+	var remapped map[int]bool
+	for ti := len(prev.Triples); ti < len(snap.Triples); ti++ {
+		d := snap.Triples[ti].D
+		if d >= nOldItems {
+			continue
+		}
+		newVs, oldVs := snap.ItemValues[d], prev.ItemValues[d]
+		if len(newVs) == len(oldVs) {
+			continue
+		}
+		if remapped == nil {
+			remapped = make(map[int]bool)
+		}
+		if remapped[d] {
+			continue
+		}
+		remapped[d] = true
+		oldRow := e.valueProb[d]
+		row := make([]float64, len(newVs))
+		j := 0
+		for k, v := range newVs {
+			for j < len(oldVs) && oldVs[j] < v {
+				j++
+			}
+			if j < len(oldVs) && oldVs[j] == v && j < len(oldRow) {
+				row[k] = oldRow[j]
+			}
+		}
+		e.valueProb[d] = row
+	}
+	for d := nOldItems; d < len(snap.Items); d++ {
+		e.valueProb = append(e.valueProb, nil)
+		e.restMass = append(e.restMass, 0)
+		e.coveredItem = append(e.coveredItem, false)
+	}
+}
+
+// carryOver seeds a freshly built EM state from the previous refresh on the
+// FullRecompile path: parameters by stable dense id, per-triple prior and
+// correctness posterior by (w,d,v) identity, and per-item value posteriors
+// by value id. (The default path needs none of this — core.NewEMFrom carries
+// the state itself.)
+func (e *Engine) carryOver(em *core.EM, snap, prev *triple.Snapshot, cProb []float64, valueProb [][]float64, restMass []float64, coveredItem []bool) {
+	prevEM := e.em
+	copy(em.A(), prevEM.A())
+	copy(em.P(), prevEM.P())
+	copy(em.R(), prevEM.R())
+	copy(em.Q(), prevEM.Q())
+	em.CarryVotesFrom(prevEM)
 
 	lo := em.PriorLogOdds()
 	clo := em.CLogOdds()
-	if extended {
-		// Extend guarantees id- and index-stability, so the carry-over is a
-		// prefix copy; new triples keep NewEM's default prior log odds and
-		// start from the Alpha prior, exactly as the rematching path would
-		// leave them.
-		copy(lo, e.alphaLO)
-		copy(cProb, e.cProb)
-		copy(clo, e.cLO)
-		for ti := len(prev.Triples); ti < len(snap.Triples); ti++ {
+	oldLO := prevEM.PriorLogOdds()
+	oldCLO := prevEM.CLogOdds()
+	oldTriple := make(map[triple.TripleRef]int, len(prev.Triples))
+	for ti, tr := range prev.Triples {
+		oldTriple[tr] = ti
+	}
+	for ti, tr := range snap.Triples {
+		if oti, ok := oldTriple[tr]; ok {
+			lo[ti] = oldLO[oti]
+			cProb[ti] = e.cProb[oti]
+			clo[ti] = oldCLO[oti]
+		} else {
 			cProb[ti] = e.opt.Core.Alpha
-		}
-	} else {
-		oldTriple := make(map[triple.TripleRef]int, len(prev.Triples))
-		for ti, tr := range prev.Triples {
-			oldTriple[tr] = ti
-		}
-		for ti, tr := range snap.Triples {
-			if oti, ok := oldTriple[tr]; ok {
-				lo[ti] = e.alphaLO[oti]
-				cProb[ti] = e.cProb[oti]
-				clo[ti] = e.cLO[oti]
-			} else {
-				cProb[ti] = e.opt.Core.Alpha
-			}
 		}
 	}
 

@@ -283,6 +283,15 @@ func TestRefreshWithoutPendingIsStable(t *testing.T) {
 	if !second.Warm {
 		t.Error("second refresh not warm")
 	}
+	if !second.NoOp {
+		t.Error("no-op refresh did not report NoOp")
+	}
+	if second.Extended {
+		t.Error("no-op refresh reported Extended despite doing no snapshot work")
+	}
+	if first.NoOp {
+		t.Error("refresh with pending records reported NoOp")
+	}
 	if second.FirstPassShards != 0 {
 		t.Errorf("no-op refresh touched %d shards", second.FirstPassShards)
 	}
@@ -372,10 +381,13 @@ func TestRefreshEmpty(t *testing.T) {
 	}
 }
 
-// TestExtendRefreshMatchesFullRecompile: the warm Extend path must produce
-// bit-identical snapshots and posteriors to the FullRecompile oracle across
-// a sequence of incremental refreshes — the structural equivalence of
-// Snapshot.Extend carried through the entire inference stack.
+// TestExtendRefreshMatchesFullRecompile: across a sequence of incremental
+// refreshes, the warm Extend path with full M-step aggregation must produce
+// bit-identical snapshots and posteriors to the FullRecompile oracle — the
+// structural equivalence of Snapshot.Extend and core.NewEMFrom carried
+// through the entire inference stack — while the default path (incremental
+// M-step aggregates) must agree to 1e-9, its drift bounded by the exactness
+// of the delta scheme plus periodic re-aggregation.
 func TestExtendRefreshMatchesFullRecompile(t *testing.T) {
 	recs := corpus(t)
 	cuts := []int{len(recs) / 2, len(recs) * 3 / 4, len(recs) - 7, len(recs)}
@@ -385,6 +397,9 @@ func TestExtendRefreshMatchesFullRecompile(t *testing.T) {
 	opt.Core.MinSourceSupport = 3
 	opt.Core.MinExtractorSupport = 3
 
+	fullAggOpt := opt
+	fullAggOpt.FullAggregates = true
+	fullAgg := New(fullAggOpt)
 	fast := New(opt)
 	oracleOpt := opt
 	oracleOpt.FullRecompile = true
@@ -392,15 +407,18 @@ func TestExtendRefreshMatchesFullRecompile(t *testing.T) {
 
 	start := 0
 	for step, cut := range cuts {
-		if err := fast.Ingest(recs[start:cut]...); err != nil {
-			t.Fatal(err)
-		}
-		if err := oracle.Ingest(recs[start:cut]...); err != nil {
-			t.Fatal(err)
+		for _, eng := range []*Engine{fullAgg, fast, oracle} {
+			if err := eng.Ingest(recs[start:cut]...); err != nil {
+				t.Fatal(err)
+			}
 		}
 		start = cut
 
-		got, err := fast.Refresh()
+		exact, err := fullAgg.Refresh()
+		if err != nil {
+			t.Fatal(err)
+		}
+		approx, err := fast.Refresh()
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -408,34 +426,54 @@ func TestExtendRefreshMatchesFullRecompile(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		if got.Extended != (step > 0) {
-			t.Errorf("step %d: Extended = %v, want %v", step, got.Extended, step > 0)
+		if exact.Extended != (step > 0) || approx.Extended != (step > 0) {
+			t.Errorf("step %d: Extended = %v/%v, want %v", step, exact.Extended, approx.Extended, step > 0)
 		}
 		if want.Extended {
 			t.Errorf("step %d: FullRecompile refresh reported Extended", step)
 		}
-		if g, w := got.Snapshot.Stats(), want.Snapshot.Stats(); g != w {
-			t.Fatalf("step %d: snapshot stats diverge:\n got  %s\n want %s", step, g, w)
+		if step > 0 && approx.AggDeltaSteps+approx.AggFullSteps == 0 {
+			t.Errorf("step %d: default path reported no aggregate M-steps", step)
 		}
-		if d := maxAbsDiff(got.Inference.A, want.Inference.A); d != 0 {
-			t.Errorf("step %d: source accuracy not bit-identical: max |Δ| = %g", step, d)
+		if exact.AggDeltaSteps != 0 || want.AggDeltaSteps != 0 {
+			t.Errorf("step %d: full-aggregation modes reported delta steps (%d/%d)",
+				step, exact.AggDeltaSteps, want.AggDeltaSteps)
 		}
-		if d := maxAbsDiff(got.Inference.P, want.Inference.P); d != 0 {
-			t.Errorf("step %d: precision not bit-identical: max |Δ| = %g", step, d)
-		}
-		if d := maxAbsDiff(got.Inference.R, want.Inference.R); d != 0 {
-			t.Errorf("step %d: recall not bit-identical: max |Δ| = %g", step, d)
-		}
-		if d := maxAbsDiff(got.Inference.CProb, want.Inference.CProb); d != 0 {
-			t.Errorf("step %d: correctness posterior not bit-identical: max |Δ| = %g", step, d)
-		}
-		for di := range want.Inference.ValueProb {
-			if d := maxAbsDiff(got.Inference.ValueProb[di], want.Inference.ValueProb[di]); d != 0 {
-				t.Errorf("step %d: value posterior of item %d not bit-identical: max |Δ| = %g", step, di, d)
+		for _, cmp := range []struct {
+			name string
+			got  *Result
+			tol  float64
+		}{
+			{"extend+full-aggregates", exact, 0},
+			{"extend+incremental-aggregates", approx, 1e-9},
+		} {
+			got := cmp.got
+			if g, w := got.Snapshot.Stats(), want.Snapshot.Stats(); g != w {
+				t.Fatalf("step %d: %s snapshot stats diverge:\n got  %s\n want %s", step, cmp.name, g, w)
+			}
+			if d := maxAbsDiff(got.Inference.A, want.Inference.A); d > cmp.tol {
+				t.Errorf("step %d: %s source accuracy: max |Δ| = %g > %g", step, cmp.name, d, cmp.tol)
+			}
+			if d := maxAbsDiff(got.Inference.P, want.Inference.P); d > cmp.tol {
+				t.Errorf("step %d: %s precision: max |Δ| = %g > %g", step, cmp.name, d, cmp.tol)
+			}
+			if d := maxAbsDiff(got.Inference.R, want.Inference.R); d > cmp.tol {
+				t.Errorf("step %d: %s recall: max |Δ| = %g > %g", step, cmp.name, d, cmp.tol)
+			}
+			if d := maxAbsDiff(got.Inference.Q, want.Inference.Q); d > cmp.tol {
+				t.Errorf("step %d: %s Q: max |Δ| = %g > %g", step, cmp.name, d, cmp.tol)
+			}
+			if d := maxAbsDiff(got.Inference.CProb, want.Inference.CProb); d > cmp.tol {
+				t.Errorf("step %d: %s correctness posterior: max |Δ| = %g > %g", step, cmp.name, d, cmp.tol)
+			}
+			for di := range want.Inference.ValueProb {
+				if d := maxAbsDiff(got.Inference.ValueProb[di], want.Inference.ValueProb[di]); d > cmp.tol {
+					t.Errorf("step %d: %s value posterior of item %d: max |Δ| = %g > %g", step, cmp.name, di, d, cmp.tol)
+				}
 			}
 		}
-		if got.Inference.Iterations != want.Inference.Iterations {
-			t.Errorf("step %d: iterations = %d, want %d", step, got.Inference.Iterations, want.Inference.Iterations)
+		if exact.Inference.Iterations != want.Inference.Iterations {
+			t.Errorf("step %d: iterations = %d, want %d", step, exact.Inference.Iterations, want.Inference.Iterations)
 		}
 	}
 }

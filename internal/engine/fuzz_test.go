@@ -1,0 +1,162 @@
+package engine
+
+import (
+	"fmt"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"kbt/internal/core"
+	"kbt/internal/triple"
+)
+
+// randomStream builds a random extraction corpus over a small vocabulary:
+// overlapping witnesses, conflicting values, duplicate (e,w,d,v) cells with
+// differing confidences (exercising Extend's in-place confidence raises),
+// unspecified confidences, and units sparse enough to cross support
+// thresholds mid-stream.
+func randomStream(rng *rand.Rand, n int) []triple.Record {
+	nSites := rng.Intn(6) + 3
+	nExts := rng.Intn(4) + 2
+	nSubj := rng.Intn(10) + 4
+	nPred := rng.Intn(4) + 1
+	nObj := rng.Intn(5) + 2
+	recs := make([]triple.Record, 0, n)
+	for i := 0; i < n; i++ {
+		r := triple.Record{
+			Extractor: fmt.Sprintf("E%d", rng.Intn(nExts)),
+			Pattern:   fmt.Sprintf("pat%d", rng.Intn(2)),
+			Website:   fmt.Sprintf("w%d.com", rng.Intn(nSites)),
+			Subject:   fmt.Sprintf("S%d", rng.Intn(nSubj)),
+			Predicate: fmt.Sprintf("p%d", rng.Intn(nPred)),
+			Object:    fmt.Sprintf("v%d", rng.Intn(nObj)),
+		}
+		r.Page = r.Website + "/x"
+		switch rng.Intn(3) {
+		case 0: // unspecified confidence
+		default:
+			r.Confidence = float64(rng.Intn(20)+1) / 20
+		}
+		recs = append(recs, r)
+	}
+	return recs
+}
+
+// assertSnapshotsBitIdentical compares every exported table of the two
+// snapshots — the Extend path must reproduce the Compile path exactly.
+func assertSnapshotsBitIdentical(t *testing.T, tag string, got, want *triple.Snapshot) {
+	t.Helper()
+	cmp := func(name string, g, w any) {
+		t.Helper()
+		if !reflect.DeepEqual(g, w) {
+			t.Fatalf("%s: snapshot table %s diverges\n got  %v\n want %v", tag, name, g, w)
+		}
+	}
+	cmp("Obs", got.Obs, want.Obs)
+	cmp("Sources", got.Sources, want.Sources)
+	cmp("Extractors", got.Extractors, want.Extractors)
+	cmp("Items", got.Items, want.Items)
+	cmp("Values", got.Values, want.Values)
+	cmp("Predicates", got.Predicates, want.Predicates)
+	cmp("PredOfItem", got.PredOfItem, want.PredOfItem)
+	cmp("ItemValues", got.ItemValues, want.ItemValues)
+	cmp("Triples", got.Triples, want.Triples)
+	cmp("ByTriple", got.ByTriple, want.ByTriple)
+	cmp("TriplesOfItem", got.TriplesOfItem, want.TriplesOfItem)
+	cmp("TriplesOfSource", got.TriplesOfSource, want.TriplesOfSource)
+	cmp("ObsOfExtractor", got.ObsOfExtractor, want.ObsOfExtractor)
+	cmp("SourcesOfExtractor", got.SourcesOfExtractor, want.SourcesOfExtractor)
+}
+
+// TestFuzzIncrementalAggregatesMatchOracle drives randomized ingest
+// schedules through the default engine (extended EM state + incremental
+// M-step aggregates) and the FullRecompile + full-aggregation oracle, across
+// shard counts, both absence scopes, support thresholds that flip inclusion
+// mid-stream, and loose/tight tolerances. Every refresh must agree with the
+// oracle to 1e-9 on parameters and posteriors, with bit-identical snapshots.
+func TestFuzzIncrementalAggregatesMatchOracle(t *testing.T) {
+	const tol = 1e-9
+	for trial := 0; trial < 30; trial++ {
+		rng := rand.New(rand.NewSource(int64(1000 + trial)))
+
+		opt := DefaultOptions()
+		opt.Shards = []int{1, 3, 8}[trial%3]
+		opt.Core.MaxIter = rng.Intn(6) + 3
+		opt.Core.MinSourceSupport = rng.Intn(3) + 1
+		opt.Core.MinExtractorSupport = rng.Intn(3) + 1
+		if trial%2 == 1 {
+			opt.Core.Scope = core.ScopeAllExtractors
+		}
+		if trial%4 < 2 {
+			opt.Core.Tol = 1e-4 // the loose serving tolerance
+		}
+		// A short re-aggregation cadence exercises the periodic full
+		// re-anchoring inside a single test run.
+		opt.Core.ReaggregateEvery = rng.Intn(6) + 2
+
+		fast := New(opt)
+		oracleOpt := opt
+		oracleOpt.FullRecompile = true
+		oracle := New(oracleOpt)
+
+		recs := randomStream(rng, rng.Intn(200)+60)
+		start := 0
+		step := 0
+		for start < len(recs) {
+			n := rng.Intn(len(recs)-start) + 1
+			if rng.Intn(4) == 0 {
+				n = 0 // no-op / resume refresh
+			}
+			batch := recs[start : start+n]
+			start += n
+			if err := fast.Ingest(batch...); err != nil {
+				t.Fatal(err)
+			}
+			if err := oracle.Ingest(batch...); err != nil {
+				t.Fatal(err)
+			}
+			if fast.Len() == 0 {
+				continue
+			}
+			got, err := fast.Refresh()
+			if err != nil {
+				t.Fatal(err)
+			}
+			want, err := oracle.Refresh()
+			if err != nil {
+				t.Fatal(err)
+			}
+			tag := fmt.Sprintf("trial %d step %d (shards=%d scope=%d tol=%g reagg=%d)",
+				trial, step, opt.Shards, opt.Core.Scope, opt.Core.Tol, opt.Core.ReaggregateEvery)
+			step++
+
+			if got.NoOp != want.NoOp {
+				t.Fatalf("%s: NoOp = %v, oracle %v", tag, got.NoOp, want.NoOp)
+			}
+			if !got.NoOp {
+				assertSnapshotsBitIdentical(t, tag, got.Snapshot, want.Snapshot)
+			}
+			g, w := got.Inference, want.Inference
+			for _, c := range []struct {
+				name     string
+				got, wnt []float64
+			}{
+				{"A", g.A, w.A}, {"P", g.P, w.P}, {"R", g.R, w.R}, {"Q", g.Q, w.Q},
+				{"CProb", g.CProb, w.CProb}, {"RestMass", g.RestMass, w.RestMass},
+			} {
+				if d := maxAbsDiff(c.got, c.wnt); d > tol {
+					t.Fatalf("%s: %s diverges from oracle: max |Δ| = %g", tag, c.name, d)
+				}
+			}
+			for di := range w.ValueProb {
+				if d := maxAbsDiff(g.ValueProb[di], w.ValueProb[di]); d > tol {
+					t.Fatalf("%s: value posterior of item %d diverges: max |Δ| = %g", tag, di, d)
+				}
+			}
+			if g.Iterations != w.Iterations || g.Converged != w.Converged {
+				t.Fatalf("%s: iterations/converged = %d/%v, oracle %d/%v",
+					tag, g.Iterations, g.Converged, w.Iterations, w.Converged)
+			}
+		}
+	}
+}

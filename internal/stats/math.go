@@ -79,8 +79,20 @@ func SoftmaxWithRest(scores []float64, rest int, restScore float64) (probs []flo
 	if len(scores) == 0 && rest <= 0 {
 		return nil, 0
 	}
+	probs = make([]float64, len(scores))
+	copy(probs, scores)
+	return probs, SoftmaxWithRestInPlace(probs, rest, restScore)
+}
+
+// SoftmaxWithRestInPlace is SoftmaxWithRest overwriting the score buffer
+// with the probabilities, for hot loops that reuse one row per data item and
+// must not allocate.
+func SoftmaxWithRestInPlace(buf []float64, rest int, restScore float64) (restMass float64) {
+	if len(buf) == 0 && rest <= 0 {
+		return 0
+	}
 	max := math.Inf(-1)
-	for _, s := range scores {
+	for _, s := range buf {
 		if s > max {
 			max = s
 		}
@@ -89,10 +101,9 @@ func SoftmaxWithRest(scores []float64, rest int, restScore float64) (probs []flo
 		max = restScore
 	}
 	var z float64
-	probs = make([]float64, len(scores))
-	for i, s := range scores {
-		probs[i] = math.Exp(s - max)
-		z += probs[i]
+	for i, s := range buf {
+		buf[i] = math.Exp(s - max)
+		z += buf[i]
 	}
 	restExp := 0.0
 	if rest > 0 {
@@ -101,16 +112,16 @@ func SoftmaxWithRest(scores []float64, rest int, restScore float64) (probs []flo
 	}
 	if z == 0 {
 		// All scores -Inf; spread uniformly.
-		u := 1 / float64(len(scores)+rest)
-		for i := range probs {
-			probs[i] = u
+		u := 1 / float64(len(buf)+rest)
+		for i := range buf {
+			buf[i] = u
 		}
-		return probs, u * float64(rest)
+		return u * float64(rest)
 	}
-	for i := range probs {
-		probs[i] /= z
+	for i := range buf {
+		buf[i] /= z
 	}
-	return probs, restExp / z
+	return restExp / z
 }
 
 // Mean returns the arithmetic mean of xs, or 0 for an empty slice.

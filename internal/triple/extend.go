@@ -34,14 +34,6 @@ func (s *Snapshot) Extend(records []Record) *Snapshot {
 		panic("triple: Extend on a snapshot compiled with positional label overrides")
 	}
 	c := &Snapshot{
-		Obs:        append(make([]Observation, 0, len(s.Obs)+len(records)), s.Obs...),
-		Sources:    slices.Clone(s.Sources),
-		Extractors: slices.Clone(s.Extractors),
-		Items:      slices.Clone(s.Items),
-		Values:     slices.Clone(s.Values),
-		Predicates: slices.Clone(s.Predicates),
-		PredOfItem: slices.Clone(s.PredOfItem),
-
 		sourceIdx:    s.sourceIdx.child(s.Sources),
 		extractorIdx: s.extractorIdx.child(s.Extractors),
 		itemIdx:      s.itemIdx.child(s.Items),
@@ -50,16 +42,49 @@ func (s *Snapshot) Extend(records []Record) *Snapshot {
 
 		copt: s.copt,
 
+		// Record the parent table sizes before appending, so ParentDelta can
+		// tell incremental consumers exactly which suffixes are new.
+		delta: &Delta{
+			Obs: len(s.Obs), Triples: len(s.Triples), Items: len(s.Items),
+			Sources: len(s.Sources), Extractors: len(s.Extractors), Values: len(s.Values),
+		},
+
 		// Outer index slices are cloned so row clones and appends never
-		// write into the parent's arrays; the rows themselves stay shared
-		// until the appender touches them.
+		// write into the parent's arrays (a row-pointer replacement in a
+		// shared outer array would change what the parent reads); the rows
+		// themselves stay shared until the appender touches them.
 		ItemValues:         slices.Clone(s.ItemValues),
-		Triples:            slices.Clone(s.Triples),
 		ByTriple:           slices.Clone(s.ByTriple),
 		TriplesOfItem:      slices.Clone(s.TriplesOfItem),
 		TriplesOfSource:    slices.Clone(s.TriplesOfSource),
 		ObsOfExtractor:     slices.Clone(s.ObsOfExtractor),
 		SourcesOfExtractor: slices.Clone(s.SourcesOfExtractor),
+	}
+	// The flat tables are append-only, so the child can adopt the parent's
+	// backing arrays outright and append into their spare capacity — the
+	// prefixes every holder of the parent reads are never written again.
+	// Only the first Extend of a given parent may do this (appends by a
+	// second child would collide in the shared tail); later ones, and the
+	// rare in-place confidence raise (see appender.add), copy.
+	if s.tailClaimed.CompareAndSwap(false, true) {
+		c.Obs = s.Obs
+		c.obsShared = true
+		c.Triples = s.Triples
+		c.Sources = s.Sources
+		c.Extractors = s.Extractors
+		c.Items = s.Items
+		c.Values = s.Values
+		c.Predicates = s.Predicates
+		c.PredOfItem = s.PredOfItem
+	} else {
+		c.Obs = append(make([]Observation, 0, len(s.Obs)+len(records)), s.Obs...)
+		c.Triples = slices.Clone(s.Triples)
+		c.Sources = slices.Clone(s.Sources)
+		c.Extractors = slices.Clone(s.Extractors)
+		c.Items = slices.Clone(s.Items)
+		c.Values = slices.Clone(s.Values)
+		c.Predicates = slices.Clone(s.Predicates)
+		c.PredOfItem = slices.Clone(s.PredOfItem)
 	}
 	ap := newAppender(c, nil, nil)
 	for ri := range records {

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"slices"
 	"sort"
+	"sync/atomic"
 )
 
 // Record is one raw extraction with full provenance, before any choice of
@@ -186,6 +187,22 @@ type Snapshot struct {
 	// parallel to the original record slice only).
 	copt          CompileOptions
 	labelCompiled bool
+
+	// delta, set only on snapshots built by Extend, records the parent table
+	// sizes and the in-place confidence raises — the metadata incremental
+	// consumers (core.NewEMFrom) need to carry their own state append-only.
+	delta *Delta
+
+	// tailClaimed grants the first Extend of this snapshot the right to
+	// append into the spare capacity of the flat append-only tables (Obs,
+	// Triples, labels, PredOfItem) instead of copying them. The value
+	// prefixes every reader sees stay immutable either way; later Extends
+	// of the same parent fall back to cloning. obsShared marks an adopted
+	// Obs backing, which must be unshared before the one in-place mutation
+	// the build performs (a duplicate cell raising a parent observation's
+	// confidence).
+	tailClaimed atomic.Bool
+	obsShared   bool
 
 	// ItemValues lists, per data item, the distinct candidate values observed
 	// for it (sorted ascending for determinism).
@@ -432,10 +449,20 @@ func (ap *appender) add(ri int, r Record) {
 
 	ok2 := [2]int{ti, e}
 	if oi, dup := ap.obsIdx[ok2]; dup {
-		// Duplicate (e,w,d,v) cell: keep the maximum confidence. The obs
-		// slice is owned by this call (Extend copies it up front).
+		// Duplicate (e,w,d,v) cell: keep the maximum confidence. Raising a
+		// parent observation is the one in-place mutation of the append-only
+		// build: it forces an adopted Obs backing to be unshared first (the
+		// parent must keep its own confidence), and Extend records it for
+		// incremental consumers.
 		if c := r.Conf(); c > s.Obs[oi].Conf {
+			if s.obsShared && s.delta != nil && oi < s.delta.Obs {
+				s.Obs = slices.Clone(s.Obs)
+				s.obsShared = false
+			}
 			s.Obs[oi].Conf = c
+			if s.delta != nil && oi < s.delta.Obs {
+				s.delta.RaisedObs = append(s.delta.RaisedObs, oi)
+			}
 		}
 		return
 	}
@@ -451,6 +478,32 @@ func (ap *appender) add(ri int, r Record) {
 		own(s.SourcesOfExtractor, ap.ownedExtractorSrcRows, e, ap.nExtractors0)
 		s.SourcesOfExtractor[e] = slices.Insert(s.SourcesOfExtractor[e], k, w)
 	}
+}
+
+// Delta describes how a snapshot built by Extend differs from its parent:
+// every table is append-only past the recorded parent length, except that
+// duplicate (e,w,d,v) cells may raise the confidence of a pre-existing
+// observation in place (RaisedObs). Append-only consumers that carry
+// per-index state across snapshots use it to extend that state without
+// rescanning the corpus.
+type Delta struct {
+	// Obs, Triples, Items, Sources, Extractors, Values are the parent's
+	// table lengths: indices below them are carried over unchanged (modulo
+	// RaisedObs), indices at or above them are new in this snapshot.
+	Obs, Triples, Items, Sources, Extractors, Values int
+	// RaisedObs lists observation indices below Obs whose Conf was raised by
+	// a duplicate cell in the extension batch. May contain repeats when
+	// several duplicates raise the same cell.
+	RaisedObs []int
+}
+
+// ParentDelta returns the extension metadata recorded by Extend, or false
+// for snapshots built by Compile (which have no parent).
+func (s *Snapshot) ParentDelta() (Delta, bool) {
+	if s.delta == nil {
+		return Delta{}, false
+	}
+	return *s.delta, true
 }
 
 // SourceID returns the dense id of a source label, or -1 if absent.

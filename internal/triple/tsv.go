@@ -4,18 +4,21 @@ import (
 	"bufio"
 	"fmt"
 	"io"
+	"math"
 	"strconv"
 	"strings"
 )
 
 // TSV codec for extraction records. The on-disk format is one record per
-// line with 9 tab-separated columns:
+// line with 8 tab-separated columns, the last one optional:
 //
-//	extractor  pattern  website  page  subject  predicate  object  confidence
+//	extractor  pattern  website  page  subject  predicate  object  [confidence]
 //
-// (confidence is optional; a missing or empty column means 1.0). Lines that
-// are blank or start with '#' are skipped. This is the interchange format
-// accepted by cmd/kbt.
+// A missing or empty confidence column means "unspecified" (the model treats
+// it as 1; see Record.Confidence), and writing preserves that distinction:
+// an unspecified confidence round-trips as an omitted column, not as a hard
+// 1.0. Lines that are blank or start with '#' are skipped. This is the
+// interchange format accepted by cmd/kbt.
 
 // WriteTSV writes all records of the dataset to w.
 func WriteTSV(w io.Writer, d *Dataset) error {
@@ -29,10 +32,27 @@ func WriteTSV(w io.Writer, d *Dataset) error {
 }
 
 func writeRecord(w io.Writer, r Record) error {
-	_, err := fmt.Fprintf(w, "%s\t%s\t%s\t%s\t%s\t%s\t%s\t%s\n",
-		escape(r.Extractor), escape(r.Pattern), escape(r.Website), escape(r.Page),
-		escape(r.Subject), escape(r.Predicate), escape(r.Object),
-		strconv.FormatFloat(r.Conf(), 'g', -1, 64))
+	// The confidence column carries the raw field, not the effective
+	// Conf(): serialising an unspecified confidence (0) as "1" would turn
+	// every round trip into a lossy normalisation. Out-of-range in-memory
+	// values have no on-disk representation the reader accepts, so they
+	// serialise as their effective Conf() instead.
+	conf := ""
+	if c := r.Confidence; c != 0 {
+		if math.IsNaN(c) || c < 0 || c > 1 {
+			c = r.Conf()
+		}
+		conf = "\t" + strconv.FormatFloat(c, 'g', -1, 64)
+	}
+	ext := escape(r.Extractor)
+	if strings.HasPrefix(ext, "#") {
+		// A leading '#' would make the line a comment; escape it (the
+		// reader's unescaper maps any unknown \x back to x).
+		ext = `\` + ext
+	}
+	_, err := fmt.Fprintf(w, "%s\t%s\t%s\t%s\t%s\t%s\t%s%s\n",
+		ext, escape(r.Pattern), escape(r.Website), escape(r.Page),
+		escape(r.Subject), escape(r.Predicate), escape(r.Object), conf)
 	return err
 }
 
@@ -67,8 +87,8 @@ func ParseTSVLine(line string) (Record, error) { return parseLine(line) }
 
 func parseLine(line string) (Record, error) {
 	cols := strings.Split(line, "\t")
-	if len(cols) < 7 {
-		return Record{}, fmt.Errorf("expected >=7 columns, got %d", len(cols))
+	if len(cols) < 7 || len(cols) > 8 {
+		return Record{}, fmt.Errorf("expected 8 tab-separated columns (confidence optional), got %d", len(cols))
 	}
 	rec := Record{
 		Extractor: unescape(cols[0]),
@@ -79,12 +99,12 @@ func parseLine(line string) (Record, error) {
 		Predicate: unescape(cols[5]),
 		Object:    unescape(cols[6]),
 	}
-	if len(cols) >= 8 && cols[7] != "" {
+	if len(cols) == 8 && cols[7] != "" {
 		c, err := strconv.ParseFloat(cols[7], 64)
 		if err != nil {
 			return Record{}, fmt.Errorf("bad confidence %q: %w", cols[7], err)
 		}
-		if c < 0 || c > 1 {
+		if math.IsNaN(c) || c < 0 || c > 1 {
 			return Record{}, fmt.Errorf("confidence %v out of [0,1]", c)
 		}
 		rec.Confidence = c
@@ -92,9 +112,11 @@ func parseLine(line string) (Record, error) {
 	return rec, nil
 }
 
-// escape protects tabs and newlines inside field values.
+// escape protects tabs, newlines and carriage returns inside field values
+// (the line scanner would otherwise split on the former and strip the
+// latter).
 func escape(s string) string {
-	if !strings.ContainsAny(s, "\t\n\\") {
+	if !strings.ContainsAny(s, "\t\n\r\\") {
 		return s
 	}
 	var b strings.Builder
@@ -104,6 +126,8 @@ func escape(s string) string {
 			b.WriteString(`\t`)
 		case '\n':
 			b.WriteString(`\n`)
+		case '\r':
+			b.WriteString(`\r`)
 		case '\\':
 			b.WriteString(`\\`)
 		default:
@@ -125,6 +149,8 @@ func unescape(s string) string {
 				b.WriteByte('\t')
 			case 'n':
 				b.WriteByte('\n')
+			case 'r':
+				b.WriteByte('\r')
 			case '\\':
 				b.WriteByte('\\')
 			default:
