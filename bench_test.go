@@ -471,6 +471,76 @@ func BenchmarkRefreshWarm(b *testing.B) {
 	}
 }
 
+// settledGroupCorpus adapts synthetic.GroupLocalCorpus — item groups of
+// four witnessed only by their own four group-local sites, the regime where
+// an ingest moves only the parameters of the handful of sources it actually
+// feeds — to the bench's record-count framing: it emits whole groups until
+// minRecords is reached (a truncated group would leave knife-edge sources
+// that never settle) and returns the next group id, so successive calls
+// stream disjoint fresh groups.
+func settledGroupCorpus(firstGroup, minRecords int) (recs []Extraction, nextGroup int) {
+	var records []triple.Record
+	g := firstGroup
+	for len(records) < minRecords {
+		records = append(records, synthetic.GroupLocalCorpus(g, 1)...)
+		g++
+	}
+	return toExtractions(records), g
+}
+
+// BenchmarkRefreshSettled measures the tentpole of the per-unit staleness
+// ledger: a warm 100k-corpus refresh absorbing a 100-record ingest that moves
+// its own sources' accuracies far beyond Tol. Under the old global
+// escalation, any above-Tol movement forced one or two full O(corpus) E-step
+// sweeps; the ledger instead charges the drift to the shards that read the
+// moved sources — here the ingest's own footprint — so the sweep confines to
+// a small dirty fraction and the refresh stays O(ingest). settled-shards and
+// escalations report the confinement; compare ns/op against
+// BenchmarkRefreshWarm/corpus=100000/ingest=100, the same serving shape with
+// corpus-wide sources that legitimately stale everything.
+func BenchmarkRefreshSettled(b *testing.B) {
+	const corpusN, ingestN = 100_000, 100
+	opt := refreshBenchOptions()
+	opt.Shards = 256
+	// Group sites are born with four items; a support threshold would flip
+	// their inclusion when an ingest splits a group across two refreshes,
+	// forcing structural full passes that have nothing to do with staleness.
+	opt.MinSupport = 1
+	eng, err := NewEngine(opt)
+	if err != nil {
+		b.Fatal(err)
+	}
+	base, next := settledGroupCorpus(0, corpusN)
+	if err := eng.Ingest(base...); err != nil {
+		b.Fatal(err)
+	}
+	if _, err := eng.Refresh(); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		var batch []Extraction
+		batch, next = settledGroupCorpus(next, ingestN)
+		b.StartTimer()
+		if err := eng.Ingest(batch...); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := eng.Refresh(); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	if stats, ok := eng.Stats(); ok {
+		if !stats.Extended {
+			b.Fatal("warm refresh did not take the Extend path")
+		}
+		b.ReportMetric(float64(stats.FirstPassShards), "dirty-shards")
+		b.ReportMetric(float64(stats.SettledShards), "settled-shards")
+		b.ReportMetric(float64(stats.Escalations), "escalations")
+	}
+}
+
 // BenchmarkRefreshCold is the baseline BenchmarkRefreshWarm beats: a full
 // compile plus cold estimation over the same corpora. The warm/cold ns/op
 // ratio at corpus=100000 is the headline number for the Extend path.

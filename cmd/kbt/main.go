@@ -230,24 +230,38 @@ func cmdServe(args []string) error {
 			return err
 		}
 		elapsed := time.Since(start)
-		stats, _ := eng.Stats()
-		mode := "cold"
-		if stats.NoOp {
-			// Nothing pending and already converged: the cached result was
-			// served with no snapshot or estimation work at all.
-			mode = "no-op"
-		} else if stats.Warm {
-			compile := "extend"
-			if !stats.Extended {
-				compile = "recompile"
+		// A successful Refresh always records stats; a miss would mean the
+		// engine broke its own contract, and printing zero-valued stats as if
+		// they were real would hide that. Report the refresh without the mode
+		// detail — the ranking below still prints, since res itself is valid.
+		if stats, ok := eng.Stats(); !ok {
+			fmt.Printf("-- refresh #%d: %d records in %v (engine reported no refresh stats)\n",
+				refreshCount+1, eng.Len(), elapsed.Round(time.Microsecond))
+		} else {
+			mode := "cold"
+			if stats.NoOp {
+				// Nothing pending and already converged: the cached result
+				// was served with no snapshot or estimation work at all.
+				mode = "no-op"
+			} else if stats.Warm {
+				compile := "extend"
+				if !stats.Extended {
+					compile = "recompile"
+				}
+				mode = fmt.Sprintf("warm %s %d/%d shards", compile, stats.FirstPassShards, stats.TotalShards)
+				if stats.SettledShards > 0 {
+					mode += fmt.Sprintf(", %d settled", stats.SettledShards)
+				}
+				if stats.Escalations > 0 {
+					mode += fmt.Sprintf(", %d escalations", stats.Escalations)
+				}
+				if stats.AggDeltaSteps+stats.AggFullSteps > 0 {
+					mode += fmt.Sprintf(", %dΔ/%d full M-steps", stats.AggDeltaSteps, stats.AggFullSteps)
+				}
 			}
-			mode = fmt.Sprintf("warm %s %d/%d shards", compile, stats.FirstPassShards, stats.TotalShards)
-			if stats.AggDeltaSteps+stats.AggFullSteps > 0 {
-				mode += fmt.Sprintf(", %dΔ/%d full M-steps", stats.AggDeltaSteps, stats.AggFullSteps)
-			}
+			fmt.Printf("-- refresh #%d: %d records, %s, %d iterations in %v\n",
+				refreshCount+1, eng.Len(), mode, stats.Iterations, elapsed.Round(time.Microsecond))
 		}
-		fmt.Printf("-- refresh #%d: %d records, %s, %d iterations in %v\n",
-			refreshCount+1, eng.Len(), mode, stats.Iterations, elapsed.Round(time.Microsecond))
 		refreshCount++
 		for i, s := range res.Sources() {
 			if *top > 0 && i >= *top {

@@ -164,6 +164,17 @@ type RefreshStats struct {
 	// FirstPassShards of TotalShards were re-estimated in the first EM
 	// iteration; a small fraction means the ingest stayed local.
 	FirstPassShards, TotalShards int
+	// SettledShards is the number of shards no EM iteration of the refresh
+	// re-estimated: their cached posteriors were already within the staleness
+	// tolerance of the published parameters, so the per-unit drift ledger let
+	// the settling sweeps skip them. TotalShards - SettledShards shards were
+	// touched at least once; SettledShards == 0 means some unit's drift (or a
+	// structural change) forced a full pass.
+	SettledShards int
+	// Escalations counts the EM iterations whose E-step widened beyond the
+	// ingest footprint to re-anchor shards holding above-tolerance
+	// accumulated parameter drift.
+	Escalations int
 	// Iterations is the number of EM iterations run; Converged reports
 	// whether the parameters settled before the iteration cap.
 	Iterations int
@@ -187,6 +198,8 @@ func (e *Engine) Stats() (RefreshStats, bool) {
 		NoOp:            r.NoOp,
 		FirstPassShards: r.FirstPassShards,
 		TotalShards:     r.TotalShards,
+		SettledShards:   r.SettledShards,
+		Escalations:     r.Escalations,
 		Iterations:      r.Inference.Iterations,
 		Converged:       r.Inference.Converged,
 		AggDeltaSteps:   r.AggDeltaSteps,

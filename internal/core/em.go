@@ -70,12 +70,14 @@ func (em *EM) Bootstrap(cProb []float64) {
 // iteration, before any EStepTriples call.
 //
 // refreshVotes recomputes the extractor presence/absence votes from the
-// current R and Q. Passing false reuses the previous votes — sound while the
-// parameters behind them have cumulatively moved less than the caller's
-// tolerance (core.Run refreshes every iteration; the engine freezes votes
-// under the same drift bound it applies to cached shard posteriors, which
-// also keeps the incremental M-step's per-observation caches exactly valid,
-// eliminating its vote-shift rescans).
+// current R and Q, for every extractor. Passing false keeps the published
+// votes frozen — except that, with EnableStaleness, extractors whose R/Q
+// have travelled at least Options.Tol since their last publication are
+// republished individually (selectiveVotes), charging the movement to the
+// staleness ledger. Per-extractor publication is what keeps the incremental
+// M-step's per-observation caches exactly valid for every vote-stable
+// extractor (no sub-Tol vote-shift rescans); core.Run refreshes every
+// iteration and never has a ledger.
 func (em *EM) BeginIteration(refreshVotes bool) {
 	if ag := em.st.agg; ag != nil {
 		ag.iter++

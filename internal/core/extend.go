@@ -237,12 +237,20 @@ func extendState(st *state, s *triple.Snapshot, opt Options, d triple.Delta) {
 		}
 	}
 
+	// Everything below — the ledger appends and the structural rebuild
+	// helpers — reads the extended tables, so the snapshot pointer flips
+	// here.
+	st.s = s
+
+	// Staleness ledger: new items' shard assignments, new triples' reach
+	// bits, zero drift for new units.
+	st.extendLedger(d)
+
 	// Structural fallback: an old unit's inclusion flipped, so coverage and
 	// attempted scopes no longer extend — rebuild both (O(corpus), rare)
 	// and invalidate the M-step caches; the engine escalates such refreshes
 	// to a full first pass, whose M-steps re-aggregate in full.
 	if structural {
-		st.s = s // rebuild helpers read the new snapshot
 		st.rebuildCoverage()
 		st.buildExtractorCells()
 		if ag != nil {
@@ -251,8 +259,6 @@ func extendState(st *state, s *triple.Snapshot, opt Options, d triple.Delta) {
 			clear(st.cellC)
 		}
 	}
-
-	st.s = s
 }
 
 // rebuildCoverage recomputes coveredTriple from scratch against the current

@@ -177,10 +177,12 @@ func Run(s *triple.Snapshot, opt Options) (*Result, error) {
 		priorSettled := !opt.UpdatePrior || iter+1 >= opt.UpdatePriorFromIter
 		if priorSettled && MaxDelta(prevA, st.a)+MaxDelta(prevP, st.p)+MaxDelta(prevR, st.r)+priorDelta < opt.Tol {
 			res.Converged = true
-			iter++
 			break
 		}
 	}
+	// Iterations counts the EM iterations that actually executed: k when
+	// convergence was detected at iteration k, MaxIter when the loop
+	// exhausted (the clamp undoes the final loop increment in that case).
 	if iter > opt.MaxIter {
 		iter = opt.MaxIter
 	}
@@ -299,6 +301,11 @@ type state struct {
 	// agg holds the persistent stage III/IV sufficient statistics when
 	// Options.IncrementalAggregates is on; nil otherwise. See aggregates.go.
 	agg *aggState
+
+	// ledger holds the per-unit staleness accounting behind the engine's
+	// confined settling sweeps when EM.EnableStaleness was called; nil
+	// otherwise (always nil under Run). See staleness.go.
+	ledger *staleLedger
 }
 
 func newState(s *triple.Snapshot, opt Options) *state {
@@ -495,16 +502,54 @@ func (st *state) internCell(w, p int) int {
 }
 
 // computeVotes recomputes the per-extractor presence/absence votes (Eqs
-// 12-13) from the current R and Q. The engine may skip this while the
-// parameters behind the votes have cumulatively moved less than its
-// tolerance (the same staleness contract as its cached shard posteriors):
-// keeping the votes bitwise stable is what lets the incremental M-step reuse
-// its per-observation caches instead of re-scanning every vote-shifted
+// 12-13) from the current R and Q, for every extractor. Partial engine
+// iterations instead go through selectiveVotes, which republishes only the
+// extractors whose vote parameters moved beyond tolerance: keeping the other
+// votes bitwise stable is what lets the incremental M-step reuse its
+// per-observation caches instead of re-scanning every vote-shifted
 // extractor.
 func (st *state) computeVotes() {
+	st.noteVoteRefresh()
 	for e := range st.pre {
 		st.pre[e] = PresenceVote(st.r[e], st.q[e])
 		st.ab[e] = AbsenceVote(st.r[e], st.q[e])
+	}
+}
+
+// selectiveVotes republishes the votes of exactly the extractors whose R/Q
+// have moved at least Tol since their votes were last derived — the
+// per-extractor counterpart of the engine's old global vote-drift gate. Each
+// republish charges the movement to the ledger (the extractor's reach is now
+// stale) and, while the absence masses are valid, folds the vote change into
+// them incrementally instead of forcing the O(attempted-pairs) rebuild; the
+// masses are re-anchored canonically by every absenceStale rebuild, which
+// bounds the fold-in drift to a refresh's few iterations. Extractors below
+// the threshold keep bitwise-stable published votes, so their cached E-step
+// inputs and M-step observation caches stay exactly valid.
+func (st *state) selectiveVotes() {
+	led := st.ledger
+	tol := st.opt.Tol
+	adjust := !st.absenceStale
+	for e := range st.pre {
+		move := math.Abs(st.r[e]-led.rAt[e]) + math.Abs(st.q[e]-led.qAt[e])
+		if move < tol {
+			continue
+		}
+		led.extDrift[e] += move
+		led.rAt[e], led.qAt[e] = st.r[e], st.q[e]
+		pre, ab := PresenceVote(st.r[e], st.q[e]), AbsenceVote(st.r[e], st.q[e])
+		if adjust && st.extIncluded[e] {
+			dAb := ab - st.ab[e]
+			if st.opt.Scope == ScopeAllExtractors {
+				st.totalAbs += dAb
+			} else {
+				for _, c := range st.cellsOfExtractor[e] {
+					st.cellAbs[c] += dAb
+				}
+			}
+			st.voteDelta[e] = pre - ab
+		}
+		st.pre[e], st.ab[e] = pre, ab
 	}
 }
 
@@ -517,14 +562,20 @@ func (st *state) computeVotes() {
 func (st *state) prepareVotes(refreshVotes bool) {
 	if refreshVotes {
 		st.computeVotes()
+	} else if st.ledger != nil {
+		// Partial engine iterations: republish per extractor under the Tol
+		// contract (folding any changes into valid absence masses in place);
+		// a stale mass structure falls through to the canonical rebuild,
+		// which reads the freshly republished votes.
+		st.selectiveVotes()
 	}
 	for w := range st.srcVote {
 		st.srcVote[w] = SourceVote(st.a[w], st.opt.N)
 	}
 	if !refreshVotes && !st.absenceStale {
-		// Frozen votes over an unchanged attempted-cell structure: the
-		// absence masses and vote deltas below would rebuild to their
-		// current values bit for bit.
+		// Frozen (or selectively adjusted) votes over an unchanged
+		// attempted-cell structure: the absence masses and vote deltas are
+		// already exactly what the rebuild below would produce.
 		return
 	}
 	st.absenceStale = false
@@ -544,12 +595,18 @@ func (st *state) prepareVotes(refreshVotes bool) {
 		}
 		return
 	}
-	// A fresh buffer is born all-zero; an extension may have grown numCells,
-	// in which case reallocating is equivalent to zeroing the attempted
-	// prefix (untouched cells are zero in either case).
-	if len(st.cellAbs) < st.numCells {
-		st.cellAbs = make([]float64, st.numCells)
+	// Cell space grows with every extension, so the buffer is sized with
+	// headroom and re-sliced: reallocating per refresh would churn hundreds
+	// of kilobytes. New entries (and, on reuse, the attempted prefix) are
+	// zeroed explicitly — untouched cells are zero in either case.
+	if cap(st.cellAbs) < st.numCells {
+		st.cellAbs = make([]float64, st.numCells, st.numCells+st.numCells/2)
 	} else {
+		prev := len(st.cellAbs)
+		st.cellAbs = st.cellAbs[:st.numCells]
+		for c := prev; c < st.numCells; c++ {
+			st.cellAbs[c] = 0
+		}
 		st.zeroAttemptedCells(st.cellAbs)
 	}
 	for e, cells := range st.cellsOfExtractor {
@@ -875,13 +932,30 @@ func MaxDelta(a, b []float64) float64 {
 // log-odds moved by less than four times the current maximum cannot raise
 // it and skip the sigmoids; near a fixed point almost every entry does.
 func MaxDeltaLogistic(a, b []float64) float64 {
-	var m float64
-	for i := range a {
+	return MaxDeltaLogisticSubset(a, b, nil, 0)
+}
+
+// MaxDeltaLogisticSubset is MaxDeltaLogistic restricted to the entries in
+// idx (nil = all), seeded with a running maximum m — for callers that know
+// every other entry is unchanged and fold several subsets into one maximum.
+// The skip guard only discards entries that cannot raise the maximum, so the
+// result is independent of how the index space is partitioned.
+func MaxDeltaLogisticSubset(a, b []float64, idx []int, m float64) float64 {
+	at := func(i int) {
 		if math.Abs(a[i]-b[i]) <= 4*m {
-			continue
+			return
 		}
 		if d := math.Abs(stats.Sigmoid(a[i]) - stats.Sigmoid(b[i])); d > m {
 			m = d
+		}
+	}
+	if idx == nil {
+		for i := range a {
+			at(i)
+		}
+	} else {
+		for _, i := range idx {
+			at(i)
 		}
 	}
 	return m

@@ -1,0 +1,276 @@
+package core
+
+import (
+	"math"
+	"math/bits"
+
+	"kbt/internal/triple"
+)
+
+// This file maintains the per-unit staleness ledger behind the engine's
+// confined settling sweeps.
+//
+// The engine caches every shard's E-step outputs between iterations and
+// refreshes. A cached posterior goes stale when a parameter it was computed
+// from moves — but only when one *it was computed from* moves. An item's
+// Stage II scores read the accuracies of exactly the sources with a candidate
+// triple on the item, and its Stage I vote sums read the extractor
+// presence/absence votes — which the engine freezes until the R/Q movement
+// behind them crosses Tol, so between vote refreshes the published extractor
+// state does not move at all, no matter how the raw parameters drift.
+//
+// The ledger therefore tracks, per unit, the movement of what the E-step
+// actually consumes:
+//
+//   - per source: |ΔA_w| accumulated every M-step (srcVote is recomputed from
+//     the live accuracy each iteration), together with a bitmask of the
+//     shards holding the source's candidate triples — the only shards whose
+//     cached posteriors read A_w;
+//   - per extractor: the published vote-parameter movement |ΔR_e| + |ΔQ_e|,
+//     accumulated only when the votes are actually recomputed
+//     (state.computeVotes). An extractor's absence vote reaches every triple
+//     in every cell it attempts, so its reach is treated as global — the
+//     conservative mask; at the coarse name granularity extractors span most
+//     of the corpus anyway, and vote refreshes are already Tol-rationed.
+//
+// A unit's drift resets when an E-step pass covers every shard it can reach.
+// The engine asks MarkStale for the shards whose accumulated relevant drift
+// exceeds Tol and re-estimates only those — the settling sweep confined to
+// the actually-stale fraction of the corpus, instead of the all-shards
+// escalation that made warm refreshes O(corpus). The ledger persists across
+// refreshes (extended append-only by NewEMFrom, remapped by dense-id prefix
+// under FullRecompile), so sub-Tol residue left by a converged refresh keeps
+// accumulating instead of being forgotten — many small refreshes can no
+// longer compound into an unbounded cached-posterior lag.
+//
+// Contract: a settled shard's cached posteriors lag the published parameters
+// by less than Tol of accumulated movement per relevant unit (the previous
+// global scheme bounded the *sum over all units* by Tol; per-unit accounting
+// trades that for confinement, bounding the lag by Tol times the handful of
+// units an item actually reads). The engine refuses to declare convergence
+// while any unit's drift stands at or above Tol — it runs one more confined
+// settling pass instead — so the contract holds for every published
+// converged result; only a MaxIter-capped unconverged refresh may publish
+// residue, and the carried ledger re-anchors that at the next refresh's
+// first pass.
+
+// staleLedger is the per-unit drift state. Masks are srcMaskWords uint64
+// words per source, bit si set when shard si holds one of the source's
+// candidate triples.
+type staleLedger struct {
+	nShards, words int
+
+	// itemShard caches triple.ShardOf for every data item, grown append-only
+	// with the snapshot.
+	itemShard []int32
+
+	// srcMask is the per-source shard reach (nSrc × words); srcDrift the
+	// accumulated |ΔA| since the source's shards were last all re-estimated.
+	srcMask  []uint64
+	srcDrift []float64
+
+	// extDrift is the accumulated published vote-parameter movement
+	// |ΔR| + |ΔQ| per extractor; rAt/qAt the values backing the currently
+	// published votes (updated by computeVotes).
+	extDrift []float64
+	rAt, qAt []float64
+
+	// scratch is a words-sized bitmask buffer for SettleShards.
+	scratch []uint64
+}
+
+func (led *staleLedger) setSrcBit(w, si int) {
+	led.srcMask[w*led.words+si/64] |= 1 << (si % 64)
+}
+
+// EnableStaleness builds the per-unit staleness ledger for nShards item
+// shards (triple.ShardOf partitioning, matching Snapshot.Shards). Idempotent
+// for an unchanged shard count; a changed count rebuilds from scratch. The
+// engine enables it on every EM it constructs; core.Run never does, so the
+// batch path carries no ledger overhead.
+func (em *EM) EnableStaleness(nShards int) {
+	st := em.st
+	if st.ledger != nil && st.ledger.nShards == nShards {
+		return
+	}
+	s := st.s
+	led := &staleLedger{nShards: nShards, words: (nShards + 63) / 64}
+	led.itemShard = make([]int32, len(s.Items))
+	for d, key := range s.Items {
+		led.itemShard[d] = int32(triple.ShardOf(key, nShards))
+	}
+	led.srcMask = make([]uint64, len(s.Sources)*led.words)
+	for _, tr := range s.Triples {
+		led.setSrcBit(tr.W, int(led.itemShard[tr.D]))
+	}
+	led.srcDrift = make([]float64, len(s.Sources))
+	led.extDrift = make([]float64, len(s.Extractors))
+	led.rAt = append([]float64(nil), st.r...)
+	led.qAt = append([]float64(nil), st.q...)
+	led.scratch = make([]uint64, led.words)
+	st.ledger = led
+}
+
+// CarryStalenessFrom copies prev's accumulated drift and published-vote
+// anchors by dense-id prefix — the FullRecompile path's counterpart of the
+// ledger NewEMFrom extends in place, needed so the oracle makes the identical
+// settling decisions. Both EMs must have staleness enabled.
+func (em *EM) CarryStalenessFrom(prev *EM) {
+	led, old := em.st.ledger, prev.st.ledger
+	if led == nil || old == nil {
+		return
+	}
+	copy(led.srcDrift, old.srcDrift)
+	copy(led.extDrift, old.extDrift)
+	copy(led.rAt, old.rAt)
+	copy(led.qAt, old.qAt)
+}
+
+// AccumulateSourceDrift adds each source's accuracy movement since prevA (the
+// caller's copy from the start of the iteration) to its drift. Call once per
+// iteration, after the M-steps.
+func (em *EM) AccumulateSourceDrift(prevA []float64) {
+	led := em.st.ledger
+	if led == nil {
+		return
+	}
+	a := em.st.a
+	for w := range prevA {
+		if d := math.Abs(a[w] - prevA[w]); d != 0 {
+			led.srcDrift[w] += d
+		}
+	}
+}
+
+// noteVoteRefresh accumulates the published vote-parameter movement at a vote
+// recompute: the R/Q travel since the votes were last derived is exactly the
+// staleness a frozen-vote E-step could not have seen. Called by computeVotes.
+func (st *state) noteVoteRefresh() {
+	led := st.ledger
+	if led == nil {
+		return
+	}
+	for e := range st.r {
+		led.extDrift[e] += math.Abs(st.r[e]-led.rAt[e]) + math.Abs(st.q[e]-led.qAt[e])
+		led.rAt[e], led.qAt[e] = st.r[e], st.q[e]
+	}
+}
+
+// MarkStale sets mark[si] for every shard holding a unit whose accumulated
+// drift has reached tol — the shards whose cached posteriors the staleness
+// contract no longer covers — and reports how many entries it newly set.
+// Excluded units are skipped: their parameters are frozen and enter no
+// E-step (an inclusion flip escalates structurally before this is asked).
+func (em *EM) MarkStale(tol float64, mark []bool) int {
+	st := em.st
+	led := st.ledger
+	if led == nil {
+		return 0
+	}
+	added := 0
+	for e, drift := range led.extDrift {
+		if drift >= tol && st.extIncluded[e] {
+			// Published extractor votes moved beyond tolerance: their absence
+			// mass reaches every attempted cell, so every shard is stale.
+			for si := range mark {
+				if !mark[si] {
+					mark[si] = true
+					added++
+				}
+			}
+			return added
+		}
+	}
+	for w, drift := range led.srcDrift {
+		if drift < tol || !st.srcIncluded[w] {
+			continue
+		}
+		base := w * led.words
+		for k := 0; k < led.words; k++ {
+			word := led.srcMask[base+k]
+			for word != 0 {
+				si := k*64 + bits.TrailingZeros64(word)
+				word &= word - 1
+				if !mark[si] {
+					mark[si] = true
+					added++
+				}
+			}
+		}
+	}
+	return added
+}
+
+// SettleShards records that an E-step pass re-estimated the shards in dirty:
+// every unit whose whole reach was covered is re-anchored (drift reset). A
+// full pass settles everything, including the globally-reaching extractors.
+func (em *EM) SettleShards(dirty []int) {
+	led := em.st.ledger
+	if led == nil {
+		return
+	}
+	if len(dirty) >= led.nShards {
+		clear(led.srcDrift)
+		clear(led.extDrift)
+		return
+	}
+	clear(led.scratch)
+	for _, si := range dirty {
+		led.scratch[si/64] |= 1 << (si % 64)
+	}
+	for w := range led.srcDrift {
+		if led.srcDrift[w] == 0 {
+			continue
+		}
+		base := w * led.words
+		covered := true
+		for k := 0; k < led.words && covered; k++ {
+			covered = led.srcMask[base+k]&^led.scratch[k] == 0
+		}
+		if covered {
+			led.srcDrift[w] = 0
+		}
+	}
+}
+
+// SourceDrift and ExtractorVoteDrift expose the live accumulated-drift
+// slices (read-only) for diagnostics and tests.
+func (em *EM) SourceDrift() []float64 {
+	if em.st.ledger == nil {
+		return nil
+	}
+	return em.st.ledger.srcDrift
+}
+
+func (em *EM) ExtractorVoteDrift() []float64 {
+	if em.st.ledger == nil {
+		return nil
+	}
+	return em.st.ledger.extDrift
+}
+
+// extendLedger grows the ledger append-only with the snapshot extension —
+// new items' shard assignments, new triples' reach bits, zero drift and
+// current-parameter vote anchors for new units. Called by extendState after
+// the parameter arrays have grown.
+func (st *state) extendLedger(d triple.Delta) {
+	led := st.ledger
+	if led == nil {
+		return
+	}
+	s := st.s
+	for di := d.Items; di < len(s.Items); di++ {
+		led.itemShard = append(led.itemShard, int32(triple.ShardOf(s.Items[di], led.nShards)))
+	}
+	led.srcMask = grow(led.srcMask, len(s.Sources)*led.words, 0)
+	for ti := d.Triples; ti < len(s.Triples); ti++ {
+		tr := s.Triples[ti]
+		led.setSrcBit(tr.W, int(led.itemShard[tr.D]))
+	}
+	led.srcDrift = grow(led.srcDrift, len(s.Sources), 0)
+	led.extDrift = grow(led.extDrift, len(s.Extractors), 0)
+	for e := len(led.rAt); e < len(st.r); e++ {
+		led.rAt = append(led.rAt, st.r[e])
+		led.qAt = append(led.qAt, st.q[e])
+	}
+}

@@ -14,10 +14,12 @@
 //     parameters, priors, vote caches, coverage masks and every index
 //     structure carry over append-only, so no working array is rebuilt from
 //     the corpus,
-//   - runs the first E-step only over the dirty shards — those owning an
-//     item that shares a (source, predicate) absence-vote cell with a new
-//     record — before falling back to full passes while parameters still
-//     move,
+//   - runs each E-step only over the dirty shards — those owning an item
+//     that shares a (source, predicate) absence-vote cell with a new record,
+//     plus the shards the per-unit staleness ledger (core.EM.EnableStaleness)
+//     marks as holding above-Tol accumulated parameter drift — so the
+//     settling sweeps an ingest triggers confine themselves to the stale
+//     fraction of the corpus instead of escalating to full passes,
 //   - updates the global M-step aggregates from exactly the dirty shards'
 //     contribution deltas (core.Options.IncrementalAggregates), with a
 //     periodic full re-aggregation bounding floating-point drift;
@@ -109,6 +111,15 @@ type Result struct {
 	// re-estimated (== TotalShards on a cold refresh); TotalShards is the
 	// configured shard count.
 	FirstPassShards, TotalShards int
+	// TouchedShards is the number of distinct shards any EM iteration of the
+	// refresh re-estimated; SettledShards = TotalShards - TouchedShards is
+	// the corpus fraction whose cached posteriors were already within the
+	// staleness tolerance of the published parameters and never ran.
+	TouchedShards, SettledShards int
+	// Escalations counts the EM iterations whose E-step set had to widen
+	// beyond the ingest footprint to re-anchor drift-exceeding shards (zero
+	// on cold refreshes, where the footprint is everything).
+	Escalations int
 	// AggDeltaSteps / AggFullSteps count the global M-step stage invocations
 	// of this refresh that updated the incremental aggregates by dirty-set
 	// deltas respectively re-aggregated in full (both zero when incremental
@@ -152,10 +163,6 @@ type Engine struct {
 	coveredItem []bool
 	srcInc      []bool
 	extInc      []bool
-	// voteDrift accumulates the R/Q movement since the extractor votes were
-	// last recomputed, across iterations and refreshes; votes refresh once
-	// it reaches Tol (see the loop in Refresh).
-	voteDrift float64
 
 	last *Result
 }
@@ -279,6 +286,7 @@ func (e *Engine) Refresh() (*Result, error) {
 			NoOp:            true,
 			FirstPassShards: 0,
 			TotalShards:     e.last.TotalShards,
+			SettledShards:   e.last.TotalShards,
 		}
 		e.last = res
 		e.mu.Unlock()
@@ -342,6 +350,10 @@ func (e *Engine) Refresh() (*Result, error) {
 		if err != nil {
 			return nil, err
 		}
+		// The ledger persisted (and extended) inside the EM state; the call
+		// is a no-op then, and builds it on the first warm refresh of an
+		// engine whose previous EM predates staleness tracking.
+		em.EnableStaleness(len(shards))
 		e.extendPosteriors(snap, prev, copt.Alpha)
 		cProb, valueProb, restMass, coveredItem = e.cProb, e.valueProb, e.restMass, e.coveredItem
 	} else {
@@ -349,6 +361,7 @@ func (e *Engine) Refresh() (*Result, error) {
 		if err != nil {
 			return nil, err
 		}
+		em.EnableStaleness(len(shards))
 		nTri, nItem := len(snap.Triples), len(snap.Items)
 		cProb = make([]float64, nTri)
 		valueProb = make([][]float64, nItem)
@@ -359,19 +372,44 @@ func (e *Engine) Refresh() (*Result, error) {
 		}
 	}
 
-	var dirty []int // shard indices for the first iteration
+	// base is the ingest's footprint — the shards whose inputs actually
+	// changed. Every iteration's E-step set is base plus the shards the
+	// staleness ledger marks as carrying above-Tol accumulated drift, so
+	// settling sweeps confine themselves to the stale fraction and shrink
+	// back to the footprint as soon as the stale units are re-anchored.
+	var base []int
 	if !warm {
 		em.Bootstrap(cProb)
-		dirty = allShards(len(shards))
+		base = allShards(len(shards))
 	} else if len(pending) == 0 {
 		// Resuming an unconverged run (the converged case returned above):
 		// the cached posteriors already reproduce the cached parameters, so
 		// a partial pass would measure zero delta and stall. Re-estimate
 		// everything to make progress.
-		dirty = allShards(len(shards))
+		base = allShards(len(shards))
 	} else {
-		dirty = e.dirtyShards(em, snap, prev, pending, len(shards))
+		base, err = e.dirtyShards(em, snap, prev, pending, len(shards))
+		if err != nil {
+			return nil, err
+		}
 	}
+	mark := make([]bool, len(shards))
+	touched := make([]bool, len(shards))
+	escalations := 0
+	nextDirty := func() []int {
+		dirty := e.withStale(em, base, len(shards), copt.Tol, mark)
+		for _, si := range dirty {
+			touched[si] = true
+		}
+		if len(dirty) > len(base) {
+			escalations++
+		}
+		return dirty
+	}
+	// The first pass already consults the ledger: drift carried from earlier
+	// refreshes (sub-Tol residue that has since accumulated past Tol, or an
+	// unconverged stop) joins the footprint immediately.
+	dirty := nextDirty()
 	firstPass := len(dirty)
 	aggDelta0, aggFull0 := em.AggStepCounts()
 
@@ -379,18 +417,14 @@ func (e *Engine) Refresh() (*Result, error) {
 	// the shardable stages differ, and each index's arithmetic is
 	// identical, so a cold run reproduces Run's posteriors exactly.
 	//
-	// baseDirty is the ingest's footprint — the shards whose inputs actually
-	// changed. Escalation to a full pass (and shrinking back to the
-	// footprint once a full pass has re-anchored every shard) moves `dirty`
-	// between baseDirty and all shards.
-	baseDirty := dirty
-	// Vote freezing: while the R/Q movement behind the extractor votes has
-	// accumulated less than Tol since the votes were last computed, reuse
-	// them — the same staleness bound as the cached shard posteriors, and
-	// the condition under which the incremental M-step's per-observation
-	// caches stay exactly valid (no vote-shift rescans). Cold refreshes
-	// always recompute (bit-identical to core.Run); structural changes force
-	// a recompute before any freezing.
+	// Vote publication is per extractor under the same Tol contract as the
+	// shard ledger (BeginIteration → selectiveVotes): an extractor's
+	// published presence/absence votes move only once its own R/Q travel
+	// since the last publication reaches Tol, which keeps the incremental
+	// M-step's per-observation caches exactly valid for every vote-stable
+	// extractor — no sub-Tol rescans. Cold refreshes recompute every vote
+	// every iteration (bit-identical to core.Run); structural changes force
+	// one full recompute.
 	voteForce := false
 	if warm {
 		voteForce = len(snap.Extractors) != len(prev.Extractors) ||
@@ -401,29 +435,31 @@ func (e *Engine) Refresh() (*Result, error) {
 	prevA := make([]float64, nSrc)
 	prevP := make([]float64, nExt)
 	prevR := make([]float64, nExt)
-	prevQ := make([]float64, nExt)
 	prevLO := make([]float64, len(snap.Triples))
 	converged := false
-	driftSinceFullPass := 0.0
 	iter := 0
 	for iter = 1; iter <= copt.MaxIter; iter++ {
 		copy(prevA, em.A())
 		copy(prevP, em.P())
 		copy(prevR, em.R())
-		copy(prevQ, em.Q())
 
-		// Full-pass iterations refresh the votes opportunistically: their
+		// Full-pass iterations refresh every vote opportunistically: their
 		// M-step re-aggregates (re-anchoring the vote-dependent caches)
-		// regardless, so the recompute is free there — and resetting the
-		// drift early keeps the following partial iterations on the frozen,
-		// rescan-free path.
-		refreshVotes := !warm || voteForce || e.voteDrift >= copt.Tol || len(dirty) == len(shards)
+		// regardless, so the recompute is free there, and it re-anchors the
+		// per-extractor publication baselines early. All other warm
+		// iterations let BeginIteration republish selectively under the
+		// ledger's per-extractor Tol contract.
+		refreshVotes := !warm || voteForce || len(dirty) == len(shards)
 		em.BeginIteration(refreshVotes)
 		if refreshVotes {
-			e.voteDrift = 0
 			voteForce = false
 		}
 		e.eStep(em, shards, dirty, cProb, valueProb, restMass, coveredItem)
+		// The pass re-anchored these shards' posteriors against the current
+		// parameters (and, on a vote-refreshing pass, the just-published
+		// votes): units whose whole reach was covered start accumulating
+		// drift from zero again.
+		em.SettleShards(dirty)
 		// A partial iteration hands the global M-steps exactly the dirty
 		// shards' triple lists — the triples whose E-step outputs changed —
 		// so the incremental aggregates update in O(dirty); a full pass
@@ -447,47 +483,92 @@ func (e *Engine) Refresh() (*Result, error) {
 		// starts with a large correction instead of a settled fixed point.
 		priorDelta := 0.0
 		if copt.UpdatePrior && (warm || iter+1 >= copt.UpdatePriorFromIter) {
-			copy(prevLO, em.PriorLogOdds())
-			e.updatePrior(em, shards, dirty, valueProb)
-			priorDelta = core.MaxDeltaLogistic(prevLO, em.PriorLogOdds())
+			lo := em.PriorLogOdds()
+			if len(dirty) < len(shards) {
+				// Only the dirty shards' priors can move, so snapshot and
+				// diff exactly those entries instead of copying the corpus.
+				for _, si := range dirty {
+					for _, ti := range shards[si].Triples {
+						prevLO[ti] = lo[ti]
+					}
+				}
+				e.updatePrior(em, shards, dirty, valueProb)
+				for _, si := range dirty {
+					priorDelta = core.MaxDeltaLogisticSubset(prevLO, lo, shards[si].Triples, priorDelta)
+				}
+			} else {
+				copy(prevLO, lo)
+				e.updatePrior(em, shards, dirty, valueProb)
+				priorDelta = core.MaxDeltaLogistic(prevLO, lo)
+			}
 		}
 
+		// Per-unit drift accounting replaces the old all-or-nothing
+		// escalation: each source charges its own accuracy movement against
+		// the shards that actually read it (extractor movement is charged by
+		// the ledger when votes republish), and the next iteration's E-step
+		// widens to exactly the shards whose accumulated charge crossed Tol.
+		// Sub-Tol movement keeps the E-step on the ingest footprint — and,
+		// because the ledger persists across refreshes, such residue keeps
+		// accumulating instead of resetting, so many small refreshes cannot
+		// compound into an unbounded lag between cached posteriors and the
+		// published parameters. (An escalated pass's Eq 26 refinement can
+		// still move clean shards' priors by the settling response to a
+		// sub-Tol parameter shift; their cached posteriors lag that one step
+		// until drift next crosses Tol — the same Tol-bounded staleness this
+		// contract has always accepted.)
+		em.AccumulateSourceDrift(prevA)
 		paramDelta := core.MaxDelta(prevA, em.A()) + core.MaxDelta(prevP, em.P()) + core.MaxDelta(prevR, em.R())
-		e.voteDrift += core.MaxDelta(prevR, em.R()) + core.MaxDelta(prevQ, em.Q())
 		priorSettled := !copt.UpdatePrior || warm || iter+1 >= copt.UpdatePriorFromIter
 		if priorSettled && paramDelta+priorDelta < copt.Tol {
-			converged = true
-			iter++
-			break
-		}
-		driftSinceFullPass += paramDelta
-		if driftSinceFullPass < copt.Tol {
-			// The global parameters have moved less than Tol in total since
-			// the out-of-footprint shards' posteriors were last computed, so
-			// a full pass would change them by under the tolerance. Keep
-			// iterating over the ingest footprint until the local prior
-			// settles; once an escalated full pass has re-anchored every
-			// shard, this also shrinks the E-step back to the footprint.
-			// (An escalated pass's Eq 26 refinement can move clean shards'
-			// priors by the settling response to the sub-Tol parameter
-			// shift; their cached posteriors then lag that one step until
-			// the next escalation or refresh re-anchors them — the same
-			// Tol-bounded staleness this contract has always accepted for
-			// parameter movement.) Accumulating the drift (rather than
-			// testing each iteration's delta alone) keeps many sub-Tol
-			// steps from compounding into an above-Tol inconsistency
-			// between cached posteriors and the published parameters.
-			dirty = baseDirty
+			if iter >= copt.MaxIter {
+				// No iterations left to settle residual drift: publish
+				// converged only if no unit's accumulated drift stands at
+				// or above Tol. A converged result with residue would be
+				// served indefinitely by the no-pending NoOp shortcut;
+				// unconverged, the next Refresh resumes with a full pass
+				// and re-anchors everything.
+				seedMark(mark, base)
+				converged = em.MarkStale(copt.Tol, mark) == 0
+				break
+			}
+			// Parameters and priors are at a fixed point, but a unit whose
+			// accumulated drift crossed Tol on this very iteration would be
+			// published above the staleness contract (its shards' cached
+			// posteriors would lag by the sub-Tol entry residue plus this
+			// iteration's step) and a following no-pending NoOp refresh
+			// would keep serving them. Settle such units before declaring
+			// convergence; with none, the published state is strictly
+			// within contract.
+			next := nextDirty()
+			if len(next) == len(base) {
+				converged = true
+				break
+			}
+			dirty = next
 			continue
 		}
-		// Global parameters moved: every shard's cached posteriors are stale.
-		driftSinceFullPass = 0
-		dirty = allShards(len(shards))
+		if iter < copt.MaxIter {
+			// The final iteration computes no successor set: it would never
+			// run, and counting it would overstate the touched-shard and
+			// escalation stats.
+			dirty = nextDirty()
+		}
 	}
+	// Iterations counts the EM iterations that actually executed — k when
+	// convergence was detected at iteration k, MaxIter when the loop
+	// exhausted (the clamp undoes the final loop increment); core.Run
+	// reports the identical quantity.
 	if iter > copt.MaxIter {
 		iter = copt.MaxIter
 	}
 
+	touchedCount := 0
+	for _, hit := range touched {
+		if hit {
+			touchedCount++
+		}
+	}
 	aggDelta, aggFull := em.AggStepCounts()
 	res := &Result{
 		Snapshot:        snap,
@@ -496,6 +577,9 @@ func (e *Engine) Refresh() (*Result, error) {
 		Extended:        extended,
 		FirstPassShards: firstPass,
 		TotalShards:     len(shards),
+		TouchedShards:   touchedCount,
+		SettledShards:   len(shards) - touchedCount,
+		Escalations:     escalations,
 		AggDeltaSteps:   aggDelta - aggDelta0,
 		AggFullSteps:    aggFull - aggFull0,
 	}
@@ -633,6 +717,7 @@ func (e *Engine) carryOver(em *core.EM, snap, prev *triple.Snapshot, cProb []flo
 	copy(em.R(), prevEM.R())
 	copy(em.Q(), prevEM.Q())
 	em.CarryVotesFrom(prevEM)
+	em.CarryStalenessFrom(prevEM)
 
 	lo := em.PriorLogOdds()
 	clo := em.CLogOdds()
@@ -674,29 +759,52 @@ func (e *Engine) carryOver(em *core.EM, snap, prev *triple.Snapshot, cProb []flo
 	}
 }
 
-// dirtyShards picks the shards the first warm iteration must re-estimate:
+// withStale returns base plus every shard the staleness ledger marks as
+// carrying above-tol accumulated drift, ascending. When base already covers
+// everything, or nothing stale lies outside it, base is returned unchanged.
+func (e *Engine) withStale(em *core.EM, base []int, nShards int, tol float64, mark []bool) []int {
+	if len(base) == nShards {
+		return base
+	}
+	seedMark(mark, base)
+	if em.MarkStale(tol, mark) == 0 {
+		return base
+	}
+	dirty := make([]int, 0, nShards)
+	for si, m := range mark {
+		if m {
+			dirty = append(dirty, si)
+		}
+	}
+	return dirty
+}
+
+// dirtyShards picks the footprint the first warm iteration must re-estimate:
 // every shard owning an item that shares a (source, predicate) cell with a
 // pending record — new items, new candidate values, raised confidences and
 // changed absence masses all live in those cells. Structural changes with
 // global reach (a support threshold flipping a unit's inclusion, or new
 // extractors under ScopeAllExtractors, whose absence mass is corpus-wide)
-// escalate to all shards.
-func (e *Engine) dirtyShards(em *core.EM, snap, prev *triple.Snapshot, pending []triple.Record, nShards int) []int {
+// escalate to all shards. A pending record that fails to resolve against the
+// extended snapshot is an invariant violation — the ingest/extension contract
+// guarantees every pending record compiled — and is surfaced as an error
+// rather than silently absorbed as a full pass.
+func (e *Engine) dirtyShards(em *core.EM, snap, prev *triple.Snapshot, pending []triple.Record, nShards int) ([]int, error) {
 	if inclusionChanged(e.srcInc, em.SourceIncluded()) || inclusionChanged(e.extInc, em.ExtractorIncluded()) {
-		return allShards(nShards)
+		return allShards(nShards), nil
 	}
 	if e.opt.Core.Scope == core.ScopeAllExtractors && len(snap.Extractors) > len(prev.Extractors) {
-		return allShards(nShards)
+		return allShards(nShards), nil
 	}
 
 	type cell struct{ w, p int }
 	touched := make(map[cell]bool, len(pending))
-	for _, rec := range pending {
+	for i, rec := range pending {
 		w := snap.SourceID(e.opt.SourceKey(rec))
 		d := snap.ItemID(rec.Subject, rec.Predicate)
 		if w < 0 || d < 0 {
-			// Cannot happen for a compiled record; fall back to full pass.
-			return allShards(nShards)
+			return nil, fmt.Errorf("engine: pending record %d (source %q, item %q/%q) did not compile into the refreshed snapshot; the append-only extension invariant is broken",
+				i, e.opt.SourceKey(rec), rec.Subject, rec.Predicate)
 		}
 		touched[cell{w, snap.PredOfItem[d]}] = true
 	}
@@ -719,7 +827,16 @@ func (e *Engine) dirtyShards(em *core.EM, snap, prev *triple.Snapshot, pending [
 			dirty = append(dirty, si)
 		}
 	}
-	return dirty
+	return dirty, nil
+}
+
+// seedMark resets mark to exactly the base shard set — the shared seeding
+// step before every MarkStale query.
+func seedMark(mark []bool, base []int) {
+	clear(mark)
+	for _, si := range base {
+		mark[si] = true
+	}
 }
 
 func inclusionChanged(old, cur []bool) bool {

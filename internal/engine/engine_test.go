@@ -6,6 +6,7 @@ import (
 	"testing"
 
 	"kbt/internal/core"
+	"kbt/internal/synthetic"
 	"kbt/internal/triple"
 	"kbt/internal/websim"
 )
@@ -475,6 +476,159 @@ func TestExtendRefreshMatchesFullRecompile(t *testing.T) {
 		if exact.Inference.Iterations != want.Inference.Iterations {
 			t.Errorf("step %d: iterations = %d, want %d", step, exact.Inference.Iterations, want.Inference.Iterations)
 		}
+	}
+}
+
+// TestIterationsAccounting pins the Result.Iterations semantics: the number
+// of EM iterations actually executed — k when convergence is detected at
+// iteration k, including when k lands exactly on MaxIter (previously the
+// post-convergence increment reported k+1 for early stops and let the
+// MaxIter clamp hide the same overshoot on final-iteration convergence), and
+// MaxIter when the loop exhausts. core.Run and a cold engine Refresh must
+// report the identical count in every regime.
+func TestIterationsAccounting(t *testing.T) {
+	recs := noisyConsensus(16)
+	ds := triple.NewDataset()
+	for _, r := range recs {
+		ds.Add(r)
+	}
+	snap := ds.Compile(triple.CompileOptions{
+		SourceKey:    triple.SourceKeyWebsite,
+		ExtractorKey: triple.ExtractorKeyName,
+	})
+
+	copt := core.DefaultOptions()
+	copt.MaxIter = 100
+	ref, err := core.Run(snap, copt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ref.Converged {
+		t.Fatalf("fixture did not converge in %d iterations", copt.MaxIter)
+	}
+	k := ref.Iterations
+	if k < 2 || k >= copt.MaxIter {
+		t.Fatalf("fixture converges at %d iterations; need 2 <= k < %d for the table below", k, copt.MaxIter)
+	}
+
+	cases := []struct {
+		name          string
+		maxIter       int
+		wantIter      int
+		wantConverged bool
+	}{
+		{"converges below the cap", k + 3, k, true},
+		{"convergence lands on the final iteration", k, k, true},
+		{"exhausts the cap unconverged", k - 1, k - 1, false},
+		{"single-iteration cap", 1, 1, false},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			opt := copt
+			opt.MaxIter = tc.maxIter
+			want, err := core.Run(snap, opt)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if want.Iterations != tc.wantIter || want.Converged != tc.wantConverged {
+				t.Errorf("core.Run: iterations/converged = %d/%v, want %d/%v",
+					want.Iterations, want.Converged, tc.wantIter, tc.wantConverged)
+			}
+			eopt := DefaultOptions()
+			eopt.Shards = 4
+			eopt.Core = opt
+			eng := New(eopt)
+			eng.Ingest(recs...)
+			res, err := eng.Refresh()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.Inference.Iterations != tc.wantIter || res.Inference.Converged != tc.wantConverged {
+				t.Errorf("engine: iterations/converged = %d/%v, want %d/%v",
+					res.Inference.Iterations, res.Inference.Converged, tc.wantIter, tc.wantConverged)
+			}
+		})
+	}
+}
+
+// TestDirtyShardsSurfacesLookupFailure: a pending record that does not
+// resolve against the refreshed snapshot breaks the ingest/extension
+// invariant and must surface as an error instead of being silently absorbed
+// as a full pass.
+func TestDirtyShardsSurfacesLookupFailure(t *testing.T) {
+	opt := DefaultOptions()
+	eng := New(opt)
+	eng.Ingest(localDataset(8)...)
+	if _, err := eng.Refresh(); err != nil {
+		t.Fatal(err)
+	}
+	ghost := triple.Record{
+		Extractor: "E1", Website: "a.com", Page: "a.com/x",
+		Subject: "NeverCompiled", Predicate: "p", Object: "v",
+	}
+	if _, err := eng.dirtyShards(eng.em, eng.snap, eng.snap, []triple.Record{ghost}, opt.Shards); err == nil {
+		t.Fatal("expected an error for a pending record missing from the snapshot")
+	}
+}
+
+// TestStalenessConfinesSettling is the tentpole's behavioural pin: a warm
+// refresh whose ingest moves parameters far beyond Tol (brand-new sources
+// settling from the 0.8 default) must re-estimate only the drift-exceeding
+// shards — no unconditional full sweep — while the stats stay consistent.
+func TestStalenessConfinesSettling(t *testing.T) {
+	opt := DefaultOptions()
+	opt.Shards = 32
+	opt.Core.MaxIter = 40
+	opt.Core.Tol = 1e-4
+	eng := New(opt)
+	eng.Ingest(synthetic.GroupLocalCorpus(0, 400)...)
+	first, err := eng.Refresh()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !first.Inference.Converged {
+		t.Fatalf("cold refresh did not converge in %d iterations", opt.Core.MaxIter)
+	}
+	if first.SettledShards != 0 || first.TouchedShards != first.TotalShards {
+		t.Fatalf("cold refresh settled %d / touched %d of %d shards; want 0 / all",
+			first.SettledShards, first.TouchedShards, first.TotalShards)
+	}
+
+	eng.Ingest(synthetic.GroupLocalCorpus(400, 2)...)
+	res, err := eng.Refresh()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Warm || !res.Extended {
+		t.Fatalf("second refresh warm=%v extended=%v, want warm extend", res.Warm, res.Extended)
+	}
+	if !res.Inference.Converged {
+		t.Fatalf("warm refresh did not converge in %d iterations", opt.Core.MaxIter)
+	}
+
+	// The ingest is genuinely above-Tol: the new sites' accuracies moved far
+	// from the 0.8 initialisation while settling.
+	moved := 0.0
+	for w := len(first.Inference.A); w < len(res.Inference.A); w++ {
+		if d := math.Abs(res.Inference.A[w] - 0.8); d > moved {
+			moved = d
+		}
+	}
+	if moved <= opt.Core.Tol {
+		t.Fatalf("fixture did not move any new source beyond Tol (max |ΔA| = %g)", moved)
+	}
+
+	// ... and yet the settling stayed confined: most of the corpus was never
+	// re-estimated.
+	if res.TouchedShards >= res.TotalShards {
+		t.Errorf("above-Tol ingest still swept all %d shards; per-unit staleness did not confine it", res.TotalShards)
+	}
+	if res.SettledShards+res.TouchedShards != res.TotalShards {
+		t.Errorf("SettledShards %d + TouchedShards %d != TotalShards %d",
+			res.SettledShards, res.TouchedShards, res.TotalShards)
+	}
+	if res.TouchedShards < res.FirstPassShards {
+		t.Errorf("TouchedShards %d < FirstPassShards %d", res.TouchedShards, res.FirstPassShards)
 	}
 }
 

@@ -70,10 +70,15 @@ func assertSnapshotsBitIdentical(t *testing.T, tag string, got, want *triple.Sna
 
 // TestFuzzIncrementalAggregatesMatchOracle drives randomized ingest
 // schedules through the default engine (extended EM state + incremental
-// M-step aggregates) and the FullRecompile + full-aggregation oracle, across
-// shard counts, both absence scopes, support thresholds that flip inclusion
-// mid-stream, and loose/tight tolerances. Every refresh must agree with the
-// oracle to 1e-9 on parameters and posteriors, with bit-identical snapshots.
+// M-step aggregates + per-unit staleness settling) and the FullRecompile +
+// full-aggregation oracle, across shard counts, both absence scopes, support
+// thresholds that flip inclusion mid-stream, and loose/tight tolerances. The
+// schedule mixes the ingest regimes the staleness ledger must handle: resume
+// refreshes, below-Tol nudges (re-ingested duplicate cells that barely move
+// any parameter), small fresh batches, and large above-Tol batches whose
+// settling must still match the oracle. Every refresh must agree with the
+// oracle to 1e-9 on parameters and posteriors, with bit-identical snapshots,
+// identical settling decisions, and internally consistent shard accounting.
 func TestFuzzIncrementalAggregatesMatchOracle(t *testing.T) {
 	const tol = 1e-9
 	for trial := 0; trial < 30; trial++ {
@@ -103,12 +108,30 @@ func TestFuzzIncrementalAggregatesMatchOracle(t *testing.T) {
 		start := 0
 		step := 0
 		for start < len(recs) {
-			n := rng.Intn(len(recs)-start) + 1
-			if rng.Intn(4) == 0 {
-				n = 0 // no-op / resume refresh
+			var batch []triple.Record
+			switch rng.Intn(6) {
+			case 0:
+				// Resume / no-op refresh: nothing new.
+			case 1:
+				// Below-Tol nudge: re-ingest records the engines have already
+				// absorbed. The duplicate (e,w,d,v) cells raise no confidence
+				// (same values), so the refresh runs its footprint pass with
+				// near-zero parameter movement.
+				if start > 0 {
+					k := min(rng.Intn(3)+1, start)
+					batch = recs[start-k : start]
+				}
+			case 2, 3:
+				// Small fresh ingest.
+				n := min(rng.Intn(8)+1, len(recs)-start)
+				batch = recs[start : start+n]
+				start += n
+			default:
+				// Large, typically above-Tol ingest.
+				n := rng.Intn(len(recs)-start) + 1
+				batch = recs[start : start+n]
+				start += n
 			}
-			batch := recs[start : start+n]
-			start += n
 			if err := fast.Ingest(batch...); err != nil {
 				t.Fatal(err)
 			}
@@ -135,6 +158,31 @@ func TestFuzzIncrementalAggregatesMatchOracle(t *testing.T) {
 			}
 			if !got.NoOp {
 				assertSnapshotsBitIdentical(t, tag, got.Snapshot, want.Snapshot)
+			}
+
+			// Staleness accounting invariants: the settled and touched shard
+			// counts partition the shard space, the first pass is a subset of
+			// what the refresh touched, a cold refresh touches everything,
+			// and a no-op refresh touches nothing.
+			if got.SettledShards+got.TouchedShards != got.TotalShards {
+				t.Fatalf("%s: SettledShards %d + TouchedShards %d != TotalShards %d",
+					tag, got.SettledShards, got.TouchedShards, got.TotalShards)
+			}
+			if got.TouchedShards < got.FirstPassShards {
+				t.Fatalf("%s: TouchedShards %d < FirstPassShards %d", tag, got.TouchedShards, got.FirstPassShards)
+			}
+			if !got.Warm && got.SettledShards != 0 {
+				t.Fatalf("%s: cold refresh settled %d shards", tag, got.SettledShards)
+			}
+			if got.NoOp && got.TouchedShards != 0 {
+				t.Fatalf("%s: no-op refresh touched %d shards", tag, got.TouchedShards)
+			}
+			// The oracle rebuilds its state from scratch every refresh but
+			// carries the same drift ledger, so it must make the identical
+			// settling decisions.
+			if got.SettledShards != want.SettledShards || got.Escalations != want.Escalations {
+				t.Fatalf("%s: settled/escalations = %d/%d, oracle %d/%d",
+					tag, got.SettledShards, got.Escalations, want.SettledShards, want.Escalations)
 			}
 			g, w := got.Inference, want.Inference
 			for _, c := range []struct {

@@ -265,3 +265,59 @@ func (w *World) TrueValueOf(subject, predicate string) (string, bool) {
 	v, ok := w.Dataset.TrueValue[subject+"\x1f"+predicate]
 	return v, ok
 }
+
+// GroupLocalCorpus builds the deterministic serving-shaped fixture shared by
+// the engine's staleness tests and kbt's BenchmarkRefreshSettled: item groups
+// of four, each witnessed only by its group's own four websites
+// ("g%06d-{a..d}.com" — a and b reliable, c wrong on 30% of its items, d on
+// 70%), read by three global extractors E1-E3 of descending confidence, with
+// E3 hallucinating an extra value on every third item. Because sources are
+// group-local, ingesting new whole groups moves only the new sites'
+// accuracies — the regime where per-unit staleness confines the settling
+// sweep. Groups are always emitted whole: a truncated group would leave
+// knife-edge sources (two items, conflicting evidence) whose accuracy and
+// value posteriors chase each other through the Eq 26 feedback for thousands
+// of sub-Tol iterations. Item ids are global (group g owns items 4g..4g+3),
+// so successive calls with increasing firstGroup extend the same corpus.
+func GroupLocalCorpus(firstGroup, nGroups int) []triple.Record {
+	var recs []triple.Record
+	add := func(e, w, subj, pred, obj string, conf float64) {
+		recs = append(recs, triple.Record{
+			Extractor: e, Pattern: "pat", Website: w, Page: w + "/x",
+			Subject: subj, Predicate: pred, Object: obj, Confidence: conf,
+		})
+	}
+	for g := firstGroup; g < firstGroup+nGroups; g++ {
+		group := fmt.Sprintf("g%06d", g)
+		for i := 4 * g; i < 4*g+4; i++ {
+			subj := fmt.Sprintf("S%07d", i)
+			pred := fmt.Sprintf("pred%07d", i)
+			truth := "v" + subj
+			wrong := "w" + subj
+			sites := []struct {
+				site string
+				obj  string
+			}{
+				{group + "-a.com", truth},
+				{group + "-b.com", truth},
+				{group + "-c.com", truth},
+				{group + "-d.com", truth},
+			}
+			if i%10 < 3 {
+				sites[2].obj = wrong
+			}
+			if i%10 < 7 {
+				sites[3].obj = wrong
+			}
+			for _, wt := range sites {
+				add("E1", wt.site, subj, pred, wt.obj, 1)
+				add("E2", wt.site, subj, pred, wt.obj, 0.9)
+				add("E3", wt.site, subj, pred, wt.obj, 0.8)
+			}
+			if i%3 == 0 {
+				add("E3", sites[0].site, subj, pred, "halluc"+subj, 0.8)
+			}
+		}
+	}
+	return recs
+}
