@@ -13,6 +13,7 @@ package kbt
 import (
 	"fmt"
 	"strings"
+	"sync"
 	"testing"
 
 	"kbt/internal/experiments"
@@ -565,6 +566,80 @@ func BenchmarkRefreshCold(b *testing.B) {
 			b.ReportMetric(float64(corpusN), "extractions")
 		})
 	}
+}
+
+// BenchmarkQueryDuringRefresh measures the lock-free read path under
+// refresh pressure: a background goroutine continuously ingests fresh
+// group-local batches and refreshes, while the timed loop hammers the query
+// surface — Current, TopSources, a memoized Sources read, TripleProbability
+// and Stats. Each iteration performs queriesPerOp query rounds, so ns/op
+// amortizes the refresher's pauses into a steady reader-latency number;
+// readers never take the engine lock, so the figure stays flat as the
+// corpus grows. Reported ops/sec (see cmd/benchjson) is the serving
+// throughput headline.
+func BenchmarkQueryDuringRefresh(b *testing.B) {
+	const corpusN, ingestN, queriesPerOp = 100_000, 100, 1000
+	opt := refreshBenchOptions()
+	opt.Shards = 256
+	opt.MinSupport = 1
+	eng, err := NewEngine(opt)
+	if err != nil {
+		b.Fatal(err)
+	}
+	base, next := settledGroupCorpus(0, corpusN)
+	if err := eng.Ingest(base...); err != nil {
+		b.Fatal(err)
+	}
+	if _, err := eng.Refresh(); err != nil {
+		b.Fatal(err)
+	}
+	probe := base[0]
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			var batch []Extraction
+			batch, next = settledGroupCorpus(next, ingestN)
+			if err := eng.Ingest(batch...); err != nil {
+				return
+			}
+			if _, err := eng.Refresh(); err != nil {
+				return
+			}
+		}
+	}()
+
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for q := 0; q < queriesPerOp; q++ {
+			r, ok := eng.Current()
+			if !ok {
+				b.Fatal("no current result")
+			}
+			if top := r.TopSources(10); len(top) == 0 {
+				b.Fatal("empty top sources")
+			}
+			r.Sources() // memoized full view
+			if _, ok := r.TripleProbability(probe.Subject, probe.Predicate, probe.Object); !ok {
+				b.Fatal("probe triple not covered")
+			}
+			if _, ok := eng.Stats(); !ok {
+				b.Fatal("missing stats")
+			}
+		}
+	}
+	b.StopTimer()
+	close(stop)
+	wg.Wait()
+	b.ReportMetric(queriesPerOp, "queries/op")
 }
 
 // BenchmarkSyntheticGeneration measures the §5.2.1 generator.

@@ -239,7 +239,7 @@ func Compare(oldRep, newRep *Report, filter string, maxRegress float64, w io.Wri
 		seen[b.Name] = true
 		was, ok := oldNs[b.Name]
 		if !ok {
-			fmt.Fprintf(w, "NEW      %-55s %14.0f ns/op (no baseline)\n", b.Name, ns)
+			fmt.Fprintf(w, "NEW      %-55s %14.0f ns/op %14s ops/s (no baseline)\n", b.Name, ns, opsPerSec(ns))
 			continue
 		}
 		compared++
@@ -251,7 +251,11 @@ func Compare(oldRep, newRep *Report, filter string, maxRegress float64, w io.Wri
 		} else if change < -maxRegress {
 			verdict = "faster  "
 		}
-		fmt.Fprintf(w, "%s %-55s %14.0f -> %14.0f ns/op  (%+.1f%%)\n", verdict, b.Name, was, ns, change*100)
+		// The ops/s column reads the same gate in throughput terms — the
+		// natural unit for serving-style benchmarks (query and publication
+		// rates), alongside the latency ns/op.
+		fmt.Fprintf(w, "%s %-55s %14.0f -> %14.0f ns/op  (%+.1f%%)  %10s -> %10s ops/s\n",
+			verdict, b.Name, was, ns, change*100, opsPerSec(was), opsPerSec(ns))
 	}
 	for _, b := range oldRep.Benchmarks {
 		if _, gated := b.Metrics["ns/op"]; !gated || seen[b.Name] || (re != nil && !re.MatchString(b.Name)) {
@@ -267,6 +271,23 @@ func Compare(oldRep, newRep *Report, filter string, maxRegress float64, w io.Wri
 		return 0, fmt.Errorf("no overlapping benchmarks to compare (filter %q): the gate would be vacuous", filter)
 	}
 	return regressions, nil
+}
+
+// opsPerSec renders a ns/op figure as operations per second, with a
+// magnitude suffix so nine-digit rates stay scannable in the table.
+func opsPerSec(ns float64) string {
+	if ns <= 0 {
+		return "-"
+	}
+	ops := 1e9 / ns
+	switch {
+	case ops >= 1e6:
+		return fmt.Sprintf("%.2fM", ops/1e6)
+	case ops >= 1e3:
+		return fmt.Sprintf("%.2fk", ops/1e3)
+	default:
+		return fmt.Sprintf("%.2f", ops)
+	}
 }
 
 // splitProcs strips the trailing -GOMAXPROCS suffix go test appends to the

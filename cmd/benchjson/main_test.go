@@ -115,6 +115,12 @@ func TestCompare(t *testing.T) {
 	if !strings.Contains(out.String(), "REGRESS") || strings.Contains(out.String(), "BenchmarkOther") {
 		t.Errorf("unexpected compare output:\n%s", out.String())
 	}
+	// Every compared line carries the throughput view of the same numbers:
+	// 100 ns/op and 115 ns/op are 10M and 8.70M ops/s.
+	if !strings.Contains(out.String(), "ops/s") || !strings.Contains(out.String(), "10.00M") ||
+		!strings.Contains(out.String(), "8.70M") {
+		t.Errorf("compare output missing ops/s column:\n%s", out.String())
+	}
 
 	// Without the filter the 3.3x "Other" regression is gated too; the
 	// baseline-less benchmark is reported but never fails the gate.

@@ -263,10 +263,10 @@ func cmdServe(args []string) error {
 				refreshCount+1, eng.Len(), mode, stats.Iterations, elapsed.Round(time.Microsecond))
 		}
 		refreshCount++
-		for i, s := range res.Sources() {
-			if *top > 0 && i >= *top {
-				break
-			}
+		// TopSources selects the k best without sorting the whole corpus —
+		// on a large corpus the per-refresh ranking print costs O(n + k log
+		// k) instead of O(n log n) (0 = all, the full memoized view).
+		for _, s := range res.TopSources(*top) {
 			fmt.Printf("%-50s %8.4f %10.1f %v\n", clip(s.Name, 50), s.KBT, s.ExpectedTriples, s.Reportable)
 		}
 		return nil

@@ -3,6 +3,7 @@ package kbt
 import (
 	"errors"
 	"fmt"
+	"sync/atomic"
 
 	"kbt/internal/engine"
 	"kbt/internal/triple"
@@ -74,10 +75,17 @@ func DefaultEngineOptions() EngineOptions {
 // full multi-layer model exactly as EstimateKBT does at the same
 // granularity; later Refreshes warm-start from the previous posteriors and
 // re-run the first inference pass only over the shards the new records
-// touched. Safe for concurrent use.
+// touched. Safe for concurrent use; the read path (Current, TopSources,
+// TopTriples, Stats) is lock-free — results are published as immutable
+// generations behind an atomic pointer, so readers never block a running
+// Refresh and a generation a reader holds stays valid across later
+// refreshes.
 type Engine struct {
 	eng *engine.Engine
 	opt EngineOptions
+	// cur caches the Result wrapper of the latest published generation, so
+	// every reader of a generation shares one set of memoized sorted views.
+	cur atomic.Pointer[Result]
 }
 
 // NewEngine builds an empty incremental engine.
@@ -142,11 +150,64 @@ func (e *Engine) Refresh() (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Result{
+	return e.wrap(r), nil
+}
+
+// wrap returns the shared Result wrapper for a published generation,
+// building and caching it on first sight. Sharing the wrapper is what
+// makes the memoized sorted views per-generation instead of per-call; a
+// racing reader that briefly re-wraps the same generation only duplicates
+// that memo, never its contents.
+func (e *Engine) wrap(r *engine.Result) *Result {
+	cached := e.cur.Load()
+	if cached != nil && cached.res == r.Inference {
+		return cached
+	}
+	w := &Result{
 		snap: r.Snapshot,
 		res:  r.Inference,
 		opt:  Options{MinReportableTriples: e.opt.MinReportableTriples},
-	}, nil
+	}
+	// Install only if the cache still holds what we loaded: a reader that
+	// raced a Refresh must not evict the newer generation's wrapper (and
+	// its warmed memoized views) with an older one.
+	e.cur.CompareAndSwap(cached, w)
+	return w
+}
+
+// Current returns the result of the most recent Refresh without performing
+// any estimation work, or false before the first one. The read is
+// lock-free: it never blocks a concurrent Refresh, and the returned
+// generation stays valid (and internally consistent) after any number of
+// later refreshes.
+func (e *Engine) Current() (*Result, bool) {
+	r := e.eng.Last()
+	if r == nil {
+		return nil, false
+	}
+	return e.wrap(r), true
+}
+
+// TopSources returns the k most trustworthy sources of the current
+// generation (k <= 0 means all), or false before the first Refresh. See
+// Result.TopSources.
+func (e *Engine) TopSources(k int) ([]Source, bool) {
+	r, ok := e.Current()
+	if !ok {
+		return nil, false
+	}
+	return r.TopSources(k), true
+}
+
+// TopTriples returns the k most probable covered triples of the current
+// generation (k <= 0 means all), or false before the first Refresh. See
+// Result.TopTriples.
+func (e *Engine) TopTriples(k int) ([]TripleVerdict, bool) {
+	r, ok := e.Current()
+	if !ok {
+		return nil, false
+	}
+	return r.TopTriples(k), true
 }
 
 // RefreshStats describes the work the most recent Refresh performed.

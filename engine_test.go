@@ -278,3 +278,36 @@ func TestEngineFullRecompileOption(t *testing.T) {
 		}
 	}
 }
+
+// TestSourceByNameDisplayForms: the indexed SourceByName resolution must
+// cover internal labels, pure display renderings, and the ambiguous case of
+// a label part containing a literal '|' (where every '|' in the display form
+// could be either a join or a literal, and only the scan fallback can tell).
+func TestSourceByNameDisplayForms(t *testing.T) {
+	ds := NewDataset()
+	for _, site := range []string{"plain.com", "we|rd.com"} {
+		ds.Add(Extraction{
+			Extractor: "E1", Pattern: "pat", Website: site, Page: site + "/1",
+			Subject: "S", Predicate: "p", Object: "v",
+		})
+	}
+	opt := DefaultOptions()
+	opt.Granularity = GranularityFinest // labels join website|predicate|page
+	opt.MinSupport = 1
+	res, err := EstimateKBT(ds, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{
+		"plain.com|p|plain.com/1",
+		"plain.com\x1fp\x1fplain.com/1", // internal form
+		"we|rd.com|p|we|rd.com/1",       // literal '|' inside label parts
+	} {
+		if _, ok := res.SourceByName(name); !ok {
+			t.Errorf("SourceByName(%q) missed", name)
+		}
+	}
+	if _, ok := res.SourceByName("nope|p|nope/1"); ok {
+		t.Error("SourceByName matched a nonexistent source")
+	}
+}

@@ -74,7 +74,7 @@ func evidenceFrom(s *triple.Snapshot, res *core.Result) Evidence {
 			return p
 		},
 		Accuracy: func(w int) float64 { return res.A[w] },
-		Provides: func(ti int) bool { return res.CProb[ti] >= 0.5 },
+		Provides: func(ti int) bool { return res.CProbAt(ti) >= 0.5 },
 	}
 }
 

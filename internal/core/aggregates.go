@@ -59,9 +59,13 @@ type aggState struct {
 	aValid, eValid bool
 	// iter counts EM iterations (BeginIteration calls); fullTick marks the
 	// iterations on the ReaggregateEvery cadence, whose M-steps re-aggregate
-	// in full to bound drift.
-	iter     int
-	fullTick bool
+	// in full to bound drift. expAnchor latches fullTick until the next
+	// publication, telling BuildResultFrom to re-derive the expected-triple
+	// sums canonically instead of folding deltas — the same cadence bounds
+	// that sum's drift too.
+	iter      int
+	fullTick  bool
+	expAnchor bool
 
 	// Stage III: per-source (num, den) sums and per-triple contributions.
 	aNum, aDen   []float64

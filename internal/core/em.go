@@ -82,6 +82,16 @@ func (em *EM) BeginIteration(refreshVotes bool) {
 	if ag := em.st.agg; ag != nil {
 		ag.iter++
 		ag.fullTick = ag.iter%em.st.opt.ReaggregateEvery == 0
+		if ag.fullTick {
+			// The absence masses and expected-triple sums are maintained
+			// incrementally across extensions, selective vote republishes
+			// and publications; re-anchor both canonically on the same
+			// cadence that re-anchors the M-step aggregates, bounding the
+			// fold-in reassociation drift to what ReaggregateEvery
+			// iterations can accumulate.
+			em.st.absenceStale = true
+			ag.expAnchor = true
+		}
 	}
 	em.st.prepareVotes(refreshVotes)
 }
@@ -202,7 +212,9 @@ func (em *EM) CoveredTriples() []bool { return em.st.coveredTriple }
 
 // BuildResult assembles a Result from the EM state and the caller-owned
 // posterior arrays, deep-copying everything so the caller may keep mutating
-// its arrays across later refreshes.
+// its arrays across later refreshes. It is the O(corpus) flat build;
+// BuildResultFrom (publish.go) is the O(dirty) copy-on-write generation
+// path the engine publishes through.
 func (em *EM) BuildResult(cProb []float64, valueProb [][]float64, restMass []float64, coveredItem []bool, iterations int, converged bool) *Result {
 	st := em.st
 	s := st.s
@@ -211,11 +223,11 @@ func (em *EM) BuildResult(cProb []float64, valueProb [][]float64, restMass []flo
 		P:                 append([]float64(nil), st.p...),
 		R:                 append([]float64(nil), st.r...),
 		Q:                 append([]float64(nil), st.q...),
-		CProb:             append([]float64(nil), cProb...),
-		ValueProb:         make([][]float64, len(valueProb)),
-		RestMass:          append([]float64(nil), restMass...),
-		CoveredTriple:     append([]bool(nil), st.coveredTriple...),
-		CoveredItem:       append([]bool(nil), coveredItem...),
+		cProb:             append([]float64(nil), cProb...),
+		valueProb:         make([][]float64, len(valueProb)),
+		restMass:          append([]float64(nil), restMass...),
+		coveredTriple:     append([]bool(nil), st.coveredTriple...),
+		coveredItem:       append([]bool(nil), coveredItem...),
 		SourceIncluded:    append([]bool(nil), st.srcIncluded...),
 		ExtractorIncluded: append([]bool(nil), st.extIncluded...),
 		ExpectedTriples:   make([]float64, len(s.Sources)),
@@ -234,10 +246,42 @@ func (em *EM) BuildResult(cProb []float64, valueProb [][]float64, restMass []flo
 	for d := range valueProb {
 		n := len(backing)
 		backing = append(backing, valueProb[d]...)
-		res.ValueProb[d] = backing[n:len(backing):len(backing)]
+		res.valueProb[d] = backing[n:len(backing):len(backing)]
 	}
 	for ti, tr := range s.Triples {
 		res.ExpectedTriples[tr.W] += cProb[ti]
 	}
 	return res
+}
+
+// AbsenceMasses returns the live base absence-mass state prepareVotes
+// maintains: the global mass under ScopeAllExtractors and the per-cell
+// masses under ScopeAttemptedSources (the other return is zero-valued).
+// Read-only, for tests and diagnostics.
+func (em *EM) AbsenceMasses() (total float64, cells []float64) {
+	return em.st.totalAbs, em.st.cellAbs
+}
+
+// RecomputeAbsenceMasses derives the base absence masses canonically from
+// the currently published votes and attempted-cell structure — the oracle
+// the incrementally maintained masses are pinned against. The summation
+// order matches prepareVotes' canonical rebuild, so a state whose masses
+// were just re-anchored compares bit-equal.
+func (em *EM) RecomputeAbsenceMasses() (total float64, cells []float64) {
+	st := em.st
+	if st.opt.Scope == ScopeAllExtractors {
+		for e, inc := range st.extIncluded {
+			if inc {
+				total += st.ab[e]
+			}
+		}
+		return total, nil
+	}
+	cells = make([]float64, st.numCells)
+	for e, cs := range st.cellsOfExtractor {
+		for _, c := range cs {
+			cells[c] += st.ab[e]
+		}
+	}
+	return 0, cells
 }

@@ -143,7 +143,7 @@ func TestExample31VoteCounts(t *testing.T) {
 		if ti < 0 {
 			t.Fatalf("no candidate triple for %s", w)
 		}
-		return res.CProb[ti]
+		return res.CProbAt(ti)
 	}
 	if p := get("W1", vUSA); p < 0.9999 {
 		t.Errorf("p(C W1,USA) = %v, want ~1", p)
@@ -179,7 +179,7 @@ func TestTable4ExtractionCorrectness(t *testing.T) {
 		if ti < 0 {
 			t.Fatalf("missing candidate (%s,%s)", c.w, c.v)
 		}
-		got := res.CProb[ti]
+		got := res.CProbAt(ti)
 		if math.Abs(got-c.p) > 0.02 {
 			t.Errorf("p(C %s,%s) = %.4f, want %.2f", c.w, c.v, got, c.p)
 		}
@@ -210,7 +210,7 @@ func TestExample32ValuePosterior(t *testing.T) {
 	// N.Amer IS observed (a candidate), so rest covers 10+1-3 = 8 values
 	// plus N.Amer's own tiny probability.
 	pN, _ := res.TripleProb(d, s.ValueID("N.Amer"))
-	total := pUSA + pKenya + pN + res.RestMass[d]
+	total := pUSA + pKenya + pN + res.RestMassAt(d)
 	if math.Abs(total-1) > 1e-9 {
 		t.Errorf("mass = %v", total)
 	}
@@ -231,7 +231,7 @@ func TestExample33PriorUpdate(t *testing.T) {
 	}
 	d := s.ItemID("Obama", "nationality")
 	ti := s.TripleIndex(s.SourceID("W7"), d, s.ValueID("Kenya"))
-	got := res.CProb[ti]
+	got := res.CProbAt(ti)
 	if math.Abs(got-0.045) > 0.015 {
 		t.Errorf("updated p(C W7,Kenya) = %.4f, want ~0.04", got)
 	}

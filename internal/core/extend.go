@@ -69,7 +69,6 @@ func extCellKey(e, c int) int64 { return int64(e)<<32 | int64(uint32(c)) }
 func extendState(st *state, s *triple.Snapshot, opt Options, d triple.Delta) {
 	prevS := st.s
 	st.opt = opt
-	st.absenceStale = true // new observations and cells change the masses
 	nSrc, nExt, nTri, nObs := len(s.Sources), len(s.Extractors), len(s.Triples), len(s.Obs)
 
 	// Build the extension-only indexes lazily on the first extension: the
@@ -105,6 +104,25 @@ func extendState(st *state, s *triple.Snapshot, opt Options, d triple.Delta) {
 		structural = extInc[e] != st.extIncluded[e]
 	}
 	st.srcIncluded, st.extIncluded = srcInc, extInc
+
+	// Absence masses: pure growth keeps them valid incrementally — a new
+	// cell starts at zero and every newly attempted (extractor, cell) pair
+	// folds the extractor's currently published absence vote in below,
+	// exactly the contribution the canonical rebuild would add (under
+	// ScopeAllExtractors the global mass is untouched by growth). Anything
+	// beyond pure growth falls back to the canonical rebuild: a grown
+	// extractor set (the engine force-refreshes votes there, and a fresh
+	// extractor's votes are not yet derived), an inclusion flip (structural;
+	// buildExtractorCells re-stales anyway), or a caller without incremental
+	// aggregates — keeping the FullAggregates/FullRecompile oracles on the
+	// per-refresh canonical rebuild, bit-exact against each other. The
+	// incremental masses are re-anchored canonically by every vote-refreshing
+	// iteration and the ReaggregateEvery cadence (see EM.BeginIteration).
+	incMass := st.agg != nil && !st.absenceStale && !structural &&
+		len(s.Extractors) == d.Extractors
+	if !incMass {
+		st.absenceStale = true // new observations and cells change the masses
+	}
 
 	// Parameters: old units keep their current estimates; new units get
 	// exactly newState's initialisation.
@@ -176,6 +194,11 @@ func extendState(st *state, s *triple.Snapshot, opt Options, d triple.Delta) {
 	if len(st.cellC) < st.numCells {
 		st.cellC = grow(st.cellC, st.numCells, 0)
 	}
+	if incMass && st.opt.Scope != ScopeAllExtractors {
+		// Valid masses extend with the cell space: new cells carry zero mass
+		// until an extractor attempts them below.
+		st.cellAbs = grow(st.cellAbs, st.numCells, 0)
+	}
 
 	// Priors and the Stage I vote-sum cache: carried by index prefix, new
 	// triples start from the Alpha prior exactly as in newState.
@@ -229,6 +252,12 @@ func extendState(st *state, s *triple.Snapshot, opt Options, d triple.Delta) {
 		}
 		st.extCellSeen[key] = true
 		st.cellsOfExtractor[e] = append(st.cellsOfExtractor[e], c)
+		if incMass && st.opt.Scope != ScopeAllExtractors {
+			// The newly attempted cell gains the extractor's published
+			// absence vote — the same contribution the canonical rebuild
+			// derives from the grown cell lists.
+			st.cellAbs[c] += st.ab[e]
+		}
 		if ag != nil {
 			ag.extsOfCell[c] = append(ag.extsOfCell[c], int32(e))
 			// Attending a cell for the first time pulls its existing

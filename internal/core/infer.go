@@ -10,7 +10,13 @@ import (
 	"kbt/internal/triple"
 )
 
-// Result holds the multi-layer posteriors and parameter estimates from Run.
+// Result holds the multi-layer posteriors and parameter estimates from Run
+// (or a published engine generation). A Result is immutable once built; the
+// per-triple and per-item posteriors are read through the accessor methods
+// (CProbAt, ValueRow, RestMassAt, CoveredTripleAt, CoveredItemAt), which
+// hide whether the storage is the flat arrays of a batch run or the shared,
+// copy-on-write generation chunks of the incremental engine (see
+// publish.go).
 type Result struct {
 	// A is the estimated accuracy per source — the Knowledge-Based Trust
 	// score. Sources excluded by MinSourceSupport keep the default.
@@ -20,22 +26,6 @@ type Result struct {
 	// Pre, Abs are the final presence/absence votes per extractor (Eqs
 	// 12-13), exposed for inspection and the worked-example tests.
 	Pre, Abs []float64
-
-	// CProb[ti] is p(C_wdv = 1 | X) for candidate triple ti of the
-	// snapshot's Triples list: the probability that the source really
-	// provides the triple.
-	CProb []float64
-
-	// ValueProb[d][k] is p(Vd = ItemValues[d][k] | X); RestMass[d] is the
-	// probability spread uniformly over the unobserved domain values.
-	ValueProb [][]float64
-	RestMass  []float64
-
-	// CoveredTriple marks candidate triples with at least one observation
-	// from an included extractor; CoveredItem marks items with at least one
-	// covered candidate triple from an included source.
-	CoveredTriple []bool
-	CoveredItem   []bool
 
 	// SourceIncluded / ExtractorIncluded report which units met the support
 	// thresholds and had their parameters re-estimated.
@@ -52,19 +42,94 @@ type Result struct {
 	Iterations int
 	Converged  bool
 
+	// Flat posterior storage (batch Run, EM.BuildResult). Exactly one of
+	// the flat arrays and gen is populated.
+	cProb         []float64
+	valueProb     [][]float64
+	restMass      []float64
+	coveredTriple []bool
+	coveredItem   []bool
+	// gen is the chunked generation store of EM.BuildResultFrom: per-shard
+	// immutable chunks, shared with the previous generation for shards the
+	// refresh never re-estimated.
+	gen *genStore
+
 	snap *triple.Snapshot
+}
+
+// NumTriples returns the number of candidate triples the result covers.
+func (r *Result) NumTriples() int {
+	if r.gen != nil {
+		return len(r.gen.tripleShard)
+	}
+	return len(r.cProb)
+}
+
+// NumItems returns the number of data items the result covers.
+func (r *Result) NumItems() int {
+	if r.gen != nil {
+		return len(r.gen.itemShard)
+	}
+	return len(r.restMass)
+}
+
+// CProbAt returns p(C_wdv = 1 | X) for candidate triple ti of the
+// snapshot's Triples list: the probability that the source really provides
+// the triple.
+func (r *Result) CProbAt(ti int) float64 {
+	if g := r.gen; g != nil {
+		return g.chunks[g.tripleShard[ti]].cProb[g.triplePos[ti]]
+	}
+	return r.cProb[ti]
+}
+
+// CoveredTripleAt reports whether candidate triple ti has at least one
+// observation from an included extractor.
+func (r *Result) CoveredTripleAt(ti int) bool {
+	if g := r.gen; g != nil {
+		return g.chunks[g.tripleShard[ti]].covTri[g.triplePos[ti]]
+	}
+	return r.coveredTriple[ti]
+}
+
+// CoveredItemAt reports whether item d has at least one covered candidate
+// triple from an included source.
+func (r *Result) CoveredItemAt(d int) bool {
+	if g := r.gen; g != nil {
+		return g.chunks[g.itemShard[d]].covItem[g.itemPos[d]]
+	}
+	return r.coveredItem[d]
+}
+
+// ValueRow returns the value posterior row of item d: ValueRow(d)[k] is
+// p(Vd = ItemValues[d][k] | X). The row is shared storage — callers must
+// not modify it.
+func (r *Result) ValueRow(d int) []float64 {
+	if g := r.gen; g != nil {
+		return g.chunks[g.itemShard[d]].valueRow(int(g.itemPos[d]))
+	}
+	return r.valueProb[d]
+}
+
+// RestMassAt returns the probability mass of item d spread uniformly over
+// the unobserved domain values.
+func (r *Result) RestMassAt(d int) float64 {
+	if g := r.gen; g != nil {
+		return g.chunks[g.itemShard[d]].restMass[g.itemPos[d]]
+	}
+	return r.restMass[d]
 }
 
 // TripleProb returns p(Vd = v | X) for a candidate value v of item d and
 // whether the item is covered.
 func (r *Result) TripleProb(d, v int) (float64, bool) {
-	if d < 0 || d >= len(r.ValueProb) || !r.CoveredItem[d] {
+	if d < 0 || d >= r.NumItems() || !r.CoveredItemAt(d) {
 		return 0, false
 	}
 	vs := r.snap.ItemValues[d]
 	k := sort.SearchInts(vs, v)
 	if k < len(vs) && vs[k] == v {
-		return r.ValueProb[d][k], true
+		return r.ValueRow(d)[k], true
 	}
 	return 0, true
 }
@@ -98,11 +163,11 @@ func Run(s *triple.Snapshot, opt Options) (*Result, error) {
 		P:                 st.p,
 		R:                 st.r,
 		Q:                 st.q,
-		CProb:             make([]float64, nTri),
-		ValueProb:         make([][]float64, nItem),
-		RestMass:          make([]float64, nItem),
-		CoveredTriple:     st.coveredTriple,
-		CoveredItem:       make([]bool, nItem),
+		cProb:             make([]float64, nTri),
+		valueProb:         make([][]float64, nItem),
+		restMass:          make([]float64, nItem),
+		coveredTriple:     st.coveredTriple,
+		coveredItem:       make([]bool, nItem),
 		SourceIncluded:    st.srcIncluded,
 		ExtractorIncluded: st.extIncluded,
 		ExpectedTriples:   make([]float64, nSrc),
@@ -121,10 +186,10 @@ func Run(s *triple.Snapshot, opt Options) (*Result, error) {
 	// only fills in what the caller did not pin.
 	if !opt.DisableBootstrap && !opt.FreezeExtractors {
 		opt.Timer.Time(StageExtQuality, func() {
-			for ti := range res.CProb {
-				res.CProb[ti] = opt.Alpha
+			for ti := range res.cProb {
+				res.cProb[ti] = opt.Alpha
 			}
-			st.estimatePRQ(res.CProb)
+			st.estimatePRQ(res.cProb)
 			st.applyExplicitExtractorInits()
 		})
 	}
@@ -136,24 +201,24 @@ func Run(s *triple.Snapshot, opt Options) (*Result, error) {
 		copy(prevR, st.r)
 
 		// Stage I: extraction correctness p(C|X) (Eqs 15, 26, 31).
-		opt.Timer.Time(StageExtCorr, func() { st.estimateC(res.CProb) })
+		opt.Timer.Time(StageExtCorr, func() { st.estimateC(res.cProb) })
 
 		// Stage II: triple truthfulness p(V|X) (Eqs 23-25).
 		opt.Timer.Time(StageTriplePr, func() {
-			st.estimateV(res.CProb, res.ValueProb, res.RestMass, res.CoveredItem)
+			st.estimateV(res.cProb, res.valueProb, res.restMass, res.coveredItem)
 		})
 
 		// Stage III: source accuracies (Eq 28 / Eq 27).
 		if !opt.FreezeSources {
 			opt.Timer.Time(StageSrcAccu, func() {
-				st.estimateA(res.CProb, res.ValueProb)
+				st.estimateA(res.cProb, res.valueProb)
 			})
 		}
 
 		// Stage IV: extractor quality (Eqs 29-33, Q via Eq 7).
 		if !opt.FreezeExtractors {
 			opt.Timer.Time(StageExtQuality, func() {
-				st.estimatePRQ(res.CProb)
+				st.estimatePRQ(res.cProb)
 			})
 		}
 
@@ -163,7 +228,7 @@ func Run(s *triple.Snapshot, opt Options) (*Result, error) {
 		priorDelta := 0.0
 		if opt.UpdatePrior && iter+1 >= opt.UpdatePriorFromIter {
 			copy(prevLO, st.alphaLO)
-			st.updateAlpha(res.ValueProb)
+			st.updateAlpha(res.valueProb)
 			priorDelta = MaxDeltaLogistic(prevLO, st.alphaLO)
 		}
 
@@ -189,7 +254,7 @@ func Run(s *triple.Snapshot, opt Options) (*Result, error) {
 	res.Iterations = iter
 
 	for ti, tr := range s.Triples {
-		res.ExpectedTriples[tr.W] += res.CProb[ti]
+		res.ExpectedTriples[tr.W] += res.cProb[ti]
 	}
 	return res, nil
 }

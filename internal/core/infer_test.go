@@ -127,8 +127,8 @@ func TestHallucinationsBlamedOnExtractorNotSource(t *testing.T) {
 	if ti < 0 {
 		t.Fatal("missing hallucinated candidate")
 	}
-	if res.CProb[ti] > 0.5 {
-		t.Errorf("hallucinated triple p(C)=%v, want low", res.CProb[ti])
+	if res.CProbAt(ti) > 0.5 {
+		t.Errorf("hallucinated triple p(C)=%v, want low", res.CProbAt(ti))
 	}
 }
 
@@ -139,23 +139,23 @@ func TestProbabilityMassPerItem(t *testing.T) {
 		t.Fatal(err)
 	}
 	for d := range s.Items {
-		if !res.CoveredItem[d] {
+		if !res.CoveredItemAt(d) {
 			continue
 		}
 		var total float64
-		for _, p := range res.ValueProb[d] {
+		for _, p := range res.ValueRow(d) {
 			if p < 0 || p > 1 || math.IsNaN(p) {
 				t.Fatalf("item %d: bad probability %v", d, p)
 			}
 			total += p
 		}
-		total += res.RestMass[d]
+		total += res.RestMassAt(d)
 		if math.Abs(total-1) > 1e-9 {
 			t.Fatalf("item %d: mass %v", d, total)
 		}
 	}
-	for ti, c := range res.CProb {
-		if c < 0 || c > 1 || math.IsNaN(c) {
+	for ti := 0; ti < res.NumTriples(); ti++ {
+		if c := res.CProbAt(ti); c < 0 || c > 1 || math.IsNaN(c) {
 			t.Fatalf("triple %d: bad cprob %v", ti, c)
 		}
 	}
@@ -190,7 +190,7 @@ func TestMinSupportExclusionAndKBTGate(t *testing.T) {
 		t.Error("excluded source must not be KBT-reportable")
 	}
 	solo := s.ItemID("solo", "p")
-	if res.CoveredItem[solo] {
+	if res.CoveredItemAt(solo) {
 		t.Error("item provided only by excluded source must be uncovered")
 	}
 	// A healthy source is reportable.
@@ -224,7 +224,7 @@ func TestExtractorMinSupport(t *testing.T) {
 	}
 	// The triple observed only by the excluded extractor is uncovered.
 	ti := s.TripleIndex(s.SourceID("good1"), s.ItemID("i0", "p"), s.ValueID("weird"))
-	if res.CoveredTriple[ti] {
+	if res.CoveredTripleAt(ti) {
 		t.Error("triple seen only by excluded extractor must be uncovered")
 	}
 }
@@ -247,8 +247,8 @@ func TestWeightedVoteVsMAP(t *testing.T) {
 	}
 	diff := 0.0
 	for d := range s.Items {
-		for k := range resW.ValueProb[d] {
-			diff += math.Abs(resW.ValueProb[d][k] - resM.ValueProb[d][k])
+		for k := range resW.ValueRow(d) {
+			diff += math.Abs(resW.ValueRow(d)[k] - resM.ValueRow(d)[k])
 		}
 	}
 	if diff == 0 {
@@ -342,9 +342,9 @@ func TestScopeAllVsAttempted(t *testing.T) {
 	}
 	ti := s.TripleIndex(s.SourceID("w1"), s.ItemID("s", "p"), s.ValueID("v"))
 	// Under ScopeAll, E2's absence vote (negative) lowers the posterior.
-	if !(rAll.CProb[ti] < rAtt.CProb[ti]) {
+	if !(rAll.CProbAt(ti) < rAtt.CProbAt(ti)) {
 		t.Errorf("scope-all %v should be below scope-attempted %v",
-			rAll.CProb[ti], rAtt.CProb[ti])
+			rAll.CProbAt(ti), rAtt.CProbAt(ti))
 	}
 }
 
@@ -367,9 +367,9 @@ func TestParallelMatchesSerial(t *testing.T) {
 			t.Fatalf("A[%d] differs across worker counts: %v vs %v", w, r1.A[w], rN.A[w])
 		}
 	}
-	for ti := range r1.CProb {
-		if r1.CProb[ti] != rN.CProb[ti] {
-			t.Fatalf("CProb[%d] differs: %v vs %v", ti, r1.CProb[ti], rN.CProb[ti])
+	for ti := 0; ti < r1.NumTriples(); ti++ {
+		if r1.CProbAt(ti) != rN.CProbAt(ti) {
+			t.Fatalf("CProb[%d] differs: %v vs %v", ti, r1.CProbAt(ti), rN.CProbAt(ti))
 		}
 	}
 }
@@ -441,8 +441,8 @@ func TestExpectedTriplesAccounting(t *testing.T) {
 		total += x
 	}
 	var sumC float64
-	for _, c := range res.CProb {
-		sumC += c
+	for ti := 0; ti < res.NumTriples(); ti++ {
+		sumC += res.CProbAt(ti)
 	}
 	if math.Abs(total-sumC) > 1e-9 {
 		t.Errorf("expected triples %v != sum cprob %v", total, sumC)

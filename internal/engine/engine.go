@@ -23,7 +23,13 @@
 //   - updates the global M-step aggregates from exactly the dirty shards'
 //     contribution deltas (core.Options.IncrementalAggregates), with a
 //     periodic full re-aggregation bounding floating-point drift;
-//     Options.FullAggregates keeps every M-step a full aggregation.
+//     Options.FullAggregates keeps every M-step a full aggregation,
+//   - publishes the result as an immutable generation behind an atomic
+//     pointer (core.BuildResultFrom): only the touched shards' posterior
+//     chunks are copied out of the working arrays, every other chunk is
+//     shared with the previous generation, and readers (Last) never block a
+//     running Refresh — an old generation a reader holds stays valid and
+//     bit-stable across any number of later swaps.
 //
 // Stages I and II of Algorithm 1 are independent per candidate triple
 // respectively per item, so each shard's E-step runs as one task on the
@@ -39,6 +45,7 @@ import (
 	"fmt"
 	"math"
 	"sync"
+	"sync/atomic"
 
 	"kbt/internal/core"
 	"kbt/internal/parallel"
@@ -163,8 +170,17 @@ type Engine struct {
 	coveredItem []bool
 	srcInc      []bool
 	extInc      []bool
+	// lastTouched is the per-shard touched mask of the most recent refresh —
+	// the copy-on-write set its publication rebuilt (kept for diagnostics
+	// and the publication benchmarks).
+	lastTouched []bool
 
-	last *Result
+	// last is the published generation, swapped atomically so readers never
+	// block a running Refresh and Refresh never waits for readers. Each
+	// Result is immutable once stored; generations share untouched posterior
+	// chunks (core.BuildResultFrom), and an old generation a reader still
+	// holds stays fully valid after any number of swaps.
+	last atomic.Pointer[Result]
 }
 
 // New returns an empty engine.
@@ -244,10 +260,11 @@ func (e *Engine) Pending() int {
 }
 
 // Last returns the most recent Refresh result, or nil before the first one.
+// The read is a single atomic load — it never blocks a running Refresh —
+// and the returned generation stays valid indefinitely: later refreshes
+// publish new generations instead of mutating it.
 func (e *Engine) Last() *Result {
-	e.mu.Lock()
-	defer e.mu.Unlock()
-	return e.last
+	return e.last.Load()
 }
 
 // Refresh re-estimates the model over everything ingested so far and caches
@@ -276,8 +293,14 @@ func (e *Engine) Refresh() (*Result, error) {
 	// already at the fixed point, so serve them unchanged — with the
 	// iteration count reflecting that no EM ran, and NoOp reporting that no
 	// snapshot work happened at all (neither an extension nor a recompile).
-	if warm && nPending == 0 && e.last != nil && e.last.Inference.Converged {
-		inf := *e.last.Inference
+	// An already-NoOp generation is served as the same pointer, keeping
+	// reader-side caches keyed on it warm.
+	if last := e.last.Load(); warm && nPending == 0 && last != nil && last.Inference.Converged {
+		if last.NoOp {
+			e.mu.Unlock()
+			return last, nil
+		}
+		inf := *last.Inference
 		inf.Iterations = 0
 		res := &Result{
 			Snapshot:        e.snap,
@@ -285,10 +308,10 @@ func (e *Engine) Refresh() (*Result, error) {
 			Warm:            true,
 			NoOp:            true,
 			FirstPassShards: 0,
-			TotalShards:     e.last.TotalShards,
-			SettledShards:   e.last.TotalShards,
+			TotalShards:     last.TotalShards,
+			SettledShards:   last.TotalShards,
 		}
-		e.last = res
+		e.last.Store(res)
 		e.mu.Unlock()
 		return res, nil
 	}
@@ -569,10 +592,22 @@ func (e *Engine) Refresh() (*Result, error) {
 			touchedCount++
 		}
 	}
+	// Publish the new generation by copy-on-write against the previous one:
+	// only the touched shards' posterior chunks are copied out of the
+	// working arrays; everything else is shared. The Extend path is what
+	// guarantees the share is sound — the previous generation was built on
+	// the same snapshot chain, so an untouched shard's working values are
+	// bit-identical to its published chunk. A recompiled refresh (cold or
+	// FullRecompile) builds every chunk, which also re-anchors the
+	// incrementally maintained ExpectedTriples sums.
+	var prevInf *core.Result
+	if prevLast := e.last.Load(); extended && prevLast != nil {
+		prevInf = prevLast.Inference
+	}
 	aggDelta, aggFull := em.AggStepCounts()
 	res := &Result{
 		Snapshot:        snap,
-		Inference:       em.BuildResult(cProb, valueProb, restMass, coveredItem, iter, converged),
+		Inference:       em.BuildResultFrom(prevInf, shards, touched, cProb, valueProb, restMass, coveredItem, iter, converged),
 		Warm:            warm,
 		Extended:        extended,
 		FirstPassShards: firstPass,
@@ -596,8 +631,9 @@ func (e *Engine) Refresh() (*Result, error) {
 	e.cProb, e.valueProb, e.restMass, e.coveredItem = cProb, valueProb, restMass, coveredItem
 	e.srcInc = append([]bool(nil), em.SourceIncluded()...)
 	e.extInc = append([]bool(nil), em.ExtractorIncluded()...)
+	e.lastTouched = touched
 	e.pending = append(e.pending[:0:0], e.pending[nPending:]...)
-	e.last = res
+	e.last.Store(res)
 	e.mu.Unlock()
 	return res, nil
 }

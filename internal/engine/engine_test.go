@@ -23,6 +23,24 @@ func corpus(t testing.TB) []triple.Record {
 	return world.Dataset.Records
 }
 
+// cprobs and restMasses materialize a result's per-triple and per-item
+// posteriors through the accessor API, for slice-wise comparisons.
+func cprobs(r *core.Result) []float64 {
+	out := make([]float64, r.NumTriples())
+	for ti := range out {
+		out[ti] = r.CProbAt(ti)
+	}
+	return out
+}
+
+func restMasses(r *core.Result) []float64 {
+	out := make([]float64, r.NumItems())
+	for d := range out {
+		out[d] = r.RestMassAt(d)
+	}
+	return out
+}
+
 func maxAbsDiff(a, b []float64) float64 {
 	if len(a) != len(b) {
 		return math.Inf(1)
@@ -84,11 +102,11 @@ func TestColdRefreshMatchesCoreRun(t *testing.T) {
 			if d := maxAbsDiff(got.R, want.R); d > 1e-9 {
 				t.Errorf("extractor recall diverges: max |Δ| = %g", d)
 			}
-			if d := maxAbsDiff(got.CProb, want.CProb); d > 1e-9 {
+			if d := maxAbsDiff(cprobs(got), cprobs(want)); d > 1e-9 {
 				t.Errorf("extraction correctness diverges: max |Δ| = %g", d)
 			}
-			for di := range want.ValueProb {
-				if d := maxAbsDiff(got.ValueProb[di], want.ValueProb[di]); d > 1e-9 {
+			for di := 0; di < want.NumItems(); di++ {
+				if d := maxAbsDiff(got.ValueRow(di), want.ValueRow(di)); d > 1e-9 {
 					t.Errorf("value posterior of item %d diverges: max |Δ| = %g", di, d)
 				}
 			}
@@ -186,11 +204,11 @@ func TestIncrementalRefreshConvergesToColdRun(t *testing.T) {
 	if d := maxAbsDiff(got.P, want.P); d > 1e-6 {
 		t.Errorf("incremental precision diverges: max |Δ| = %g", d)
 	}
-	if d := maxAbsDiff(got.CProb, want.CProb); d > 1e-6 {
+	if d := maxAbsDiff(cprobs(got), cprobs(want)); d > 1e-6 {
 		t.Errorf("incremental extraction correctness diverges: max |Δ| = %g", d)
 	}
-	for di := range want.ValueProb {
-		if d := maxAbsDiff(got.ValueProb[di], want.ValueProb[di]); d > 1e-6 {
+	for di := 0; di < want.NumItems(); di++ {
+		if d := maxAbsDiff(got.ValueRow(di), want.ValueRow(di)); d > 1e-6 {
 			t.Errorf("incremental value posterior of item %d diverges: max |Δ| = %g", di, d)
 		}
 	}
@@ -299,7 +317,7 @@ func TestRefreshWithoutPendingIsStable(t *testing.T) {
 	if d := maxAbsDiff(first.Inference.A, second.Inference.A); d > 1e-12 {
 		t.Errorf("no-op refresh moved source accuracies by %g", d)
 	}
-	if d := maxAbsDiff(first.Inference.CProb, second.Inference.CProb); d > 1e-12 {
+	if d := maxAbsDiff(cprobs(first.Inference), cprobs(second.Inference)); d > 1e-12 {
 		t.Errorf("no-op refresh moved correctness posteriors by %g", d)
 	}
 }
@@ -464,11 +482,11 @@ func TestExtendRefreshMatchesFullRecompile(t *testing.T) {
 			if d := maxAbsDiff(got.Inference.Q, want.Inference.Q); d > cmp.tol {
 				t.Errorf("step %d: %s Q: max |Δ| = %g > %g", step, cmp.name, d, cmp.tol)
 			}
-			if d := maxAbsDiff(got.Inference.CProb, want.Inference.CProb); d > cmp.tol {
+			if d := maxAbsDiff(cprobs(got.Inference), cprobs(want.Inference)); d > cmp.tol {
 				t.Errorf("step %d: %s correctness posterior: max |Δ| = %g > %g", step, cmp.name, d, cmp.tol)
 			}
-			for di := range want.Inference.ValueProb {
-				if d := maxAbsDiff(got.Inference.ValueProb[di], want.Inference.ValueProb[di]); d > cmp.tol {
+			for di := 0; di < want.Inference.NumItems(); di++ {
+				if d := maxAbsDiff(got.Inference.ValueRow(di), want.Inference.ValueRow(di)); d > cmp.tol {
 					t.Errorf("step %d: %s value posterior of item %d: max |Δ| = %g > %g", step, cmp.name, di, d, cmp.tol)
 				}
 			}

@@ -2,6 +2,7 @@ package engine
 
 import (
 	"fmt"
+	"math"
 	"math/rand"
 	"reflect"
 	"testing"
@@ -190,16 +191,29 @@ func TestFuzzIncrementalAggregatesMatchOracle(t *testing.T) {
 				got, wnt []float64
 			}{
 				{"A", g.A, w.A}, {"P", g.P, w.P}, {"R", g.R, w.R}, {"Q", g.Q, w.Q},
-				{"CProb", g.CProb, w.CProb}, {"RestMass", g.RestMass, w.RestMass},
+				{"CProb", cprobs(g), cprobs(w)}, {"RestMass", restMasses(g), restMasses(w)},
+				{"ExpectedTriples", g.ExpectedTriples, w.ExpectedTriples},
 			} {
 				if d := maxAbsDiff(c.got, c.wnt); d > tol {
 					t.Fatalf("%s: %s diverges from oracle: max |Δ| = %g", tag, c.name, d)
 				}
 			}
-			for di := range w.ValueProb {
-				if d := maxAbsDiff(g.ValueProb[di], w.ValueProb[di]); d > tol {
+			for di := 0; di < w.NumItems(); di++ {
+				if d := maxAbsDiff(g.ValueRow(di), w.ValueRow(di)); d > tol {
 					t.Fatalf("%s: value posterior of item %d diverges: max |Δ| = %g", tag, di, d)
 				}
+			}
+			// The incrementally maintained absence masses must track the
+			// canonical derivation from the published votes; the periodic
+			// anchor (ReaggregateEvery) and every vote-refreshing iteration
+			// re-derive them exactly, bounding the fold-in drift between.
+			gotTotal, gotCells := fast.em.AbsenceMasses()
+			wantTotal, wantCells := fast.em.RecomputeAbsenceMasses()
+			if d := math.Abs(gotTotal - wantTotal); d > tol {
+				t.Fatalf("%s: global absence mass drifts from canonical by %g", tag, d)
+			}
+			if d := maxAbsDiff(gotCells[:len(wantCells)], wantCells); d > tol {
+				t.Fatalf("%s: per-cell absence masses drift from canonical by %g", tag, d)
 			}
 			if g.Iterations != w.Iterations || g.Converged != w.Converged {
 				t.Fatalf("%s: iterations/converged = %d/%v, oracle %d/%v",

@@ -1,0 +1,70 @@
+package engine
+
+import (
+	"testing"
+
+	"kbt/internal/synthetic"
+)
+
+// BenchmarkPublish measures result publication alone — the step that turns
+// the engine's working posteriors into the immutable Result a refresh
+// returns — at a 100k-record corpus with a 100-record ingest's worth of
+// dirty shards:
+//
+//   - deep: the O(corpus) flat build (EM.BuildResult), which deep-copies
+//     every posterior array regardless of what the refresh touched.
+//   - cow: the O(dirty) generation build (EM.BuildResultFrom), which copies
+//     only the touched shards' chunks and shares the rest with the previous
+//     generation.
+//
+// The cow/deep ns/op ratio is the headline: the acceptance target is cow
+// publishing ≥5× faster than deep at this corpus/ingest shape.
+func BenchmarkPublish(b *testing.B) {
+	const corpusGroups, ingestGroups = 2050, 2 // ≈100k records, ≈100-record ingest
+	opt := DefaultOptions()
+	opt.Shards = 256
+	opt.Core.Tol = 1e-4
+	opt.Core.MaxIter = 30
+	opt.Core.MinSourceSupport = 1
+	opt.Core.MinExtractorSupport = 1
+
+	eng := New(opt)
+	if err := eng.Ingest(synthetic.GroupLocalCorpus(0, corpusGroups)...); err != nil {
+		b.Fatal(err)
+	}
+	if _, err := eng.Refresh(); err != nil {
+		b.Fatal(err)
+	}
+	if err := eng.Ingest(synthetic.GroupLocalCorpus(corpusGroups, ingestGroups)...); err != nil {
+		b.Fatal(err)
+	}
+	res, err := eng.Refresh()
+	if err != nil {
+		b.Fatal(err)
+	}
+	if !res.Extended {
+		b.Fatal("warm refresh did not take the Extend path")
+	}
+	prev := eng.Last()
+	iters, conv := res.Inference.Iterations, res.Inference.Converged
+	dirty := 0
+	for _, hit := range eng.lastTouched {
+		if hit {
+			dirty++
+		}
+	}
+
+	b.Run("deep", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			eng.em.BuildResult(eng.cProb, eng.valueProb, eng.restMass, eng.coveredItem, iters, conv)
+		}
+		b.ReportMetric(float64(len(eng.shards)), "copied-shards")
+	})
+	b.Run("cow", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			eng.em.BuildResultFrom(prev.Inference, eng.shards, eng.lastTouched,
+				eng.cProb, eng.valueProb, eng.restMass, eng.coveredItem, iters, conv)
+		}
+		b.ReportMetric(float64(dirty), "copied-shards")
+	})
+}

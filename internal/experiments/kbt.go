@@ -282,7 +282,7 @@ func Eval541On(w *websim.World, cfg KVConfig, maxSites int, kbtThreshold float64
 		// Confidently-extracted candidate triples, grouped by predicate.
 		byPred := map[string][]int{}
 		for _, ti := range s.TriplesOfSource[wi] {
-			if res.CProb[ti] <= 0.8 {
+			if res.CProbAt(ti) <= 0.8 {
 				continue
 			}
 			_, pred := itemSubjectPredicate(s.Items[s.Triples[ti].D])

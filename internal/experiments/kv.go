@@ -113,11 +113,11 @@ func Fig6(cfg KVConfig) (*Fig6Result, error) {
 		subj, pred := itemSubjectPredicate(s.Items[tr.D])
 		obj := s.Values[tr.V]
 		if w.KB.TypeCheck(subj, pred, obj) != 0 {
-			typeErrPreds = append(typeErrPreds, res.CProb[ti])
+			typeErrPreds = append(typeErrPreds, res.CProbAt(ti))
 			continue
 		}
 		if w.KB.LCWA(subj, pred, obj) == kb.True {
-			kbTruePreds = append(kbTruePreds, res.CProb[ti])
+			kbTruePreds = append(kbTruePreds, res.CProbAt(ti))
 		}
 	}
 	out := &Fig6Result{

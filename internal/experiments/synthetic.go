@@ -44,7 +44,7 @@ func evalMultiSynthetic(w *synthetic.World, s *triple.Snapshot, res *core.Result
 		subj, pred := itemSubjectPredicate(s.Items[tr.D])
 		site := s.Sources[tr.W]
 		provided := w.ProvidedTruth(site, subj, pred, s.Values[tr.V])
-		cItems = append(cItems, metrics.Labeled{Pred: res.CProb[ti], True: provided})
+		cItems = append(cItems, metrics.Labeled{Pred: res.CProbAt(ti), True: provided})
 	}
 	ev.SqC = metrics.SquareLoss(cItems)
 

@@ -31,6 +31,9 @@ import (
 	"errors"
 	"fmt"
 	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
 
 	"kbt/internal/copydetect"
 	"kbt/internal/core"
@@ -185,54 +188,143 @@ type ExtractorQuality struct {
 	Precision, Recall float64
 }
 
-// Result is the outcome of EstimateKBT.
+// Result is the outcome of EstimateKBT (and of Engine.Refresh). A Result is
+// an immutable view of one estimation generation; the sorted views behind
+// Sources, Triples and Extractors are computed once per generation and
+// shared by every later call, so repeated reads cost O(1). All methods are
+// safe for concurrent use.
 type Result struct {
 	snap *triple.Snapshot
 	res  *core.Result
 	opt  Options
+
+	// Memoized sorted views, built lazily once per generation. The ready
+	// flags let the partial-selection accessors (TopSources, TopTriples)
+	// reuse a built view without forcing the full sort themselves.
+	srcOnce  sync.Once
+	srcView  []Source
+	srcReady atomic.Bool
+	triOnce  sync.Once
+	triView  []TripleVerdict
+	extOnce  sync.Once
+	extView  []ExtractorQuality
 }
 
-// Sources returns all scored sources, most trustworthy first.
+// source assembles the scored view of source unit w.
+func (r *Result) source(w int) Source {
+	kbtScore, ok := r.res.KBT(w, r.opt.MinReportableTriples)
+	return Source{
+		Name:            displayLabel(r.snap.Sources[w]),
+		KBT:             kbtScore,
+		ExpectedTriples: r.res.ExpectedTriples[w],
+		Reportable:      ok,
+	}
+}
+
+// srcLess is the Sources ordering: most trustworthy first, ties by name.
+func srcLess(a, b Source) bool {
+	if a.KBT != b.KBT {
+		return a.KBT > b.KBT
+	}
+	return a.Name < b.Name
+}
+
+// Sources returns all scored sources, most trustworthy first. The slice is
+// computed once per Result and shared by every call (and by TopSources) —
+// callers must treat it as read-only.
 func (r *Result) Sources() []Source {
-	out := make([]Source, 0, len(r.snap.Sources))
-	for w, name := range r.snap.Sources {
-		kbtScore, ok := r.res.KBT(w, r.opt.MinReportableTriples)
-		out = append(out, Source{
-			Name:            displayLabel(name),
-			KBT:             kbtScore,
-			ExpectedTriples: r.res.ExpectedTriples[w],
-			Reportable:      ok,
-		})
-	}
-	sort.Slice(out, func(i, j int) bool {
-		if out[i].KBT != out[j].KBT {
-			return out[i].KBT > out[j].KBT
+	r.srcOnce.Do(func() {
+		out := make([]Source, 0, len(r.snap.Sources))
+		for w := range r.snap.Sources {
+			out = append(out, r.source(w))
 		}
-		return out[i].Name < out[j].Name
+		sort.Slice(out, func(i, j int) bool { return srcLess(out[i], out[j]) })
+		r.srcView = out
+		r.srcReady.Store(true)
 	})
-	return out
+	return r.srcView
 }
 
-// SourceByName looks up one source unit by its label.
+// TopSources returns the k most trustworthy sources (the first k entries of
+// Sources' ordering) without sorting the whole corpus: when the full sorted
+// view has not been built yet, a partial selection over the source list
+// costs O(n + k log k). k <= 0 or k >= n returns the full view. The slice
+// is shared or freshly selected — treat it as read-only.
+func (r *Result) TopSources(k int) []Source {
+	n := len(r.snap.Sources)
+	if k <= 0 || k >= n {
+		return r.Sources()
+	}
+	if r.srcReady.Load() {
+		return r.Sources()[:k:k]
+	}
+	top := newTopK[Source](k, srcLess)
+	for w := 0; w < n; w++ {
+		top.offer(r.source(w))
+	}
+	return top.sorted()
+}
+
+// SourceByName looks up one source unit by its label, in either the
+// display form ("a|b") or the internal joined form. Resolution goes through
+// the snapshot's interning index — O(1), not a scan over all sources.
 func (r *Result) SourceByName(name string) (Source, bool) {
-	for w, n := range r.snap.Sources {
-		if displayLabel(n) == name || n == name {
-			kbtScore, ok := r.res.KBT(w, r.opt.MinReportableTriples)
-			return Source{
-				Name:            displayLabel(n),
-				KBT:             kbtScore,
-				ExpectedTriples: r.res.ExpectedTriples[w],
-				Reportable:      ok,
-			}, true
+	w := r.snap.SourceID(name)
+	if w < 0 && strings.ContainsRune(name, '|') {
+		// Display labels render the internal \x1f joins as "|".
+		w = r.snap.SourceID(strings.ReplaceAll(name, "|", "\x1f"))
+		if w < 0 {
+			// A '|' in the display form is ambiguous: each one is either a
+			// join or a literal character of a label part. The indexed
+			// probes covered the all-literal and all-join readings; only a
+			// mixed label needs the scan, and only '|'-bearing names can
+			// ever reach it.
+			for wi, n := range r.snap.Sources {
+				if displayLabel(n) == name {
+					w = wi
+					break
+				}
+			}
 		}
 	}
-	return Source{}, false
+	if w < 0 {
+		return Source{}, false
+	}
+	return r.source(w), true
 }
 
-// Triples returns the posterior for every candidate triple observed in the
-// data, ordered by subject, predicate, then descending probability.
-func (r *Result) Triples() []TripleVerdict {
-	var out []TripleVerdict
+// triLess is the Triples ordering: subject, predicate, then descending
+// probability.
+func triLess(a, b TripleVerdict) bool {
+	if a.Subject != b.Subject {
+		return a.Subject < b.Subject
+	}
+	if a.Predicate != b.Predicate {
+		return a.Predicate < b.Predicate
+	}
+	if a.Probability != b.Probability {
+		return a.Probability > b.Probability
+	}
+	return a.Object < b.Object
+}
+
+// topTriLess ranks TopTriples: most probable first, ties by subject,
+// predicate, object.
+func topTriLess(a, b TripleVerdict) bool {
+	if a.Probability != b.Probability {
+		return a.Probability > b.Probability
+	}
+	if a.Subject != b.Subject {
+		return a.Subject < b.Subject
+	}
+	if a.Predicate != b.Predicate {
+		return a.Predicate < b.Predicate
+	}
+	return a.Object < b.Object
+}
+
+// forEachVerdict streams every covered candidate triple's verdict to fn.
+func (r *Result) forEachVerdict(fn func(TripleVerdict)) {
 	for d := range r.snap.Items {
 		subj, pred := splitItem(r.snap.Items[d])
 		for _, v := range r.snap.ItemValues[d] {
@@ -240,25 +332,40 @@ func (r *Result) Triples() []TripleVerdict {
 			if !covered {
 				continue
 			}
-			out = append(out, TripleVerdict{
+			fn(TripleVerdict{
 				Subject: subj, Predicate: pred, Object: r.snap.Values[v],
 				Probability: p,
 			})
 		}
 	}
-	sort.Slice(out, func(i, j int) bool {
-		if out[i].Subject != out[j].Subject {
-			return out[i].Subject < out[j].Subject
-		}
-		if out[i].Predicate != out[j].Predicate {
-			return out[i].Predicate < out[j].Predicate
-		}
-		if out[i].Probability != out[j].Probability {
-			return out[i].Probability > out[j].Probability
-		}
-		return out[i].Object < out[j].Object
+}
+
+// Triples returns the posterior for every candidate triple observed in the
+// data, ordered by subject, predicate, then descending probability. Like
+// Sources, the view is computed once per Result and shared — read-only.
+func (r *Result) Triples() []TripleVerdict {
+	r.triOnce.Do(func() {
+		var out []TripleVerdict
+		r.forEachVerdict(func(tv TripleVerdict) { out = append(out, tv) })
+		sort.Slice(out, func(i, j int) bool { return triLess(out[i], out[j]) })
+		r.triView = out
 	})
-	return out
+	return r.triView
+}
+
+// TopTriples returns the k most probable covered triples (ties broken by
+// subject, predicate, object) by partial selection — O(n + k log k), never
+// sorting or materializing the full triple list. k <= 0 returns every
+// covered triple in that order.
+func (r *Result) TopTriples(k int) []TripleVerdict {
+	if k <= 0 {
+		out := append([]TripleVerdict(nil), r.Triples()...)
+		sort.Slice(out, func(i, j int) bool { return topTriLess(out[i], out[j]) })
+		return out
+	}
+	top := newTopK[TripleVerdict](k, topTriLess)
+	r.forEachVerdict(top.offer)
+	return top.sorted()
 }
 
 // TripleProbability returns p(true) for one specific triple and whether the
@@ -275,18 +382,22 @@ func (r *Result) TripleProbability(subject, predicate, object string) (float64, 
 	return r.res.TripleProb(d, v)
 }
 
-// Extractors returns the estimated quality of every extractor unit.
+// Extractors returns the estimated quality of every extractor unit, by
+// name. The view is computed once per Result and shared — read-only.
 func (r *Result) Extractors() []ExtractorQuality {
-	out := make([]ExtractorQuality, 0, len(r.snap.Extractors))
-	for e, name := range r.snap.Extractors {
-		out = append(out, ExtractorQuality{
-			Name:      displayLabel(name),
-			Precision: r.res.P[e],
-			Recall:    r.res.R[e],
-		})
-	}
-	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
-	return out
+	r.extOnce.Do(func() {
+		out := make([]ExtractorQuality, 0, len(r.snap.Extractors))
+		for e, name := range r.snap.Extractors {
+			out = append(out, ExtractorQuality{
+				Name:      displayLabel(name),
+				Precision: r.res.P[e],
+				Recall:    r.res.R[e],
+			})
+		}
+		sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+		r.extView = out
+	})
+	return r.extView
 }
 
 // EstimateKBT runs the multi-layer model on the dataset.
@@ -362,7 +473,7 @@ func (r *Result) DetectCopying() ([]CopyDependence, error) {
 			return p
 		},
 		Accuracy: func(w int) float64 { return r.res.A[w] },
-		Provides: func(ti int) bool { return r.res.CProb[ti] >= 0.5 },
+		Provides: func(ti int) bool { return r.res.CProbAt(ti) >= 0.5 },
 	}, copydetect.DefaultOptions())
 	if err != nil {
 		return nil, err
