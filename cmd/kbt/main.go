@@ -6,7 +6,8 @@
 //	              [-min-support N] [-top K] [-triples] [-extractors] [file.tsv]
 //	kbt serve     [-granularity website|page|finest] [-shards N] [-batch N]
 //	              [-iters N] [-tol F] [-min-support N] [-top K] [-recompile]
-//	              [-full-aggregates] [file.tsv]
+//	              [-full-aggregates] [-listen ADDR] [-data DIR]
+//	              [-checkpoint-every N] [file.tsv]
 //	kbt fuse      [-model accu|popaccu] [-n N] [-top K] [file.tsv]
 //	kbt generate  [-kind synthetic|web] [-scale F] [-seed N] [-o out.tsv]
 //
@@ -21,19 +22,32 @@
 // re-estimates on every blank input line (or every -batch records), printing
 // the updated ranking after each refresh — pipe a live extraction feed into
 // it instead of re-running estimate over a growing file.
+//
+// With -listen, serve drains its input (an empty feed is a valid idle
+// start), then exposes the engine over HTTP: POST /ingest and /refresh,
+// GET /top-sources, /top-triples, /source?name=, /healthz and /stats. With
+// -data DIR, ingest is write-ahead logged under DIR and the engine state is
+// recovered bit-exactly on restart; -checkpoint-every N bounds recovery
+// replay by checkpointing after every N refreshes.
 package main
 
 import (
 	"bufio"
+	"context"
 	"errors"
 	"flag"
 	"fmt"
 	"io"
+	"net"
+	"net/http"
 	"os"
+	"os/signal"
 	"strings"
+	"syscall"
 	"time"
 
 	"kbt"
+	"kbt/internal/server"
 	"kbt/internal/synthetic"
 	"kbt/internal/triple"
 	"kbt/internal/websim"
@@ -172,6 +186,23 @@ func cmdEstimate(args []string) error {
 	return nil
 }
 
+// serveConfig is cmdServe's parsed state, separated so tests can drive
+// runServe with synthetic input and a controllable stop signal.
+type serveConfig struct {
+	opt             kbt.EngineOptions
+	top             int
+	batch           int
+	listen          string // "" = stdin-only mode
+	dataDir         string // "" = in-memory engine
+	checkpointEvery int
+
+	// onListen (when non-nil) receives the bound address once the HTTP
+	// listener is up; stop (when non-nil) replaces SIGINT/SIGTERM as the
+	// shutdown trigger. Both are test hooks.
+	onListen func(addr string)
+	stop     <-chan struct{}
+}
+
 func cmdServe(args []string) error {
 	fs := flag.NewFlagSet("serve", flag.ExitOnError)
 	gran := fs.String("granularity", "website", "source granularity: website|page|finest")
@@ -183,30 +214,36 @@ func cmdServe(args []string) error {
 	top := fs.Int("top", 10, "number of sources to print per refresh (0 = all)")
 	recompile := fs.Bool("recompile", false, "rebuild snapshot, EM state and M-step aggregates over the whole corpus on every refresh instead of extending them incrementally (slow equivalence-oracle path)")
 	fullAgg := fs.Bool("full-aggregates", false, "aggregate the global M-steps over the whole corpus every iteration instead of applying dirty-set deltas (keeps the incremental snapshot/state path)")
+	listen := fs.String("listen", "", "serve the HTTP/JSON API on this address (e.g. :8080) after draining stdin/file input")
+	data := fs.String("data", "", "durable data directory: ingest is write-ahead logged and recovered on restart")
+	ckptEvery := fs.Int("checkpoint-every", 0, "with -data, checkpoint automatically after every N refreshes (0 = never)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 
-	opt := kbt.DefaultEngineOptions()
-	opt.Shards = *shards
-	opt.Iterations = *iters
-	opt.Tol = *tol
-	opt.MinSupport = *minSupport
-	opt.FullRecompile = *recompile
-	opt.FullAggregates = *fullAgg
+	cfg := serveConfig{
+		opt:             kbt.DefaultEngineOptions(),
+		top:             *top,
+		batch:           *batch,
+		listen:          *listen,
+		dataDir:         *data,
+		checkpointEvery: *ckptEvery,
+	}
+	cfg.opt.Shards = *shards
+	cfg.opt.Iterations = *iters
+	cfg.opt.Tol = *tol
+	cfg.opt.MinSupport = *minSupport
+	cfg.opt.FullRecompile = *recompile
+	cfg.opt.FullAggregates = *fullAgg
 	switch *gran {
 	case "website":
-		opt.Granularity = kbt.GranularityWebsite
+		cfg.opt.Granularity = kbt.GranularityWebsite
 	case "page":
-		opt.Granularity = kbt.GranularityPage
+		cfg.opt.Granularity = kbt.GranularityPage
 	case "finest":
-		opt.Granularity = kbt.GranularityFinest
+		cfg.opt.Granularity = kbt.GranularityFinest
 	default:
 		return fmt.Errorf("unknown granularity %q (serve cannot re-split units incrementally, so auto is unavailable)", *gran)
-	}
-	eng, err := kbt.NewEngine(opt)
-	if err != nil {
-		return err
 	}
 
 	var in io.Reader = os.Stdin
@@ -217,6 +254,38 @@ func cmdServe(args []string) error {
 		}
 		defer f.Close()
 		in = f
+	} else if *listen != "" {
+		// An HTTP server started from a terminal would otherwise block on
+		// interactive stdin before ever listening; only drain stdin when
+		// something is actually piped in.
+		if st, err := os.Stdin.Stat(); err == nil && st.Mode()&os.ModeCharDevice != 0 {
+			in = nil
+		}
+	}
+	return runServe(cfg, in, os.Stdout, os.Stderr)
+}
+
+func runServe(cfg serveConfig, in io.Reader, stdout, errw io.Writer) error {
+	var eng server.Engine
+	if cfg.dataDir != "" {
+		d, err := kbt.OpenDurable(cfg.dataDir, cfg.opt, kbt.DurableOptions{
+			CheckpointEvery: cfg.checkpointEvery,
+		})
+		if err != nil {
+			return err
+		}
+		defer d.Close()
+		if d.Len() > 0 {
+			fmt.Fprintf(stdout, "-- recovered %d records (%d pending) from %s\n",
+				d.Len(), d.Pending(), cfg.dataDir)
+		}
+		eng = d
+	} else {
+		e, err := kbt.NewEngine(cfg.opt)
+		if err != nil {
+			return err
+		}
+		eng = e
 	}
 
 	refreshCount := 0
@@ -235,7 +304,7 @@ func cmdServe(args []string) error {
 		// they were real would hide that. Report the refresh without the mode
 		// detail — the ranking below still prints, since res itself is valid.
 		if stats, ok := eng.Stats(); !ok {
-			fmt.Printf("-- refresh #%d: %d records in %v (engine reported no refresh stats)\n",
+			fmt.Fprintf(stdout, "-- refresh #%d: %d records in %v (engine reported no refresh stats)\n",
 				refreshCount+1, eng.Len(), elapsed.Round(time.Microsecond))
 		} else {
 			mode := "cold"
@@ -259,61 +328,116 @@ func cmdServe(args []string) error {
 					mode += fmt.Sprintf(", %dΔ/%d full M-steps", stats.AggDeltaSteps, stats.AggFullSteps)
 				}
 			}
-			fmt.Printf("-- refresh #%d: %d records, %s, %d iterations in %v\n",
+			fmt.Fprintf(stdout, "-- refresh #%d: %d records, %s, %d iterations in %v\n",
 				refreshCount+1, eng.Len(), mode, stats.Iterations, elapsed.Round(time.Microsecond))
 		}
 		refreshCount++
 		// TopSources selects the k best without sorting the whole corpus —
 		// on a large corpus the per-refresh ranking print costs O(n + k log
 		// k) instead of O(n log n) (0 = all, the full memoized view).
-		for _, s := range res.TopSources(*top) {
-			fmt.Printf("%-50s %8.4f %10.1f %v\n", clip(s.Name, 50), s.KBT, s.ExpectedTriples, s.Reportable)
+		for _, s := range res.TopSources(cfg.top) {
+			fmt.Fprintf(stdout, "%-50s %8.4f %10.1f %v\n", clip(s.Name, 50), s.KBT, s.ExpectedTriples, s.Reportable)
 		}
 		return nil
 	}
 
-	sc := bufio.NewScanner(in)
-	sc.Buffer(make([]byte, 0, 64*1024), 4*1024*1024)
-	lineNo, sinceRefresh := 0, 0
-	for sc.Scan() {
-		lineNo++
-		line := sc.Text()
-		if strings.HasPrefix(line, "#") {
-			continue
-		}
-		if line == "" {
-			if err := refresh(); err != nil {
-				return err
+	if in != nil {
+		sc := bufio.NewScanner(in)
+		sc.Buffer(make([]byte, 0, 64*1024), 4*1024*1024)
+		lineNo, sinceRefresh := 0, 0
+		for sc.Scan() {
+			lineNo++
+			line := sc.Text()
+			if strings.HasPrefix(line, "#") {
+				continue
 			}
-			sinceRefresh = 0
-			continue
-		}
-		rec, err := triple.ParseTSVLine(line)
-		if err != nil {
-			fmt.Fprintf(os.Stderr, "kbt serve: line %d: %v (skipped)\n", lineNo, err)
-			continue
-		}
-		if err := eng.Ingest(toExtraction(rec)); err != nil {
-			fmt.Fprintf(os.Stderr, "kbt serve: line %d: %v (skipped)\n", lineNo, err)
-			continue
-		}
-		sinceRefresh++
-		if *batch > 0 && sinceRefresh >= *batch {
-			if err := refresh(); err != nil {
-				return err
+			if line == "" {
+				if err := refresh(); err != nil {
+					return err
+				}
+				sinceRefresh = 0
+				continue
 			}
-			sinceRefresh = 0
+			rec, err := triple.ParseTSVLine(line)
+			if err != nil {
+				fmt.Fprintf(errw, "kbt serve: line %d: %v (skipped)\n", lineNo, err)
+				continue
+			}
+			if err := eng.Ingest(toExtraction(rec)); err != nil {
+				fmt.Fprintf(errw, "kbt serve: line %d: %v (skipped)\n", lineNo, err)
+				continue
+			}
+			sinceRefresh++
+			if cfg.batch > 0 && sinceRefresh >= cfg.batch {
+				if err := refresh(); err != nil {
+					return err
+				}
+				sinceRefresh = 0
+			}
+		}
+		if err := sc.Err(); err != nil {
+			return err
 		}
 	}
-	if err := sc.Err(); err != nil {
+
+	if cfg.listen == "" {
+		// Pure stdin mode: an empty feed means the run did nothing, which is
+		// a usage error worth failing loudly on.
+		if eng.Len() == 0 {
+			return errors.New("serve: no records read (use -listen to start an idle HTTP server)")
+		}
+		if _, ok := eng.Current(); eng.Pending() > 0 || !ok {
+			return refresh()
+		}
+		return nil
+	}
+
+	// HTTP mode: an empty engine is a valid idle start — data arrives over
+	// POST /ingest. Publish a generation for whatever the preload (or a
+	// recovered durable directory) left unrefreshed before opening the port.
+	if eng.Len() > 0 {
+		if _, ok := eng.Current(); eng.Pending() > 0 || !ok {
+			if err := refresh(); err != nil {
+				return err
+			}
+		}
+	}
+	srv := server.New(eng, server.Options{})
+	defer srv.Close()
+	ln, err := net.Listen("tcp", cfg.listen)
+	if err != nil {
 		return err
 	}
-	if eng.Len() == 0 {
-		return errors.New("serve: no records read")
+	hs := &http.Server{Handler: srv}
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- hs.Serve(ln) }()
+	fmt.Fprintf(stdout, "-- serving HTTP on %s\n", ln.Addr())
+	if cfg.onListen != nil {
+		cfg.onListen(ln.Addr().String())
 	}
-	if sinceRefresh > 0 || refreshCount == 0 {
-		return refresh()
+
+	stop := cfg.stop
+	if stop == nil {
+		sig := make(chan os.Signal, 1)
+		signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+		defer signal.Stop(sig)
+		ch := make(chan struct{})
+		go func() { <-sig; close(ch) }()
+		stop = ch
 	}
+	select {
+	case <-stop:
+	case err := <-serveErr:
+		return fmt.Errorf("serve: http server: %w", err)
+	}
+	fmt.Fprintln(stdout, "-- shutting down")
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := hs.Shutdown(ctx); err != nil {
+		return err
+	}
+	// srv.Close (deferred) drains admitted batches; the engine Close
+	// (deferred above for the durable case) then syncs the log.
 	return nil
 }
 

@@ -1,0 +1,240 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"kbt"
+)
+
+func serveTestConfig() serveConfig {
+	cfg := serveConfig{opt: kbt.DefaultEngineOptions(), top: 10}
+	cfg.opt.Shards = 4
+	cfg.opt.Iterations = 3
+	cfg.opt.MinSupport = 1
+	cfg.opt.Tol = 1e-6
+	return cfg
+}
+
+// tsvFeed builds a small TSV input with contested triples.
+func tsvFeed(n int) string {
+	var b strings.Builder
+	for i := 0; i < n; i++ {
+		obj := fmt.Sprintf("o%d", i%3)
+		if i%7 == 0 {
+			obj = "oX"
+		}
+		fmt.Fprintf(&b, "E%d\tpat\tw%d.com\tw%d.com/p%d\ts%d\tborn\t%s\t0.9\n",
+			i%3, i%4, i%4, i%2, i%5, obj)
+	}
+	return b.String()
+}
+
+// TestServeStdinMode pins the original pipeline behavior: records stream in,
+// a blank line refreshes, EOF refreshes the tail, the ranking prints.
+func TestServeStdinMode(t *testing.T) {
+	var out, errOut bytes.Buffer
+	input := tsvFeed(12) + "\n" + tsvFeed(24)[len(tsvFeed(12)):]
+	if err := runServe(serveTestConfig(), strings.NewReader(input), &out, &errOut); err != nil {
+		t.Fatalf("runServe: %v\nstderr: %s", err, errOut.String())
+	}
+	got := out.String()
+	if !strings.Contains(got, "-- refresh #1:") || !strings.Contains(got, "-- refresh #2:") {
+		t.Fatalf("expected two refreshes in output:\n%s", got)
+	}
+	if !strings.Contains(got, "w0.com") {
+		t.Fatalf("expected source ranking in output:\n%s", got)
+	}
+}
+
+// TestServeStdinModeEmptyFeedStillErrors: without -listen, an empty feed is
+// still the historical usage error — the regression guard for the other
+// direction of the fix.
+func TestServeStdinModeEmptyFeedStillErrors(t *testing.T) {
+	var out bytes.Buffer
+	err := runServe(serveTestConfig(), strings.NewReader(""), &out, io.Discard)
+	if err == nil || !strings.Contains(err.Error(), "no records read") {
+		t.Fatalf("empty stdin without -listen: err = %v, want 'no records read'", err)
+	}
+}
+
+// startServe runs runServe in the background and returns the bound address
+// plus a shutdown func that stops it and surfaces its error.
+func startServe(t *testing.T, cfg serveConfig, in io.Reader) (addr string, shutdown func() error) {
+	t.Helper()
+	addrCh := make(chan string, 1)
+	stopCh := make(chan struct{})
+	errCh := make(chan error, 1)
+	cfg.listen = "127.0.0.1:0"
+	cfg.onListen = func(a string) { addrCh <- a }
+	cfg.stop = stopCh
+	var out bytes.Buffer
+	go func() { errCh <- runServe(cfg, in, &out, io.Discard) }()
+	select {
+	case a := <-addrCh:
+		addr = a
+	case err := <-errCh:
+		t.Fatalf("serve exited before listening: %v\noutput: %s", err, out.String())
+	case <-time.After(30 * time.Second):
+		t.Fatalf("serve never listened\noutput: %s", out.String())
+	}
+	var once sync.Once
+	return addr, func() error {
+		once.Do(func() { close(stopCh) })
+		select {
+		case err := <-errCh:
+			return err
+		case <-time.After(30 * time.Second):
+			return fmt.Errorf("serve did not shut down")
+		}
+	}
+}
+
+func getStatus(t *testing.T, url string) int {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	return resp.StatusCode
+}
+
+// TestServeListenEmptyStdinIdleStart is the headline fix: with -listen, an
+// empty feed starts an idle, healthy server instead of exiting with
+// "serve: no records read".
+func TestServeListenEmptyStdinIdleStart(t *testing.T) {
+	addr, shutdown := startServe(t, serveTestConfig(), strings.NewReader(""))
+	base := "http://" + addr
+	if got := getStatus(t, base+"/healthz"); got != http.StatusOK {
+		t.Fatalf("healthz = %d", got)
+	}
+	if got := getStatus(t, base+"/top-sources"); got != http.StatusServiceUnavailable {
+		t.Fatalf("idle top-sources = %d, want 503", got)
+	}
+
+	// The idle server accepts data over HTTP and starts answering.
+	batch := []kbt.Extraction{}
+	for i := 0; i < 12; i++ {
+		batch = append(batch, kbt.Extraction{
+			Extractor: fmt.Sprintf("E%d", i%3),
+			Website:   fmt.Sprintf("w%d.com", i%4),
+			Page:      fmt.Sprintf("w%d.com/p", i%4),
+			Subject:   fmt.Sprintf("s%d", i%5),
+			Predicate: "born",
+			Object:    fmt.Sprintf("o%d", i%3),
+		})
+	}
+	body, _ := json.Marshal(batch)
+	resp, err := http.Post(base+"/ingest", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("ingest = %d", resp.StatusCode)
+	}
+	deadline := time.Now().Add(10 * time.Second)
+	for getStatus(t, base+"/top-sources") != http.StatusOK {
+		if time.Now().After(deadline) {
+			t.Fatal("server never published a generation after ingest")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if err := shutdown(); err != nil {
+		t.Fatalf("shutdown: %v", err)
+	}
+}
+
+// TestServeListenPreloadsFeed: piped TSV is drained and refreshed before the
+// port opens, so the first query already sees a generation.
+func TestServeListenPreloadsFeed(t *testing.T) {
+	addr, shutdown := startServe(t, serveTestConfig(), strings.NewReader(tsvFeed(24)))
+	base := "http://" + addr
+	resp, err := http.Get(base + "/top-sources?k=3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var srcs []kbt.Source
+	if err := json.NewDecoder(resp.Body).Decode(&srcs); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || len(srcs) != 3 {
+		t.Fatalf("preloaded top-sources = %d with %d sources", resp.StatusCode, len(srcs))
+	}
+	if err := shutdown(); err != nil {
+		t.Fatalf("shutdown: %v", err)
+	}
+}
+
+// TestServeDurableRestart: a -data server ingests over HTTP, shuts down, and
+// a second run on the same directory recovers the records and serves them.
+func TestServeDurableRestart(t *testing.T) {
+	dir := t.TempDir()
+	cfg := serveTestConfig()
+	cfg.dataDir = dir
+	cfg.checkpointEvery = 2
+
+	addr, shutdown := startServe(t, cfg, strings.NewReader(tsvFeed(18)))
+	base := "http://" + addr
+	var first []kbt.Source
+	resp, err := http.Get(base + "/top-sources")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&first); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if err := shutdown(); err != nil {
+		t.Fatalf("first shutdown: %v", err)
+	}
+
+	addr2, shutdown2 := startServe(t, cfg, nil)
+	base2 := "http://" + addr2
+	resp, err = http.Get(base2 + "/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var st struct {
+		Records   int  `json:"records"`
+		Refreshed bool `json:"refreshed"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if st.Records != 18 || !st.Refreshed {
+		t.Fatalf("recovered stats = %+v, want 18 refreshed records", st)
+	}
+	var second []kbt.Source
+	resp, err = http.Get(base2 + "/top-sources")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&second); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if len(first) == 0 || len(first) != len(second) {
+		t.Fatalf("recovered ranking has %d sources, live had %d", len(second), len(first))
+	}
+	for i := range first {
+		if first[i] != second[i] {
+			t.Fatalf("recovered ranking differs at %d: %+v vs %+v", i, second[i], first[i])
+		}
+	}
+	if err := shutdown2(); err != nil {
+		t.Fatalf("second shutdown: %v", err)
+	}
+}

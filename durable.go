@@ -1,0 +1,322 @@
+package kbt
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"kbt/internal/triple"
+	"kbt/internal/wal"
+)
+
+// DurableOptions configures OpenDurable, on top of the EngineOptions that
+// configure the model itself.
+type DurableOptions struct {
+	// SegmentBytes is the WAL segment roll size (default 4 MiB).
+	SegmentBytes int64
+	// CheckpointEvery, when > 0, runs Checkpoint automatically after every
+	// N-th successful Refresh. Zero means checkpoints are taken only when
+	// Checkpoint is called explicitly.
+	CheckpointEvery int
+	// NoSync skips every fsync. Benchmarks and tests only: a crash can then
+	// lose acknowledged batches.
+	NoSync bool
+
+	// fs overrides the filesystem; the crash-injection tests use it to kill
+	// the process at chosen byte offsets. nil means the real filesystem.
+	fs wal.FS
+}
+
+// ErrEngineClosed is returned by mutating calls on a closed DurableEngine.
+var ErrEngineClosed = errors.New("kbt: durable engine is closed")
+
+// DurableEngine is an Engine whose ingest stream survives process death. It
+// has the same method set as Engine (and the same lock-free read path), plus
+// Checkpoint and Close, and the durability contract:
+//
+//   - Ingest returns nil only after the batch is fsync-ed into the
+//     write-ahead log — an acknowledged batch is never lost by a crash;
+//   - a batch whose Ingest did not return is cleanly dropped or cleanly
+//     kept by recovery, never torn;
+//   - OpenDurable on a crashed directory reproduces, bit for bit, the
+//     result a process that performed exactly the durable operation prefix
+//     would serve. Recovery replays the log through the normal Refresh
+//     machinery, so the warm incremental paths are exercised, not bypassed.
+//
+// Refresh appends a marker to the log without forcing its own fsync: the
+// marker rides the next sync barrier (group commit), keeping fsync latency
+// off the refresh path. A crash can therefore roll an un-synced refresh
+// back to "records pending" — but never lose the records themselves.
+//
+// A Checkpoint persists the full acknowledged record prefix, truncates the
+// covered log segments, and re-anchors the live engine on its own
+// checkpoint image — a cold recompile of the prefix, the exact state
+// recovery would rebuild. That keeps the bit-identity contract transitive
+// across checkpoints at the cost of one corpus-sized refresh per
+// checkpoint, and may move the published estimates within the documented
+// ≤1e-9 incremental-vs-oracle envelope.
+type DurableEngine struct {
+	opt  EngineOptions
+	dopt DurableOptions
+	dir  string
+
+	// eng is the live engine; read accessors go through this pointer only,
+	// so they are as lock-free as Engine's. Checkpoint swaps it whole.
+	eng atomic.Pointer[Engine]
+
+	mu        sync.Mutex // serialises mutators: Ingest, Refresh, Checkpoint, Close
+	log       *wal.Log
+	refreshes int // successful refreshes since the last checkpoint
+	closed    bool
+}
+
+// engineFingerprint identifies the model-affecting options a WAL's records
+// were estimated under. Replaying the same records under different options
+// would not reproduce the same model, so recovery refuses a mismatch. The
+// comparison is syntactic (Shards: 0 and the default 8 it resolves to are
+// treated as different); Workers is excluded — parallelism does not change
+// results.
+func engineFingerprint(o EngineOptions) string {
+	return fmt.Sprintf("v1 g=%d shards=%d dom=%d iter=%d minsup=%d minrep=%g conf=%t absence=%t tol=%g full=%t fullagg=%t",
+		o.Granularity, o.Shards, o.DomainSize, o.Iterations, o.MinSupport,
+		o.MinReportableTriples, o.UseConfidence, o.AllExtractorsVoteAbsence,
+		o.Tol, o.FullRecompile, o.FullAggregates)
+}
+
+// OpenDurable opens (or creates) a durable engine rooted at dir, recovering
+// whatever state a previous process made durable: the checkpointed record
+// prefix is re-ingested and cold-refreshed, then every log entry past the
+// checkpoint watermark is replayed through the normal Ingest/Refresh paths.
+// A torn log tail — an append no one was ever acknowledged for — is
+// truncated; damage to acknowledged state surfaces as wal.ErrCorrupt.
+func OpenDurable(dir string, opt EngineOptions, dopt DurableOptions) (*DurableEngine, error) {
+	eng, err := NewEngine(opt)
+	if err != nil {
+		return nil, err
+	}
+	fp := engineFingerprint(opt)
+	log, err := wal.Open(dir, wal.Options{
+		SegmentBytes: dopt.SegmentBytes,
+		NoSync:       dopt.NoSync,
+		FS:           dopt.fs,
+	})
+	if err != nil {
+		return nil, err
+	}
+	ck, ok, err := wal.ReadCheckpoint(dopt.fs, dir)
+	if err != nil {
+		log.Close()
+		return nil, err
+	}
+	var from uint64
+	if ok {
+		if ck.Fingerprint != fp {
+			log.Close()
+			return nil, fmt.Errorf("kbt: checkpoint was taken under different engine options (%q, engine has %q)", ck.Fingerprint, fp)
+		}
+		if ck.Watermark > log.NextSeq() {
+			log.Close()
+			return nil, fmt.Errorf("%w: checkpoint watermark %d is beyond the log end %d (log segments deleted?)",
+				wal.ErrCorrupt, ck.Watermark, log.NextSeq())
+		}
+		if len(ck.Records) > 0 {
+			if err := eng.eng.Ingest(ck.Records...); err != nil {
+				log.Close()
+				return nil, fmt.Errorf("%w: checkpoint records no longer ingestable: %v", wal.ErrCorrupt, err)
+			}
+			if _, err := eng.Refresh(); err != nil {
+				log.Close()
+				return nil, fmt.Errorf("kbt: recovery anchor refresh: %w", err)
+			}
+		}
+		from = ck.Watermark
+	}
+	err = log.Replay(from, func(seq uint64, payload []byte) error {
+		ent, err := wal.DecodeEntry(payload)
+		if err != nil {
+			return fmt.Errorf("%w: entry %d: %v", wal.ErrCorrupt, seq, err)
+		}
+		switch ent.Kind {
+		case wal.EntryBatch:
+			// The live process logged the batch before engine validation, so
+			// a batch the engine rejected then is rejected again now — the
+			// same deterministic validation — and contributes no state.
+			if err := eng.eng.Ingest(ent.Records...); err != nil {
+				return nil
+			}
+		case wal.EntryRefresh:
+			if eng.Len() == 0 {
+				return nil // marker for a refresh that could not have succeeded
+			}
+			if _, err := eng.Refresh(); err != nil {
+				return fmt.Errorf("kbt: recovery replay refresh at entry %d: %w", seq, err)
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		log.Close()
+		return nil, err
+	}
+	d := &DurableEngine{opt: opt, dopt: dopt, dir: dir, log: log}
+	d.eng.Store(eng)
+	return d, nil
+}
+
+// Ingest logs, fsyncs and applies a batch of extractions. A nil return is a
+// durable acknowledgement: the batch survives any later crash. A validation
+// error means the batch was discarded whole — durably so, since recovery
+// re-runs the same validation on the logged bytes.
+func (d *DurableEngine) Ingest(batch ...Extraction) error {
+	recs := make([]triple.Record, len(batch))
+	for i, x := range batch {
+		recs[i] = x.record()
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.closed {
+		return ErrEngineClosed
+	}
+	if _, err := d.log.Append(wal.EncodeBatch(recs)); err != nil {
+		return err
+	}
+	if err := d.log.Sync(); err != nil {
+		return err
+	}
+	return d.eng.Load().eng.Ingest(recs...)
+}
+
+// Refresh re-estimates the model over everything ingested so far, exactly as
+// Engine.Refresh does, and logs a replay marker for the refresh. The marker
+// is not individually fsync-ed — see the type comment. When CheckpointEvery
+// is set, every N-th successful Refresh also takes a checkpoint.
+func (d *DurableEngine) Refresh() (*Result, error) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.closed {
+		return nil, ErrEngineClosed
+	}
+	r, err := d.eng.Load().Refresh()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := d.log.Append(wal.EncodeRefresh()); err != nil {
+		return nil, fmt.Errorf("kbt: refresh succeeded but its marker could not be logged: %w", err)
+	}
+	d.refreshes++
+	if d.dopt.CheckpointEvery > 0 && d.refreshes >= d.dopt.CheckpointEvery {
+		if err := d.checkpointLocked(); err != nil {
+			return nil, fmt.Errorf("kbt: refresh succeeded but its checkpoint failed: %w", err)
+		}
+		// The re-anchor replaced the generation r belongs to; serve the
+		// anchored one so the caller sees what recovery would.
+		if cur, ok := d.eng.Load().Current(); ok {
+			return cur, nil
+		}
+	}
+	return r, nil
+}
+
+// Checkpoint persists the engine's full acknowledged record prefix,
+// truncates the log segments it covers, and re-anchors the live engine on
+// the image — see the type comment for the contract and cost. Pending
+// records are refreshed in first, so the checkpoint always sits on a
+// refresh boundary.
+func (d *DurableEngine) Checkpoint() error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.closed {
+		return ErrEngineClosed
+	}
+	return d.checkpointLocked()
+}
+
+func (d *DurableEngine) checkpointLocked() error {
+	eng := d.eng.Load()
+	if eng.Pending() > 0 {
+		if _, err := eng.Refresh(); err != nil {
+			return err
+		}
+		if _, err := d.log.Append(wal.EncodeRefresh()); err != nil {
+			return err
+		}
+	}
+	recs := eng.eng.Records()
+	// The records and the watermark must cover the same durable prefix, so
+	// everything logged so far is synced before NextSeq is read.
+	if err := d.log.Sync(); err != nil {
+		return err
+	}
+	ck := &wal.Checkpoint{
+		Watermark:   d.log.NextSeq(),
+		Fingerprint: engineFingerprint(d.opt),
+		Records:     recs,
+	}
+	if err := wal.WriteCheckpoint(d.dopt.fs, d.dir, ck); err != nil {
+		return err
+	}
+	if err := d.log.TruncateBefore(ck.Watermark); err != nil {
+		return err
+	}
+	// Re-anchor: rebuild the live engine exactly as recovery would from the
+	// image just written. From here on, live state and recovered state march
+	// in lockstep through the same warm refreshes.
+	fresh, err := NewEngine(d.opt)
+	if err != nil {
+		return err
+	}
+	if len(recs) > 0 {
+		if err := fresh.eng.Ingest(recs...); err != nil {
+			return err
+		}
+		if _, err := fresh.Refresh(); err != nil {
+			return err
+		}
+	}
+	d.eng.Store(fresh)
+	d.refreshes = 0
+	return nil
+}
+
+// Close syncs and closes the log. Read accessors keep serving the last
+// published generation; mutators fail with ErrEngineClosed.
+func (d *DurableEngine) Close() error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.closed {
+		return nil
+	}
+	d.closed = true
+	return d.log.Close()
+}
+
+// LogSize returns the framed byte size of the active WAL segment — an
+// operational signal for checkpoint cadence.
+func (d *DurableEngine) LogSize() int64 {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.log.Size()
+}
+
+// Len returns the number of extractions ingested so far.
+func (d *DurableEngine) Len() int { return d.eng.Load().Len() }
+
+// Pending returns the number of extractions awaiting a Refresh.
+func (d *DurableEngine) Pending() int { return d.eng.Load().Pending() }
+
+// Current returns the result of the most recent Refresh without performing
+// any estimation work, or false before the first one. Lock-free, like
+// Engine.Current.
+func (d *DurableEngine) Current() (*Result, bool) { return d.eng.Load().Current() }
+
+// TopSources returns the k most trustworthy sources of the current
+// generation (k <= 0 means all), or false before the first Refresh.
+func (d *DurableEngine) TopSources(k int) ([]Source, bool) { return d.eng.Load().TopSources(k) }
+
+// TopTriples returns the k most probable covered triples of the current
+// generation (k <= 0 means all), or false before the first Refresh.
+func (d *DurableEngine) TopTriples(k int) ([]TripleVerdict, bool) { return d.eng.Load().TopTriples(k) }
+
+// Stats reports the most recent Refresh, or false before the first one.
+func (d *DurableEngine) Stats() (RefreshStats, bool) { return d.eng.Load().Stats() }

@@ -1,0 +1,514 @@
+package kbt
+
+import (
+	"errors"
+	"fmt"
+	"reflect"
+	"testing"
+
+	"kbt/internal/triple"
+	"kbt/internal/wal"
+)
+
+func durableTestOptions() EngineOptions {
+	opt := DefaultEngineOptions()
+	opt.Shards = 4
+	opt.DomainSize = 5
+	opt.Iterations = 3
+	opt.MinSupport = 1
+	opt.MinReportableTriples = 0
+	opt.Tol = 1e-7
+	return opt
+}
+
+// durableExtraction generates a small deterministic stream with contested
+// triples: several websites and extractors voting, sometimes disagreeing, so
+// the model state is non-trivial at every refresh.
+func durableExtraction(i int) Extraction {
+	obj := fmt.Sprintf("o%d", i%3)
+	if i%7 == 0 {
+		obj = "oX" // a minority of dissenting claims
+	}
+	return Extraction{
+		Extractor:  fmt.Sprintf("E%d", i%3),
+		Pattern:    "pat",
+		Website:    fmt.Sprintf("w%d.com", i%4),
+		Page:       fmt.Sprintf("w%d.com/p%d", i%4, i%2),
+		Subject:    fmt.Sprintf("s%d", i%5),
+		Predicate:  "born",
+		Object:     obj,
+		Confidence: 0.4 + 0.1*float64(i%6),
+	}
+}
+
+// durableOp is one step of the scripted durable workload.
+type durableOp struct {
+	kind  string // "ingest", "refresh", "checkpoint"
+	batch []Extraction
+}
+
+// durableScript is the fixed workload the crash sweep and the equality tests
+// share: ingests and refreshes around a mid-script checkpoint, so the sweep
+// crashes inside appends, syncs, every checkpoint stage, and the post-
+// checkpoint tail.
+func durableScript() []durableOp {
+	batch := func(first, n int) durableOp {
+		b := make([]Extraction, n)
+		for i := range b {
+			b[i] = durableExtraction(first + i)
+		}
+		return durableOp{kind: "ingest", batch: b}
+	}
+	return []durableOp{
+		batch(0, 6),
+		{kind: "refresh"},
+		batch(6, 6),
+		batch(12, 6),
+		{kind: "refresh"},
+		{kind: "checkpoint"},
+		batch(18, 6),
+		{kind: "refresh"},
+		batch(24, 6),
+		{kind: "refresh"},
+	}
+}
+
+func scriptRecords(script []durableOp) []triple.Record {
+	var recs []triple.Record
+	for _, op := range script {
+		for _, x := range op.batch {
+			recs = append(recs, x.record())
+		}
+	}
+	return recs
+}
+
+// runScript applies the script until an op fails, returning the number of
+// records whose ingest was acknowledged (returned nil).
+func runScript(d *DurableEngine, script []durableOp) (ackedRecords int, err error) {
+	for _, op := range script {
+		switch op.kind {
+		case "ingest":
+			if err := d.Ingest(op.batch...); err != nil {
+				return ackedRecords, err
+			}
+			ackedRecords += len(op.batch)
+		case "refresh":
+			if _, err := d.Refresh(); err != nil {
+				return ackedRecords, err
+			}
+		case "checkpoint":
+			if err := d.Checkpoint(); err != nil {
+				return ackedRecords, err
+			}
+		}
+	}
+	return ackedRecords, nil
+}
+
+// durableBoundary reads what a crashed directory durably holds — checkpoint
+// plus decoded log tail — independently of OpenDurable's recovery, so the
+// sweep can cross-check recovery against the raw bytes.
+type durableBoundary struct {
+	ck      *wal.Checkpoint
+	entries []wal.Entry
+}
+
+func readBoundary(t *testing.T, dir string) durableBoundary {
+	t.Helper()
+	var b durableBoundary
+	ck, ok, err := wal.ReadCheckpoint(nil, dir)
+	if err != nil {
+		t.Fatalf("boundary checkpoint: %v", err)
+	}
+	if ok {
+		b.ck = ck
+	} else {
+		b.ck = &wal.Checkpoint{}
+	}
+	l, err := wal.Open(dir, wal.Options{})
+	if err != nil {
+		t.Fatalf("boundary log open: %v", err)
+	}
+	defer l.Close()
+	if err := l.Replay(b.ck.Watermark, func(seq uint64, payload []byte) error {
+		ent, err := wal.DecodeEntry(payload)
+		if err != nil {
+			return err
+		}
+		b.entries = append(b.entries, ent)
+		return nil
+	}); err != nil {
+		t.Fatalf("boundary replay: %v", err)
+	}
+	return b
+}
+
+// durableRecords flattens the boundary's record stream: checkpoint prefix
+// followed by every tail batch.
+func (b durableBoundary) records() []triple.Record {
+	recs := append([]triple.Record(nil), b.ck.Records...)
+	for _, ent := range b.entries {
+		if ent.Kind == wal.EntryBatch {
+			recs = append(recs, ent.Records...)
+		}
+	}
+	return recs
+}
+
+// oracleFromBoundary builds the reference state with a plain in-memory
+// Engine: cold-anchor on the checkpoint prefix, then the tail entries in
+// order. This mirrors what recovery promises to compute, using none of the
+// durable plumbing.
+func oracleFromBoundary(t *testing.T, b durableBoundary, opt EngineOptions) *Engine {
+	t.Helper()
+	eng, err := NewEngine(opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(b.ck.Records) > 0 {
+		if err := eng.eng.Ingest(b.ck.Records...); err != nil {
+			t.Fatalf("oracle checkpoint ingest: %v", err)
+		}
+		if _, err := eng.Refresh(); err != nil {
+			t.Fatalf("oracle anchor refresh: %v", err)
+		}
+	}
+	for _, ent := range b.entries {
+		switch ent.Kind {
+		case wal.EntryBatch:
+			if err := eng.eng.Ingest(ent.Records...); err != nil {
+				t.Fatalf("oracle tail ingest: %v", err)
+			}
+		case wal.EntryRefresh:
+			if eng.Len() == 0 {
+				continue
+			}
+			if _, err := eng.Refresh(); err != nil {
+				t.Fatalf("oracle tail refresh: %v", err)
+			}
+		}
+	}
+	return eng
+}
+
+// assertResultsIdentical compares two result views bit for bit — the
+// recovery contract is exact reproduction, not tolerance-equality.
+func assertResultsIdentical(t *testing.T, label string, a, b *Result) {
+	t.Helper()
+	if !reflect.DeepEqual(a.TopSources(0), b.TopSources(0)) {
+		t.Fatalf("%s: source views differ", label)
+	}
+	if !reflect.DeepEqual(a.TopTriples(0), b.TopTriples(0)) {
+		t.Fatalf("%s: triple views differ", label)
+	}
+}
+
+func isPrefix(short, long []triple.Record) bool {
+	if len(short) > len(long) {
+		return false
+	}
+	for i := range short {
+		if short[i] != long[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// TestDurableCrashSweep is the kill-at-every-byte property test: the
+// scripted workload runs against a filesystem that dies after an
+// ever-growing mutation budget — inside WAL appends at every byte offset,
+// inside fsyncs, and inside every stage of the checkpoint publication. After
+// each injected crash the directory is recovered with the real filesystem
+// and checked against the raw durable boundary:
+//
+//   - recovery never fails on a crash-shaped directory;
+//   - every acknowledged batch survives;
+//   - the durable record stream is an exact prefix of the script's;
+//   - the recovered result is bit-identical to a plain Engine applying the
+//     durable operations — the "uninterrupted process" oracle.
+func TestDurableCrashSweep(t *testing.T) {
+	opt := durableTestOptions()
+	script := durableScript()
+	allRecs := scriptRecords(script)
+	stride := int64(1)
+	if testing.Short() {
+		stride = 13
+	}
+	completed := false
+	budgets := 0
+	for budget := int64(0); budget < 1<<20 && !completed; budget += stride {
+		budgets++
+		dir := t.TempDir()
+		var acked int
+		cfs := wal.NewCrashFS(nil, budget)
+		d, err := OpenDurable(dir, opt, DurableOptions{SegmentBytes: 512, fs: cfs})
+		if err == nil {
+			var serr error
+			acked, serr = runScript(d, script)
+			completed = serr == nil
+			d.Close()
+		}
+
+		rec, err := OpenDurable(dir, opt, DurableOptions{SegmentBytes: 512})
+		if err != nil {
+			t.Fatalf("budget %d: recovery failed: %v", budget, err)
+		}
+		boundary := readBoundary(t, dir)
+		durableRecs := boundary.records()
+		if !isPrefix(boundary.ck.Records, allRecs) {
+			t.Fatalf("budget %d: checkpoint records are not a script prefix", budget)
+		}
+		if !isPrefix(durableRecs, allRecs) {
+			t.Fatalf("budget %d: durable records are not a script prefix", budget)
+		}
+		if len(durableRecs) < acked {
+			t.Fatalf("budget %d: %d records acked but only %d durable", budget, acked, len(durableRecs))
+		}
+		if rec.Len() != len(durableRecs) {
+			t.Fatalf("budget %d: recovered engine holds %d records, boundary %d", budget, rec.Len(), len(durableRecs))
+		}
+
+		oracle := oracleFromBoundary(t, boundary, opt)
+		or, ook := oracle.Current()
+		rr, rok := rec.Current()
+		if ook != rok {
+			t.Fatalf("budget %d: oracle refreshed=%v, recovered refreshed=%v", budget, ook, rok)
+		}
+		if ook {
+			assertResultsIdentical(t, fmt.Sprintf("budget %d", budget), rr, or)
+		}
+
+		// Post-recovery lockstep: the recovered engine is not just a frozen
+		// replica — it continues warm exactly like the oracle.
+		post := []Extraction{durableExtraction(100), durableExtraction(101), durableExtraction(102)}
+		if err := rec.Ingest(post...); err != nil {
+			t.Fatalf("budget %d: post-recovery ingest: %v", budget, err)
+		}
+		postRecs := make([]triple.Record, len(post))
+		for i, x := range post {
+			postRecs[i] = x.record()
+		}
+		if err := oracle.eng.Ingest(postRecs...); err != nil {
+			t.Fatal(err)
+		}
+		rr2, err := rec.Refresh()
+		if err != nil {
+			t.Fatalf("budget %d: post-recovery refresh: %v", budget, err)
+		}
+		or2, err := oracle.Refresh()
+		if err != nil {
+			t.Fatal(err)
+		}
+		assertResultsIdentical(t, fmt.Sprintf("budget %d post-recovery", budget), rr2, or2)
+		rec.Close()
+	}
+	if !completed {
+		t.Fatal("sweep never reached a budget that completes the workload")
+	}
+	if budgets < 100 {
+		t.Fatalf("sweep covered only %d budgets — workload too small to mean anything", budgets)
+	}
+}
+
+// TestDurableRecoveredEqualsLive reruns the script uninterrupted, closes,
+// reopens, and demands the recovered generation be bit-identical to the one
+// the live process served — with and without a checkpoint in the script.
+func TestDurableRecoveredEqualsLive(t *testing.T) {
+	opt := durableTestOptions()
+	scripts := map[string][]durableOp{
+		"with-checkpoint": durableScript(),
+		"wal-only": {
+			{kind: "ingest", batch: []Extraction{durableExtraction(0), durableExtraction(1), durableExtraction(2)}},
+			{kind: "refresh"},
+			{kind: "ingest", batch: []Extraction{durableExtraction(3), durableExtraction(4)}},
+			{kind: "refresh"},
+		},
+	}
+	for name, script := range scripts {
+		t.Run(name, func(t *testing.T) {
+			dir := t.TempDir()
+			d, err := OpenDurable(dir, opt, DurableOptions{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if _, err := runScript(d, script); err != nil {
+				t.Fatal(err)
+			}
+			live, ok := d.Current()
+			if !ok {
+				t.Fatal("no live generation")
+			}
+			liveLen, livePending := d.Len(), d.Pending()
+			if err := d.Close(); err != nil {
+				t.Fatal(err)
+			}
+
+			rec, err := OpenDurable(dir, opt, DurableOptions{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer rec.Close()
+			if rec.Len() != liveLen || rec.Pending() != livePending {
+				t.Fatalf("recovered %d/%d records pending, live had %d/%d",
+					rec.Len(), rec.Pending(), liveLen, livePending)
+			}
+			got, ok := rec.Current()
+			if !ok {
+				t.Fatal("no recovered generation")
+			}
+			assertResultsIdentical(t, name, got, live)
+		})
+	}
+}
+
+// TestDurableCheckpointEvery exercises the auto-checkpoint cadence: the log
+// must shrink at each checkpoint and recovery must keep matching the live
+// result.
+func TestDurableCheckpointEvery(t *testing.T) {
+	opt := durableTestOptions()
+	dir := t.TempDir()
+	d, err := OpenDurable(dir, opt, DurableOptions{CheckpointEvery: 2, SegmentBytes: 256})
+	if err != nil {
+		t.Fatal(err)
+	}
+	next := 0
+	for round := 0; round < 5; round++ {
+		batch := make([]Extraction, 5)
+		for i := range batch {
+			batch[i] = durableExtraction(next)
+			next++
+		}
+		if err := d.Ingest(batch...); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := d.Refresh(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ck, ok, err := wal.ReadCheckpoint(nil, dir)
+	if err != nil || !ok {
+		t.Fatalf("no checkpoint after cadence: ok=%v err=%v", ok, err)
+	}
+	if len(ck.Records) < 15 {
+		t.Fatalf("checkpoint covers only %d records", len(ck.Records))
+	}
+	live, _ := d.Current()
+	if err := d.Close(); err != nil {
+		t.Fatal(err)
+	}
+	rec, err := OpenDurable(dir, opt, DurableOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rec.Close()
+	got, ok := rec.Current()
+	if !ok {
+		t.Fatal("no recovered generation")
+	}
+	assertResultsIdentical(t, "cadence", got, live)
+}
+
+// TestDurableRejectedBatch: a batch the engine rejects is logged but
+// contributes no state — and deterministically contributes none on replay.
+func TestDurableRejectedBatch(t *testing.T) {
+	opt := durableTestOptions()
+	dir := t.TempDir()
+	d, err := OpenDurable(dir, opt, DurableOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Ingest(durableExtraction(0), durableExtraction(1)); err != nil {
+		t.Fatal(err)
+	}
+	bad := durableExtraction(2)
+	bad.Subject = ""
+	if err := d.Ingest(bad); err == nil {
+		t.Fatal("invalid batch accepted")
+	}
+	if _, err := d.Refresh(); err != nil {
+		t.Fatal(err)
+	}
+	live, _ := d.Current()
+	if d.Len() != 2 {
+		t.Fatalf("live engine holds %d records, want 2", d.Len())
+	}
+	if err := d.Close(); err != nil {
+		t.Fatal(err)
+	}
+	rec, err := OpenDurable(dir, opt, DurableOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rec.Close()
+	if rec.Len() != 2 {
+		t.Fatalf("recovered engine holds %d records, want 2", rec.Len())
+	}
+	got, ok := rec.Current()
+	if !ok {
+		t.Fatal("no recovered generation")
+	}
+	assertResultsIdentical(t, "rejected-batch", got, live)
+}
+
+// TestDurableFingerprintMismatch: a checkpoint taken under different model
+// options must refuse to load rather than silently misestimate.
+func TestDurableFingerprintMismatch(t *testing.T) {
+	opt := durableTestOptions()
+	dir := t.TempDir()
+	d, err := OpenDurable(dir, opt, DurableOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := runScript(d, durableScript()); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Close(); err != nil {
+		t.Fatal(err)
+	}
+	other := opt
+	other.Iterations++
+	if _, err := OpenDurable(dir, other, DurableOptions{}); err == nil {
+		t.Fatal("fingerprint mismatch not detected")
+	}
+	// The original options still load fine.
+	rec, err := OpenDurable(dir, opt, DurableOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec.Close()
+}
+
+// TestDurableClosed: mutators fail cleanly after Close, reads keep serving.
+func TestDurableClosed(t *testing.T) {
+	dir := t.TempDir()
+	d, err := OpenDurable(dir, durableTestOptions(), DurableOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Ingest(durableExtraction(0)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.Refresh(); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Ingest(durableExtraction(1)); !errors.Is(err, ErrEngineClosed) {
+		t.Fatalf("Ingest after Close: %v", err)
+	}
+	if _, err := d.Refresh(); !errors.Is(err, ErrEngineClosed) {
+		t.Fatalf("Refresh after Close: %v", err)
+	}
+	if err := d.Checkpoint(); !errors.Is(err, ErrEngineClosed) {
+		t.Fatalf("Checkpoint after Close: %v", err)
+	}
+	if _, ok := d.Current(); !ok {
+		t.Fatal("Current stopped serving after Close")
+	}
+	if err := d.Close(); err != nil {
+		t.Fatalf("second Close: %v", err)
+	}
+}

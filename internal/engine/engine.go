@@ -252,6 +252,18 @@ func (e *Engine) Len() int {
 	return len(e.ds.Records)
 }
 
+// Records returns the full ingest-ordered record sequence. The returned
+// slice is capped at its length, so a concurrent Ingest appends into fresh
+// backing storage rather than aliasing the caller's view — the same
+// append-only discipline the snapshot compiler relies on. Used by the
+// durable engine to persist its checkpoint image.
+func (e *Engine) Records() []triple.Record {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	n := len(e.ds.Records)
+	return e.ds.Records[:n:n]
+}
+
 // Pending returns the number of records ingested since the last Refresh.
 func (e *Engine) Pending() int {
 	e.mu.Lock()

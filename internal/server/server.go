@@ -1,0 +1,325 @@
+// Package server is the HTTP/JSON front end on a kbt engine: batched,
+// backpressured ingest through a bounded queue, and lock-free reads of the
+// current generation — queries never block a running refresh, because the
+// engine's read path is an atomic generation load.
+package server
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strconv"
+	"sync"
+
+	"kbt"
+)
+
+// Engine is what the server serves: the shared method set of kbt.Engine and
+// kbt.DurableEngine.
+type Engine interface {
+	Ingest(batch ...kbt.Extraction) error
+	Len() int
+	Pending() int
+	Refresh() (*kbt.Result, error)
+	Current() (*kbt.Result, bool)
+	TopSources(k int) ([]kbt.Source, bool)
+	TopTriples(k int) ([]kbt.TripleVerdict, bool)
+	Stats() (kbt.RefreshStats, bool)
+}
+
+// Options configures New.
+type Options struct {
+	// Queue bounds the number of ingest batches admitted but not yet
+	// applied; a POST /ingest that finds it full is refused with 429
+	// (default 64).
+	Queue int
+	// RefreshEvery refreshes after every N applied batches (default 1;
+	// negative disables automatic refreshes — POST /refresh still works).
+	RefreshEvery int
+	// MaxBodyBytes bounds a request body (default 8 MiB).
+	MaxBodyBytes int64
+}
+
+func (o *Options) fill() {
+	if o.Queue <= 0 {
+		o.Queue = 64
+	}
+	if o.RefreshEvery == 0 {
+		o.RefreshEvery = 1
+	}
+	if o.MaxBodyBytes <= 0 {
+		o.MaxBodyBytes = 8 << 20
+	}
+}
+
+// job is one admitted ingest batch; done carries the engine's verdict back
+// to the waiting handler, so a 2xx /ingest response is an applied (and,
+// on a durable engine, fsync-ed) batch — admission alone is never acked.
+type job struct {
+	batch []kbt.Extraction
+	done  chan error
+}
+
+// Server is an http.Handler. Ingest funnels through one worker goroutine —
+// the queue provides the backpressure boundary and keeps engine mutations
+// single-file; queries go straight to the engine's lock-free read path.
+type Server struct {
+	eng  Engine
+	opt  Options
+	jobs chan job
+
+	mu       sync.Mutex
+	applied  int    // batches applied since the last automatic refresh
+	lastErr  string // most recent background refresh failure, "" when none
+	stopping bool
+
+	stopped chan struct{}
+	mux     *http.ServeMux
+}
+
+// New starts a server (and its ingest worker) on eng.
+func New(eng Engine, opt Options) *Server {
+	opt.fill()
+	s := &Server{
+		eng:     eng,
+		opt:     opt,
+		jobs:    make(chan job, opt.Queue),
+		stopped: make(chan struct{}),
+		mux:     http.NewServeMux(),
+	}
+	s.mux.HandleFunc("/ingest", s.handleIngest)
+	s.mux.HandleFunc("/refresh", s.handleRefresh)
+	s.mux.HandleFunc("/top-sources", s.handleTopSources)
+	s.mux.HandleFunc("/top-triples", s.handleTopTriples)
+	s.mux.HandleFunc("/source", s.handleSource)
+	s.mux.HandleFunc("/healthz", s.handleHealthz)
+	s.mux.HandleFunc("/stats", s.handleStats)
+	go s.worker()
+	return s
+}
+
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+// Close drains the admitted queue (every admitted batch is still applied
+// and acked) and stops the worker.
+func (s *Server) Close() {
+	s.mu.Lock()
+	if s.stopping {
+		s.mu.Unlock()
+		<-s.stopped
+		return
+	}
+	s.stopping = true
+	s.mu.Unlock()
+	close(s.jobs)
+	<-s.stopped
+}
+
+func (s *Server) worker() {
+	defer close(s.stopped)
+	for j := range s.jobs {
+		err := s.eng.Ingest(j.batch...)
+		j.done <- err
+		if err != nil {
+			continue
+		}
+		s.mu.Lock()
+		s.applied++
+		refresh := s.opt.RefreshEvery > 0 && s.applied >= s.opt.RefreshEvery
+		if refresh {
+			s.applied = 0
+		}
+		s.mu.Unlock()
+		if refresh {
+			_, rerr := s.eng.Refresh()
+			s.mu.Lock()
+			if rerr != nil {
+				s.lastErr = rerr.Error()
+			} else {
+				s.lastErr = ""
+			}
+			s.mu.Unlock()
+		}
+	}
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(v)
+}
+
+func writeError(w http.ResponseWriter, status int, msg string) {
+	writeJSON(w, status, map[string]string{"error": msg})
+}
+
+func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeError(w, http.StatusMethodNotAllowed, "POST only")
+		return
+	}
+	var batch []kbt.Extraction
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, s.opt.MaxBodyBytes))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&batch); err != nil {
+		writeError(w, http.StatusBadRequest, "malformed batch: "+err.Error())
+		return
+	}
+	if len(batch) == 0 {
+		writeError(w, http.StatusBadRequest, "empty batch")
+		return
+	}
+	// Admission happens under mu so Close (which also takes mu before
+	// closing the channel) can never race a send on a closed queue.
+	j := job{batch: batch, done: make(chan error, 1)}
+	s.mu.Lock()
+	if s.stopping {
+		s.mu.Unlock()
+		writeError(w, http.StatusServiceUnavailable, "shutting down")
+		return
+	}
+	admitted := false
+	select {
+	case s.jobs <- j:
+		admitted = true
+	default:
+	}
+	s.mu.Unlock()
+	if !admitted {
+		writeError(w, http.StatusTooManyRequests, "ingest queue full, retry later")
+		return
+	}
+	if err := <-j.done; err != nil {
+		status := http.StatusBadRequest // engine validation refused the batch
+		if errors.Is(err, kbt.ErrEngineClosed) {
+			status = http.StatusServiceUnavailable
+		}
+		writeError(w, status, err.Error())
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]int{"ingested": len(batch)})
+}
+
+func (s *Server) handleRefresh(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeError(w, http.StatusMethodNotAllowed, "POST only")
+		return
+	}
+	if _, err := s.eng.Refresh(); err != nil {
+		writeError(w, http.StatusConflict, err.Error())
+		return
+	}
+	stats, _ := s.eng.Stats()
+	writeJSON(w, http.StatusOK, stats)
+}
+
+// parseK reads ?k=N (0 or absent = all).
+func parseK(r *http.Request) (int, error) {
+	q := r.URL.Query().Get("k")
+	if q == "" {
+		return 0, nil
+	}
+	k, err := strconv.Atoi(q)
+	if err != nil {
+		return 0, fmt.Errorf("bad k %q", q)
+	}
+	return k, nil
+}
+
+func (s *Server) handleTopSources(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeError(w, http.StatusMethodNotAllowed, "GET only")
+		return
+	}
+	k, err := parseK(r)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	srcs, ok := s.eng.TopSources(k)
+	if !ok {
+		writeError(w, http.StatusServiceUnavailable, "no generation published yet")
+		return
+	}
+	writeJSON(w, http.StatusOK, srcs)
+}
+
+func (s *Server) handleTopTriples(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeError(w, http.StatusMethodNotAllowed, "GET only")
+		return
+	}
+	k, err := parseK(r)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	trs, ok := s.eng.TopTriples(k)
+	if !ok {
+		writeError(w, http.StatusServiceUnavailable, "no generation published yet")
+		return
+	}
+	writeJSON(w, http.StatusOK, trs)
+}
+
+func (s *Server) handleSource(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeError(w, http.StatusMethodNotAllowed, "GET only")
+		return
+	}
+	name := r.URL.Query().Get("name")
+	if name == "" {
+		writeError(w, http.StatusBadRequest, "missing name parameter")
+		return
+	}
+	res, ok := s.eng.Current()
+	if !ok {
+		writeError(w, http.StatusServiceUnavailable, "no generation published yet")
+		return
+	}
+	src, ok := res.SourceByName(name)
+	if !ok {
+		writeError(w, http.StatusNotFound, "unknown source "+name)
+		return
+	}
+	writeJSON(w, http.StatusOK, src)
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeError(w, http.StatusMethodNotAllowed, "GET only")
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+// statsReply is the /stats document.
+type statsReply struct {
+	Records   int               `json:"records"`
+	Pending   int               `json:"pending"`
+	Queued    int               `json:"queued"`
+	Refreshed bool              `json:"refreshed"`
+	Refresh   *kbt.RefreshStats `json:"refresh,omitempty"`
+	LastError string            `json:"last_error,omitempty"`
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeError(w, http.StatusMethodNotAllowed, "GET only")
+		return
+	}
+	reply := statsReply{
+		Records: s.eng.Len(),
+		Pending: s.eng.Pending(),
+		Queued:  len(s.jobs),
+	}
+	if st, ok := s.eng.Stats(); ok {
+		reply.Refreshed = true
+		reply.Refresh = &st
+	}
+	s.mu.Lock()
+	reply.LastError = s.lastErr
+	s.mu.Unlock()
+	writeJSON(w, http.StatusOK, reply)
+}

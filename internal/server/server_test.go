@@ -1,0 +1,375 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"kbt"
+)
+
+func testEngine(t *testing.T) *kbt.Engine {
+	t.Helper()
+	opt := kbt.DefaultEngineOptions()
+	opt.Shards = 4
+	opt.DomainSize = 5
+	opt.Iterations = 3
+	opt.MinSupport = 1
+	opt.MinReportableTriples = 0
+	opt.Tol = 1e-6
+	eng, err := kbt.NewEngine(opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return eng
+}
+
+func testBatch(first, n int) []kbt.Extraction {
+	batch := make([]kbt.Extraction, n)
+	for i := range batch {
+		j := first + i
+		obj := fmt.Sprintf("o%d", j%3)
+		if j%7 == 0 {
+			obj = "oX"
+		}
+		batch[i] = kbt.Extraction{
+			Extractor: fmt.Sprintf("E%d", j%3),
+			Website:   fmt.Sprintf("w%d.com", j%4),
+			Page:      fmt.Sprintf("w%d.com/p%d", j%4, j%2),
+			Subject:   fmt.Sprintf("s%d", j%5),
+			Predicate: "born",
+			Object:    obj,
+		}
+	}
+	return batch
+}
+
+func postJSON(t *testing.T, ts *httptest.Server, path string, v any) *http.Response {
+	t.Helper()
+	body, err := json.Marshal(v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(ts.URL+path, "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp
+}
+
+func decodeInto(t *testing.T, resp *http.Response, v any) {
+	t.Helper()
+	defer resp.Body.Close()
+	if err := json.NewDecoder(resp.Body).Decode(v); err != nil {
+		t.Fatalf("decoding response: %v", err)
+	}
+}
+
+// waitRefreshed polls /stats until a generation is published.
+func waitRefreshed(t *testing.T, ts *httptest.Server) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) {
+		resp, err := http.Get(ts.URL + "/stats")
+		if err != nil {
+			t.Fatal(err)
+		}
+		var st struct {
+			Refreshed bool `json:"refreshed"`
+			Pending   int  `json:"pending"`
+		}
+		decodeInto(t, resp, &st)
+		if st.Refreshed && st.Pending == 0 {
+			return
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	t.Fatal("server never published a generation")
+}
+
+func TestIngestQueryRoundTrip(t *testing.T) {
+	srv := New(testEngine(t), Options{})
+	defer srv.Close()
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+
+	// Before any data: health is fine, queries are 503.
+	resp, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz = %d", resp.StatusCode)
+	}
+	resp, err = http.Get(ts.URL + "/top-sources")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("pre-generation top-sources = %d, want 503", resp.StatusCode)
+	}
+
+	resp = postJSON(t, ts, "/ingest", testBatch(0, 24))
+	var ack map[string]int
+	decodeInto(t, resp, &ack)
+	if resp.StatusCode != http.StatusOK || ack["ingested"] != 24 {
+		t.Fatalf("ingest = %d, ack %v", resp.StatusCode, ack)
+	}
+	waitRefreshed(t, ts)
+
+	resp, err = http.Get(ts.URL + "/top-sources?k=2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var srcs []kbt.Source
+	decodeInto(t, resp, &srcs)
+	if resp.StatusCode != http.StatusOK || len(srcs) != 2 {
+		t.Fatalf("top-sources = %d, %d sources", resp.StatusCode, len(srcs))
+	}
+	resp, err = http.Get(ts.URL + "/top-triples")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var trs []kbt.TripleVerdict
+	decodeInto(t, resp, &trs)
+	if resp.StatusCode != http.StatusOK || len(trs) == 0 {
+		t.Fatalf("top-triples = %d, %d triples", resp.StatusCode, len(trs))
+	}
+	for _, tv := range trs {
+		if tv.Probability < 0 || tv.Probability > 1 {
+			t.Fatalf("triple %v has probability %v", tv, tv.Probability)
+		}
+	}
+
+	resp, err = http.Get(ts.URL + "/source?name=" + srcs[0].Name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var src kbt.Source
+	decodeInto(t, resp, &src)
+	if resp.StatusCode != http.StatusOK || src != srcs[0] {
+		t.Fatalf("source = %d, %+v, want %+v", resp.StatusCode, src, srcs[0])
+	}
+	resp, err = http.Get(ts.URL + "/source?name=no-such-site.example")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("unknown source = %d, want 404", resp.StatusCode)
+	}
+
+	resp, err = http.Get(ts.URL + "/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var st statsReply
+	decodeInto(t, resp, &st)
+	if st.Records != 24 || !st.Refreshed || st.Refresh == nil || st.LastError != "" {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestBadRequests(t *testing.T) {
+	srv := New(testEngine(t), Options{})
+	defer srv.Close()
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+
+	for _, tc := range []struct {
+		name, method, path, body string
+		want                     int
+	}{
+		{"garbage body", "POST", "/ingest", "{not json", http.StatusBadRequest},
+		{"object not array", "POST", "/ingest", `{"Subject":"s"}`, http.StatusBadRequest},
+		{"unknown field", "POST", "/ingest", `[{"Nope":"x"}]`, http.StatusBadRequest},
+		{"empty batch", "POST", "/ingest", `[]`, http.StatusBadRequest},
+		{"invalid record", "POST", "/ingest",
+			`[{"Extractor":"E","Website":"w.com","Page":"w.com/p","Predicate":"p","Object":"o"}]`,
+			http.StatusBadRequest}, // empty Subject: engine validation refuses
+		{"ingest GET", "GET", "/ingest", "", http.StatusMethodNotAllowed},
+		{"refresh GET", "GET", "/refresh", "", http.StatusMethodNotAllowed},
+		{"top-sources POST", "POST", "/top-sources", "", http.StatusMethodNotAllowed},
+		{"bad k", "GET", "/top-sources?k=many", "", http.StatusBadRequest},
+		{"source without name", "GET", "/source", "", http.StatusBadRequest},
+		{"refresh empty engine", "POST", "/refresh", "", http.StatusConflict},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			req, err := http.NewRequest(tc.method, ts.URL+tc.path, strings.NewReader(tc.body))
+			if err != nil {
+				t.Fatal(err)
+			}
+			resp, err := http.DefaultClient.Do(req)
+			if err != nil {
+				t.Fatal(err)
+			}
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+			if resp.StatusCode != tc.want {
+				t.Fatalf("status = %d, want %d", resp.StatusCode, tc.want)
+			}
+		})
+	}
+}
+
+// gatedEngine blocks Ingest until released, so the test can hold the worker
+// busy and fill the queue deterministically.
+type gatedEngine struct {
+	*kbt.Engine
+	gate chan struct{}
+}
+
+func (g *gatedEngine) Ingest(batch ...kbt.Extraction) error {
+	<-g.gate
+	return g.Engine.Ingest(batch...)
+}
+
+func TestQueueFullReturns429(t *testing.T) {
+	ge := &gatedEngine{Engine: testEngine(t), gate: make(chan struct{})}
+	srv := New(ge, Options{Queue: 2, RefreshEvery: -1})
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+
+	// Three in-flight posts: one held by the worker at the gate, two
+	// filling the queue. Each post blocks in its handler waiting for the
+	// ack, so they run in goroutines.
+	acks := make(chan *http.Response, 3)
+	for i := 0; i < 3; i++ {
+		go func(i int) {
+			acks <- postJSON(t, ts, "/ingest", testBatch(i*10, 4))
+		}(i)
+	}
+	// Wait until the queue is saturated: worker holds one job, two queued.
+	deadline := time.Now().Add(5 * time.Second)
+	for len(srv.jobs) < 2 {
+		if time.Now().After(deadline) {
+			t.Fatal("queue never filled")
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	resp := postJSON(t, ts, "/ingest", testBatch(99, 4))
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("saturated ingest = %d, want 429", resp.StatusCode)
+	}
+
+	close(ge.gate) // release the worker; the three admitted posts all ack
+	for i := 0; i < 3; i++ {
+		resp := <-acks
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("admitted ingest %d = %d, want 200", i, resp.StatusCode)
+		}
+	}
+	srv.Close()
+	if got := ge.Len(); got != 12 {
+		t.Fatalf("engine holds %d records after drain, want 12", got)
+	}
+}
+
+// TestConcurrentIngestAndQuery hammers ingest and the read endpoints
+// together (run under -race in CI). Every query response must be one
+// internally coherent generation: sources sorted most-trustworthy-first,
+// the k-prefix consistent with itself, probabilities in range — the same
+// invariants the engine's generation-coherence test pins, observed through
+// the HTTP surface.
+func TestConcurrentIngestAndQuery(t *testing.T) {
+	srv := New(testEngine(t), Options{Queue: 128})
+	defer srv.Close()
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+
+	resp := postJSON(t, ts, "/ingest", testBatch(0, 30))
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	waitRefreshed(t, ts)
+
+	const writers, readers, rounds = 2, 4, 20
+	var wg sync.WaitGroup
+	errc := make(chan error, writers+readers)
+	for wr := 0; wr < writers; wr++ {
+		wg.Add(1)
+		go func(wr int) {
+			defer wg.Done()
+			for i := 0; i < rounds; i++ {
+				resp := postJSON(t, ts, "/ingest", testBatch(1000+wr*1000+i*10, 5))
+				io.Copy(io.Discard, resp.Body)
+				resp.Body.Close()
+				if resp.StatusCode != http.StatusOK && resp.StatusCode != http.StatusTooManyRequests {
+					errc <- fmt.Errorf("writer %d: ingest = %d", wr, resp.StatusCode)
+					return
+				}
+			}
+		}(wr)
+	}
+	for rd := 0; rd < readers; rd++ {
+		wg.Add(1)
+		go func(rd int) {
+			defer wg.Done()
+			for i := 0; i < rounds; i++ {
+				resp, err := http.Get(ts.URL + "/top-sources")
+				if err != nil {
+					errc <- err
+					return
+				}
+				var srcs []kbt.Source
+				if err := json.NewDecoder(resp.Body).Decode(&srcs); err != nil {
+					resp.Body.Close()
+					errc <- fmt.Errorf("reader %d: %v", rd, err)
+					return
+				}
+				resp.Body.Close()
+				if len(srcs) == 0 {
+					errc <- fmt.Errorf("reader %d: empty source view", rd)
+					return
+				}
+				for j := range srcs {
+					if srcs[j].KBT < 0 || srcs[j].KBT > 1 {
+						errc <- fmt.Errorf("reader %d: KBT %v out of range", rd, srcs[j].KBT)
+						return
+					}
+					if j > 0 && (srcs[j].KBT > srcs[j-1].KBT ||
+						(srcs[j].KBT == srcs[j-1].KBT && srcs[j].Name < srcs[j-1].Name)) {
+						errc <- fmt.Errorf("reader %d: source view out of order at %d", rd, j)
+						return
+					}
+				}
+				resp, err = http.Get(ts.URL + "/top-triples?k=5")
+				if err != nil {
+					errc <- err
+					return
+				}
+				var trs []kbt.TripleVerdict
+				if err := json.NewDecoder(resp.Body).Decode(&trs); err != nil {
+					resp.Body.Close()
+					errc <- fmt.Errorf("reader %d: %v", rd, err)
+					return
+				}
+				resp.Body.Close()
+				for _, tv := range trs {
+					if tv.Probability < 0 || tv.Probability > 1 {
+						errc <- fmt.Errorf("reader %d: probability %v", rd, tv.Probability)
+						return
+					}
+				}
+			}
+		}(rd)
+	}
+	wg.Wait()
+	close(errc)
+	for err := range errc {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,36 @@
+package wal
+
+import (
+	"fmt"
+	"testing"
+)
+
+// BenchmarkWALAppend measures the framed-append path (no fsync: NoSync
+// isolates the in-process cost the durable engine pays per record before the
+// batched Sync barrier).
+func BenchmarkWALAppend(b *testing.B) {
+	for _, size := range []int{64, 1024} {
+		b.Run(fmt.Sprintf("payload=%d", size), func(b *testing.B) {
+			l, err := Open(b.TempDir(), Options{NoSync: true})
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer l.Close()
+			payload := make([]byte, size)
+			for i := range payload {
+				payload[i] = byte(i)
+			}
+			b.SetBytes(int64(size))
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := l.Append(payload); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.StopTimer()
+			if err := l.Sync(); err != nil {
+				b.Fatal(err)
+			}
+		})
+	}
+}

@@ -1,0 +1,155 @@
+package wal
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"io/fs"
+	"os"
+	"path/filepath"
+
+	"kbt/internal/triple"
+)
+
+// A checkpoint persists the durable engine's record prefix — the defining
+// input of the compiled triple.Snapshot, whose canonical first-appearance
+// order makes compilation a pure function of this sequence — together with
+// the log watermark separating covered records from the tail the recovery
+// replay must re-apply. It is written atomically: payload to a temp file,
+// fsync, rename over the final name, directory fsync. A crash at any byte of
+// that sequence leaves either the previous checkpoint or the new one, never
+// a torn hybrid; a stale temp file is ignored and overwritten.
+const (
+	ckptMagic = "kbtckp01"
+	// CheckpointFile is the checkpoint's file name inside the data dir.
+	CheckpointFile = "checkpoint"
+	ckptTempFile   = "checkpoint.tmp"
+)
+
+// Checkpoint is the durable image of the engine at a refresh boundary.
+type Checkpoint struct {
+	// Watermark is the log sequence the tail replay starts from: every
+	// entry below it is covered by Records.
+	Watermark uint64
+	// Fingerprint identifies the engine options the records were estimated
+	// under; recovery refuses a mismatch, since replaying the same records
+	// under different options would not reproduce the same model.
+	Fingerprint string
+	// Records is the full acknowledged record prefix, in ingest order.
+	Records []triple.Record
+}
+
+// WriteCheckpoint atomically replaces the checkpoint in dir.
+func WriteCheckpoint(fsys FS, dir string, ck *Checkpoint) error {
+	if fsys == nil {
+		fsys = OSFS{}
+	}
+	payload := binary.AppendUvarint(nil, ck.Watermark)
+	payload = binary.AppendUvarint(payload, uint64(len(ck.Fingerprint)))
+	payload = append(payload, ck.Fingerprint...)
+	payload = binary.AppendUvarint(payload, uint64(len(ck.Records)))
+	for i := range ck.Records {
+		payload = appendRecord(payload, ck.Records[i])
+	}
+
+	buf := make([]byte, 0, len(ckptMagic)+12+len(payload))
+	buf = append(buf, ckptMagic...)
+	buf = binary.LittleEndian.AppendUint32(buf, crc32.Checksum(payload, castagnoli))
+	buf = binary.LittleEndian.AppendUint64(buf, uint64(len(payload)))
+	buf = append(buf, payload...)
+
+	tmp := filepath.Join(dir, ckptTempFile)
+	f, err := fsys.OpenFile(tmp, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return fmt.Errorf("wal: create checkpoint temp: %w", err)
+	}
+	if _, err := f.Write(buf); err != nil {
+		f.Close()
+		return fmt.Errorf("wal: write checkpoint: %w", err)
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return fmt.Errorf("wal: sync checkpoint: %w", err)
+	}
+	if err := f.Close(); err != nil {
+		return fmt.Errorf("wal: close checkpoint: %w", err)
+	}
+	if err := fsys.Rename(tmp, filepath.Join(dir, CheckpointFile)); err != nil {
+		return fmt.Errorf("wal: publish checkpoint: %w", err)
+	}
+	if err := fsys.SyncDir(dir); err != nil {
+		return fmt.Errorf("wal: sync checkpoint dir: %w", err)
+	}
+	return nil
+}
+
+// ReadCheckpoint loads the checkpoint from dir; ok is false when none has
+// ever been published. Damage to a published checkpoint is an error — it was
+// synced, so unlike a WAL tail there is no unacked suffix to drop.
+func ReadCheckpoint(fsys FS, dir string) (ck *Checkpoint, ok bool, err error) {
+	if fsys == nil {
+		fsys = OSFS{}
+	}
+	f, err := fsys.OpenFile(filepath.Join(dir, CheckpointFile), os.O_RDONLY, 0)
+	if err != nil {
+		if errors.Is(err, fs.ErrNotExist) {
+			return nil, false, nil
+		}
+		return nil, false, fmt.Errorf("wal: open checkpoint: %w", err)
+	}
+	defer f.Close()
+	raw, err := io.ReadAll(f)
+	if err != nil {
+		return nil, false, fmt.Errorf("wal: read checkpoint: %w", err)
+	}
+	ck, err = decodeCheckpoint(raw)
+	if err != nil {
+		return nil, false, err
+	}
+	return ck, true, nil
+}
+
+func decodeCheckpoint(raw []byte) (*Checkpoint, error) {
+	hdr := len(ckptMagic) + 12
+	if len(raw) < hdr || string(raw[:len(ckptMagic)]) != ckptMagic {
+		return nil, fmt.Errorf("%w: checkpoint header", ErrCorrupt)
+	}
+	sum := binary.LittleEndian.Uint32(raw[len(ckptMagic):])
+	plen := binary.LittleEndian.Uint64(raw[len(ckptMagic)+4:])
+	payload := raw[hdr:]
+	if plen != uint64(len(payload)) {
+		return nil, fmt.Errorf("%w: checkpoint length %d, have %d payload bytes", ErrCorrupt, plen, len(payload))
+	}
+	if crc32.Checksum(payload, castagnoli) != sum {
+		return nil, fmt.Errorf("%w: checkpoint CRC mismatch", ErrCorrupt)
+	}
+	ck := &Checkpoint{}
+	var err error
+	ck.Watermark, payload, err = decodeUvarint(payload)
+	if err != nil {
+		return nil, fmt.Errorf("%w: checkpoint watermark", ErrCorrupt)
+	}
+	ck.Fingerprint, payload, err = decodeString(payload)
+	if err != nil {
+		return nil, fmt.Errorf("%w: checkpoint fingerprint", ErrCorrupt)
+	}
+	n, payload, err := decodeUvarint(payload)
+	if err != nil || n > uint64(len(payload)/15) {
+		return nil, fmt.Errorf("%w: checkpoint record count", ErrCorrupt)
+	}
+	ck.Records = make([]triple.Record, 0, n)
+	for i := uint64(0); i < n; i++ {
+		var rec triple.Record
+		rec, payload, err = decodeRecord(payload)
+		if err != nil {
+			return nil, fmt.Errorf("%w: checkpoint record %d", ErrCorrupt, i)
+		}
+		ck.Records = append(ck.Records, rec)
+	}
+	if len(payload) != 0 {
+		return nil, fmt.Errorf("%w: %d trailing checkpoint bytes", ErrCorrupt, len(payload))
+	}
+	return ck, nil
+}

@@ -1,0 +1,173 @@
+package wal
+
+import (
+	"errors"
+	"io/fs"
+	"os"
+	"sync"
+)
+
+// ErrCrashed is what every operation returns once a CrashFS budget is
+// exhausted — the injected "process died here".
+var ErrCrashed = errors.New("wal: injected crash")
+
+// CrashFS wraps an FS with a mutation budget: data writes consume one unit
+// per byte, metadata mutations (create, rename, remove, truncate, fsync)
+// one unit each. The first operation the remaining budget cannot cover
+// performs the affordable prefix — a Write lands its first remaining-budget
+// bytes, modelling a torn write — and then the filesystem is dead: every
+// later mutation fails with ErrCrashed, exactly as if the process had been
+// killed at that byte. Sweeping the budget from zero upward therefore kills
+// the workload at every byte offset of every append and at every stage of a
+// checkpoint publication.
+//
+// Reads never consume budget and keep working after the crash, so a test
+// can inspect the "disk" — but recovery tests should reopen through a fresh
+// FS, as a restarted process would.
+type CrashFS struct {
+	inner FS
+
+	mu      sync.Mutex
+	budget  int64
+	crashed bool
+}
+
+// NewCrashFS wraps inner (nil = OSFS) with the given mutation budget.
+func NewCrashFS(inner FS, budget int64) *CrashFS {
+	if inner == nil {
+		inner = OSFS{}
+	}
+	return &CrashFS{inner: inner, budget: budget}
+}
+
+// Crashed reports whether the budget has run out.
+func (c *CrashFS) Crashed() bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.crashed
+}
+
+// spend consumes n units, crashing when they are not available. It returns
+// how many units were actually granted (< n only on the crashing call).
+func (c *CrashFS) spend(n int64) (int64, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.crashed {
+		return 0, ErrCrashed
+	}
+	if c.budget < n {
+		granted := c.budget
+		c.budget = 0
+		c.crashed = true
+		return granted, ErrCrashed
+	}
+	c.budget -= n
+	return n, nil
+}
+
+func (c *CrashFS) OpenFile(name string, flag int, perm fs.FileMode) (File, error) {
+	if flag&(os.O_CREATE|os.O_TRUNC) != 0 {
+		if _, err := c.spend(1); err != nil {
+			return nil, err
+		}
+	} else if c.Crashed() {
+		// Read-only opens are free while alive; a dead FS rejects even
+		// them so a half-finished operation cannot keep using the handle
+		// supply after its "process" died.
+		return nil, ErrCrashed
+	}
+	f, err := c.inner.OpenFile(name, flag, perm)
+	if err != nil {
+		return nil, err
+	}
+	return &crashFile{fs: c, inner: f}, nil
+}
+
+func (c *CrashFS) ReadDir(name string) ([]string, error) {
+	if c.Crashed() {
+		return nil, ErrCrashed
+	}
+	return c.inner.ReadDir(name)
+}
+
+func (c *CrashFS) Remove(name string) error {
+	if _, err := c.spend(1); err != nil {
+		return err
+	}
+	return c.inner.Remove(name)
+}
+
+func (c *CrashFS) Rename(oldp, newp string) error {
+	if _, err := c.spend(1); err != nil {
+		return err
+	}
+	return c.inner.Rename(oldp, newp)
+}
+
+func (c *CrashFS) MkdirAll(p string, m fs.FileMode) error {
+	if _, err := c.spend(1); err != nil {
+		return err
+	}
+	return c.inner.MkdirAll(p, m)
+}
+
+func (c *CrashFS) SyncDir(name string) error {
+	if _, err := c.spend(1); err != nil {
+		return err
+	}
+	return c.inner.SyncDir(name)
+}
+
+type crashFile struct {
+	fs    *CrashFS
+	inner File
+}
+
+func (f *crashFile) Read(p []byte) (int, error) {
+	if f.fs.Crashed() {
+		return 0, ErrCrashed
+	}
+	return f.inner.Read(p)
+}
+
+func (f *crashFile) Write(p []byte) (int, error) {
+	granted, err := f.fs.spend(int64(len(p)))
+	if granted > 0 {
+		// The torn write: the bytes the budget still covered reach the
+		// backing file even though the call fails.
+		if n, werr := f.inner.Write(p[:granted]); werr != nil {
+			return n, werr
+		}
+	}
+	if err != nil {
+		return int(granted), err
+	}
+	return len(p), nil
+}
+
+func (f *crashFile) Seek(offset int64, whence int) (int64, error) {
+	if f.fs.Crashed() {
+		return 0, ErrCrashed
+	}
+	return f.inner.Seek(offset, whence)
+}
+
+func (f *crashFile) Sync() error {
+	if _, err := f.fs.spend(1); err != nil {
+		return err
+	}
+	return f.inner.Sync()
+}
+
+func (f *crashFile) Truncate(size int64) error {
+	if _, err := f.fs.spend(1); err != nil {
+		return err
+	}
+	return f.inner.Truncate(size)
+}
+
+func (f *crashFile) Close() error {
+	// Closing is free and always forwarded: the backing file must not leak
+	// even after the injected crash.
+	return f.inner.Close()
+}

@@ -1,0 +1,74 @@
+package wal
+
+import (
+	"io"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"sort"
+)
+
+// FS is the filesystem surface the log and checkpoint code write through.
+// Keeping it this narrow is what makes exhaustive crash injection tractable:
+// every byte that reaches disk, and every metadata operation that orders
+// those bytes, passes through one of these methods.
+type FS interface {
+	OpenFile(name string, flag int, perm fs.FileMode) (File, error)
+	ReadDir(name string) ([]string, error) // entry names, sorted
+	Remove(name string) error
+	Rename(oldpath, newpath string) error
+	MkdirAll(path string, perm fs.FileMode) error
+	// SyncDir fsyncs a directory, making renames and file creations within
+	// it durable.
+	SyncDir(name string) error
+}
+
+// File is the per-file surface: sequential reads and writes, truncation for
+// torn-tail repair, and Sync as the durability barrier.
+type File interface {
+	io.Reader
+	io.Writer
+	io.Seeker
+	io.Closer
+	Sync() error
+	Truncate(size int64) error
+}
+
+// OSFS is the real filesystem.
+type OSFS struct{}
+
+func (OSFS) OpenFile(name string, flag int, perm fs.FileMode) (File, error) {
+	return os.OpenFile(name, flag, perm)
+}
+
+func (OSFS) ReadDir(name string) ([]string, error) {
+	ents, err := os.ReadDir(name)
+	if err != nil {
+		return nil, err
+	}
+	names := make([]string, 0, len(ents))
+	for _, e := range ents {
+		names = append(names, e.Name())
+	}
+	sort.Strings(names)
+	return names, nil
+}
+
+func (OSFS) Remove(name string) error               { return os.Remove(name) }
+func (OSFS) Rename(oldp, newp string) error         { return os.Rename(oldp, newp) }
+func (OSFS) MkdirAll(p string, m fs.FileMode) error { return os.MkdirAll(p, m) }
+
+func (OSFS) SyncDir(name string) error {
+	d, err := os.Open(filepath.Clean(name))
+	if err != nil {
+		return err
+	}
+	// Some platforms reject fsync on directories; that loses an ordering
+	// guarantee we cannot restore, so surface it rather than swallow it.
+	serr := d.Sync()
+	cerr := d.Close()
+	if serr != nil {
+		return serr
+	}
+	return cerr
+}

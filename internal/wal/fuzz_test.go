@@ -1,0 +1,96 @@
+package wal
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// FuzzWALDecode feeds arbitrary bytes to both decoding layers: the segment
+// scanner (as the full contents of an active segment file) and the entry
+// codec (as each surviving payload). Invariants under any input:
+//
+//   - nothing panics;
+//   - Open never corrupts acknowledged data it did accept: a second open of
+//     the repaired file yields byte-identical payloads (deterministic,
+//     idempotent torn-tail truncation);
+//   - every payload the scanner serves passed its CRC, so a flipped bit in a
+//     record either surfaces nothing or the original bytes, never a mutation.
+func FuzzWALDecode(f *testing.F) {
+	// Seeds: a well-formed segment with two entries, its torn truncations,
+	// a bit-flipped copy, and raw garbage.
+	dir := f.TempDir()
+	l, err := Open(dir, Options{NoSync: true})
+	if err != nil {
+		f.Fatal(err)
+	}
+	if _, err := l.Append(EncodeRefresh()); err != nil {
+		f.Fatal(err)
+	}
+	if _, err := l.Append([]byte("opaque payload")); err != nil {
+		f.Fatal(err)
+	}
+	if err := l.Close(); err != nil {
+		f.Fatal(err)
+	}
+	wellFormed, err := os.ReadFile(filepath.Join(dir, segName(0)))
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(wellFormed)
+	f.Add(wellFormed[:len(wellFormed)-3])
+	f.Add(wellFormed[:len(segMagic)+2])
+	flipped := append([]byte(nil), wellFormed...)
+	flipped[len(flipped)/2] ^= 0x40
+	f.Add(flipped)
+	f.Add([]byte(segMagic))
+	f.Add([]byte("not a segment at all"))
+	f.Add([]byte{})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		dir := t.TempDir()
+		path := filepath.Join(dir, segName(0))
+		if err := os.WriteFile(path, data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		l, err := Open(dir, Options{NoSync: true})
+		if err != nil {
+			return // rejected as corrupt: acceptable for arbitrary bytes
+		}
+		var first [][]byte
+		if rerr := l.Replay(0, func(seq uint64, p []byte) error {
+			first = append(first, append([]byte(nil), p...))
+			// Payloads are opaque to the log; the engine's codec must
+			// tolerate whatever survives framing without panicking.
+			_, _ = DecodeEntry(p)
+			return nil
+		}); rerr != nil {
+			t.Fatalf("open accepted segment but replay failed: %v", rerr)
+		}
+		if err := l.Close(); err != nil {
+			t.Fatalf("close: %v", err)
+		}
+
+		l2, err := Open(dir, Options{NoSync: true})
+		if err != nil {
+			t.Fatalf("second open of repaired segment failed: %v", err)
+		}
+		var second [][]byte
+		if rerr := l2.Replay(0, func(seq uint64, p []byte) error {
+			second = append(second, append([]byte(nil), p...))
+			return nil
+		}); rerr != nil {
+			t.Fatalf("second replay failed: %v", rerr)
+		}
+		l2.Close()
+		if len(first) != len(second) {
+			t.Fatalf("repair not deterministic: %d then %d records", len(first), len(second))
+		}
+		for i := range first {
+			if !bytes.Equal(first[i], second[i]) {
+				t.Fatalf("record %d differs between opens", i)
+			}
+		}
+	})
+}
