@@ -6,8 +6,8 @@
 //	              [-min-support N] [-top K] [-triples] [-extractors] [file.tsv]
 //	kbt serve     [-granularity website|page|finest] [-shards N] [-batch N]
 //	              [-iters N] [-tol F] [-min-support N] [-top K] [-recompile]
-//	              [-full-aggregates] [-listen ADDR] [-data DIR]
-//	              [-checkpoint-every N] [file.tsv]
+//	              [-full-aggregates] [-listen ADDR] [-lanes N] [-data DIR]
+//	              [-checkpoint-every N] [-checkpoint-bytes N] [file.tsv]
 //	kbt fuse      [-model accu|popaccu] [-n N] [-top K] [file.tsv]
 //	kbt generate  [-kind synthetic|web] [-scale F] [-seed N] [-o out.tsv]
 //
@@ -24,11 +24,14 @@
 // it instead of re-running estimate over a growing file.
 //
 // With -listen, serve drains its input (an empty feed is a valid idle
-// start), then exposes the engine over HTTP: POST /ingest and /refresh,
-// GET /top-sources, /top-triples, /source?name=, /healthz and /stats. With
-// -data DIR, ingest is write-ahead logged under DIR and the engine state is
-// recovered bit-exactly on restart; -checkpoint-every N bounds recovery
-// replay by checkpointing after every N refreshes.
+// start), then exposes the engine over HTTP: POST /v1/ingest and
+// /v1/refresh, GET /v1/top-sources, /v1/top-triples, /v1/source?name=,
+// /v1/healthz and /v1/stats (the unversioned paths remain as deprecated
+// aliases). -lanes N ingests through N parallel hash-partitioned lanes.
+// With -data DIR, ingest is write-ahead logged under DIR and the engine
+// state is recovered bit-exactly on restart; -checkpoint-every N bounds
+// recovery replay by checkpointing after every N refreshes, and
+// -checkpoint-bytes B by checkpointing whenever the log exceeds B bytes.
 package main
 
 import (
@@ -193,8 +196,10 @@ type serveConfig struct {
 	top             int
 	batch           int
 	listen          string // "" = stdin-only mode
+	lanes           int
 	dataDir         string // "" = in-memory engine
 	checkpointEvery int
+	checkpointBytes int64
 
 	// onListen (when non-nil) receives the bound address once the HTTP
 	// listener is up; stop (when non-nil) replaces SIGINT/SIGTERM as the
@@ -215,8 +220,10 @@ func cmdServe(args []string) error {
 	recompile := fs.Bool("recompile", false, "rebuild snapshot, EM state and M-step aggregates over the whole corpus on every refresh instead of extending them incrementally (slow equivalence-oracle path)")
 	fullAgg := fs.Bool("full-aggregates", false, "aggregate the global M-steps over the whole corpus every iteration instead of applying dirty-set deltas (keeps the incremental snapshot/state path)")
 	listen := fs.String("listen", "", "serve the HTTP/JSON API on this address (e.g. :8080) after draining stdin/file input")
+	lanes := fs.Int("lanes", 1, "with -listen, number of parallel ingest lanes (records are hash-partitioned by website)")
 	data := fs.String("data", "", "durable data directory: ingest is write-ahead logged and recovered on restart")
 	ckptEvery := fs.Int("checkpoint-every", 0, "with -data, checkpoint automatically after every N refreshes (0 = never)")
+	ckptBytes := fs.Int64("checkpoint-bytes", 0, "with -data, checkpoint automatically once the write-ahead log exceeds this many bytes (0 = never)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -226,8 +233,10 @@ func cmdServe(args []string) error {
 		top:             *top,
 		batch:           *batch,
 		listen:          *listen,
+		lanes:           *lanes,
 		dataDir:         *data,
 		checkpointEvery: *ckptEvery,
+		checkpointBytes: *ckptBytes,
 	}
 	cfg.opt.Shards = *shards
 	cfg.opt.Iterations = *iters
@@ -270,6 +279,7 @@ func runServe(cfg serveConfig, in io.Reader, stdout, errw io.Writer) error {
 	if cfg.dataDir != "" {
 		d, err := kbt.OpenDurable(cfg.dataDir, cfg.opt, kbt.DurableOptions{
 			CheckpointEvery: cfg.checkpointEvery,
+			CheckpointBytes: cfg.checkpointBytes,
 		})
 		if err != nil {
 			return err
@@ -402,7 +412,7 @@ func runServe(cfg serveConfig, in io.Reader, stdout, errw io.Writer) error {
 			}
 		}
 	}
-	srv := server.New(eng, server.Options{})
+	srv := server.New(eng, server.Options{Lanes: cfg.lanes})
 	defer srv.Close()
 	ln, err := net.Listen("tcp", cfg.listen)
 	if err != nil {

@@ -179,11 +179,16 @@ func TestServeListenPreloadsFeed(t *testing.T) {
 
 // TestServeDurableRestart: a -data server ingests over HTTP, shuts down, and
 // a second run on the same directory recovers the records and serves them.
+// Runs with multiple ingest lanes and a size-based checkpoint cadence so the
+// new serve knobs get end-to-end coverage, and queries the second run over
+// /v1 while the first uses the deprecated aliases.
 func TestServeDurableRestart(t *testing.T) {
 	dir := t.TempDir()
 	cfg := serveTestConfig()
 	cfg.dataDir = dir
 	cfg.checkpointEvery = 2
+	cfg.checkpointBytes = 512 // small enough that the 18-record feed trips it
+	cfg.lanes = 2
 
 	addr, shutdown := startServe(t, cfg, strings.NewReader(tsvFeed(18)))
 	base := "http://" + addr
@@ -202,7 +207,7 @@ func TestServeDurableRestart(t *testing.T) {
 
 	addr2, shutdown2 := startServe(t, cfg, nil)
 	base2 := "http://" + addr2
-	resp, err = http.Get(base2 + "/stats")
+	resp, err = http.Get(base2 + "/v1/stats")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -218,7 +223,7 @@ func TestServeDurableRestart(t *testing.T) {
 		t.Fatalf("recovered stats = %+v, want 18 refreshed records", st)
 	}
 	var second []kbt.Source
-	resp, err = http.Get(base2 + "/top-sources")
+	resp, err = http.Get(base2 + "/v1/top-sources")
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -10,6 +10,10 @@ import (
 	"kbt/internal/wal"
 )
 
+// defaultCompactAfterBatches bounds the checkpoint chain (and with it the
+// recovery replay cost) when DurableOptions.CompactAfterBatches is zero.
+const defaultCompactAfterBatches = 256
+
 // DurableOptions configures OpenDurable, on top of the EngineOptions that
 // configure the model itself.
 type DurableOptions struct {
@@ -17,8 +21,21 @@ type DurableOptions struct {
 	SegmentBytes int64
 	// CheckpointEvery, when > 0, runs Checkpoint automatically after every
 	// N-th successful Refresh. Zero means checkpoints are taken only when
-	// Checkpoint is called explicitly.
+	// Checkpoint is called explicitly or CheckpointBytes triggers.
 	CheckpointEvery int
+	// CheckpointBytes, when > 0, runs Checkpoint as soon as the WAL's
+	// active-segment size reaches it — checked after every Refresh and
+	// after every Ingest. An ingest-triggered checkpoint refreshes the
+	// pending records in first (checkpoints sit on refresh boundaries), so
+	// a pure ingest stream still gets bounded log growth.
+	CheckpointBytes int64
+	// CompactAfterBatches bounds the checkpoint chain: once it carries at
+	// least this many ingest-batch ops, the next checkpoint compacts —
+	// writes a single cold-anchor base covering the full record prefix,
+	// removes the deltas, and re-anchors the live engine on that image (the
+	// O(corpus) shape every checkpoint had before chains; see Checkpoint).
+	// Zero means the default 256; negative disables compaction.
+	CompactAfterBatches int
 	// NoSync skips every fsync. Benchmarks and tests only: a crash can then
 	// lose acknowledged batches.
 	NoSync bool
@@ -26,6 +43,10 @@ type DurableOptions struct {
 	// fs overrides the filesystem; the crash-injection tests use it to kill
 	// the process at chosen byte offsets. nil means the real filesystem.
 	fs wal.FS
+	// disableCoalesce makes recovery replay every refresh marker
+	// faithfully instead of skipping provably-NoOp ones. Tests and
+	// benchmarks only — the skip is state-identical (see replayRefresh).
+	disableCoalesce bool
 }
 
 // ErrEngineClosed is returned by mutating calls on a closed DurableEngine.
@@ -41,34 +62,51 @@ var ErrEngineClosed = errors.New("kbt: durable engine is closed")
 //     kept by recovery, never torn;
 //   - OpenDurable on a crashed directory reproduces, bit for bit, the
 //     result a process that performed exactly the durable operation prefix
-//     would serve. Recovery replays the log through the normal Refresh
-//     machinery, so the warm incremental paths are exercised, not bypassed.
+//     would serve. Recovery replays the checkpoint chain and the log tail
+//     through the normal Refresh machinery, so the warm incremental paths
+//     are exercised, not bypassed.
 //
 // Refresh appends a marker to the log without forcing its own fsync: the
 // marker rides the next sync barrier (group commit), keeping fsync latency
 // off the refresh path. A crash can therefore roll an un-synced refresh
 // back to "records pending" — but never lose the records themselves.
 //
-// A Checkpoint persists the full acknowledged record prefix, truncates the
-// covered log segments, and re-anchors the live engine on its own
-// checkpoint image — a cold recompile of the prefix, the exact state
-// recovery would rebuild. That keeps the bit-identity contract transitive
-// across checkpoints at the cost of one corpus-sized refresh per
-// checkpoint, and may move the published estimates within the documented
-// ≤1e-9 incremental-vs-oracle envelope.
+// A Checkpoint is incremental: it appends the operations performed since the
+// last checkpoint as a delta to the on-disk chain and truncates the covered
+// log segments — O(since-last-checkpoint), and the live engine keeps its
+// warm carried-over EM state untouched. Recovery replays the chain's op
+// sequence through the same deterministic warm machinery the live engine
+// ran, which is what keeps the bit-identity contract without a re-anchor.
+// Once the chain accumulates CompactAfterBatches ingest ops it is compacted:
+// a single base holding the full record prefix replaces it, and the live
+// engine is re-anchored on that image — a cold recompile of the prefix, the
+// exact state recovery would rebuild — which may move the published
+// estimates within the documented ≤1e-9 incremental-vs-oracle envelope.
 type DurableEngine struct {
 	opt  EngineOptions
 	dopt DurableOptions
 	dir  string
 
 	// eng is the live engine; read accessors go through this pointer only,
-	// so they are as lock-free as Engine's. Checkpoint swaps it whole.
+	// so they are as lock-free as Engine's. Compaction swaps it whole.
 	eng atomic.Pointer[Engine]
 
 	mu        sync.Mutex // serialises mutators: Ingest, Refresh, Checkpoint, Close
 	log       *wal.Log
 	refreshes int // successful refreshes since the last checkpoint
-	closed    bool
+
+	// opsSince records the state transitions applied since the last
+	// checkpoint — exactly what the next delta must carry. Rejected batches
+	// and impossible markers contribute no state and are not recorded.
+	opsSince []wal.CheckpointOp
+	// hasChain / ckWatermark / chainBatches mirror the published chain:
+	// whether one exists, the log sequence it covers up to, and how many
+	// ingest-batch ops it carries (the compaction cadence input).
+	hasChain     bool
+	ckWatermark  uint64
+	chainBatches int
+
+	closed bool
 }
 
 // engineFingerprint identifies the model-affecting options a WAL's records
@@ -84,12 +122,33 @@ func engineFingerprint(o EngineOptions) string {
 		o.Tol, o.FullRecompile, o.FullAggregates)
 }
 
+// replayRefresh runs one recovered refresh, unless coalescing can prove it a
+// NoOp: with no pending records and an already-converged published estimate,
+// the engine's own Refresh would take its NoOp shortcut and serve the cached
+// state unchanged, so skipping the call is state-identical (only the
+// RefreshStats NoOp/Iterations bookkeeping of the final marker differs).
+// Consecutive markers on refresh-heavy logs coalesce this way down to at
+// most one real refresh per distinct ingest batch.
+func replayRefresh(eng *Engine, coalesce bool) error {
+	if eng.Len() == 0 {
+		return nil // marker for a refresh that could not have succeeded
+	}
+	if coalesce && eng.Pending() == 0 {
+		if last := eng.eng.Last(); last != nil && last.Inference.Converged {
+			return nil
+		}
+	}
+	_, err := eng.Refresh()
+	return err
+}
+
 // OpenDurable opens (or creates) a durable engine rooted at dir, recovering
-// whatever state a previous process made durable: the checkpointed record
-// prefix is re-ingested and cold-refreshed, then every log entry past the
-// checkpoint watermark is replayed through the normal Ingest/Refresh paths.
-// A torn log tail — an append no one was ever acknowledged for — is
-// truncated; damage to acknowledged state surfaces as wal.ErrCorrupt.
+// whatever state a previous process made durable: the checkpoint chain's
+// operation sequence is replayed through the normal Ingest/Refresh paths
+// (consecutive refresh markers coalesced where provably NoOp), then every
+// log entry past the chain watermark is replayed the same way. A torn log
+// tail — an append no one was ever acknowledged for — is truncated; damage
+// to acknowledged state surfaces as wal.ErrCorrupt.
 func OpenDurable(dir string, opt EngineOptions, dopt DurableOptions) (*DurableEngine, error) {
 	eng, err := NewEngine(opt)
 	if err != nil {
@@ -109,6 +168,8 @@ func OpenDurable(dir string, opt EngineOptions, dopt DurableOptions) (*DurableEn
 		log.Close()
 		return nil, err
 	}
+	coalesce := !dopt.disableCoalesce
+	d := &DurableEngine{opt: opt, dopt: dopt, dir: dir, log: log}
 	var from uint64
 	if ok {
 		if ck.Fingerprint != fp {
@@ -120,17 +181,25 @@ func OpenDurable(dir string, opt EngineOptions, dopt DurableOptions) (*DurableEn
 			return nil, fmt.Errorf("%w: checkpoint watermark %d is beyond the log end %d (log segments deleted?)",
 				wal.ErrCorrupt, ck.Watermark, log.NextSeq())
 		}
-		if len(ck.Records) > 0 {
-			if err := eng.eng.Ingest(ck.Records...); err != nil {
-				log.Close()
-				return nil, fmt.Errorf("%w: checkpoint records no longer ingestable: %v", wal.ErrCorrupt, err)
+		for i := range ck.Ops {
+			op := &ck.Ops[i]
+			if len(op.Records) > 0 {
+				if err := eng.eng.Ingest(op.Records...); err != nil {
+					log.Close()
+					return nil, fmt.Errorf("%w: checkpoint records no longer ingestable: %v", wal.ErrCorrupt, err)
+				}
 			}
-			if _, err := eng.Refresh(); err != nil {
-				log.Close()
-				return nil, fmt.Errorf("kbt: recovery anchor refresh: %w", err)
+			for r := 0; r < op.Refreshes; r++ {
+				if err := replayRefresh(eng, coalesce); err != nil {
+					log.Close()
+					return nil, fmt.Errorf("kbt: recovery chain refresh (op %d): %w", i, err)
+				}
 			}
 		}
 		from = ck.Watermark
+		d.hasChain = true
+		d.ckWatermark = ck.Watermark
+		d.chainBatches = ck.Batches()
 	}
 	err = log.Replay(from, func(seq uint64, payload []byte) error {
 		ent, err := wal.DecodeEntry(payload)
@@ -145,13 +214,15 @@ func OpenDurable(dir string, opt EngineOptions, dopt DurableOptions) (*DurableEn
 			if err := eng.eng.Ingest(ent.Records...); err != nil {
 				return nil
 			}
+			d.noteBatch(ent.Records)
 		case wal.EntryRefresh:
 			if eng.Len() == 0 {
 				return nil // marker for a refresh that could not have succeeded
 			}
-			if _, err := eng.Refresh(); err != nil {
+			if err := replayRefresh(eng, coalesce); err != nil {
 				return fmt.Errorf("kbt: recovery replay refresh at entry %d: %w", seq, err)
 			}
+			d.noteRefresh()
 		}
 		return nil
 	})
@@ -159,9 +230,23 @@ func OpenDurable(dir string, opt EngineOptions, dopt DurableOptions) (*DurableEn
 		log.Close()
 		return nil, err
 	}
-	d := &DurableEngine{opt: opt, dopt: dopt, dir: dir, log: log}
 	d.eng.Store(eng)
 	return d, nil
+}
+
+// noteBatch and noteRefresh record an applied state transition for the next
+// delta checkpoint. Consecutive refreshes fold into the trailing op, so an
+// op is "one ingest batch, then N refreshes" (or N refreshes alone).
+func (d *DurableEngine) noteBatch(recs []triple.Record) {
+	d.opsSince = append(d.opsSince, wal.CheckpointOp{Records: recs})
+}
+
+func (d *DurableEngine) noteRefresh() {
+	if n := len(d.opsSince); n > 0 {
+		d.opsSince[n-1].Refreshes++
+		return
+	}
+	d.opsSince = append(d.opsSince, wal.CheckpointOp{Refreshes: 1})
 }
 
 // Ingest logs, fsyncs and applies a batch of extractions. A nil return is a
@@ -184,13 +269,32 @@ func (d *DurableEngine) Ingest(batch ...Extraction) error {
 	if err := d.log.Sync(); err != nil {
 		return err
 	}
-	return d.eng.Load().eng.Ingest(recs...)
+	if err := d.eng.Load().eng.Ingest(recs...); err != nil {
+		return err
+	}
+	d.noteBatch(recs)
+	if d.dopt.CheckpointBytes > 0 && d.log.Size() >= d.dopt.CheckpointBytes {
+		if err := d.checkpointLocked(); err != nil {
+			// The batch itself is applied and durable — only the cadence
+			// checkpoint failed. Surfaced rather than swallowed, since a
+			// persistently failing checkpoint means unbounded log growth.
+			return fmt.Errorf("kbt: batch is durable but its size-triggered checkpoint failed: %w", err)
+		}
+	}
+	return nil
+}
+
+// Validate checks a batch against the engine's ingest validation without
+// logging or applying anything. Multi-lane servers use it to refuse a
+// malformed batch whole before its per-lane sub-batches are admitted.
+func (d *DurableEngine) Validate(batch ...Extraction) error {
+	return d.eng.Load().Validate(batch...)
 }
 
 // Refresh re-estimates the model over everything ingested so far, exactly as
 // Engine.Refresh does, and logs a replay marker for the refresh. The marker
 // is not individually fsync-ed — see the type comment. When CheckpointEvery
-// is set, every N-th successful Refresh also takes a checkpoint.
+// or CheckpointBytes cadences trigger, the Refresh also takes a checkpoint.
 func (d *DurableEngine) Refresh() (*Result, error) {
 	d.mu.Lock()
 	defer d.mu.Unlock()
@@ -204,13 +308,18 @@ func (d *DurableEngine) Refresh() (*Result, error) {
 	if _, err := d.log.Append(wal.EncodeRefresh()); err != nil {
 		return nil, fmt.Errorf("kbt: refresh succeeded but its marker could not be logged: %w", err)
 	}
+	d.noteRefresh()
 	d.refreshes++
-	if d.dopt.CheckpointEvery > 0 && d.refreshes >= d.dopt.CheckpointEvery {
+	need := d.dopt.CheckpointEvery > 0 && d.refreshes >= d.dopt.CheckpointEvery
+	if !need && d.dopt.CheckpointBytes > 0 && d.log.Size() >= d.dopt.CheckpointBytes {
+		need = true
+	}
+	if need {
 		if err := d.checkpointLocked(); err != nil {
 			return nil, fmt.Errorf("kbt: refresh succeeded but its checkpoint failed: %w", err)
 		}
-		// The re-anchor replaced the generation r belongs to; serve the
-		// anchored one so the caller sees what recovery would.
+		// A compacting checkpoint replaced the generation r belongs to;
+		// serve the anchored one so the caller sees what recovery would.
 		if cur, ok := d.eng.Load().Current(); ok {
 			return cur, nil
 		}
@@ -218,9 +327,9 @@ func (d *DurableEngine) Refresh() (*Result, error) {
 	return r, nil
 }
 
-// Checkpoint persists the engine's full acknowledged record prefix,
-// truncates the log segments it covers, and re-anchors the live engine on
-// the image — see the type comment for the contract and cost. Pending
+// Checkpoint persists the operations performed since the last checkpoint as
+// a delta on the chain and truncates the log segments the chain covers —
+// see the type comment for the incremental/compaction contract. Pending
 // records are refreshed in first, so the checkpoint always sits on a
 // refresh boundary.
 func (d *DurableEngine) Checkpoint() error {
@@ -241,42 +350,79 @@ func (d *DurableEngine) checkpointLocked() error {
 		if _, err := d.log.Append(wal.EncodeRefresh()); err != nil {
 			return err
 		}
+		d.noteRefresh()
 	}
-	recs := eng.eng.Records()
-	// The records and the watermark must cover the same durable prefix, so
+	// The ops and the watermark must cover the same durable prefix, so
 	// everything logged so far is synced before NextSeq is read.
 	if err := d.log.Sync(); err != nil {
 		return err
 	}
-	ck := &wal.Checkpoint{
-		Watermark:   d.log.NextSeq(),
-		Fingerprint: engineFingerprint(d.opt),
-		Records:     recs,
+	watermark := d.log.NextSeq()
+	if d.hasChain && len(d.opsSince) == 0 && watermark == d.ckWatermark {
+		d.refreshes = 0
+		return nil // nothing happened since the last checkpoint
 	}
-	if err := wal.WriteCheckpoint(d.dopt.fs, d.dir, ck); err != nil {
-		return err
-	}
-	if err := d.log.TruncateBefore(ck.Watermark); err != nil {
-		return err
-	}
-	// Re-anchor: rebuild the live engine exactly as recovery would from the
-	// image just written. From here on, live state and recovered state march
-	// in lockstep through the same warm refreshes.
-	fresh, err := NewEngine(d.opt)
-	if err != nil {
-		return err
-	}
-	if len(recs) > 0 {
-		if err := fresh.eng.Ingest(recs...); err != nil {
-			return err
-		}
-		if _, err := fresh.Refresh(); err != nil {
-			return err
+	fp := engineFingerprint(d.opt)
+	newBatches := 0
+	for i := range d.opsSince {
+		if len(d.opsSince[i].Records) > 0 {
+			newBatches++
 		}
 	}
-	d.eng.Store(fresh)
+	compactAfter := d.dopt.CompactAfterBatches
+	if compactAfter == 0 {
+		compactAfter = defaultCompactAfterBatches
+	}
+	switch {
+	case compactAfter > 0 && d.chainBatches+newBatches >= compactAfter:
+		// Compact: one cold-anchor base replaces the chain, and the live
+		// engine is re-anchored on the image just written — the exact state
+		// recovery would rebuild. From here on, live and recovered state
+		// march in lockstep through the same warm refreshes again.
+		recs := eng.eng.Records()
+		var ops []wal.CheckpointOp
+		if len(recs) > 0 {
+			ops = []wal.CheckpointOp{{Records: recs, Refreshes: 1}}
+		}
+		ck := &wal.Checkpoint{Watermark: watermark, Fingerprint: fp, Ops: ops}
+		if err := wal.WriteCheckpointBase(d.dopt.fs, d.dir, ck); err != nil {
+			return err
+		}
+		fresh, err := NewEngine(d.opt)
+		if err != nil {
+			return err
+		}
+		if len(recs) > 0 {
+			if err := fresh.eng.Ingest(recs...); err != nil {
+				return err
+			}
+			if _, err := fresh.Refresh(); err != nil {
+				return err
+			}
+		}
+		d.eng.Store(fresh)
+		d.chainBatches = len(ops)
+	case d.hasChain:
+		ck := &wal.Checkpoint{Watermark: watermark, Fingerprint: fp, Ops: d.opsSince}
+		if err := wal.WriteCheckpointDelta(d.dopt.fs, d.dir, d.ckWatermark, ck); err != nil {
+			return err
+		}
+		d.chainBatches += newBatches
+	default:
+		// First checkpoint of this directory: the ops since birth are the
+		// whole history, so the base is warm-replayable and the live engine
+		// keeps its carried-over state — no re-anchor.
+		ck := &wal.Checkpoint{Watermark: watermark, Fingerprint: fp, Ops: d.opsSince}
+		if err := wal.WriteCheckpointBase(d.dopt.fs, d.dir, ck); err != nil {
+			return err
+		}
+		d.chainBatches = newBatches
+	}
+	d.hasChain = true
+	d.ckWatermark = watermark
+	d.opsSince = nil
 	d.refreshes = 0
-	return nil
+	return d.log.TruncateBefore(watermark)
 }
 
 // Close syncs and closes the log. Read accessors keep serving the last
@@ -292,7 +438,8 @@ func (d *DurableEngine) Close() error {
 }
 
 // LogSize returns the framed byte size of the active WAL segment — an
-// operational signal for checkpoint cadence.
+// operational signal for checkpoint cadence (CheckpointBytes consults it
+// internally).
 func (d *DurableEngine) LogSize() int64 {
 	d.mu.Lock()
 	defer d.mu.Unlock()

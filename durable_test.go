@@ -3,7 +3,11 @@ package kbt
 import (
 	"errors"
 	"fmt"
+	"math/rand"
+	"os"
+	"path/filepath"
 	"reflect"
+	"sync"
 	"testing"
 
 	"kbt/internal/triple"
@@ -48,9 +52,12 @@ type durableOp struct {
 }
 
 // durableScript is the fixed workload the crash sweep and the equality tests
-// share: ingests and refreshes around a mid-script checkpoint, so the sweep
-// crashes inside appends, syncs, every checkpoint stage, and the post-
-// checkpoint tail.
+// share: ingests and refreshes around two checkpoints, so the sweep crashes
+// inside appends, syncs, every stage of the base and delta checkpoint
+// publications, a checkpoint taken with records still pending (the
+// checkpoint-during-ingest interleaving: the flush refresh, its marker, and
+// the delta write all get killed at every byte), and the post-checkpoint
+// unrefreshed tail.
 func durableScript() []durableOp {
 	batch := func(first, n int) durableOp {
 		b := make([]Extraction, n)
@@ -65,9 +72,9 @@ func durableScript() []durableOp {
 		batch(6, 6),
 		batch(12, 6),
 		{kind: "refresh"},
-		{kind: "checkpoint"},
+		{kind: "checkpoint"}, // first checkpoint: writes the chain base
 		batch(18, 6),
-		{kind: "refresh"},
+		{kind: "checkpoint"}, // pending records in flight: flush + delta append
 		batch(24, 6),
 		{kind: "refresh"},
 	}
@@ -144,10 +151,10 @@ func readBoundary(t *testing.T, dir string) durableBoundary {
 	return b
 }
 
-// durableRecords flattens the boundary's record stream: checkpoint prefix
-// followed by every tail batch.
+// durableRecords flattens the boundary's record stream: the checkpoint
+// chain's prefix followed by every tail batch.
 func (b durableBoundary) records() []triple.Record {
-	recs := append([]triple.Record(nil), b.ck.Records...)
+	recs := append([]triple.Record(nil), b.ck.AllRecords()...)
 	for _, ent := range b.entries {
 		if ent.Kind == wal.EntryBatch {
 			recs = append(recs, ent.Records...)
@@ -157,21 +164,32 @@ func (b durableBoundary) records() []triple.Record {
 }
 
 // oracleFromBoundary builds the reference state with a plain in-memory
-// Engine: cold-anchor on the checkpoint prefix, then the tail entries in
-// order. This mirrors what recovery promises to compute, using none of the
-// durable plumbing.
+// Engine: the checkpoint chain's op sequence replayed faithfully — every
+// recorded refresh run, none coalesced — then the tail entries in order.
+// This mirrors what recovery promises to compute, using none of the durable
+// plumbing; because recovery does coalesce provably-NoOp markers, every
+// sweep comparison against this oracle is also a coalescing-equivalence
+// check.
 func oracleFromBoundary(t *testing.T, b durableBoundary, opt EngineOptions) *Engine {
 	t.Helper()
 	eng, err := NewEngine(opt)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(b.ck.Records) > 0 {
-		if err := eng.eng.Ingest(b.ck.Records...); err != nil {
-			t.Fatalf("oracle checkpoint ingest: %v", err)
+	for i := range b.ck.Ops {
+		op := &b.ck.Ops[i]
+		if len(op.Records) > 0 {
+			if err := eng.eng.Ingest(op.Records...); err != nil {
+				t.Fatalf("oracle chain ingest (op %d): %v", i, err)
+			}
 		}
-		if _, err := eng.Refresh(); err != nil {
-			t.Fatalf("oracle anchor refresh: %v", err)
+		for r := 0; r < op.Refreshes; r++ {
+			if eng.Len() == 0 {
+				continue
+			}
+			if _, err := eng.Refresh(); err != nil {
+				t.Fatalf("oracle chain refresh (op %d): %v", i, err)
+			}
 		}
 	}
 	for _, ent := range b.entries {
@@ -257,7 +275,7 @@ func TestDurableCrashSweep(t *testing.T) {
 		}
 		boundary := readBoundary(t, dir)
 		durableRecs := boundary.records()
-		if !isPrefix(boundary.ck.Records, allRecs) {
+		if !isPrefix(boundary.ck.AllRecords(), allRecs) {
 			t.Fatalf("budget %d: checkpoint records are not a script prefix", budget)
 		}
 		if !isPrefix(durableRecs, allRecs) {
@@ -391,8 +409,8 @@ func TestDurableCheckpointEvery(t *testing.T) {
 	if err != nil || !ok {
 		t.Fatalf("no checkpoint after cadence: ok=%v err=%v", ok, err)
 	}
-	if len(ck.Records) < 15 {
-		t.Fatalf("checkpoint covers only %d records", len(ck.Records))
+	if len(ck.AllRecords()) < 15 {
+		t.Fatalf("checkpoint covers only %d records", len(ck.AllRecords()))
 	}
 	live, _ := d.Current()
 	if err := d.Close(); err != nil {
@@ -478,6 +496,355 @@ func TestDurableFingerprintMismatch(t *testing.T) {
 		t.Fatal(err)
 	}
 	rec.Close()
+}
+
+// copyDir clones a durable directory's files into a fresh temp dir, so two
+// recoveries can run against the same crash image without sharing a log.
+func copyDir(t *testing.T, src string) string {
+	t.Helper()
+	dst := t.TempDir()
+	ents, err := os.ReadDir(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range ents {
+		if e.IsDir() {
+			continue
+		}
+		data, err := os.ReadFile(filepath.Join(src, e.Name()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(filepath.Join(dst, e.Name()), data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return dst
+}
+
+// TestDurableCoalescingEquivalence fuzzes randomized schedules — ingest
+// bursts, consecutive refresh runs (the coalescing target), and interleaved
+// checkpoints — and demands that recovery with marker coalescing on and off
+// yields bit-identical engines, before and after continuing the stream.
+func TestDurableCoalescingEquivalence(t *testing.T) {
+	opt := durableTestOptions()
+	schedules := 6
+	if testing.Short() {
+		schedules = 3
+	}
+	for s := 0; s < schedules; s++ {
+		s := s
+		t.Run(fmt.Sprintf("schedule=%d", s), func(t *testing.T) {
+			rng := rand.New(rand.NewSource(int64(1000 + s)))
+			dir := t.TempDir()
+			d, err := OpenDurable(dir, opt, DurableOptions{SegmentBytes: 512})
+			if err != nil {
+				t.Fatal(err)
+			}
+			next := 0
+			ingest := func() {
+				n := 1 + rng.Intn(6)
+				b := make([]Extraction, n)
+				for j := range b {
+					b[j] = durableExtraction(next)
+					next++
+				}
+				if err := d.Ingest(b...); err != nil {
+					t.Fatal(err)
+				}
+			}
+			ingest() // every schedule has at least one batch and one refresh
+			if _, err := d.Refresh(); err != nil {
+				t.Fatal(err)
+			}
+			for i, steps := 0, 10+rng.Intn(10); i < steps; i++ {
+				switch rng.Intn(5) {
+				case 0, 1:
+					ingest()
+				case 2, 3:
+					for r, burst := 0, 1+rng.Intn(4); r < burst; r++ {
+						if _, err := d.Refresh(); err != nil {
+							t.Fatal(err)
+						}
+					}
+				case 4:
+					if err := d.Checkpoint(); err != nil {
+						t.Fatal(err)
+					}
+				}
+			}
+			if err := d.Close(); err != nil {
+				t.Fatal(err)
+			}
+
+			dirOff := copyDir(t, dir)
+			recOn, err := OpenDurable(dir, opt, DurableOptions{})
+			if err != nil {
+				t.Fatalf("coalesced recovery: %v", err)
+			}
+			defer recOn.Close()
+			recOff, err := OpenDurable(dirOff, opt, DurableOptions{disableCoalesce: true})
+			if err != nil {
+				t.Fatalf("per-marker recovery: %v", err)
+			}
+			defer recOff.Close()
+
+			if recOn.Len() != recOff.Len() || recOn.Pending() != recOff.Pending() {
+				t.Fatalf("coalesced %d/%d records pending, per-marker %d/%d",
+					recOn.Len(), recOn.Pending(), recOff.Len(), recOff.Pending())
+			}
+			on, onOK := recOn.Current()
+			off, offOK := recOff.Current()
+			if onOK != offOK {
+				t.Fatalf("coalesced refreshed=%v, per-marker refreshed=%v", onOK, offOK)
+			}
+			if onOK {
+				assertResultsIdentical(t, "recovered", on, off)
+			}
+			// Lockstep continuation: both recoveries keep evolving identically.
+			post := []Extraction{durableExtraction(next), durableExtraction(next + 1)}
+			if err := recOn.Ingest(post...); err != nil {
+				t.Fatal(err)
+			}
+			if err := recOff.Ingest(post...); err != nil {
+				t.Fatal(err)
+			}
+			on2, err := recOn.Refresh()
+			if err != nil {
+				t.Fatal(err)
+			}
+			off2, err := recOff.Refresh()
+			if err != nil {
+				t.Fatal(err)
+			}
+			assertResultsIdentical(t, "post-recovery", on2, off2)
+		})
+	}
+}
+
+// TestDurableCheckpointDuringIngest races a checkpoint loop against an
+// ingest/refresh stream under crash injection: whatever interleaving the
+// crash lands in, recovery must hold every acknowledged batch — a
+// checkpoint concurrent with in-flight acked batches never loses an ack.
+func TestDurableCheckpointDuringIngest(t *testing.T) {
+	opt := durableTestOptions()
+	unique := func(i int) Extraction {
+		x := durableExtraction(i)
+		x.Subject = fmt.Sprintf("u%d", i) // globally unique → set membership below
+		return x
+	}
+	stride := int64(3)
+	if testing.Short() {
+		stride = 23
+	}
+	completed := false
+	for budget := int64(0); budget < 1<<20 && !completed; budget += stride {
+		dir := t.TempDir()
+		cfs := wal.NewCrashFS(nil, budget)
+		var (
+			mu    sync.Mutex
+			acked []triple.Record
+		)
+		d, err := OpenDurable(dir, opt, DurableOptions{SegmentBytes: 512, fs: cfs})
+		if err == nil {
+			var wg sync.WaitGroup
+			ingestDone, ckptDone := false, false
+			wg.Add(2)
+			go func() {
+				defer wg.Done()
+				id := 0
+				for i := 0; i < 8; i++ {
+					b := []Extraction{unique(id), unique(id + 1)}
+					id += 2
+					if err := d.Ingest(b...); err != nil {
+						return
+					}
+					mu.Lock()
+					for _, x := range b {
+						acked = append(acked, x.record())
+					}
+					mu.Unlock()
+					if i%3 == 2 {
+						if _, err := d.Refresh(); err != nil {
+							return
+						}
+					}
+				}
+				ingestDone = true
+			}()
+			go func() {
+				defer wg.Done()
+				for i := 0; i < 6; i++ {
+					if err := d.Checkpoint(); err != nil {
+						return
+					}
+				}
+				ckptDone = true
+			}()
+			wg.Wait()
+			d.Close()
+			completed = ingestDone && ckptDone
+		}
+
+		rec, err := OpenDurable(dir, opt, DurableOptions{SegmentBytes: 512})
+		if err != nil {
+			t.Fatalf("budget %d: recovery failed: %v", budget, err)
+		}
+		boundary := readBoundary(t, dir)
+		have := make(map[triple.Record]bool, rec.Len())
+		for _, r := range boundary.records() {
+			have[r] = true
+		}
+		mu.Lock()
+		for _, r := range acked {
+			if !have[r] {
+				t.Fatalf("budget %d: acked record %v lost by checkpoint-during-ingest crash", budget, r)
+			}
+		}
+		mu.Unlock()
+		// And the recovered engine itself serves those records, not just the
+		// raw boundary: a full oracle comparison like the scripted sweep's.
+		oracle := oracleFromBoundary(t, boundary, opt)
+		or, ook := oracle.Current()
+		rr, rok := rec.Current()
+		if ook != rok {
+			t.Fatalf("budget %d: oracle refreshed=%v, recovered refreshed=%v", budget, ook, rok)
+		}
+		if ook {
+			assertResultsIdentical(t, fmt.Sprintf("budget %d concurrent", budget), rr, or)
+		}
+		rec.Close()
+	}
+	if !completed {
+		t.Fatal("sweep never reached a budget that completes the concurrent workload")
+	}
+}
+
+// TestDurableCheckpointBytes: the size cadence takes checkpoints on its own —
+// including after pure ingests, where the checkpoint flushes the pending
+// records through an implicit refresh — and recovery still matches.
+func TestDurableCheckpointBytes(t *testing.T) {
+	opt := durableTestOptions()
+	dir := t.TempDir()
+	d, err := OpenDurable(dir, opt, DurableOptions{CheckpointBytes: 1, SegmentBytes: 256})
+	if err != nil {
+		t.Fatal(err)
+	}
+	next := 0
+	for round := 0; round < 4; round++ {
+		batch := make([]Extraction, 5)
+		for i := range batch {
+			batch[i] = durableExtraction(next)
+			next++
+		}
+		// No explicit Refresh: the size cadence must both checkpoint and
+		// refresh the pending records in.
+		if err := d.Ingest(batch...); err != nil {
+			t.Fatal(err)
+		}
+		if p := d.Pending(); p != 0 {
+			t.Fatalf("round %d: %d records still pending after size-triggered checkpoint", round, p)
+		}
+	}
+	ck, ok, err := wal.ReadCheckpoint(nil, dir)
+	if err != nil || !ok {
+		t.Fatalf("no checkpoint after size cadence: ok=%v err=%v", ok, err)
+	}
+	if got := len(ck.AllRecords()); got != next {
+		t.Fatalf("chain covers %d records, want %d", got, next)
+	}
+	live, _ := d.Current()
+	if err := d.Close(); err != nil {
+		t.Fatal(err)
+	}
+	rec, err := OpenDurable(dir, opt, DurableOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rec.Close()
+	got, ok := rec.Current()
+	if !ok {
+		t.Fatal("no recovered generation")
+	}
+	assertResultsIdentical(t, "size-cadence", got, live)
+}
+
+// TestDurableCompaction: the chain grows by deltas until CompactAfterBatches,
+// then collapses to a single cold-anchor base with no delta files left, and
+// recovery keeps matching the live engine across the compaction boundary.
+func TestDurableCompaction(t *testing.T) {
+	opt := durableTestOptions()
+	dir := t.TempDir()
+	d, err := OpenDurable(dir, opt, DurableOptions{CompactAfterBatches: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	next := 0
+	step := func() {
+		t.Helper()
+		batch := make([]Extraction, 4)
+		for i := range batch {
+			batch[i] = durableExtraction(next)
+			next++
+		}
+		if err := d.Ingest(batch...); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := d.Refresh(); err != nil {
+			t.Fatal(err)
+		}
+		if err := d.Checkpoint(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	countDeltas := func() int {
+		t.Helper()
+		ents, err := os.ReadDir(dir)
+		if err != nil {
+			t.Fatal(err)
+		}
+		n := 0
+		for _, e := range ents {
+			name := e.Name()
+			if len(name) > 6 && name[len(name)-6:] == ".delta" {
+				n++
+			}
+		}
+		return n
+	}
+	step() // base: 1 batch op
+	if n := countDeltas(); n != 0 {
+		t.Fatalf("first checkpoint left %d deltas, want 0", n)
+	}
+	step() // delta: 2 batch ops on the chain
+	if n := countDeltas(); n != 1 {
+		t.Fatalf("second checkpoint left %d deltas, want 1", n)
+	}
+	step() // 3 >= CompactAfterBatches: compaction
+	if n := countDeltas(); n != 0 {
+		t.Fatalf("compaction left %d deltas, want 0", n)
+	}
+	ck, ok, err := wal.ReadCheckpoint(nil, dir)
+	if err != nil || !ok {
+		t.Fatalf("no checkpoint after compaction: ok=%v err=%v", ok, err)
+	}
+	if len(ck.Ops) != 1 || len(ck.Ops[0].Records) != next || ck.Ops[0].Refreshes != 1 {
+		t.Fatalf("compacted chain is not a single cold-anchor op: %d ops", len(ck.Ops))
+	}
+	live, _ := d.Current()
+	if err := d.Close(); err != nil {
+		t.Fatal(err)
+	}
+	rec, err := OpenDurable(dir, opt, DurableOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rec.Close()
+	got, ok := rec.Current()
+	if !ok {
+		t.Fatal("no recovered generation")
+	}
+	assertResultsIdentical(t, "compaction", got, live)
 }
 
 // TestDurableClosed: mutators fail cleanly after Close, reads keep serving.

@@ -1,8 +1,6 @@
 package kbt
 
 import (
-	"errors"
-	"fmt"
 	"sync/atomic"
 
 	"kbt/internal/engine"
@@ -88,38 +86,14 @@ type Engine struct {
 	cur atomic.Pointer[Result]
 }
 
-// NewEngine builds an empty incremental engine.
+// NewEngine builds an empty incremental engine. Option validation and the
+// mapping onto the internal engine/core options live in one place —
+// EngineOptions.engineOptions in options.go.
 func NewEngine(opt EngineOptions) (*Engine, error) {
-	if opt.Iterations < 1 {
-		return nil, errors.New("kbt: Iterations must be >= 1")
+	eopt, err := opt.engineOptions()
+	if err != nil {
+		return nil, err
 	}
-	if opt.DomainSize < 1 {
-		return nil, errors.New("kbt: DomainSize must be >= 1")
-	}
-
-	eopt := engine.DefaultOptions()
-	if opt.Shards > 0 {
-		eopt.Shards = opt.Shards
-	}
-	if opt.Granularity == GranularityAuto {
-		return nil, errors.New("kbt: GranularityAuto is not supported incrementally; use GranularityWebsite, GranularityPage or GranularityFinest (or the batch EstimateKBT)")
-	}
-	var ok bool
-	eopt.SourceKey, eopt.ExtractorKey, ok = granularityKeys(opt.Granularity)
-	if !ok {
-		return nil, fmt.Errorf("kbt: unknown granularity %d", opt.Granularity)
-	}
-
-	mopt := coreOptions(opt.DomainSize, opt.Iterations, opt.MinSupport,
-		opt.UseConfidence, opt.AllExtractorsVoteAbsence)
-	if opt.Tol > 0 {
-		mopt.Tol = opt.Tol
-	}
-	eopt.Core = mopt
-	eopt.Workers = opt.Workers
-	eopt.FullRecompile = opt.FullRecompile
-	eopt.FullAggregates = opt.FullAggregates
-
 	return &Engine{eng: engine.New(eopt), opt: opt}, nil
 }
 
@@ -135,6 +109,17 @@ func (e *Engine) Ingest(batch ...Extraction) error {
 		recs[i] = x.record()
 	}
 	return e.eng.Ingest(recs...)
+}
+
+// Validate checks a batch against the same per-record validation Ingest
+// performs, without appending anything. Multi-lane servers use it to refuse
+// a malformed batch whole before splitting it across lanes.
+func (e *Engine) Validate(batch ...Extraction) error {
+	recs := make([]triple.Record, len(batch))
+	for i, x := range batch {
+		recs[i] = x.record()
+	}
+	return e.eng.Validate(recs...)
 }
 
 // Len returns the number of extractions ingested so far.

@@ -192,6 +192,24 @@ func DefaultOptions() Options {
 	}
 }
 
+// WithSharedKnobs returns o with the cross-layer model knobs applied — the
+// single mapping every public surface (the batch estimator, the incremental
+// engine, the durable server) funnels through, so a shared knob is wired
+// here once instead of once per layer.
+func (o Options) WithSharedKnobs(domainSize, iterations, minSupport int, useConfidence, allExtractorsVoteAbsence bool) Options {
+	o.N = domainSize
+	o.MaxIter = iterations
+	o.MinSourceSupport = minSupport
+	o.MinExtractorSupport = minSupport
+	o.UseConfidence = useConfidence
+	if allExtractorsVoteAbsence {
+		o.Scope = ScopeAllExtractors
+	} else {
+		o.Scope = ScopeAttemptedSources
+	}
+	return o
+}
+
 // Stage names reported by the Table 7 harness, matching the paper's rows.
 const (
 	StageExtCorr    = "I. ExtCorr"

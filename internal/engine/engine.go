@@ -206,16 +206,26 @@ func New(opt Options) *Engine {
 // degenerate source or value and silently skew every later estimate. The
 // batch is atomic — on error no record is ingested.
 func (e *Engine) Ingest(recs ...triple.Record) error {
-	for i := range recs {
-		if err := e.validateRecord(recs[i]); err != nil {
-			return fmt.Errorf("engine: rejecting ingest batch, record %d: %w", i, err)
-		}
+	if err := e.Validate(recs...); err != nil {
+		return err
 	}
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	for _, r := range recs {
 		e.ds.Add(r)
 		e.pending = append(e.pending, r)
+	}
+	return nil
+}
+
+// Validate runs the per-record ingest validation over a batch without
+// appending anything — the check side of Ingest, exposed so servers can
+// refuse a batch whole before splitting it across ingest lanes.
+func (e *Engine) Validate(recs ...triple.Record) error {
+	for i := range recs {
+		if err := e.validateRecord(recs[i]); err != nil {
+			return fmt.Errorf("engine: rejecting ingest batch, record %d: %w", i, err)
+		}
 	}
 	return nil
 }

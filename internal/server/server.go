@@ -1,16 +1,23 @@
 // Package server is the HTTP/JSON front end on a kbt engine: batched,
-// backpressured ingest through a bounded queue, and lock-free reads of the
-// current generation — queries never block a running refresh, because the
-// engine's read path is an atomic generation load.
+// backpressured ingest through bounded per-shard lanes, and lock-free reads
+// of the current generation — queries never block a running refresh, because
+// the engine's read path is an atomic generation load.
+//
+// The API is versioned under /v1/. The original unversioned paths remain as
+// deprecated aliases with identical behavior, marked with a Deprecation
+// header and a Link to their successor. Every non-2xx response carries the
+// uniform JSON envelope {"error": <message>, "code": <machine code>}.
 package server
 
 import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"hash/fnv"
 	"net/http"
 	"strconv"
 	"sync"
+	"sync/atomic"
 
 	"kbt"
 )
@@ -19,6 +26,7 @@ import (
 // kbt.DurableEngine.
 type Engine interface {
 	Ingest(batch ...kbt.Extraction) error
+	Validate(batch ...kbt.Extraction) error
 	Len() int
 	Pending() int
 	Refresh() (*kbt.Result, error)
@@ -30,18 +38,35 @@ type Engine interface {
 
 // Options configures New.
 type Options struct {
-	// Queue bounds the number of ingest batches admitted but not yet
-	// applied; a POST /ingest that finds it full is refused with 429
-	// (default 64).
+	// Lanes is the number of parallel ingest lanes (default 1). Records are
+	// partitioned across lanes by a hash of their website, so one slow or
+	// large batch never stalls ingest of unrelated sources. With one lane
+	// the server behaves exactly as the original single-worker design: the
+	// whole batch is applied atomically. With more, a batch is split across
+	// its target lanes and acked only after every part is applied — an
+	// acked batch is never torn — but a batch refused by one lane may have
+	// been partially applied by others before the non-2xx response.
+	Lanes int
+	// Queue bounds the number of ingest jobs admitted but not yet applied,
+	// per lane; a POST /v1/ingest that finds any of its target lanes full
+	// is refused with 429 (default 64).
 	Queue int
 	// RefreshEvery refreshes after every N applied batches (default 1;
-	// negative disables automatic refreshes — POST /refresh still works).
+	// negative disables automatic refreshes — POST /v1/refresh still
+	// works). With one lane the refresh runs inline on the ingest worker;
+	// with more it runs on a dedicated refresher goroutine so ingest lanes
+	// keep draining while the model re-estimates (the engine supports
+	// concurrent Ingest during Refresh), and due refreshes arriving while
+	// one is already running coalesce into a single follow-up pass.
 	RefreshEvery int
 	// MaxBodyBytes bounds a request body (default 8 MiB).
 	MaxBodyBytes int64
 }
 
 func (o *Options) fill() {
+	if o.Lanes <= 0 {
+		o.Lanes = 1
+	}
 	if o.Queue <= 0 {
 		o.Queue = 64
 	}
@@ -53,56 +78,115 @@ func (o *Options) fill() {
 	}
 }
 
-// job is one admitted ingest batch; done carries the engine's verdict back
-// to the waiting handler, so a 2xx /ingest response is an applied (and,
-// on a durable engine, fsync-ed) batch — admission alone is never acked.
-type job struct {
-	batch []kbt.Extraction
-	done  chan error
+// barrier joins the per-lane parts of one client batch back into one ack:
+// the last lane to finish reports the batch's verdict (its first error, or
+// nil) to the waiting handler, so a 2xx /v1/ingest response is a fully
+// applied (and, on a durable engine, fsync-ed) batch — admission alone is
+// never acked.
+type barrier struct {
+	remaining atomic.Int32
+	mu        sync.Mutex
+	firstErr  error
+	done      chan error
 }
 
-// Server is an http.Handler. Ingest funnels through one worker goroutine —
-// the queue provides the backpressure boundary and keeps engine mutations
-// single-file; queries go straight to the engine's lock-free read path.
+func (b *barrier) complete(s *Server, err error) {
+	if err != nil {
+		b.mu.Lock()
+		if b.firstErr == nil {
+			b.firstErr = err
+		}
+		b.mu.Unlock()
+	}
+	if b.remaining.Add(-1) != 0 {
+		return
+	}
+	b.mu.Lock()
+	err = b.firstErr
+	b.mu.Unlock()
+	b.done <- err
+	if err == nil {
+		s.batchApplied()
+	}
+}
+
+// laneJob is one lane's share of an admitted batch.
+type laneJob struct {
+	batch []kbt.Extraction
+	bar   *barrier
+}
+
+// Server is an http.Handler. Ingest funnels through N lane workers — the
+// bounded lanes provide the backpressure boundary, and the website-hash
+// partition keeps each source's records on a single lane; queries go
+// straight to the engine's lock-free read path.
 type Server struct {
-	eng  Engine
-	opt  Options
-	jobs chan job
+	eng   Engine
+	opt   Options
+	lanes []chan laneJob
 
 	mu       sync.Mutex
 	applied  int    // batches applied since the last automatic refresh
 	lastErr  string // most recent background refresh failure, "" when none
 	stopping bool
 
-	stopped chan struct{}
-	mux     *http.ServeMux
+	wg            sync.WaitGroup // lane workers
+	kick          chan struct{}  // nil with one lane (inline refresh)
+	refresherDone chan struct{}
+	stopped       chan struct{}
+	mux           *http.ServeMux
 }
 
-// New starts a server (and its ingest worker) on eng.
+// New starts a server (and its lane workers) on eng.
 func New(eng Engine, opt Options) *Server {
 	opt.fill()
 	s := &Server{
-		eng:     eng,
-		opt:     opt,
-		jobs:    make(chan job, opt.Queue),
-		stopped: make(chan struct{}),
-		mux:     http.NewServeMux(),
+		eng:           eng,
+		opt:           opt,
+		lanes:         make([]chan laneJob, opt.Lanes),
+		refresherDone: make(chan struct{}),
+		stopped:       make(chan struct{}),
+		mux:           http.NewServeMux(),
 	}
-	s.mux.HandleFunc("/ingest", s.handleIngest)
-	s.mux.HandleFunc("/refresh", s.handleRefresh)
-	s.mux.HandleFunc("/top-sources", s.handleTopSources)
-	s.mux.HandleFunc("/top-triples", s.handleTopTriples)
-	s.mux.HandleFunc("/source", s.handleSource)
-	s.mux.HandleFunc("/healthz", s.handleHealthz)
-	s.mux.HandleFunc("/stats", s.handleStats)
-	go s.worker()
+	s.route("/ingest", s.handleIngest)
+	s.route("/refresh", s.handleRefresh)
+	s.route("/top-sources", s.handleTopSources)
+	s.route("/top-triples", s.handleTopTriples)
+	s.route("/source", s.handleSource)
+	s.route("/healthz", s.handleHealthz)
+	s.route("/stats", s.handleStats)
+	s.mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
+		writeError(w, http.StatusNotFound, "not_found", "unknown path "+r.URL.Path)
+	})
+	for i := range s.lanes {
+		s.lanes[i] = make(chan laneJob, opt.Queue)
+		s.wg.Add(1)
+		go s.laneWorker(s.lanes[i])
+	}
+	if opt.Lanes > 1 {
+		s.kick = make(chan struct{}, 1)
+		go s.refresher()
+	} else {
+		close(s.refresherDone)
+	}
 	return s
+}
+
+// route registers h under /v1 and, deprecated, under the bare path.
+func (s *Server) route(path string, h http.HandlerFunc) {
+	s.mux.HandleFunc("/v1"+path, h)
+	s.mux.HandleFunc(path, func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Deprecation", "true")
+		w.Header().Set("Link", "</v1"+path+`>; rel="successor-version"`)
+		h(w, r)
+	})
 }
 
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
 
-// Close drains the admitted queue (every admitted batch is still applied
-// and acked) and stops the worker.
+// Close drains the admitted lanes (every admitted batch is still applied
+// and acked), stops the workers, and lets a running background refresh
+// finish.
 func (s *Server) Close() {
 	s.mu.Lock()
 	if s.stopping {
@@ -112,36 +196,70 @@ func (s *Server) Close() {
 	}
 	s.stopping = true
 	s.mu.Unlock()
-	close(s.jobs)
-	<-s.stopped
+	for _, ch := range s.lanes {
+		close(ch)
+	}
+	s.wg.Wait()
+	if s.kick != nil {
+		close(s.kick)
+	}
+	<-s.refresherDone
+	close(s.stopped)
 }
 
-func (s *Server) worker() {
-	defer close(s.stopped)
-	for j := range s.jobs {
-		err := s.eng.Ingest(j.batch...)
-		j.done <- err
-		if err != nil {
-			continue
-		}
-		s.mu.Lock()
-		s.applied++
-		refresh := s.opt.RefreshEvery > 0 && s.applied >= s.opt.RefreshEvery
-		if refresh {
-			s.applied = 0
-		}
-		s.mu.Unlock()
-		if refresh {
-			_, rerr := s.eng.Refresh()
-			s.mu.Lock()
-			if rerr != nil {
-				s.lastErr = rerr.Error()
-			} else {
-				s.lastErr = ""
-			}
-			s.mu.Unlock()
-		}
+func (s *Server) laneWorker(ch chan laneJob) {
+	defer s.wg.Done()
+	for j := range ch {
+		j.bar.complete(s, s.eng.Ingest(j.batch...))
 	}
+}
+
+// batchApplied does the refresh bookkeeping after a whole batch acked.
+func (s *Server) batchApplied() {
+	s.mu.Lock()
+	s.applied++
+	refresh := s.opt.RefreshEvery > 0 && s.applied >= s.opt.RefreshEvery
+	if refresh {
+		s.applied = 0
+	}
+	s.mu.Unlock()
+	if !refresh {
+		return
+	}
+	if s.kick == nil {
+		s.refreshNow()
+		return
+	}
+	select {
+	case s.kick <- struct{}{}: // refresher picks it up
+	default: // one already pending; it will cover this batch too
+	}
+}
+
+func (s *Server) refreshNow() {
+	_, rerr := s.eng.Refresh()
+	s.mu.Lock()
+	if rerr != nil {
+		s.lastErr = rerr.Error()
+	} else {
+		s.lastErr = ""
+	}
+	s.mu.Unlock()
+}
+
+func (s *Server) refresher() {
+	defer close(s.refresherDone)
+	for range s.kick {
+		s.refreshNow()
+	}
+}
+
+// laneOf assigns a record to a lane by its website, so all of one source's
+// evidence flows through a single lane in arrival order.
+func laneOf(x kbt.Extraction, n int) int {
+	h := fnv.New32a()
+	h.Write([]byte(x.Website))
+	return int(h.Sum32() % uint32(n))
 }
 
 func writeJSON(w http.ResponseWriter, status int, v any) {
@@ -150,52 +268,90 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 	json.NewEncoder(w).Encode(v)
 }
 
-func writeError(w http.ResponseWriter, status int, msg string) {
-	writeJSON(w, status, map[string]string{"error": msg})
+// errorReply is the uniform non-2xx body: a human-readable message plus a
+// stable machine-readable code (method_not_allowed, malformed_batch,
+// empty_batch, invalid_record, queue_full, shutting_down, engine_closed,
+// refresh_failed, bad_query, no_generation, unknown_source, not_found).
+type errorReply struct {
+	Error string `json:"error"`
+	Code  string `json:"code"`
+}
+
+func writeError(w http.ResponseWriter, status int, code, msg string) {
+	writeJSON(w, status, errorReply{Error: msg, Code: code})
 }
 
 func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodPost {
-		writeError(w, http.StatusMethodNotAllowed, "POST only")
+		writeError(w, http.StatusMethodNotAllowed, "method_not_allowed", "POST only")
 		return
 	}
 	var batch []kbt.Extraction
 	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, s.opt.MaxBodyBytes))
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(&batch); err != nil {
-		writeError(w, http.StatusBadRequest, "malformed batch: "+err.Error())
+		writeError(w, http.StatusBadRequest, "malformed_batch", "malformed batch: "+err.Error())
 		return
 	}
 	if len(batch) == 0 {
-		writeError(w, http.StatusBadRequest, "empty batch")
+		writeError(w, http.StatusBadRequest, "empty_batch", "empty batch")
 		return
 	}
+	// With multiple lanes a batch is split, so validation failures must be
+	// caught whole at the door — otherwise one lane could refuse its part
+	// after another already applied its own.
+	if s.opt.Lanes > 1 {
+		if err := s.eng.Validate(batch...); err != nil {
+			writeError(w, http.StatusBadRequest, "invalid_record", err.Error())
+			return
+		}
+	}
+	parts := make([][]kbt.Extraction, s.opt.Lanes)
+	if s.opt.Lanes == 1 {
+		parts[0] = batch
+	} else {
+		for _, x := range batch {
+			l := laneOf(x, s.opt.Lanes)
+			parts[l] = append(parts[l], x)
+		}
+	}
+	bar := &barrier{done: make(chan error, 1)}
+	for _, p := range parts {
+		if len(p) > 0 {
+			bar.remaining.Add(1)
+		}
+	}
 	// Admission happens under mu so Close (which also takes mu before
-	// closing the channel) can never race a send on a closed queue.
-	j := job{batch: batch, done: make(chan error, 1)}
+	// closing the lanes) can never race a send on a closed lane, and the
+	// capacity check below cannot be invalidated by a concurrent admit:
+	// lane workers only drain, so a lane seen non-full stays admittable
+	// until we send. Admission is all-or-nothing — either every target
+	// lane takes its part, or the whole batch is refused with 429.
 	s.mu.Lock()
 	if s.stopping {
 		s.mu.Unlock()
-		writeError(w, http.StatusServiceUnavailable, "shutting down")
+		writeError(w, http.StatusServiceUnavailable, "shutting_down", "shutting down")
 		return
 	}
-	admitted := false
-	select {
-	case s.jobs <- j:
-		admitted = true
-	default:
+	for l, p := range parts {
+		if len(p) > 0 && len(s.lanes[l]) == cap(s.lanes[l]) {
+			s.mu.Unlock()
+			writeError(w, http.StatusTooManyRequests, "queue_full", "ingest queue full, retry later")
+			return
+		}
+	}
+	for l, p := range parts {
+		if len(p) > 0 {
+			s.lanes[l] <- laneJob{batch: p, bar: bar}
+		}
 	}
 	s.mu.Unlock()
-	if !admitted {
-		writeError(w, http.StatusTooManyRequests, "ingest queue full, retry later")
-		return
-	}
-	if err := <-j.done; err != nil {
-		status := http.StatusBadRequest // engine validation refused the batch
+	if err := <-bar.done; err != nil {
+		status, code := http.StatusBadRequest, "invalid_record" // engine validation refused the batch
 		if errors.Is(err, kbt.ErrEngineClosed) {
-			status = http.StatusServiceUnavailable
+			status, code = http.StatusServiceUnavailable, "engine_closed"
 		}
-		writeError(w, status, err.Error())
+		writeError(w, status, code, err.Error())
 		return
 	}
 	writeJSON(w, http.StatusOK, map[string]int{"ingested": len(batch)})
@@ -203,11 +359,11 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) handleRefresh(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodPost {
-		writeError(w, http.StatusMethodNotAllowed, "POST only")
+		writeError(w, http.StatusMethodNotAllowed, "method_not_allowed", "POST only")
 		return
 	}
 	if _, err := s.eng.Refresh(); err != nil {
-		writeError(w, http.StatusConflict, err.Error())
+		writeError(w, http.StatusConflict, "refresh_failed", err.Error())
 		return
 	}
 	stats, _ := s.eng.Stats()
@@ -229,17 +385,17 @@ func parseK(r *http.Request) (int, error) {
 
 func (s *Server) handleTopSources(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodGet {
-		writeError(w, http.StatusMethodNotAllowed, "GET only")
+		writeError(w, http.StatusMethodNotAllowed, "method_not_allowed", "GET only")
 		return
 	}
 	k, err := parseK(r)
 	if err != nil {
-		writeError(w, http.StatusBadRequest, err.Error())
+		writeError(w, http.StatusBadRequest, "bad_query", err.Error())
 		return
 	}
 	srcs, ok := s.eng.TopSources(k)
 	if !ok {
-		writeError(w, http.StatusServiceUnavailable, "no generation published yet")
+		writeError(w, http.StatusServiceUnavailable, "no_generation", "no generation published yet")
 		return
 	}
 	writeJSON(w, http.StatusOK, srcs)
@@ -247,17 +403,17 @@ func (s *Server) handleTopSources(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) handleTopTriples(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodGet {
-		writeError(w, http.StatusMethodNotAllowed, "GET only")
+		writeError(w, http.StatusMethodNotAllowed, "method_not_allowed", "GET only")
 		return
 	}
 	k, err := parseK(r)
 	if err != nil {
-		writeError(w, http.StatusBadRequest, err.Error())
+		writeError(w, http.StatusBadRequest, "bad_query", err.Error())
 		return
 	}
 	trs, ok := s.eng.TopTriples(k)
 	if !ok {
-		writeError(w, http.StatusServiceUnavailable, "no generation published yet")
+		writeError(w, http.StatusServiceUnavailable, "no_generation", "no generation published yet")
 		return
 	}
 	writeJSON(w, http.StatusOK, trs)
@@ -265,22 +421,22 @@ func (s *Server) handleTopTriples(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) handleSource(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodGet {
-		writeError(w, http.StatusMethodNotAllowed, "GET only")
+		writeError(w, http.StatusMethodNotAllowed, "method_not_allowed", "GET only")
 		return
 	}
 	name := r.URL.Query().Get("name")
 	if name == "" {
-		writeError(w, http.StatusBadRequest, "missing name parameter")
+		writeError(w, http.StatusBadRequest, "bad_query", "missing name parameter")
 		return
 	}
 	res, ok := s.eng.Current()
 	if !ok {
-		writeError(w, http.StatusServiceUnavailable, "no generation published yet")
+		writeError(w, http.StatusServiceUnavailable, "no_generation", "no generation published yet")
 		return
 	}
 	src, ok := res.SourceByName(name)
 	if !ok {
-		writeError(w, http.StatusNotFound, "unknown source "+name)
+		writeError(w, http.StatusNotFound, "unknown_source", "unknown source "+name)
 		return
 	}
 	writeJSON(w, http.StatusOK, src)
@@ -288,17 +444,18 @@ func (s *Server) handleSource(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodGet {
-		writeError(w, http.StatusMethodNotAllowed, "GET only")
+		writeError(w, http.StatusMethodNotAllowed, "method_not_allowed", "GET only")
 		return
 	}
 	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
 }
 
-// statsReply is the /stats document.
+// statsReply is the /v1/stats document.
 type statsReply struct {
 	Records   int               `json:"records"`
 	Pending   int               `json:"pending"`
 	Queued    int               `json:"queued"`
+	Lanes     int               `json:"lanes"`
 	Refreshed bool              `json:"refreshed"`
 	Refresh   *kbt.RefreshStats `json:"refresh,omitempty"`
 	LastError string            `json:"last_error,omitempty"`
@@ -306,13 +463,18 @@ type statsReply struct {
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodGet {
-		writeError(w, http.StatusMethodNotAllowed, "GET only")
+		writeError(w, http.StatusMethodNotAllowed, "method_not_allowed", "GET only")
 		return
+	}
+	queued := 0
+	for _, ch := range s.lanes {
+		queued += len(ch)
 	}
 	reply := statsReply{
 		Records: s.eng.Len(),
 		Pending: s.eng.Pending(),
-		Queued:  len(s.jobs),
+		Queued:  queued,
+		Lanes:   s.opt.Lanes,
 	}
 	if st, ok := s.eng.Stats(); ok {
 		reply.Refreshed = true

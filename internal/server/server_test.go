@@ -72,21 +72,23 @@ func decodeInto(t *testing.T, resp *http.Response, v any) {
 	}
 }
 
-// waitRefreshed polls /stats until a generation is published.
+// waitRefreshed polls /v1/stats until a generation is published and nothing
+// is pending.
 func waitRefreshed(t *testing.T, ts *httptest.Server) {
 	t.Helper()
 	deadline := time.Now().Add(10 * time.Second)
 	for time.Now().Before(deadline) {
-		resp, err := http.Get(ts.URL + "/stats")
+		resp, err := http.Get(ts.URL + "/v1/stats")
 		if err != nil {
 			t.Fatal(err)
 		}
 		var st struct {
 			Refreshed bool `json:"refreshed"`
 			Pending   int  `json:"pending"`
+			Queued    int  `json:"queued"`
 		}
 		decodeInto(t, resp, &st)
-		if st.Refreshed && st.Pending == 0 {
+		if st.Refreshed && st.Pending == 0 && st.Queued == 0 {
 			return
 		}
 		time.Sleep(5 * time.Millisecond)
@@ -101,7 +103,7 @@ func TestIngestQueryRoundTrip(t *testing.T) {
 	defer ts.Close()
 
 	// Before any data: health is fine, queries are 503.
-	resp, err := http.Get(ts.URL + "/healthz")
+	resp, err := http.Get(ts.URL + "/v1/healthz")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -109,7 +111,7 @@ func TestIngestQueryRoundTrip(t *testing.T) {
 	if resp.StatusCode != http.StatusOK {
 		t.Fatalf("healthz = %d", resp.StatusCode)
 	}
-	resp, err = http.Get(ts.URL + "/top-sources")
+	resp, err = http.Get(ts.URL + "/v1/top-sources")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -118,7 +120,7 @@ func TestIngestQueryRoundTrip(t *testing.T) {
 		t.Fatalf("pre-generation top-sources = %d, want 503", resp.StatusCode)
 	}
 
-	resp = postJSON(t, ts, "/ingest", testBatch(0, 24))
+	resp = postJSON(t, ts, "/v1/ingest", testBatch(0, 24))
 	var ack map[string]int
 	decodeInto(t, resp, &ack)
 	if resp.StatusCode != http.StatusOK || ack["ingested"] != 24 {
@@ -126,7 +128,7 @@ func TestIngestQueryRoundTrip(t *testing.T) {
 	}
 	waitRefreshed(t, ts)
 
-	resp, err = http.Get(ts.URL + "/top-sources?k=2")
+	resp, err = http.Get(ts.URL + "/v1/top-sources?k=2")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -135,7 +137,7 @@ func TestIngestQueryRoundTrip(t *testing.T) {
 	if resp.StatusCode != http.StatusOK || len(srcs) != 2 {
 		t.Fatalf("top-sources = %d, %d sources", resp.StatusCode, len(srcs))
 	}
-	resp, err = http.Get(ts.URL + "/top-triples")
+	resp, err = http.Get(ts.URL + "/v1/top-triples")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -150,7 +152,7 @@ func TestIngestQueryRoundTrip(t *testing.T) {
 		}
 	}
 
-	resp, err = http.Get(ts.URL + "/source?name=" + srcs[0].Name)
+	resp, err = http.Get(ts.URL + "/v1/source?name=" + srcs[0].Name)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -159,7 +161,7 @@ func TestIngestQueryRoundTrip(t *testing.T) {
 	if resp.StatusCode != http.StatusOK || src != srcs[0] {
 		t.Fatalf("source = %d, %+v, want %+v", resp.StatusCode, src, srcs[0])
 	}
-	resp, err = http.Get(ts.URL + "/source?name=no-such-site.example")
+	resp, err = http.Get(ts.URL + "/v1/source?name=no-such-site.example")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -168,17 +170,20 @@ func TestIngestQueryRoundTrip(t *testing.T) {
 		t.Fatalf("unknown source = %d, want 404", resp.StatusCode)
 	}
 
-	resp, err = http.Get(ts.URL + "/stats")
+	resp, err = http.Get(ts.URL + "/v1/stats")
 	if err != nil {
 		t.Fatal(err)
 	}
 	var st statsReply
 	decodeInto(t, resp, &st)
-	if st.Records != 24 || !st.Refreshed || st.Refresh == nil || st.LastError != "" {
+	if st.Records != 24 || !st.Refreshed || st.Refresh == nil || st.LastError != "" || st.Lanes != 1 {
 		t.Fatalf("stats = %+v", st)
 	}
 }
 
+// TestBadRequests pins the status code AND the machine-readable envelope
+// code of every error path: each non-2xx body must decode into
+// {"error": ..., "code": ...} with both fields populated.
 func TestBadRequests(t *testing.T) {
 	srv := New(testEngine(t), Options{})
 	defer srv.Close()
@@ -188,20 +193,24 @@ func TestBadRequests(t *testing.T) {
 	for _, tc := range []struct {
 		name, method, path, body string
 		want                     int
+		code                     string
 	}{
-		{"garbage body", "POST", "/ingest", "{not json", http.StatusBadRequest},
-		{"object not array", "POST", "/ingest", `{"Subject":"s"}`, http.StatusBadRequest},
-		{"unknown field", "POST", "/ingest", `[{"Nope":"x"}]`, http.StatusBadRequest},
-		{"empty batch", "POST", "/ingest", `[]`, http.StatusBadRequest},
-		{"invalid record", "POST", "/ingest",
+		{"garbage body", "POST", "/v1/ingest", "{not json", http.StatusBadRequest, "malformed_batch"},
+		{"object not array", "POST", "/v1/ingest", `{"Subject":"s"}`, http.StatusBadRequest, "malformed_batch"},
+		{"unknown field", "POST", "/v1/ingest", `[{"Nope":"x"}]`, http.StatusBadRequest, "malformed_batch"},
+		{"empty batch", "POST", "/v1/ingest", `[]`, http.StatusBadRequest, "empty_batch"},
+		{"invalid record", "POST", "/v1/ingest",
 			`[{"Extractor":"E","Website":"w.com","Page":"w.com/p","Predicate":"p","Object":"o"}]`,
-			http.StatusBadRequest}, // empty Subject: engine validation refuses
-		{"ingest GET", "GET", "/ingest", "", http.StatusMethodNotAllowed},
-		{"refresh GET", "GET", "/refresh", "", http.StatusMethodNotAllowed},
-		{"top-sources POST", "POST", "/top-sources", "", http.StatusMethodNotAllowed},
-		{"bad k", "GET", "/top-sources?k=many", "", http.StatusBadRequest},
-		{"source without name", "GET", "/source", "", http.StatusBadRequest},
-		{"refresh empty engine", "POST", "/refresh", "", http.StatusConflict},
+			http.StatusBadRequest, "invalid_record"}, // empty Subject: engine validation refuses
+		{"ingest GET", "GET", "/v1/ingest", "", http.StatusMethodNotAllowed, "method_not_allowed"},
+		{"refresh GET", "GET", "/v1/refresh", "", http.StatusMethodNotAllowed, "method_not_allowed"},
+		{"top-sources POST", "POST", "/v1/top-sources", "", http.StatusMethodNotAllowed, "method_not_allowed"},
+		{"bad k", "GET", "/v1/top-sources?k=many", "", http.StatusBadRequest, "bad_query"},
+		{"no generation", "GET", "/v1/top-triples", "", http.StatusServiceUnavailable, "no_generation"},
+		{"source without name", "GET", "/v1/source", "", http.StatusBadRequest, "bad_query"},
+		{"refresh empty engine", "POST", "/v1/refresh", "", http.StatusConflict, "refresh_failed"},
+		{"unknown path", "GET", "/v1/no-such-endpoint", "", http.StatusNotFound, "not_found"},
+		{"unknown root path", "GET", "/nope", "", http.StatusNotFound, "not_found"},
 	} {
 		t.Run(tc.name, func(t *testing.T) {
 			req, err := http.NewRequest(tc.method, ts.URL+tc.path, strings.NewReader(tc.body))
@@ -212,17 +221,79 @@ func TestBadRequests(t *testing.T) {
 			if err != nil {
 				t.Fatal(err)
 			}
-			io.Copy(io.Discard, resp.Body)
-			resp.Body.Close()
+			var envelope errorReply
+			decodeInto(t, resp, &envelope)
 			if resp.StatusCode != tc.want {
 				t.Fatalf("status = %d, want %d", resp.StatusCode, tc.want)
+			}
+			if envelope.Code != tc.code || envelope.Error == "" {
+				t.Fatalf("envelope = %+v, want code %q and a message", envelope, tc.code)
 			}
 		})
 	}
 }
 
-// gatedEngine blocks Ingest until released, so the test can hold the worker
-// busy and fill the queue deterministically.
+// TestDeprecatedAliases pins that every unversioned path behaves exactly as
+// its /v1 successor — same status, same body — and is marked deprecated,
+// while /v1 itself is not.
+func TestDeprecatedAliases(t *testing.T) {
+	srv := New(testEngine(t), Options{})
+	defer srv.Close()
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+
+	// Cover both 2xx and error envelopes, and every registered path.
+	for _, tc := range []struct {
+		method, path, body string
+	}{
+		{"GET", "/healthz", ""},
+		{"GET", "/stats", ""},
+		{"GET", "/top-sources", ""},     // 503 pre-generation
+		{"GET", "/top-triples?k=3", ""}, // 503 pre-generation
+		{"GET", "/source", ""},          // 400 missing name
+		{"POST", "/refresh", ""},        // 409 nothing ingested
+		{"POST", "/ingest", "[]"},       // 400 empty batch
+	} {
+		t.Run(tc.method+" "+tc.path, func(t *testing.T) {
+			do := func(path string) (*http.Response, string) {
+				req, err := http.NewRequest(tc.method, ts.URL+path, strings.NewReader(tc.body))
+				if err != nil {
+					t.Fatal(err)
+				}
+				resp, err := http.DefaultClient.Do(req)
+				if err != nil {
+					t.Fatal(err)
+				}
+				body, err := io.ReadAll(resp.Body)
+				resp.Body.Close()
+				if err != nil {
+					t.Fatal(err)
+				}
+				return resp, string(body)
+			}
+			alias, aliasBody := do(tc.path)
+			v1, v1Body := do("/v1" + tc.path)
+			if alias.StatusCode != v1.StatusCode || aliasBody != v1Body {
+				t.Fatalf("alias (%d, %q) != /v1 (%d, %q)",
+					alias.StatusCode, aliasBody, v1.StatusCode, v1Body)
+			}
+			if alias.Header.Get("Deprecation") != "true" {
+				t.Fatal("alias response missing Deprecation header")
+			}
+			if link := alias.Header.Get("Link"); !strings.Contains(link, "/v1") ||
+				!strings.Contains(link, "successor-version") {
+				t.Fatalf("alias Link header = %q", link)
+			}
+			if v1.Header.Get("Deprecation") != "" {
+				t.Fatal("/v1 response carries a Deprecation header")
+			}
+		})
+	}
+}
+
+// gatedEngine blocks Ingest until fed from gate, so tests can hold lane
+// workers busy and fill queues deterministically. Validate (used by the
+// multi-lane admission path) is not gated.
 type gatedEngine struct {
 	*kbt.Engine
 	gate chan struct{}
@@ -245,19 +316,19 @@ func TestQueueFullReturns429(t *testing.T) {
 	acks := make(chan *http.Response, 3)
 	for i := 0; i < 3; i++ {
 		go func(i int) {
-			acks <- postJSON(t, ts, "/ingest", testBatch(i*10, 4))
+			acks <- postJSON(t, ts, "/v1/ingest", testBatch(i*10, 4))
 		}(i)
 	}
 	// Wait until the queue is saturated: worker holds one job, two queued.
 	deadline := time.Now().Add(5 * time.Second)
-	for len(srv.jobs) < 2 {
+	for len(srv.lanes[0]) < 2 {
 		if time.Now().After(deadline) {
 			t.Fatal("queue never filled")
 		}
 		time.Sleep(time.Millisecond)
 	}
 
-	resp := postJSON(t, ts, "/ingest", testBatch(99, 4))
+	resp := postJSON(t, ts, "/v1/ingest", testBatch(99, 4))
 	io.Copy(io.Discard, resp.Body)
 	resp.Body.Close()
 	if resp.StatusCode != http.StatusTooManyRequests {
@@ -279,97 +350,309 @@ func TestQueueFullReturns429(t *testing.T) {
 	}
 }
 
-// TestConcurrentIngestAndQuery hammers ingest and the read endpoints
-// together (run under -race in CI). Every query response must be one
-// internally coherent generation: sources sorted most-trustworthy-first,
-// the k-prefix consistent with itself, probabilities in range — the same
-// invariants the engine's generation-coherence test pins, observed through
-// the HTTP surface.
-func TestConcurrentIngestAndQuery(t *testing.T) {
-	srv := New(testEngine(t), Options{Queue: 128})
+// twoLaneWebsites returns one website hashing to lane 0 and one to lane 1
+// under a 2-lane split.
+func twoLaneWebsites(t *testing.T) (w0, w1 string) {
+	t.Helper()
+	for i := 0; i < 100 && (w0 == "" || w1 == ""); i++ {
+		w := fmt.Sprintf("site%d.com", i)
+		switch laneOf(kbt.Extraction{Website: w}, 2) {
+		case 0:
+			if w0 == "" {
+				w0 = w
+			}
+		case 1:
+			if w1 == "" {
+				w1 = w
+			}
+		}
+	}
+	if w0 == "" || w1 == "" {
+		t.Fatal("could not find websites for both lanes")
+	}
+	return w0, w1
+}
+
+func laneRecord(website string, i int) kbt.Extraction {
+	return kbt.Extraction{
+		Extractor: "E0",
+		Website:   website,
+		Page:      website + "/p",
+		Subject:   fmt.Sprintf("s%d", i),
+		Predicate: "born",
+		Object:    "o",
+	}
+}
+
+// TestLaneBarrierAcksAfterAllParts pins acked-before-2xx across the lane
+// split: a batch spanning two lanes must not ack while any part is still
+// unapplied, and must ack once both are.
+func TestLaneBarrierAcksAfterAllParts(t *testing.T) {
+	ge := &gatedEngine{Engine: testEngine(t), gate: make(chan struct{}, 2)}
+	srv := New(ge, Options{Lanes: 2, RefreshEvery: -1})
 	defer srv.Close()
 	ts := httptest.NewServer(srv)
 	defer ts.Close()
 
-	resp := postJSON(t, ts, "/ingest", testBatch(0, 30))
+	w0, w1 := twoLaneWebsites(t)
+	batch := []kbt.Extraction{laneRecord(w0, 0), laneRecord(w1, 1), laneRecord(w0, 2)}
+	ack := make(chan *http.Response, 1)
+	go func() { ack <- postJSON(t, ts, "/v1/ingest", batch) }()
+
+	select {
+	case <-ack:
+		t.Fatal("batch acked with both lane parts unapplied")
+	case <-time.After(200 * time.Millisecond):
+	}
+	ge.gate <- struct{}{} // release exactly one lane's part
+	select {
+	case <-ack:
+		t.Fatal("batch acked with one lane part unapplied")
+	case <-time.After(200 * time.Millisecond):
+	}
+	close(ge.gate) // release the rest
+	resp := <-ack
 	io.Copy(io.Discard, resp.Body)
 	resp.Body.Close()
-	waitRefreshed(t, ts)
-
-	const writers, readers, rounds = 2, 4, 20
-	var wg sync.WaitGroup
-	errc := make(chan error, writers+readers)
-	for wr := 0; wr < writers; wr++ {
-		wg.Add(1)
-		go func(wr int) {
-			defer wg.Done()
-			for i := 0; i < rounds; i++ {
-				resp := postJSON(t, ts, "/ingest", testBatch(1000+wr*1000+i*10, 5))
-				io.Copy(io.Discard, resp.Body)
-				resp.Body.Close()
-				if resp.StatusCode != http.StatusOK && resp.StatusCode != http.StatusTooManyRequests {
-					errc <- fmt.Errorf("writer %d: ingest = %d", wr, resp.StatusCode)
-					return
-				}
-			}
-		}(wr)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("ingest = %d, want 200", resp.StatusCode)
 	}
-	for rd := 0; rd < readers; rd++ {
+	if got := ge.Len(); got != 3 {
+		t.Fatalf("engine holds %d records, want 3", got)
+	}
+}
+
+// TestLaneAdmissionAllOrNothing pins per-lane backpressure: a batch is
+// refused with 429 when ANY of its target lanes is full, and nothing of it
+// is enqueued.
+func TestLaneAdmissionAllOrNothing(t *testing.T) {
+	ge := &gatedEngine{Engine: testEngine(t), gate: make(chan struct{})}
+	srv := New(ge, Options{Lanes: 2, Queue: 1, RefreshEvery: -1})
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+
+	w0, w1 := twoLaneWebsites(t)
+	span := func(first int) []kbt.Extraction {
+		return []kbt.Extraction{laneRecord(w0, first), laneRecord(w1, first+1)}
+	}
+	acks := make(chan *http.Response, 2)
+	// First spanning batch: each lane worker takes its part and blocks at
+	// the gate, leaving both queues empty again.
+	go func() { acks <- postJSON(t, ts, "/v1/ingest", span(0)) }()
+	deadline := time.Now().Add(5 * time.Second)
+	for len(srv.lanes[0]) != 0 || len(srv.lanes[1]) != 0 || ge.Pending() != 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("workers never picked up the first batch")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	// Second spanning batch fills both single-slot queues.
+	go func() { acks <- postJSON(t, ts, "/v1/ingest", span(10)) }()
+	for len(srv.lanes[0]) != 1 || len(srv.lanes[1]) != 1 {
+		if time.Now().After(deadline) {
+			t.Fatal("queues never filled")
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	// A batch touching only the full lane 0 is refused...
+	resp := postJSON(t, ts, "/v1/ingest", []kbt.Extraction{laneRecord(w0, 20)})
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("single-lane ingest into full lane = %d, want 429", resp.StatusCode)
+	}
+	// ...and so is a spanning batch — with nothing left behind in either
+	// queue beyond the admitted jobs.
+	resp = postJSON(t, ts, "/v1/ingest", span(30))
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("spanning ingest with full lanes = %d, want 429", resp.StatusCode)
+	}
+	if len(srv.lanes[0]) != 1 || len(srv.lanes[1]) != 1 {
+		t.Fatalf("refused batch left residue: lanes hold (%d, %d) jobs",
+			len(srv.lanes[0]), len(srv.lanes[1]))
+	}
+
+	close(ge.gate)
+	for i := 0; i < 2; i++ {
+		resp := <-acks
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("admitted ingest %d = %d, want 200", i, resp.StatusCode)
+		}
+	}
+	srv.Close()
+	if got := ge.Len(); got != 4 {
+		t.Fatalf("engine holds %d records after drain, want 4", got)
+	}
+}
+
+// TestLaneInvalidBatchRejectedWhole pins multi-lane pre-validation: a batch
+// with one malformed record is refused before admission, so no lane applies
+// any part of it.
+func TestLaneInvalidBatchRejectedWhole(t *testing.T) {
+	eng := testEngine(t)
+	srv := New(eng, Options{Lanes: 4})
+	defer srv.Close()
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+
+	batch := testBatch(0, 12)
+	batch[7].Subject = "" // invalid
+	resp := postJSON(t, ts, "/v1/ingest", batch)
+	var envelope errorReply
+	decodeInto(t, resp, &envelope)
+	if resp.StatusCode != http.StatusBadRequest || envelope.Code != "invalid_record" {
+		t.Fatalf("ingest = %d %+v, want 400 invalid_record", resp.StatusCode, envelope)
+	}
+	if got := eng.Len(); got != 0 {
+		t.Fatalf("engine holds %d records of a refused batch, want 0", got)
+	}
+}
+
+// TestLanesApplyEverything ingests through 4 lanes and checks every record
+// lands and queries serve a coherent generation.
+func TestLanesApplyEverything(t *testing.T) {
+	eng := testEngine(t)
+	srv := New(eng, Options{Lanes: 4, RefreshEvery: 4})
+	defer srv.Close()
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+
+	const batches, per = 16, 8
+	var wg sync.WaitGroup
+	for b := 0; b < batches; b++ {
 		wg.Add(1)
-		go func(rd int) {
+		go func(b int) {
 			defer wg.Done()
-			for i := 0; i < rounds; i++ {
-				resp, err := http.Get(ts.URL + "/top-sources")
-				if err != nil {
-					errc <- err
-					return
-				}
-				var srcs []kbt.Source
-				if err := json.NewDecoder(resp.Body).Decode(&srcs); err != nil {
-					resp.Body.Close()
-					errc <- fmt.Errorf("reader %d: %v", rd, err)
-					return
-				}
-				resp.Body.Close()
-				if len(srcs) == 0 {
-					errc <- fmt.Errorf("reader %d: empty source view", rd)
-					return
-				}
-				for j := range srcs {
-					if srcs[j].KBT < 0 || srcs[j].KBT > 1 {
-						errc <- fmt.Errorf("reader %d: KBT %v out of range", rd, srcs[j].KBT)
-						return
-					}
-					if j > 0 && (srcs[j].KBT > srcs[j-1].KBT ||
-						(srcs[j].KBT == srcs[j-1].KBT && srcs[j].Name < srcs[j-1].Name)) {
-						errc <- fmt.Errorf("reader %d: source view out of order at %d", rd, j)
-						return
-					}
-				}
-				resp, err = http.Get(ts.URL + "/top-triples?k=5")
-				if err != nil {
-					errc <- err
-					return
-				}
-				var trs []kbt.TripleVerdict
-				if err := json.NewDecoder(resp.Body).Decode(&trs); err != nil {
-					resp.Body.Close()
-					errc <- fmt.Errorf("reader %d: %v", rd, err)
-					return
-				}
-				resp.Body.Close()
-				for _, tv := range trs {
-					if tv.Probability < 0 || tv.Probability > 1 {
-						errc <- fmt.Errorf("reader %d: probability %v", rd, tv.Probability)
-						return
-					}
-				}
+			resp := postJSON(t, ts, "/v1/ingest", testBatch(b*per, per))
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+			if resp.StatusCode != http.StatusOK {
+				t.Errorf("ingest %d = %d", b, resp.StatusCode)
 			}
-		}(rd)
+		}(b)
 	}
 	wg.Wait()
-	close(errc)
-	for err := range errc {
-		t.Error(err)
+	if got := eng.Len(); got != batches*per {
+		t.Fatalf("engine holds %d records, want %d", got, batches*per)
+	}
+	resp := postJSON(t, ts, "/v1/refresh", nil)
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("refresh = %d", resp.StatusCode)
+	}
+	waitRefreshed(t, ts)
+	resp, err := http.Get(ts.URL + "/v1/top-sources")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var srcs []kbt.Source
+	decodeInto(t, resp, &srcs)
+	if resp.StatusCode != http.StatusOK || len(srcs) == 0 {
+		t.Fatalf("top-sources = %d, %d sources", resp.StatusCode, len(srcs))
+	}
+}
+
+// TestConcurrentIngestAndQuery hammers ingest and the read endpoints
+// together (run under -race in CI), at one lane and at four. Every query
+// response must be one internally coherent generation: sources sorted
+// most-trustworthy-first, the k-prefix consistent with itself,
+// probabilities in range — the same invariants the engine's
+// generation-coherence test pins, observed through the HTTP surface.
+func TestConcurrentIngestAndQuery(t *testing.T) {
+	for _, lanes := range []int{1, 4} {
+		t.Run(fmt.Sprintf("lanes=%d", lanes), func(t *testing.T) {
+			srv := New(testEngine(t), Options{Queue: 128, Lanes: lanes})
+			defer srv.Close()
+			ts := httptest.NewServer(srv)
+			defer ts.Close()
+
+			resp := postJSON(t, ts, "/v1/ingest", testBatch(0, 30))
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+			waitRefreshed(t, ts)
+
+			const writers, readers, rounds = 2, 4, 20
+			var wg sync.WaitGroup
+			errc := make(chan error, writers+readers)
+			for wr := 0; wr < writers; wr++ {
+				wg.Add(1)
+				go func(wr int) {
+					defer wg.Done()
+					for i := 0; i < rounds; i++ {
+						resp := postJSON(t, ts, "/v1/ingest", testBatch(1000+wr*1000+i*10, 5))
+						io.Copy(io.Discard, resp.Body)
+						resp.Body.Close()
+						if resp.StatusCode != http.StatusOK && resp.StatusCode != http.StatusTooManyRequests {
+							errc <- fmt.Errorf("writer %d: ingest = %d", wr, resp.StatusCode)
+							return
+						}
+					}
+				}(wr)
+			}
+			for rd := 0; rd < readers; rd++ {
+				wg.Add(1)
+				go func(rd int) {
+					defer wg.Done()
+					for i := 0; i < rounds; i++ {
+						resp, err := http.Get(ts.URL + "/v1/top-sources")
+						if err != nil {
+							errc <- err
+							return
+						}
+						var srcs []kbt.Source
+						if err := json.NewDecoder(resp.Body).Decode(&srcs); err != nil {
+							resp.Body.Close()
+							errc <- fmt.Errorf("reader %d: %v", rd, err)
+							return
+						}
+						resp.Body.Close()
+						if len(srcs) == 0 {
+							errc <- fmt.Errorf("reader %d: empty source view", rd)
+							return
+						}
+						for j := range srcs {
+							if srcs[j].KBT < 0 || srcs[j].KBT > 1 {
+								errc <- fmt.Errorf("reader %d: KBT %v out of range", rd, srcs[j].KBT)
+								return
+							}
+							if j > 0 && (srcs[j].KBT > srcs[j-1].KBT ||
+								(srcs[j].KBT == srcs[j-1].KBT && srcs[j].Name < srcs[j-1].Name)) {
+								errc <- fmt.Errorf("reader %d: source view out of order at %d", rd, j)
+								return
+							}
+						}
+						resp, err = http.Get(ts.URL + "/v1/top-triples?k=5")
+						if err != nil {
+							errc <- err
+							return
+						}
+						var trs []kbt.TripleVerdict
+						if err := json.NewDecoder(resp.Body).Decode(&trs); err != nil {
+							resp.Body.Close()
+							errc <- fmt.Errorf("reader %d: %v", rd, err)
+							return
+						}
+						resp.Body.Close()
+						for _, tv := range trs {
+							if tv.Probability < 0 || tv.Probability > 1 {
+								errc <- fmt.Errorf("reader %d: probability %v", rd, tv.Probability)
+								return
+							}
+						}
+					}
+				}(rd)
+			}
+			wg.Wait()
+			close(errc)
+			for err := range errc {
+				t.Error(err)
+			}
+		})
 	}
 }

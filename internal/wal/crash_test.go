@@ -141,21 +141,24 @@ func TestCrashSweepKillsEveryByte(t *testing.T) {
 	}
 }
 
-// TestCrashSweepCheckpoint kills WriteCheckpoint at every byte/step and
+// TestCrashSweepCheckpoint kills the chain writers at every byte/step and
 // verifies the atomic-rename contract: afterwards ReadCheckpoint returns
-// either the previous checkpoint or the new one, intact — never a torn or
-// corrupt hybrid.
+// either the previous chain or the extended/compacted one, intact — never a
+// torn or corrupt hybrid.
 func TestCrashSweepCheckpoint(t *testing.T) {
-	oldCk := &Checkpoint{Watermark: 7, Fingerprint: "fp"}
-	newCk := &Checkpoint{Watermark: 21, Fingerprint: "fp"}
+	base := &Checkpoint{Watermark: 7, Fingerprint: "fp", Ops: []CheckpointOp{{Refreshes: 1}}}
+	delta := &Checkpoint{Watermark: 21, Fingerprint: "fp", Ops: []CheckpointOp{{Refreshes: 1}}}
+
+	// Sweep the delta append: the chain reads back at either the old or the
+	// extended watermark.
 	completed := false
 	for budget := int64(0); budget < 1<<20 && !completed; budget++ {
 		dir := t.TempDir()
-		if err := WriteCheckpoint(nil, dir, oldCk); err != nil {
+		if err := WriteCheckpointBase(nil, dir, base); err != nil {
 			t.Fatal(err)
 		}
 		cfs := NewCrashFS(OSFS{}, budget)
-		werr := WriteCheckpoint(cfs, dir, newCk)
+		werr := WriteCheckpointDelta(cfs, dir, base.Watermark, delta)
 		completed = werr == nil
 
 		got, ok, rerr := ReadCheckpoint(nil, dir)
@@ -163,15 +166,51 @@ func TestCrashSweepCheckpoint(t *testing.T) {
 			t.Fatalf("budget %d: checkpoint unreadable after crash: ok=%v err=%v", budget, ok, rerr)
 		}
 		switch got.Watermark {
-		case oldCk.Watermark, newCk.Watermark:
+		case base.Watermark, delta.Watermark:
 		default:
 			t.Fatalf("budget %d: checkpoint watermark %d is neither old nor new", budget, got.Watermark)
 		}
-		if werr == nil && got.Watermark != newCk.Watermark {
-			t.Fatalf("budget %d: write succeeded but old checkpoint still visible", budget)
+		if werr == nil && got.Watermark != delta.Watermark {
+			t.Fatalf("budget %d: delta write succeeded but chain did not extend", budget)
 		}
 	}
 	if !completed {
-		t.Fatal("sweep never completed a checkpoint write")
+		t.Fatal("sweep never completed a delta write")
+	}
+
+	// Sweep the compaction: base replace plus covered-delta removal. A crash
+	// between the rename and the removals leaves a stale delta the reader
+	// must skip, so the merged view is always the 2-op chain or the 1-op
+	// compacted image.
+	compacted := &Checkpoint{Watermark: 21, Fingerprint: "fp", Ops: []CheckpointOp{{Refreshes: 2}}}
+	completed = false
+	for budget := int64(0); budget < 1<<20 && !completed; budget++ {
+		dir := t.TempDir()
+		if err := WriteCheckpointBase(nil, dir, base); err != nil {
+			t.Fatal(err)
+		}
+		if err := WriteCheckpointDelta(nil, dir, base.Watermark, delta); err != nil {
+			t.Fatal(err)
+		}
+		cfs := NewCrashFS(OSFS{}, budget)
+		werr := WriteCheckpointBase(cfs, dir, compacted)
+		completed = werr == nil
+
+		got, ok, rerr := ReadCheckpoint(nil, dir)
+		if rerr != nil || !ok {
+			t.Fatalf("budget %d: checkpoint unreadable after compaction crash: ok=%v err=%v", budget, ok, rerr)
+		}
+		if got.Watermark != compacted.Watermark {
+			t.Fatalf("budget %d: compaction crash moved the watermark to %d", budget, got.Watermark)
+		}
+		if n := len(got.Ops); n != 1 && n != 2 {
+			t.Fatalf("budget %d: merged chain has %d ops, want the old 2 or compacted 1", budget, n)
+		}
+		if werr == nil && len(got.Ops) != 1 {
+			t.Fatalf("budget %d: compaction succeeded but stale chain still merges in", budget)
+		}
+	}
+	if !completed {
+		t.Fatal("sweep never completed a compaction")
 	}
 }

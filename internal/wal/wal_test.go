@@ -330,36 +330,93 @@ func TestEntryCodecRoundTrip(t *testing.T) {
 	}
 }
 
-func TestCheckpointRoundTripAndCorruption(t *testing.T) {
+func TestCheckpointChainRoundTripAndCorruption(t *testing.T) {
 	dir := t.TempDir()
 	if _, ok, err := ReadCheckpoint(nil, dir); err != nil || ok {
 		t.Fatalf("empty dir: ok=%v err=%v", ok, err)
 	}
-	ck := &Checkpoint{
+	rec := func(i int) triple.Record {
+		return triple.Record{Extractor: "E", Website: "w", Page: "p", Subject: fmt.Sprintf("s%d", i),
+			Predicate: "q", Object: "o", Confidence: 0.5}
+	}
+	base := &Checkpoint{
 		Watermark:   42,
 		Fingerprint: "gran=website shards=8",
-		Records: []triple.Record{
-			{Extractor: "E", Website: "w", Page: "p", Subject: "s", Predicate: "q", Object: "o", Confidence: 0.5},
+		Ops: []CheckpointOp{
+			{Records: []triple.Record{rec(0), rec(1)}, Refreshes: 1},
+			{Refreshes: 2},
 		},
 	}
-	if err := WriteCheckpoint(nil, dir, ck); err != nil {
+	if err := WriteCheckpointBase(nil, dir, base); err != nil {
 		t.Fatal(err)
 	}
 	got, ok, err := ReadCheckpoint(nil, dir)
 	if err != nil || !ok {
 		t.Fatalf("read back: ok=%v err=%v", ok, err)
 	}
-	if !reflect.DeepEqual(got, ck) {
-		t.Fatalf("checkpoint round trip mismatch: %+v", got)
+	if !reflect.DeepEqual(got, base) {
+		t.Fatalf("checkpoint base round trip mismatch: %+v", got)
 	}
-	// Overwrite is atomic-by-rename: a second write replaces the first.
-	ck2 := &Checkpoint{Watermark: 99, Fingerprint: ck.Fingerprint}
-	if err := WriteCheckpoint(nil, dir, ck2); err != nil {
+	// Append two deltas: the read merges ops and advances the watermark.
+	d1 := &Checkpoint{Watermark: 50, Fingerprint: base.Fingerprint,
+		Ops: []CheckpointOp{{Records: []triple.Record{rec(2)}, Refreshes: 1}}}
+	if err := WriteCheckpointDelta(nil, dir, 42, d1); err != nil {
 		t.Fatal(err)
 	}
+	d2 := &Checkpoint{Watermark: 61, Fingerprint: base.Fingerprint,
+		Ops: []CheckpointOp{{Records: []triple.Record{rec(3)}, Refreshes: 1}}}
+	if err := WriteCheckpointDelta(nil, dir, 50, d2); err != nil {
+		t.Fatal(err)
+	}
+	merged, ok, err := ReadCheckpoint(nil, dir)
+	if err != nil || !ok {
+		t.Fatalf("merged read: ok=%v err=%v", ok, err)
+	}
+	if merged.Watermark != 61 || len(merged.Ops) != 4 || merged.Batches() != 3 {
+		t.Fatalf("merged chain: watermark=%d ops=%d batches=%d", merged.Watermark, len(merged.Ops), merged.Batches())
+	}
+	if want := []triple.Record{rec(0), rec(1), rec(2), rec(3)}; !reflect.DeepEqual(merged.AllRecords(), want) {
+		t.Fatalf("merged records: %+v", merged.AllRecords())
+	}
+	// A broken chain link is corruption, not silent truncation.
+	dBad := &Checkpoint{Watermark: 70, Fingerprint: base.Fingerprint,
+		Ops: []CheckpointOp{{Refreshes: 1}}}
+	if err := WriteCheckpointDelta(nil, dir, 55, dBad); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := ReadCheckpoint(nil, dir); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("broken chain link not detected: %v", err)
+	}
+	if err := os.Remove(filepath.Join(dir, deltaFileName(70))); err != nil {
+		t.Fatal(err)
+	}
+	// Compaction replaces the chain and removes covered deltas; a delta at
+	// or below the new base watermark left behind by a crash is skipped.
+	compacted := &Checkpoint{Watermark: 61, Fingerprint: base.Fingerprint,
+		Ops: []CheckpointOp{{Records: merged.AllRecords(), Refreshes: 1}}}
+	if err := WriteCheckpointBase(nil, dir, compacted); err != nil {
+		t.Fatal(err)
+	}
+	names, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range names {
+		if _, isDelta := parseDeltaName(e.Name()); isDelta {
+			t.Fatalf("compaction left delta %s behind", e.Name())
+		}
+	}
 	got2, _, err := ReadCheckpoint(nil, dir)
-	if err != nil || got2.Watermark != 99 || len(got2.Records) != 0 {
-		t.Fatalf("overwrite: %+v, %v", got2, err)
+	if err != nil || !reflect.DeepEqual(got2, compacted) {
+		t.Fatalf("compacted read: %+v, %v", got2, err)
+	}
+	// A stale delta (watermark <= base) reappearing is tolerated and skipped.
+	if err := WriteCheckpointDelta(nil, dir, 42, d1); err != nil {
+		t.Fatal(err)
+	}
+	got3, _, err := ReadCheckpoint(nil, dir)
+	if err != nil || !reflect.DeepEqual(got3, compacted) {
+		t.Fatalf("stale delta not skipped: %+v, %v", got3, err)
 	}
 	// Flip one payload byte: the published checkpoint was synced, so damage
 	// is corruption, not a tear.
@@ -374,5 +431,12 @@ func TestCheckpointRoundTripAndCorruption(t *testing.T) {
 	}
 	if _, _, err := ReadCheckpoint(nil, dir); !errors.Is(err, ErrCorrupt) {
 		t.Fatalf("corrupt checkpoint not detected: %v", err)
+	}
+	// A delta with no base at all is likewise corruption.
+	if err := os.Remove(path); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := ReadCheckpoint(nil, dir); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("orphan delta not detected: %v", err)
 	}
 }

@@ -636,33 +636,6 @@ func FuseSingleLayer(ds *Dataset, opt FusionOptions) (*FusionResult, error) {
 // and extractor key functions. GranularityAuto has no key functions — its
 // split-and-merge labels are partitions of the whole dataset — and returns
 // ok=false, as does an unknown value.
-func granularityKeys(g SourceGranularity) (triple.SourceKeyFunc, triple.ExtractorKeyFunc, bool) {
-	switch g {
-	case GranularityWebsite:
-		return triple.SourceKeyWebsite, triple.ExtractorKeyName, true
-	case GranularityPage:
-		return triple.SourceKeyPage, triple.ExtractorKeyName, true
-	case GranularityFinest:
-		return triple.SourceKeyFinest, triple.ExtractorKeyFinest, true
-	}
-	return nil, nil, false
-}
-
-// coreOptions maps the shared public model knobs onto core.Options — the
-// single mapping both EstimateKBT and NewEngine go through.
-func coreOptions(domainSize, iterations, minSupport int, useConfidence, allExtractorsVoteAbsence bool) core.Options {
-	mopt := core.DefaultOptions()
-	mopt.N = domainSize
-	mopt.MaxIter = iterations
-	mopt.MinSourceSupport = minSupport
-	mopt.MinExtractorSupport = minSupport
-	mopt.UseConfidence = useConfidence
-	if allExtractorsVoteAbsence {
-		mopt.Scope = core.ScopeAllExtractors
-	}
-	return mopt
-}
-
 // displayLabel renders internal \x1f-joined unit labels with "|".
 func displayLabel(label string) string {
 	out := make([]byte, 0, len(label))
