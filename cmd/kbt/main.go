@@ -6,8 +6,9 @@
 //	              [-min-support N] [-top K] [-triples] [-extractors] [file.tsv]
 //	kbt serve     [-granularity website|page|finest] [-shards N] [-batch N]
 //	              [-iters N] [-tol F] [-min-support N] [-top K] [-recompile]
-//	              [-full-aggregates] [-listen ADDR] [-lanes N] [-data DIR]
-//	              [-checkpoint-every N] [-checkpoint-bytes N] [file.tsv]
+//	              [-full-aggregates] [-copydetect] [-fusion] [-listen ADDR]
+//	              [-lanes N] [-data DIR] [-checkpoint-every N]
+//	              [-checkpoint-bytes N] [-checkpoint-interval D] [file.tsv]
 //	kbt fuse      [-model accu|popaccu] [-n N] [-top K] [file.tsv]
 //	kbt generate  [-kind synthetic|web] [-scale F] [-seed N] [-o out.tsv]
 //
@@ -26,12 +27,17 @@
 // With -listen, serve drains its input (an empty feed is a valid idle
 // start), then exposes the engine over HTTP: POST /v1/ingest and
 // /v1/refresh, GET /v1/top-sources, /v1/top-triples, /v1/source?name=,
-// /v1/healthz and /v1/stats (the unversioned paths remain as deprecated
-// aliases). -lanes N ingests through N parallel hash-partitioned lanes.
-// With -data DIR, ingest is write-ahead logged under DIR and the engine
-// state is recovered bit-exactly on restart; -checkpoint-every N bounds
-// recovery replay by checkpointing after every N refreshes, and
-// -checkpoint-bytes B by checkpointing whenever the log exceeds B bytes.
+// /v1/copy-deps, /v1/fused?item=, /v1/healthz and /v1/stats (the
+// unversioned paths remain as deprecated aliases). -lanes N ingests through
+// N parallel hash-partitioned lanes. -copydetect maintains streaming copy
+// detection (and discounts detected copiers' votes); -fusion maintains the
+// single-layer fused per-item posteriors — both served from the current
+// generation. With -data DIR, ingest is write-ahead logged under DIR and
+// the engine state is recovered bit-exactly on restart; -checkpoint-every N
+// bounds recovery replay by checkpointing after every N refreshes,
+// -checkpoint-bytes B by checkpointing whenever the log exceeds B bytes,
+// and -checkpoint-interval D (a duration, e.g. 5m) by checkpointing once D
+// of wall-clock time has passed since the last one.
 package main
 
 import (
@@ -200,6 +206,7 @@ type serveConfig struct {
 	dataDir         string // "" = in-memory engine
 	checkpointEvery int
 	checkpointBytes int64
+	checkpointIvl   time.Duration
 
 	// onListen (when non-nil) receives the bound address once the HTTP
 	// listener is up; stop (when non-nil) replaces SIGINT/SIGTERM as the
@@ -219,11 +226,14 @@ func cmdServe(args []string) error {
 	top := fs.Int("top", 10, "number of sources to print per refresh (0 = all)")
 	recompile := fs.Bool("recompile", false, "rebuild snapshot, EM state and M-step aggregates over the whole corpus on every refresh instead of extending them incrementally (slow equivalence-oracle path)")
 	fullAgg := fs.Bool("full-aggregates", false, "aggregate the global M-steps over the whole corpus every iteration instead of applying dirty-set deltas (keeps the incremental snapshot/state path)")
+	copyDetect := fs.Bool("copydetect", false, "maintain streaming copy detection and discount detected copiers' votes (GET /v1/copy-deps)")
+	fusionOn := fs.Bool("fusion", false, "maintain streaming single-layer fused per-item posteriors (GET /v1/fused?item=)")
 	listen := fs.String("listen", "", "serve the HTTP/JSON API on this address (e.g. :8080) after draining stdin/file input")
 	lanes := fs.Int("lanes", 1, "with -listen, number of parallel ingest lanes (records are hash-partitioned by website)")
 	data := fs.String("data", "", "durable data directory: ingest is write-ahead logged and recovered on restart")
 	ckptEvery := fs.Int("checkpoint-every", 0, "with -data, checkpoint automatically after every N refreshes (0 = never)")
 	ckptBytes := fs.Int64("checkpoint-bytes", 0, "with -data, checkpoint automatically once the write-ahead log exceeds this many bytes (0 = never)")
+	ckptIvl := fs.Duration("checkpoint-interval", 0, "with -data, checkpoint automatically once this much wall-clock time has passed since the last one (0 = never)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -237,6 +247,7 @@ func cmdServe(args []string) error {
 		dataDir:         *data,
 		checkpointEvery: *ckptEvery,
 		checkpointBytes: *ckptBytes,
+		checkpointIvl:   *ckptIvl,
 	}
 	cfg.opt.Shards = *shards
 	cfg.opt.Iterations = *iters
@@ -244,6 +255,8 @@ func cmdServe(args []string) error {
 	cfg.opt.MinSupport = *minSupport
 	cfg.opt.FullRecompile = *recompile
 	cfg.opt.FullAggregates = *fullAgg
+	cfg.opt.CopyDetect = *copyDetect
+	cfg.opt.Fusion = *fusionOn
 	switch *gran {
 	case "website":
 		cfg.opt.Granularity = kbt.GranularityWebsite
@@ -278,8 +291,9 @@ func runServe(cfg serveConfig, in io.Reader, stdout, errw io.Writer) error {
 	var eng server.Engine
 	if cfg.dataDir != "" {
 		d, err := kbt.OpenDurable(cfg.dataDir, cfg.opt, kbt.DurableOptions{
-			CheckpointEvery: cfg.checkpointEvery,
-			CheckpointBytes: cfg.checkpointBytes,
+			CheckpointEvery:    cfg.checkpointEvery,
+			CheckpointBytes:    cfg.checkpointBytes,
+			CheckpointInterval: cfg.checkpointIvl,
 		})
 		if err != nil {
 			return err

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"kbt/internal/triple"
 	"kbt/internal/wal"
@@ -29,6 +30,13 @@ type DurableOptions struct {
 	// pending records in first (checkpoints sit on refresh boundaries), so
 	// a pure ingest stream still gets bounded log growth.
 	CheckpointBytes int64
+	// CheckpointInterval, when > 0, runs Checkpoint once at least this much
+	// wall-clock time has passed since the last one — checked after every
+	// Ingest and every Refresh, like CheckpointBytes. There is no background
+	// timer: an idle engine takes no checkpoint (nothing new needs
+	// persisting), so the cadence bounds how much *busy* time a recovery can
+	// have to replay, complementing the byte- and count-based triggers.
+	CheckpointInterval time.Duration
 	// CompactAfterBatches bounds the checkpoint chain: once it carries at
 	// least this many ingest-batch ops, the next checkpoint compacts —
 	// writes a single cold-anchor base covering the full record prefix,
@@ -47,6 +55,17 @@ type DurableOptions struct {
 	// faithfully instead of skipping provably-NoOp ones. Tests and
 	// benchmarks only — the skip is state-identical (see replayRefresh).
 	disableCoalesce bool
+	// now overrides the clock CheckpointInterval is measured on. nil means
+	// time.Now; the cadence tests inject a fake clock here.
+	now func() time.Time
+}
+
+// clock resolves the interval-cadence clock.
+func (o DurableOptions) clock() func() time.Time {
+	if o.now != nil {
+		return o.now
+	}
+	return time.Now
 }
 
 // ErrEngineClosed is returned by mutating calls on a closed DurableEngine.
@@ -105,6 +124,9 @@ type DurableEngine struct {
 	hasChain     bool
 	ckWatermark  uint64
 	chainBatches int
+	// lastCkpt anchors the CheckpointInterval cadence: set at open and after
+	// every checkpoint (including ones that found nothing to persist).
+	lastCkpt time.Time
 
 	closed bool
 }
@@ -116,10 +138,10 @@ type DurableEngine struct {
 // treated as different); Workers is excluded — parallelism does not change
 // results.
 func engineFingerprint(o EngineOptions) string {
-	return fmt.Sprintf("v1 g=%d shards=%d dom=%d iter=%d minsup=%d minrep=%g conf=%t absence=%t tol=%g full=%t fullagg=%t",
+	return fmt.Sprintf("v2 g=%d shards=%d dom=%d iter=%d minsup=%d minrep=%g conf=%t absence=%t tol=%g full=%t fullagg=%t copydetect=%t fusion=%t",
 		o.Granularity, o.Shards, o.DomainSize, o.Iterations, o.MinSupport,
 		o.MinReportableTriples, o.UseConfidence, o.AllExtractorsVoteAbsence,
-		o.Tol, o.FullRecompile, o.FullAggregates)
+		o.Tol, o.FullRecompile, o.FullAggregates, o.CopyDetect, o.Fusion)
 }
 
 // replayRefresh runs one recovered refresh, unless coalescing can prove it a
@@ -231,6 +253,7 @@ func OpenDurable(dir string, opt EngineOptions, dopt DurableOptions) (*DurableEn
 		return nil, err
 	}
 	d.eng.Store(eng)
+	d.lastCkpt = dopt.clock()()
 	return d, nil
 }
 
@@ -273,7 +296,7 @@ func (d *DurableEngine) Ingest(batch ...Extraction) error {
 		return err
 	}
 	d.noteBatch(recs)
-	if d.dopt.CheckpointBytes > 0 && d.log.Size() >= d.dopt.CheckpointBytes {
+	if d.cadenceDue() {
 		if err := d.checkpointLocked(); err != nil {
 			// The batch itself is applied and durable — only the cadence
 			// checkpoint failed. Surfaced rather than swallowed, since a
@@ -311,8 +334,8 @@ func (d *DurableEngine) Refresh() (*Result, error) {
 	d.noteRefresh()
 	d.refreshes++
 	need := d.dopt.CheckpointEvery > 0 && d.refreshes >= d.dopt.CheckpointEvery
-	if !need && d.dopt.CheckpointBytes > 0 && d.log.Size() >= d.dopt.CheckpointBytes {
-		need = true
+	if !need {
+		need = d.cadenceDue()
 	}
 	if need {
 		if err := d.checkpointLocked(); err != nil {
@@ -325,6 +348,16 @@ func (d *DurableEngine) Refresh() (*Result, error) {
 		}
 	}
 	return r, nil
+}
+
+// cadenceDue reports whether the byte- or wall-clock checkpoint cadence has
+// come due. Called with d.mu held, after an applied Ingest or Refresh.
+func (d *DurableEngine) cadenceDue() bool {
+	if d.dopt.CheckpointBytes > 0 && d.log.Size() >= d.dopt.CheckpointBytes {
+		return true
+	}
+	return d.dopt.CheckpointInterval > 0 &&
+		d.dopt.clock()().Sub(d.lastCkpt) >= d.dopt.CheckpointInterval
 }
 
 // Checkpoint persists the operations performed since the last checkpoint as
@@ -360,6 +393,7 @@ func (d *DurableEngine) checkpointLocked() error {
 	watermark := d.log.NextSeq()
 	if d.hasChain && len(d.opsSince) == 0 && watermark == d.ckWatermark {
 		d.refreshes = 0
+		d.lastCkpt = d.dopt.clock()()
 		return nil // nothing happened since the last checkpoint
 	}
 	fp := engineFingerprint(d.opt)
@@ -422,6 +456,7 @@ func (d *DurableEngine) checkpointLocked() error {
 	d.ckWatermark = watermark
 	d.opsSince = nil
 	d.refreshes = 0
+	d.lastCkpt = d.dopt.clock()()
 	return d.log.TruncateBefore(watermark)
 }
 
@@ -464,6 +499,14 @@ func (d *DurableEngine) TopSources(k int) ([]Source, bool) { return d.eng.Load()
 // TopTriples returns the k most probable covered triples of the current
 // generation (k <= 0 means all), or false before the first Refresh.
 func (d *DurableEngine) TopTriples(k int) ([]TripleVerdict, bool) { return d.eng.Load().TopTriples(k) }
+
+// CopyDeps returns the current generation's copy-dependence list, exactly as
+// Engine.CopyDeps does. Lock-free, like the other read accessors.
+func (d *DurableEngine) CopyDeps() ([]CopyDependence, error) { return d.eng.Load().CopyDeps() }
+
+// Fused returns the current generation's fused posterior for one data item,
+// exactly as Engine.Fused does. Lock-free, like the other read accessors.
+func (d *DurableEngine) Fused(item string) (FusedItem, error) { return d.eng.Load().Fused(item) }
 
 // Stats reports the most recent Refresh, or false before the first one.
 func (d *DurableEngine) Stats() (RefreshStats, bool) { return d.eng.Load().Stats() }

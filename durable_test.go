@@ -9,6 +9,7 @@ import (
 	"reflect"
 	"sync"
 	"testing"
+	"time"
 
 	"kbt/internal/triple"
 	"kbt/internal/wal"
@@ -878,4 +879,100 @@ func TestDurableClosed(t *testing.T) {
 	if err := d.Close(); err != nil {
 		t.Fatalf("second Close: %v", err)
 	}
+}
+
+// TestDurableCheckpointInterval: the wall-clock cadence (driven here by a
+// fake clock) takes a checkpoint only once the interval has elapsed since the
+// last one, on either Ingest or Refresh, and re-anchors after each trigger.
+func TestDurableCheckpointInterval(t *testing.T) {
+	opt := durableTestOptions()
+	dir := t.TempDir()
+	now := time.Unix(1_700_000_000, 0)
+	clock := func() time.Time { return now }
+	d, err := OpenDurable(dir, opt, DurableOptions{
+		CheckpointInterval: time.Minute,
+		SegmentBytes:       256,
+		now:                clock,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	next := 0
+	ingest := func(n int) {
+		t.Helper()
+		batch := make([]Extraction, n)
+		for i := range batch {
+			batch[i] = durableExtraction(next)
+			next++
+		}
+		if err := d.Ingest(batch...); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// Inside the interval: no checkpoint, regardless of activity.
+	ingest(5)
+	if _, err := d.Refresh(); err != nil {
+		t.Fatal(err)
+	}
+	now = now.Add(59 * time.Second)
+	ingest(5)
+	if _, ok, err := wal.ReadCheckpoint(nil, dir); err != nil || ok {
+		t.Fatalf("checkpoint inside the interval: ok=%v err=%v", ok, err)
+	}
+
+	// Crossing the interval: the next Ingest both checkpoints and flushes
+	// the pending records through the implicit refresh.
+	now = now.Add(2 * time.Second)
+	ingest(5)
+	ck, ok, err := wal.ReadCheckpoint(nil, dir)
+	if err != nil || !ok {
+		t.Fatalf("no checkpoint after the interval elapsed: ok=%v err=%v", ok, err)
+	}
+	if got := len(ck.AllRecords()); got != next {
+		t.Fatalf("checkpoint covers %d records, want %d", got, next)
+	}
+	if p := d.Pending(); p != 0 {
+		t.Fatalf("%d records still pending after interval-triggered checkpoint", p)
+	}
+
+	// The trigger re-anchored the cadence: more activity inside the fresh
+	// interval stays checkpoint-free, and a Refresh past it triggers again.
+	ingest(5)
+	if _, err := d.Refresh(); err != nil {
+		t.Fatal(err)
+	}
+	ck2, ok, err := wal.ReadCheckpoint(nil, dir)
+	if err != nil || !ok {
+		t.Fatal("first checkpoint vanished")
+	}
+	if got := len(ck2.AllRecords()); got != 15 {
+		t.Fatalf("checkpoint moved inside the interval: covers %d records", got)
+	}
+	now = now.Add(61 * time.Second)
+	if _, err := d.Refresh(); err != nil {
+		t.Fatal(err)
+	}
+	ck3, ok, err := wal.ReadCheckpoint(nil, dir)
+	if err != nil || !ok {
+		t.Fatal("no second interval checkpoint")
+	}
+	if got := len(ck3.AllRecords()); got != next {
+		t.Fatalf("second checkpoint covers %d records, want %d", got, next)
+	}
+
+	live, _ := d.Current()
+	if err := d.Close(); err != nil {
+		t.Fatal(err)
+	}
+	rec, err := OpenDurable(dir, opt, DurableOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rec.Close()
+	got, ok := rec.Current()
+	if !ok {
+		t.Fatal("no recovered generation")
+	}
+	assertResultsIdentical(t, "interval-cadence", got, live)
 }

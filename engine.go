@@ -1,10 +1,25 @@
 package kbt
 
 import (
+	"errors"
+	"sort"
 	"sync/atomic"
 
 	"kbt/internal/engine"
 	"kbt/internal/triple"
+)
+
+// Sentinel errors for the lock-free generation queries (CopyDeps, Fused).
+// Servers branch on these to pick status codes, so they are part of the API.
+var (
+	// ErrNoGeneration means no Refresh has published a generation yet.
+	ErrNoGeneration = errors.New("kbt: no refresh has completed yet")
+	// ErrCopyDetectDisabled means the engine was built without CopyDetect.
+	ErrCopyDetectDisabled = errors.New("kbt: copy detection is not enabled on this engine")
+	// ErrFusionDisabled means the engine was built without Fusion.
+	ErrFusionDisabled = errors.New("kbt: fusion is not enabled on this engine")
+	// ErrUnknownItem means the queried data item is not in the fused corpus.
+	ErrUnknownItem = errors.New("kbt: unknown data item")
 )
 
 // EngineOptions configures NewEngine. Start from DefaultEngineOptions. The
@@ -53,6 +68,19 @@ type EngineOptions struct {
 	// instead of applying dirty-set deltas — the bit-exact middle point
 	// between FullRecompile and the default.
 	FullAggregates bool
+
+	// CopyDetect maintains streaming copy detection across refreshes: each
+	// generation publishes the source pairs whose shared mistakes suggest
+	// one copies the other (Engine.CopyDeps), and detected copiers' votes
+	// are discounted in the next refresh so copied content stops counting
+	// as independent corroboration — the ACCU-COPY feedback of the paper's
+	// reference [8], maintained incrementally from the touched shards only.
+	CopyDetect bool
+	// Fusion maintains the single-layer ACCU baseline (the paper's
+	// SINGLELAYER comparison) as a streaming per-item posterior store over
+	// the same extraction feed; Engine.Fused serves the fused value
+	// posterior of any data item from the current generation.
+	Fusion bool
 }
 
 // DefaultEngineOptions mirrors DefaultOptions at website granularity.
@@ -149,9 +177,10 @@ func (e *Engine) wrap(r *engine.Result) *Result {
 		return cached
 	}
 	w := &Result{
-		snap: r.Snapshot,
-		res:  r.Inference,
-		opt:  Options{MinReportableTriples: e.opt.MinReportableTriples},
+		snap:     r.Snapshot,
+		res:      r.Inference,
+		opt:      Options{MinReportableTriples: e.opt.MinReportableTriples},
+		copyDeps: r.CopyDeps,
 	}
 	// Install only if the cache still holds what we loaded: a reader that
 	// raced a Refresh must not evict the newer generation's wrapper (and
@@ -195,6 +224,117 @@ func (e *Engine) TopTriples(k int) ([]TripleVerdict, bool) {
 	return r.TopTriples(k), true
 }
 
+// CopyDeps returns the current generation's copy-dependence list, strongest
+// first — the streaming counterpart of Result.DetectCopying, maintained
+// incrementally across refreshes instead of recomputed from the corpus. The
+// read is lock-free (a single atomic generation load plus a memoized
+// conversion shared by every reader of the generation). Returns
+// ErrCopyDetectDisabled when the engine was built without CopyDetect, and
+// ErrNoGeneration before the first Refresh.
+func (e *Engine) CopyDeps() ([]CopyDependence, error) {
+	if !e.opt.CopyDetect {
+		return nil, ErrCopyDetectDisabled
+	}
+	r := e.eng.Last()
+	if r == nil {
+		return nil, ErrNoGeneration
+	}
+	w := e.wrap(r)
+	w.copyOnce.Do(func() {
+		out := make([]CopyDependence, len(w.copyDeps))
+		for i, d := range w.copyDeps {
+			out[i] = CopyDependence{
+				SourceA:    displayLabel(r.Snapshot.Sources[d.A]),
+				SourceB:    displayLabel(r.Snapshot.Sources[d.B]),
+				Posterior:  d.Posterior,
+				SharedTrue: d.SharedTrue, SharedFalse: d.SharedFalse, Differ: d.Differ,
+			}
+		}
+		w.copyView = out
+	})
+	return w.copyView, nil
+}
+
+// FusedValue is one candidate value of a fused data item.
+type FusedValue struct {
+	Object      string
+	Probability float64
+}
+
+// FusedItem is the single-layer fused posterior of one data item: the
+// candidate values most probable first, the probability mass left on
+// unobserved domain values, and whether any participating provenance covered
+// the item at all.
+type FusedItem struct {
+	Subject, Predicate string
+	Values             []FusedValue
+	RestMass           float64
+	Covered            bool
+}
+
+// Fused returns the current generation's fused posterior for one data item,
+// identified as "subject|predicate" (the display form used throughout the
+// API). The read is lock-free against concurrent refreshes. Returns
+// ErrFusionDisabled when the engine was built without Fusion,
+// ErrNoGeneration before the first Refresh, and ErrUnknownItem when no such
+// item exists in the fused corpus.
+func (e *Engine) Fused(item string) (FusedItem, error) {
+	if !e.opt.Fusion {
+		return FusedItem{}, ErrFusionDisabled
+	}
+	r := e.eng.Last()
+	if r == nil || r.Fusion == nil || r.FusionSnap == nil {
+		return FusedItem{}, ErrNoGeneration
+	}
+	snap, fres := r.FusionSnap, r.Fusion
+	d := resolveItem(snap, item)
+	if d < 0 {
+		return FusedItem{}, ErrUnknownItem
+	}
+	subj, pred := splitItem(snap.Items[d])
+	out := FusedItem{
+		Subject:   subj,
+		Predicate: pred,
+		RestMass:  fres.RestMass[d],
+		Covered:   fres.CoveredItem[d],
+		Values:    make([]FusedValue, 0, len(snap.ItemValues[d])),
+	}
+	for k, v := range snap.ItemValues[d] {
+		out.Values = append(out.Values, FusedValue{
+			Object:      snap.Values[v],
+			Probability: fres.ValueProb[d][k],
+		})
+	}
+	sort.Slice(out.Values, func(i, j int) bool {
+		if out.Values[i].Probability != out.Values[j].Probability {
+			return out.Values[i].Probability > out.Values[j].Probability
+		}
+		return out.Values[i].Object < out.Values[j].Object
+	})
+	return out, nil
+}
+
+// resolveItem maps an item label to its dense id: first the internal
+// subject\x1fpredicate form, then every "|" reading of the display form
+// (each probe is an O(1) interning lookup, so even pathological labels with
+// many '|' characters stay cheap).
+func resolveItem(snap *triple.Snapshot, item string) int {
+	if subj, pred := splitItem(item); pred != "" {
+		if d := snap.ItemID(subj, pred); d >= 0 {
+			return d
+		}
+	}
+	for i := 0; i < len(item); i++ {
+		if item[i] != '|' {
+			continue
+		}
+		if d := snap.ItemID(item[:i], item[i+1:]); d >= 0 {
+			return d
+		}
+	}
+	return -1
+}
+
 // RefreshStats describes the work the most recent Refresh performed.
 type RefreshStats struct {
 	// Warm reports whether the refresh reused the previous posteriors.
@@ -230,6 +370,11 @@ type RefreshStats struct {
 	// respectively re-aggregated over the corpus (both zero under
 	// FullRecompile / FullAggregates).
 	AggDeltaSteps, AggFullSteps int
+	// CopyPairs is the number of copy dependencies the generation publishes
+	// (zero when CopyDetect is off). FusedItems / FusionIterations report
+	// the fusion work of the refresh: distinct items re-fused and fusion EM
+	// iterations run (zero when Fusion is off, and on a NoOp refresh).
+	CopyPairs, FusedItems, FusionIterations int
 }
 
 // Stats reports the most recent Refresh, or false before the first one.
@@ -239,16 +384,19 @@ func (e *Engine) Stats() (RefreshStats, bool) {
 		return RefreshStats{}, false
 	}
 	return RefreshStats{
-		Warm:            r.Warm,
-		Extended:        r.Extended,
-		NoOp:            r.NoOp,
-		FirstPassShards: r.FirstPassShards,
-		TotalShards:     r.TotalShards,
-		SettledShards:   r.SettledShards,
-		Escalations:     r.Escalations,
-		Iterations:      r.Inference.Iterations,
-		Converged:       r.Inference.Converged,
-		AggDeltaSteps:   r.AggDeltaSteps,
-		AggFullSteps:    r.AggFullSteps,
+		Warm:             r.Warm,
+		Extended:         r.Extended,
+		NoOp:             r.NoOp,
+		FirstPassShards:  r.FirstPassShards,
+		TotalShards:      r.TotalShards,
+		SettledShards:    r.SettledShards,
+		Escalations:      r.Escalations,
+		Iterations:       r.Inference.Iterations,
+		Converged:        r.Inference.Converged,
+		AggDeltaSteps:    r.AggDeltaSteps,
+		AggFullSteps:     r.AggFullSteps,
+		CopyPairs:        r.CopyPairs,
+		FusedItems:       r.FusedItems,
+		FusionIterations: r.FusionIterations,
 	}, true
 }

@@ -1,8 +1,13 @@
 // Fusion: knowledge fusion on conflicting claims — the single-layer
-// baseline versus the multi-layer model. A noisy extractor floods two good
-// sites with hallucinated values. The single-layer model, which cannot
-// tell a bad page from a bad extractor, loses confidence in those sites'
-// facts; the multi-layer model blames the extractor and keeps the facts.
+// baseline versus the multi-layer model, both served live from one
+// streaming engine. A noisy extractor floods two good sites with
+// hallucinated values. The single-layer model, which cannot tell a bad
+// page from a bad extractor, loses confidence in those sites' facts; the
+// multi-layer model blames the extractor and keeps the facts.
+//
+// The engine maintains both layers incrementally: each Refresh re-fuses
+// only the items the new evidence moved, and Fused serves the single-layer
+// posterior of any item from the current generation, lock-free.
 //
 // Run with:
 //
@@ -17,7 +22,15 @@ import (
 )
 
 func main() {
-	ds := kbt.NewDataset()
+	opt := kbt.DefaultEngineOptions()
+	opt.MinSupport = 1
+	opt.MinReportableTriples = 3
+	opt.Fusion = true // maintain the single-layer baseline alongside
+	eng, err := kbt.NewEngine(opt)
+	if err != nil {
+		log.Fatal(err)
+	}
+
 	sites := []string{"alpha.org", "beta.org", "gamma.org", "delta.org"}
 	facts := map[string]string{
 		"Mount Everest": "8849",
@@ -28,12 +41,13 @@ func main() {
 		"Cho Oyu":       "8188",
 	}
 
-	// Two reliable extractors read every site; every site states the
-	// correct heights.
+	// First wave: two reliable extractors read every site; every site
+	// states the correct heights.
+	var wave []kbt.Extraction
 	for _, site := range sites {
 		for peak, height := range facts {
 			for _, e := range []string{"tables-v2", "infobox-v1"} {
-				ds.Add(kbt.Extraction{
+				wave = append(wave, kbt.Extraction{
 					Extractor: e, Pattern: "height",
 					Website: site, Page: site + "/peaks",
 					Subject: peak, Predicate: "elevation_m", Object: height,
@@ -41,52 +55,64 @@ func main() {
 			}
 		}
 	}
-	// One site is sloppy: it gets two heights wrong.
-	for _, e := range []string{"tables-v2", "infobox-v1"} {
-		ds.Add(kbt.Extraction{Extractor: e, Pattern: "height",
-			Website: "sloppy.net", Page: "sloppy.net/peaks",
-			Subject: "Mount Everest", Predicate: "elevation_m", Object: "8848"})
-		ds.Add(kbt.Extraction{Extractor: e, Pattern: "height",
-			Website: "sloppy.net", Page: "sloppy.net/peaks",
-			Subject: "K2", Predicate: "elevation_m", Object: "8611"})
-		ds.Add(kbt.Extraction{Extractor: e, Pattern: "height",
-			Website: "sloppy.net", Page: "sloppy.net/peaks",
-			Subject: "Lhotse", Predicate: "elevation_m", Object: "8511"})
+	if err := eng.Ingest(wave...); err != nil {
+		log.Fatal(err)
 	}
-	// A buggy regex extractor hallucinates heights on alpha and beta only.
+	if _, err := eng.Refresh(); err != nil {
+		log.Fatal(err)
+	}
+
+	// Second wave arrives later: a sloppy site with two wrong heights, and
+	// a buggy regex extractor hallucinating on alpha and beta only. The
+	// refresh extends the first generation incrementally — only the shards
+	// and fused items this evidence touches are re-estimated.
+	wave = wave[:0]
+	for _, e := range []string{"tables-v2", "infobox-v1"} {
+		wave = append(wave,
+			kbt.Extraction{Extractor: e, Pattern: "height",
+				Website: "sloppy.net", Page: "sloppy.net/peaks",
+				Subject: "Mount Everest", Predicate: "elevation_m", Object: "8848"},
+			kbt.Extraction{Extractor: e, Pattern: "height",
+				Website: "sloppy.net", Page: "sloppy.net/peaks",
+				Subject: "K2", Predicate: "elevation_m", Object: "8611"},
+			kbt.Extraction{Extractor: e, Pattern: "height",
+				Website: "sloppy.net", Page: "sloppy.net/peaks",
+				Subject: "Lhotse", Predicate: "elevation_m", Object: "8511"})
+	}
 	for _, site := range sites[:2] {
 		for peak := range facts {
-			ds.Add(kbt.Extraction{
+			wave = append(wave, kbt.Extraction{
 				Extractor: "regex-v0", Pattern: "height",
 				Website: site, Page: site + "/peaks",
 				Subject: peak, Predicate: "elevation_m", Object: "9999",
 			})
 		}
 	}
-
-	multiOpt := kbt.DefaultOptions()
-	multiOpt.Granularity = kbt.GranularityWebsite
-	multiOpt.MinSupport = 1
-	multiOpt.MinReportableTriples = 3
-	multi, err := kbt.EstimateKBT(ds, multiOpt)
+	if err := eng.Ingest(wave...); err != nil {
+		log.Fatal(err)
+	}
+	multi, err := eng.Refresh()
 	if err != nil {
 		log.Fatal(err)
 	}
-
-	singleOpt := kbt.DefaultFusionOptions()
-	singleOpt.MinSupport = 1
-	single, err := kbt.FuseSingleLayer(ds, singleOpt)
-	if err != nil {
-		log.Fatal(err)
+	if stats, ok := eng.Stats(); ok {
+		fmt.Printf("refresh: %d/%d shards touched, %d items re-fused\n\n",
+			stats.FirstPassShards, stats.TotalShards, stats.FusedItems)
 	}
 
 	fmt.Println("Belief in the true Everest height (8849) vs the hallucinated 9999:")
 	mTrue, _ := multi.TripleProbability("Mount Everest", "elevation_m", "8849")
 	mFake, _ := multi.TripleProbability("Mount Everest", "elevation_m", "9999")
-	sTrue, _ := single.TripleProbability("Mount Everest", "elevation_m", "8849")
-	sFake, _ := single.TripleProbability("Mount Everest", "elevation_m", "9999")
+	everest, err := eng.Fused("Mount Everest|elevation_m")
+	if err != nil {
+		log.Fatal(err)
+	}
 	fmt.Printf("  multi-layer : p(8849)=%.3f  p(9999)=%.3f\n", mTrue, mFake)
-	fmt.Printf("  single-layer: p(8849)=%.3f  p(9999)=%.3f\n", sTrue, sFake)
+	fmt.Print("  single-layer:")
+	for _, v := range everest.Values {
+		fmt.Printf(" p(%s)=%.3f", v.Object, v.Probability)
+	}
+	fmt.Println()
 
 	fmt.Println("\nSource trust under the multi-layer model:")
 	for _, s := range multi.Sources() {
@@ -98,12 +124,8 @@ func main() {
 		fmt.Printf("  %-12s precision=%.3f recall=%.3f\n", e.Name, e.Precision, e.Recall)
 	}
 
-	fmt.Println("\nApparent accuracy under the single-layer baseline:")
-	acc := single.WebsiteAccuracy()
-	for _, site := range append(sites, "sloppy.net") {
-		fmt.Printf("  %-12s accuracy=%.3f\n", site, acc[site])
-	}
 	fmt.Println("\nThe single-layer baseline cannot tell a bad page from a bad extractor:")
-	fmt.Println("regex-v0's junk drags down alpha.org and beta.org. The multi-layer")
-	fmt.Println("model pins the 9999 values on regex-v0, so those sites keep their trust.")
+	fmt.Println("regex-v0's junk competes head-on with the true heights in the fused")
+	fmt.Println("posterior. The multi-layer model pins the 9999 values on regex-v0,")
+	fmt.Println("so alpha.org and beta.org keep their trust.")
 }

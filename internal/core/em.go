@@ -2,6 +2,7 @@ package core
 
 import (
 	"errors"
+	"math"
 
 	"kbt/internal/triple"
 )
@@ -191,6 +192,62 @@ func (em *EM) A() []float64 { return em.st.a }
 func (em *EM) P() []float64 { return em.st.p }
 func (em *EM) R() []float64 { return em.st.r }
 func (em *EM) Q() []float64 { return em.st.q }
+
+// SetSourceVoteWeights installs per-source multipliers applied to the Stage
+// II vote weight (SourceVote) — the copy-adjusted discounting hook: the
+// engine derates a detected copier's votes by 1 − c·p(dependent) so copied
+// mistakes stop reinforcing the original's values. nil (the initial state)
+// means all-ones and keeps the hot loop untouched; a shorter slice pads the
+// tail with 1 (new sources start undiscounted). Every changed weight charges
+// its movement to the staleness ledger, so the shards reading that source
+// re-estimate under the usual Tol contract at the next pass.
+func (em *EM) SetSourceVoteWeights(weights []float64) {
+	st := em.st
+	if st.voteWeight == nil {
+		if weights == nil {
+			return
+		}
+		st.voteWeight = make([]float64, len(st.a))
+		for w := range st.voteWeight {
+			st.voteWeight[w] = 1
+		}
+	}
+	led := st.ledger
+	for w := range st.voteWeight {
+		nw := 1.0
+		if w < len(weights) {
+			nw = weights[w]
+		}
+		if d := math.Abs(nw - st.voteWeight[w]); d != 0 {
+			if led != nil {
+				led.srcDrift[w] += d
+			}
+			st.voteWeight[w] = nw
+		}
+	}
+}
+
+// SourceVoteWeights returns the live vote-weight slice (nil when no weights
+// were ever set — all-ones). Read-only.
+func (em *EM) SourceVoteWeights() []float64 { return em.st.voteWeight }
+
+// CarrySourceVoteWeightsFrom copies prev's vote weights by dense-id prefix
+// without charging the ledger — the FullRecompile path's counterpart of the
+// weight state NewEMFrom carries in place, paired with CarryStalenessFrom so
+// both construction paths make identical discounting and settling decisions.
+func (em *EM) CarrySourceVoteWeightsFrom(prev *EM) {
+	old := prev.st.voteWeight
+	if old == nil {
+		em.st.voteWeight = nil
+		return
+	}
+	st := em.st
+	st.voteWeight = make([]float64, len(st.a))
+	for w := range st.voteWeight {
+		st.voteWeight[w] = 1
+	}
+	copy(st.voteWeight, old)
+}
 
 // PriorLogOdds returns the live per-candidate-triple prior log odds. A warm
 // start seeds entries from a previous run's posterior before iterating.

@@ -140,6 +140,9 @@ func extendState(st *state, s *triple.Snapshot, opt Options, d triple.Delta) {
 	st.ab = grow(st.ab, nExt, 0)
 	st.voteDelta = grow(st.voteDelta, nExt, 0)
 	st.srcVote = grow(st.srcVote, nSrc, 0)
+	if st.voteWeight != nil {
+		st.voteWeight = grow(st.voteWeight, nSrc, 1)
+	}
 
 	// Effective confidences for the new observations; raises are handled
 	// below once the aggregate arrays have grown.

@@ -297,6 +297,11 @@ type state struct {
 	// srcVote[w] caches SourceVote(a[w], N) per iteration, so Stage II reads
 	// two floats per triple instead of computing two logarithms.
 	srcVote []float64
+	// voteWeight, when non-nil, multiplies each source's Stage II vote — the
+	// copy-adjusted discounting hook (EM.SetSourceVoteWeights): a detected
+	// copier's weight drops below 1 so its echoed votes stop reinforcing the
+	// original's values. nil means all-ones and costs nothing per iteration.
+	voteWeight []float64
 
 	alphaLO []float64 // per candidate triple: log odds of p(C=1) prior
 
@@ -636,6 +641,11 @@ func (st *state) prepareVotes(refreshVotes bool) {
 	}
 	for w := range st.srcVote {
 		st.srcVote[w] = SourceVote(st.a[w], st.opt.N)
+	}
+	if st.voteWeight != nil {
+		for w := range st.srcVote {
+			st.srcVote[w] *= st.voteWeight[w]
+		}
 	}
 	if !refreshVotes && !st.absenceStale {
 		// Frozen (or selectively adjusted) votes over an unchanged

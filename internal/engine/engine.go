@@ -44,10 +44,13 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"sort"
 	"sync"
 	"sync/atomic"
 
+	"kbt/internal/copydetect"
 	"kbt/internal/core"
+	"kbt/internal/fusion"
 	"kbt/internal/parallel"
 	"kbt/internal/triple"
 )
@@ -84,6 +87,39 @@ type Options struct {
 	// while the delta aggregates trade ~1e-12 of reaggregation drift for
 	// O(dirty) M-steps.
 	FullAggregates bool
+
+	// CopyDetect maintains streaming inter-source copy statistics: after
+	// every refresh, the per-pair shared-value counts of the touched shards
+	// are recomputed and folded into a persistent tracker, and the resulting
+	// dependence list publishes with the generation (Result.CopyDeps) —
+	// integer-exactly what a batch copydetect.Detect over the published
+	// evidence would count. Under FullRecompile the batch Detect itself runs
+	// every refresh (the bit-exact oracle).
+	CopyDetect bool
+	// Copy configures the detector; the zero value means
+	// copydetect.DefaultOptions().
+	Copy copydetect.Options
+	// CopyDiscount feeds the detected dependencies back into the E-step:
+	// the less-accurate member of each dependent pair keeps only the
+	// independent share 1 − CopyRate·p(dependent) of its Stage II vote, so
+	// copied mistakes stop counting as corroboration. The weight movement is
+	// charged to the staleness ledger (the discounted source's shards
+	// re-estimate at the next refresh under the usual Tol contract), and a
+	// refresh whose discounts moved by ≥ Tol publishes unconverged so the
+	// feedback settles instead of being frozen by the NoOp shortcut.
+	// Implies CopyDetect.
+	CopyDiscount bool
+	// Fusion maintains the paper's single-layer fusion baseline (§2.2) as a
+	// streaming per-item posterior store over the same record feed, at
+	// provenance granularity: each refresh re-fuses only the items the
+	// ingest touched plus those whose provenance accuracies drifted beyond
+	// the fusion Tol (fusion.Incremental). The fused posteriors publish with
+	// the generation (Result.Fusion / Result.FusionSnap).
+	Fusion bool
+	// Fuse configures fusion; a zero N means fusion.DefaultOptions(). Under
+	// FullRecompile or FullAggregates the store runs with full M-step
+	// aggregation — the fusion oracle mode.
+	Fuse fusion.Options
 }
 
 // DefaultOptions returns the engine defaults: 8 shards, website sources,
@@ -132,6 +168,20 @@ type Result struct {
 	// deltas respectively re-aggregated in full (both zero when incremental
 	// aggregates are disabled).
 	AggDeltaSteps, AggFullSteps int
+	// CopyDeps is the generation's copy-dependence list, strongest-first,
+	// scored against this generation's posteriors and accuracies (nil unless
+	// Options.CopyDetect). CopyPairs = len(CopyDeps).
+	CopyDeps  []copydetect.Dependence
+	CopyPairs int
+	// Fusion / FusionSnap are the generation's single-layer fused posteriors
+	// and the provenance-granularity snapshot its dense ids resolve against
+	// (nil unless Options.Fusion). FusedItems counts the items this refresh
+	// re-fused; FusionIterations its fusion EM iterations (both zero on a
+	// NoOp refresh, which carries the previous fusion generation unchanged).
+	Fusion           *fusion.Result
+	FusionSnap       *triple.Snapshot
+	FusedItems       int
+	FusionIterations int
 }
 
 // Engine accumulates extraction records and re-estimates KBT incrementally.
@@ -175,6 +225,14 @@ type Engine struct {
 	// and the publication benchmarks).
 	lastTouched []bool
 
+	// tracker persists the streaming copy-detection statistics across
+	// refreshes (nil unless CopyDetect, and nil under FullRecompile, where
+	// the batch Detect runs instead). fus persists the streaming fusion
+	// store (nil unless Fusion). Both are written only by Refresh under
+	// refreshMu.
+	tracker *copydetect.Tracker
+	fus     *fusion.Incremental
+
 	// last is the published generation, swapped atomically so readers never
 	// block a running Refresh and Refresh never waits for readers. Each
 	// Result is immutable once stored; generations share untouched posterior
@@ -193,6 +251,20 @@ func New(opt Options) *Engine {
 	}
 	if opt.ExtractorKey == nil {
 		opt.ExtractorKey = triple.ExtractorKeyName
+	}
+	if opt.CopyDiscount {
+		opt.CopyDetect = true
+	}
+	if opt.CopyDetect && opt.Copy == (copydetect.Options{}) {
+		opt.Copy = copydetect.DefaultOptions()
+	}
+	if opt.Fusion {
+		if opt.Fuse.N == 0 {
+			opt.Fuse = fusion.DefaultOptions()
+		}
+		if opt.FullRecompile || opt.FullAggregates {
+			opt.Fuse.FullAggregates = true
+		}
 	}
 	return &Engine{opt: opt, ds: triple.NewDataset()}
 }
@@ -332,6 +404,13 @@ func (e *Engine) Refresh() (*Result, error) {
 			FirstPassShards: 0,
 			TotalShards:     last.TotalShards,
 			SettledShards:   last.TotalShards,
+			// The evidence is unchanged, so the copy and fusion layers carry
+			// over whole: same dependence list, same fused generation, with
+			// the work counters reporting that nothing ran.
+			CopyDeps:   last.CopyDeps,
+			CopyPairs:  len(last.CopyDeps),
+			Fusion:     last.Fusion,
+			FusionSnap: last.FusionSnap,
 		}
 		e.last.Store(res)
 		e.mu.Unlock()
@@ -614,6 +693,87 @@ func (e *Engine) Refresh() (*Result, error) {
 			touchedCount++
 		}
 	}
+
+	// Copy detection runs against exactly the posteriors this generation
+	// publishes: fold the touched shards' statistic deltas into the tracker
+	// (the untouched shards' evidence is bit-identical to the previous
+	// publication, so their cached counts still hold), then score. Under
+	// FullRecompile the batch detector recounts the corpus instead — the
+	// bit-exact oracle for the tracker path.
+	var copyDeps []copydetect.Dependence
+	if e.opt.CopyDetect {
+		ev := copydetect.Evidence{
+			ValueProb: func(d, v int) float64 {
+				vs := snap.ItemValues[d]
+				if k := sort.SearchInts(vs, v); k < len(vs) && vs[k] == v {
+					return valueProb[d][k]
+				}
+				return 0
+			},
+			Accuracy: func(w int) float64 { return em.A()[w] },
+			Provides: func(ti int) bool { return cProb[ti] >= 0.5 },
+		}
+		if e.opt.FullRecompile {
+			copyDeps, err = copydetect.Detect(snap, ev, e.opt.Copy)
+			if err != nil {
+				return nil, err
+			}
+		} else {
+			if e.tracker == nil {
+				if e.tracker, err = copydetect.NewTracker(e.opt.Copy, len(shards)); err != nil {
+					return nil, err
+				}
+			}
+			dirtyIdx := make([]int, 0, touchedCount)
+			for si, hit := range touched {
+				if hit {
+					dirtyIdx = append(dirtyIdx, si)
+				}
+			}
+			e.tracker.Update(snap, ev, shards, dirtyIdx)
+			copyDeps = e.tracker.Dependencies(ev.Accuracy)
+		}
+		if e.opt.CopyDiscount {
+			// Feed the dependencies back as Stage II vote discounts. The
+			// ledger charges each source's weight movement to its shards, and
+			// a movement of ≥ Tol anywhere revokes convergence: the published
+			// posteriors predate the new weights, so the NoOp shortcut must
+			// not freeze them — the next Refresh re-estimates the charged
+			// shards under the updated discounts until the feedback settles.
+			em.SetSourceVoteWeights(copyWeights(len(snap.Sources), copyDeps, em.A(), e.opt.Copy.CopyRate))
+			if converged {
+				seedMark(mark, nil)
+				if em.MarkStale(copt.Tol, mark) > 0 {
+					converged = false
+				}
+			}
+		}
+	}
+
+	// The fusion store refreshes off the same record feed but owns its
+	// provenance-granularity snapshot chain and drift ledger — it reads
+	// nothing from the multi-layer state, so its output is exactly what the
+	// standalone streaming store would publish for this corpus.
+	var fusRes *fusion.Result
+	var fusSnap *triple.Snapshot
+	fusedItems, fusIters := 0, 0
+	if e.opt.Fusion {
+		if e.fus == nil {
+			fopt := e.opt.Fuse
+			if fopt.Workers == 0 {
+				fopt.Workers = e.workers()
+			}
+			if e.fus, err = fusion.NewIncremental(fopt, triple.CompileOptions{}); err != nil {
+				return nil, err
+			}
+		}
+		if fusRes, err = e.fus.Refresh(records, pending); err != nil {
+			return nil, err
+		}
+		fusSnap = e.fus.Snapshot()
+		fusedItems = e.fus.FusedLast()
+		fusIters = fusRes.Iterations
+	}
 	// Publish the new generation by copy-on-write against the previous one:
 	// only the touched shards' posterior chunks are copied out of the
 	// working arrays; everything else is shared. The Extend path is what
@@ -628,17 +788,23 @@ func (e *Engine) Refresh() (*Result, error) {
 	}
 	aggDelta, aggFull := em.AggStepCounts()
 	res := &Result{
-		Snapshot:        snap,
-		Inference:       em.BuildResultFrom(prevInf, shards, touched, cProb, valueProb, restMass, coveredItem, iter, converged),
-		Warm:            warm,
-		Extended:        extended,
-		FirstPassShards: firstPass,
-		TotalShards:     len(shards),
-		TouchedShards:   touchedCount,
-		SettledShards:   len(shards) - touchedCount,
-		Escalations:     escalations,
-		AggDeltaSteps:   aggDelta - aggDelta0,
-		AggFullSteps:    aggFull - aggFull0,
+		Snapshot:         snap,
+		Inference:        em.BuildResultFrom(prevInf, shards, touched, cProb, valueProb, restMass, coveredItem, iter, converged),
+		Warm:             warm,
+		Extended:         extended,
+		FirstPassShards:  firstPass,
+		TotalShards:      len(shards),
+		TouchedShards:    touchedCount,
+		SettledShards:    len(shards) - touchedCount,
+		Escalations:      escalations,
+		AggDeltaSteps:    aggDelta - aggDelta0,
+		AggFullSteps:     aggFull - aggFull0,
+		CopyDeps:         copyDeps,
+		CopyPairs:        len(copyDeps),
+		Fusion:           fusRes,
+		FusionSnap:       fusSnap,
+		FusedItems:       fusedItems,
+		FusionIterations: fusIters,
 	}
 
 	// Publish and persist for the next warm start. The inclusion masks are
@@ -776,6 +942,7 @@ func (e *Engine) carryOver(em *core.EM, snap, prev *triple.Snapshot, cProb []flo
 	copy(em.Q(), prevEM.Q())
 	em.CarryVotesFrom(prevEM)
 	em.CarryStalenessFrom(prevEM)
+	em.CarrySourceVoteWeightsFrom(prevEM)
 
 	lo := em.PriorLogOdds()
 	clo := em.CLogOdds()
@@ -912,4 +1079,25 @@ func allShards(n int) []int {
 		out[i] = i
 	}
 	return out
+}
+
+// copyWeights derives the Stage II vote discounts from the dependence list.
+// ACCU-COPY's orientation heuristic: within a dependent pair the member with
+// the lower estimated accuracy is the likely copier (ties break to the
+// higher dense id — the later-arriving source) and keeps only the
+// independent share 1 − copyRate·p(dependent) of its vote, compounding over
+// all of its dependencies. Sources in no dependence keep weight 1.
+func copyWeights(nSrc int, deps []copydetect.Dependence, a []float64, copyRate float64) []float64 {
+	w := make([]float64, nSrc)
+	for i := range w {
+		w[i] = 1
+	}
+	for _, dep := range deps {
+		copier := dep.B
+		if a[dep.A] < a[dep.B] {
+			copier = dep.A
+		}
+		w[copier] *= 1 - copyRate*dep.Posterior
+	}
+	return w
 }

@@ -56,6 +56,18 @@ type Options struct {
 	UseConfidence bool
 	// Workers is the parallelism (0 = GOMAXPROCS).
 	Workers int
+
+	// ReaggregateEvery bounds floating-point drift on the streaming path:
+	// after this many consecutive partial (delta-maintained) M-steps,
+	// Incremental re-aggregates the accuracy sufficient statistics in full
+	// (0 means 64). Ignored by Run, whose every M-step is a full aggregation.
+	ReaggregateEvery int
+	// FullAggregates forces Incremental to re-aggregate every M-step in
+	// full instead of maintaining the per-source numerators/denominators by
+	// per-item contribution deltas — the batch-equivalent oracle the delta
+	// path is pinned against (≤1e-9), mirroring engine.Options.FullAggregates.
+	// Ignored by Run.
+	FullAggregates bool
 }
 
 // DefaultOptions mirrors the paper's single-layer settings.

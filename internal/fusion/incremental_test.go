@@ -1,0 +1,187 @@
+package fusion
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"kbt/internal/triple"
+)
+
+// fusionStream builds a random extraction corpus with overlapping
+// provenances, conflicting values, duplicate cells with raised confidences,
+// and provenances sparse enough to cross MinSupport mid-stream.
+func fusionStream(rng *rand.Rand, n int) []triple.Record {
+	nSites := rng.Intn(5) + 3
+	nExts := rng.Intn(3) + 2
+	nSubj := rng.Intn(8) + 4
+	nObj := rng.Intn(4) + 2
+	recs := make([]triple.Record, 0, n)
+	for i := 0; i < n; i++ {
+		r := triple.Record{
+			Extractor: fmt.Sprintf("E%d", rng.Intn(nExts)),
+			Pattern:   fmt.Sprintf("pat%d", rng.Intn(2)),
+			Website:   fmt.Sprintf("w%d.com", rng.Intn(nSites)),
+			Subject:   fmt.Sprintf("S%d", rng.Intn(nSubj)),
+			Predicate: "p",
+			Object:    fmt.Sprintf("v%d", rng.Intn(nObj)),
+		}
+		r.Page = r.Website + "/x"
+		if rng.Intn(3) != 0 {
+			r.Confidence = float64(rng.Intn(20)+1) / 20
+		}
+		recs = append(recs, r)
+	}
+	return recs
+}
+
+func fusionVariant(trial int) Options {
+	opt := DefaultOptions()
+	opt.MaxIter = trial%4 + 2
+	opt.MinSupport = trial%3 + 1
+	if trial%2 == 1 {
+		opt.Model = PopAccu
+	}
+	if trial%3 == 2 {
+		opt.UseConfidence = false
+	}
+	return opt
+}
+
+// TestIncrementalColdMatchesRun pins the streaming store's first Refresh to
+// the batch Run bit for bit: a cold refresh is a full pass with full
+// aggregation, so every float must be identical, across models, confidence
+// weighting, and support thresholds.
+func TestIncrementalColdMatchesRun(t *testing.T) {
+	for trial := 0; trial < 8; trial++ {
+		rng := rand.New(rand.NewSource(int64(400 + trial)))
+		recs := fusionStream(rng, rng.Intn(150)+50)
+		opt := fusionVariant(trial)
+
+		inc, err := NewIncremental(opt, triple.CompileOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := inc.Refresh(recs, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		snap := (&triple.Dataset{Records: recs}).Compile(triple.CompileOptions{
+			SourceKey:    triple.ProvenanceKey,
+			ExtractorKey: triple.ExtractorKeyName,
+		})
+		want, err := Run(snap, opt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("trial %d: cold Refresh diverges from Run\n got  %+v\n want %+v", trial, got, want)
+		}
+		if inc.FusedLast() != len(snap.Items) {
+			t.Fatalf("trial %d: cold refresh fused %d items, want all %d", trial, inc.FusedLast(), len(snap.Items))
+		}
+	}
+}
+
+// TestFuzzIncrementalMatchesFullAggregates drives randomized ingest schedules
+// through the delta-maintained store and its full-aggregation oracle twin.
+// The two run the identical partial-pass structure — only the M-step
+// aggregation differs — so accuracies and posteriors must agree to 1e-9 and
+// every discrete decision (participation, coverage, iteration count) must be
+// identical.
+func TestFuzzIncrementalMatchesFullAggregates(t *testing.T) {
+	const tol = 1e-9
+	for trial := 0; trial < 12; trial++ {
+		rng := rand.New(rand.NewSource(int64(900 + trial)))
+		opt := fusionVariant(trial)
+		opt.ReaggregateEvery = rng.Intn(5) + 2
+
+		fast, err := NewIncremental(opt, triple.CompileOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		oracleOpt := opt
+		oracleOpt.FullAggregates = true
+		oracle, err := NewIncremental(oracleOpt, triple.CompileOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		recs := fusionStream(rng, rng.Intn(180)+60)
+		var all []triple.Record
+		start := 0
+		step := 0
+		for start < len(recs) {
+			var batch []triple.Record
+			switch rng.Intn(5) {
+			case 0:
+				// Resume refresh: nothing new.
+			case 1:
+				// Duplicate-cell nudge: re-ingest absorbed records.
+				if start > 0 {
+					k := min(rng.Intn(3)+1, start)
+					batch = recs[start-k : start]
+				}
+			case 2, 3:
+				n := min(rng.Intn(6)+1, len(recs)-start)
+				batch = recs[start : start+n]
+				start += n
+			default:
+				n := rng.Intn(len(recs)-start) + 1
+				batch = recs[start : start+n]
+				start += n
+			}
+			all = append(all, batch...)
+			if len(all) == 0 {
+				continue
+			}
+			got, err := fast.Refresh(all, batch)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want, err := oracle.Refresh(all, batch)
+			if err != nil {
+				t.Fatal(err)
+			}
+			tag := fmt.Sprintf("trial %d step %d (model=%d minsup=%d reagg=%d)",
+				trial, step, opt.Model, opt.MinSupport, opt.ReaggregateEvery)
+			step++
+
+			if !reflect.DeepEqual(got.Updated, want.Updated) {
+				t.Fatalf("%s: participation diverges", tag)
+			}
+			if !reflect.DeepEqual(got.CoveredItem, want.CoveredItem) {
+				t.Fatalf("%s: coverage diverges", tag)
+			}
+			if got.Iterations != want.Iterations {
+				t.Fatalf("%s: iterations = %d, oracle %d", tag, got.Iterations, want.Iterations)
+			}
+			if d := maxAbsDiff(got.Accuracy, want.Accuracy); d > tol {
+				t.Fatalf("%s: accuracy diverges: max |Δ| = %g", tag, d)
+			}
+			if d := maxAbsDiff(got.RestMass, want.RestMass); d > tol {
+				t.Fatalf("%s: rest mass diverges: max |Δ| = %g", tag, d)
+			}
+			for d := range got.ValueProb {
+				if diff := maxAbsDiff(got.ValueProb[d], want.ValueProb[d]); diff > tol {
+					t.Fatalf("%s: value posterior of item %d diverges: max |Δ| = %g", tag, d, diff)
+				}
+			}
+		}
+	}
+}
+
+func maxAbsDiff(a, b []float64) float64 {
+	if len(a) != len(b) {
+		return math.Inf(1)
+	}
+	d := 0.0
+	for i := range a {
+		if dd := math.Abs(a[i] - b[i]); dd > d {
+			d = dd
+		}
+	}
+	return d
+}

@@ -33,6 +33,8 @@ type Engine interface {
 	Current() (*kbt.Result, bool)
 	TopSources(k int) ([]kbt.Source, bool)
 	TopTriples(k int) ([]kbt.TripleVerdict, bool)
+	CopyDeps() ([]kbt.CopyDependence, error)
+	Fused(item string) (kbt.FusedItem, error)
 	Stats() (kbt.RefreshStats, bool)
 }
 
@@ -153,6 +155,8 @@ func New(eng Engine, opt Options) *Server {
 	s.route("/top-sources", s.handleTopSources)
 	s.route("/top-triples", s.handleTopTriples)
 	s.route("/source", s.handleSource)
+	s.route("/copy-deps", s.handleCopyDeps)
+	s.route("/fused", s.handleFused)
 	s.route("/healthz", s.handleHealthz)
 	s.route("/stats", s.handleStats)
 	s.mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
@@ -271,7 +275,8 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 // errorReply is the uniform non-2xx body: a human-readable message plus a
 // stable machine-readable code (method_not_allowed, malformed_batch,
 // empty_batch, invalid_record, queue_full, shutting_down, engine_closed,
-// refresh_failed, bad_query, no_generation, unknown_source, not_found).
+// refresh_failed, bad_query, no_generation, unknown_source, unknown_item,
+// copydetect_disabled, fusion_disabled, not_found).
 type errorReply struct {
 	Error string `json:"error"`
 	Code  string `json:"code"`
@@ -440,6 +445,64 @@ func (s *Server) handleSource(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	writeJSON(w, http.StatusOK, src)
+}
+
+// writeLayerError maps the engine's layer-query sentinel errors onto the
+// uniform envelope: a disabled layer is a 409 (the request conflicts with
+// the server's configuration, and retrying won't help), a missing
+// generation is the usual retryable 503, and an unknown item is a 404.
+func writeLayerError(w http.ResponseWriter, err error) {
+	switch {
+	case errors.Is(err, kbt.ErrCopyDetectDisabled):
+		writeError(w, http.StatusConflict, "copydetect_disabled", err.Error())
+	case errors.Is(err, kbt.ErrFusionDisabled):
+		writeError(w, http.StatusConflict, "fusion_disabled", err.Error())
+	case errors.Is(err, kbt.ErrNoGeneration):
+		writeError(w, http.StatusServiceUnavailable, "no_generation", "no generation published yet")
+	case errors.Is(err, kbt.ErrUnknownItem):
+		writeError(w, http.StatusNotFound, "unknown_item", err.Error())
+	default:
+		writeError(w, http.StatusInternalServerError, "internal", err.Error())
+	}
+}
+
+func (s *Server) handleCopyDeps(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeError(w, http.StatusMethodNotAllowed, "method_not_allowed", "GET only")
+		return
+	}
+	k, err := parseK(r)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "bad_query", err.Error())
+		return
+	}
+	deps, err := s.eng.CopyDeps()
+	if err != nil {
+		writeLayerError(w, err)
+		return
+	}
+	if k > 0 && k < len(deps) {
+		deps = deps[:k]
+	}
+	writeJSON(w, http.StatusOK, deps)
+}
+
+func (s *Server) handleFused(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeError(w, http.StatusMethodNotAllowed, "method_not_allowed", "GET only")
+		return
+	}
+	item := r.URL.Query().Get("item")
+	if item == "" {
+		writeError(w, http.StatusBadRequest, "bad_query", "missing item parameter")
+		return
+	}
+	fi, err := s.eng.Fused(item)
+	if err != nil {
+		writeLayerError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, fi)
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {

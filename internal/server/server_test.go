@@ -209,6 +209,12 @@ func TestBadRequests(t *testing.T) {
 		{"no generation", "GET", "/v1/top-triples", "", http.StatusServiceUnavailable, "no_generation"},
 		{"source without name", "GET", "/v1/source", "", http.StatusBadRequest, "bad_query"},
 		{"refresh empty engine", "POST", "/v1/refresh", "", http.StatusConflict, "refresh_failed"},
+		{"copy-deps POST", "POST", "/v1/copy-deps", "", http.StatusMethodNotAllowed, "method_not_allowed"},
+		{"copy-deps disabled", "GET", "/v1/copy-deps", "", http.StatusConflict, "copydetect_disabled"},
+		{"copy-deps bad k", "GET", "/v1/copy-deps?k=many", "", http.StatusBadRequest, "bad_query"},
+		{"fused POST", "POST", "/v1/fused?item=s%7Cp", "", http.StatusMethodNotAllowed, "method_not_allowed"},
+		{"fused without item", "GET", "/v1/fused", "", http.StatusBadRequest, "bad_query"},
+		{"fused disabled", "GET", "/v1/fused?item=s%7Cp", "", http.StatusConflict, "fusion_disabled"},
 		{"unknown path", "GET", "/v1/no-such-endpoint", "", http.StatusNotFound, "not_found"},
 		{"unknown root path", "GET", "/nope", "", http.StatusNotFound, "not_found"},
 	} {
@@ -248,11 +254,13 @@ func TestDeprecatedAliases(t *testing.T) {
 	}{
 		{"GET", "/healthz", ""},
 		{"GET", "/stats", ""},
-		{"GET", "/top-sources", ""},     // 503 pre-generation
-		{"GET", "/top-triples?k=3", ""}, // 503 pre-generation
-		{"GET", "/source", ""},          // 400 missing name
-		{"POST", "/refresh", ""},        // 409 nothing ingested
-		{"POST", "/ingest", "[]"},       // 400 empty batch
+		{"GET", "/top-sources", ""},      // 503 pre-generation
+		{"GET", "/top-triples?k=3", ""},  // 503 pre-generation
+		{"GET", "/source", ""},           // 400 missing name
+		{"POST", "/refresh", ""},         // 409 nothing ingested
+		{"POST", "/ingest", "[]"},        // 400 empty batch
+		{"GET", "/copy-deps", ""},        // 409 layer disabled
+		{"GET", "/fused?item=s%7Cp", ""}, // 409 layer disabled
 	} {
 		t.Run(tc.method+" "+tc.path, func(t *testing.T) {
 			do := func(path string) (*http.Response, string) {

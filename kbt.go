@@ -208,6 +208,14 @@ type Result struct {
 	triView  []TripleVerdict
 	extOnce  sync.Once
 	extView  []ExtractorQuality
+
+	// copyDeps carries the generation's streaming copy-dependence list when
+	// the result was wrapped from an engine with CopyDetect on (nil from the
+	// batch EstimateKBT, whose DetectCopying recomputes on demand); copyView
+	// is its memoized public rendering.
+	copyDeps []copydetect.Dependence
+	copyOnce sync.Once
+	copyView []CopyDependence
 }
 
 // source assembles the scored view of source unit w.

@@ -67,5 +67,13 @@ func (o EngineOptions) engineOptions() (engine.Options, error) {
 	eopt.Workers = o.Workers
 	eopt.FullRecompile = o.FullRecompile
 	eopt.FullAggregates = o.FullAggregates
+	// The public CopyDetect switch turns on both halves of ACCU-COPY:
+	// maintaining the dependence statistics and discounting detected
+	// copiers' votes. (The internal layer keeps them separable for the
+	// equivalence harnesses.) Detector and fusion parameters stay at the
+	// paper's defaults — engine.New fills them in.
+	eopt.CopyDetect = o.CopyDetect
+	eopt.CopyDiscount = o.CopyDetect
+	eopt.Fusion = o.Fusion
 	return eopt, nil
 }
