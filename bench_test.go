@@ -543,6 +543,87 @@ func BenchmarkRefreshSettled(b *testing.B) {
 	}
 }
 
+// broadReachCorpus builds the adversarial counterpart of servingCorpus: one
+// hub site witnesses every item (erring on 20%, so its accuracy keeps moving)
+// and a single extractor EB attempts every cell, while a pool of narrow leaf
+// sites supplies the per-item conflict structure. Every refresh therefore
+// moves units — the hub source and EB — whose reach spans the corpus, the
+// exact shape that used to stale every shard wholesale. Items are numbered
+// from firstItem so successive calls generate disjoint fresh items.
+func broadReachCorpus(firstItem, n int) []Extraction {
+	out := make([]Extraction, 0, n)
+	add := func(e, w, subj, pred, obj string, conf float64) {
+		out = append(out, Extraction{
+			Extractor: e, Pattern: "pat", Website: w, Page: w + "/x",
+			Subject: subj, Predicate: pred, Object: obj, Confidence: conf,
+		})
+	}
+	for i := firstItem; len(out) < n; i++ {
+		subj := fmt.Sprintf("B%07d", i)
+		pred := fmt.Sprintf("bpred%07d", i)
+		truth := "v" + subj
+		wrong := "w" + subj
+		hubObj := truth
+		if i%5 == 0 {
+			hubObj = wrong
+		}
+		add("EB", "hub.com", subj, pred, hubObj, 1)
+		add("EB", fmt.Sprintf("leaf%04d.com", i/4%2048), subj, pred, truth, 0.9)
+		second := truth
+		if i%10 < 3 {
+			second = wrong
+		}
+		add("EB", fmt.Sprintf("leaf%04d.com", (i/4+7)%2048), subj, pred, second, 0.8)
+	}
+	return out[:n]
+}
+
+// BenchmarkRefreshBroadReach isolates the broad-reach worst case that kept
+// BenchmarkRefreshWarm's servingCorpus off its settled floor: with every
+// refresh moving a corpus-wide source and an every-cell extractor, shard-reach
+// staleness would re-estimate the entire corpus each iteration. The item-range
+// ledger instead charges their drift at sub-shard granularity, so ns/op here
+// pins the confinement win against regressions — partial-shards reports how
+// many touched shards ran only at item-range granularity.
+func BenchmarkRefreshBroadReach(b *testing.B) {
+	const corpusN, ingestN = 100_000, 100
+	eng, err := NewEngine(refreshBenchOptions())
+	if err != nil {
+		b.Fatal(err)
+	}
+	base := broadReachCorpus(0, corpusN)
+	if err := eng.Ingest(base...); err != nil {
+		b.Fatal(err)
+	}
+	if _, err := eng.Refresh(); err != nil {
+		b.Fatal(err)
+	}
+	next := corpusN
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		batch := broadReachCorpus(next, ingestN)
+		next += ingestN
+		b.StartTimer()
+		if err := eng.Ingest(batch...); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := eng.Refresh(); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	if stats, ok := eng.Stats(); ok {
+		if !stats.Extended {
+			b.Fatal("warm refresh did not take the Extend path")
+		}
+		b.ReportMetric(float64(stats.FirstPassShards), "dirty-shards")
+		b.ReportMetric(float64(stats.PartialShards), "partial-shards")
+		b.ReportMetric(float64(stats.AggDeltaSteps), "delta-msteps")
+		b.ReportMetric(float64(stats.AggFullSteps), "full-msteps")
+	}
+}
+
 // BenchmarkRefreshCold is the baseline BenchmarkRefreshWarm beats: a full
 // compile plus cold estimation over the same corpora. The warm/cold ns/op
 // ratio at corpus=100000 is the headline number for the Extend path.

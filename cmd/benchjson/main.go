@@ -12,12 +12,13 @@
 // benchmark the parallelism suffix, iteration count and every reported
 // metric (ns/op, B/op, allocs/op and custom b.ReportMetric units alike).
 //
-// Compare mode diffs the ns/op of benchmarks present in both artifacts
-// (optionally restricted by -filter) and exits non-zero when any slowed down
-// by more than -max-regress — the CI gate that turns the artifact trail into
-// an enforced perf budget. New benchmarks without a baseline are reported
-// but never fail the gate (the suite is allowed to grow); gated benchmarks
-// that vanished do fail it, so a rename cannot silently shrink coverage.
+// Compare mode diffs the ns/op — and, when both artifacts report it, the
+// B/op — of benchmarks present in both (optionally restricted by -filter)
+// and exits non-zero when any slowed down or grew its allocations by more
+// than -max-regress — the CI gate that turns the artifact trail into an
+// enforced perf budget. New benchmarks without a baseline are reported but
+// never fail the gate (the suite is allowed to grow); gated benchmarks that
+// vanished do fail it, so a rename cannot silently shrink coverage.
 package main
 
 import (
@@ -67,7 +68,7 @@ func main() {
 	benchtime := flag.String("benchtime", "", "benchtime the run used, stamped into the report (compare mode skips mismatched benchtimes)")
 	out := flag.String("o", "", "output file (default stdout)")
 	compare := flag.String("compare", "", "compare mode: path to the baseline report; the new report is the positional argument")
-	maxRegress := flag.Float64("max-regress", 0.20, "compare mode: maximum allowed fractional ns/op regression before failing")
+	maxRegress := flag.Float64("max-regress", 0.20, "compare mode: maximum allowed fractional ns/op (and B/op, when reported) regression before failing")
 	filter := flag.String("filter", "", "compare mode: only gate benchmarks whose name matches this regexp")
 	flag.Parse()
 
@@ -198,13 +199,16 @@ func loadReport(path string) (*Report, error) {
 	return &rep, nil
 }
 
-// Compare diffs the ns/op of benchmarks present in both reports (restricted
-// to names matching filter when non-empty), writes one line per compared
-// benchmark, and returns how many failed the gate: regressed by more than
-// maxRegress, or vanished from the gated set (a rename or deletion must be
-// acknowledged, not silently shrink coverage — zero overlap at all is an
-// outright error). New benchmarks without a baseline are reported but never
-// fail the gate; the suite is allowed to grow.
+// Compare diffs the ns/op — and, where both reports carry it, the B/op — of
+// benchmarks present in both reports (restricted to names matching filter
+// when non-empty), writes one line per compared benchmark, and returns how
+// many failed the gate: ns/op or B/op regressed by more than maxRegress, or
+// vanished from the gated set (a rename or deletion must be acknowledged,
+// not silently shrink coverage — zero overlap at all is an outright error).
+// New benchmarks without a baseline are reported but never fail the gate;
+// the suite is allowed to grow. Gating B/op keeps allocation wins (such as
+// copy-on-write publication) won: allocations are near-deterministic per op,
+// so a >maxRegress jump is a real change, not sampling noise.
 func Compare(oldRep, newRep *Report, filter string, maxRegress float64, w io.Writer) (regressions int, err error) {
 	if oldRep.Benchtime != newRep.Benchtime {
 		// Samples taken at different benchtimes have different variance; a
@@ -221,9 +225,13 @@ func Compare(oldRep, newRep *Report, filter string, maxRegress float64, w io.Wri
 		}
 	}
 	oldNs := make(map[string]float64, len(oldRep.Benchmarks))
+	oldBytes := make(map[string]float64, len(oldRep.Benchmarks))
 	for _, b := range oldRep.Benchmarks {
 		if ns, ok := b.Metrics["ns/op"]; ok {
 			oldNs[b.Name] = ns
+		}
+		if by, ok := b.Metrics["B/op"]; ok {
+			oldBytes[b.Name] = by
 		}
 	}
 	compared := 0
@@ -251,11 +259,32 @@ func Compare(oldRep, newRep *Report, filter string, maxRegress float64, w io.Wri
 		} else if change < -maxRegress {
 			verdict = "faster  "
 		}
+		// B/op is gated alongside ns/op when both reports carry it. The
+		// 1-byte denominator floor keeps a zero-allocation baseline gateable
+		// without dividing by zero.
+		var bytesCol string
+		if nowB, ok := b.Metrics["B/op"]; ok {
+			if wasB, ok := oldBytes[b.Name]; ok {
+				den := wasB
+				if den < 1 {
+					den = 1
+				}
+				bChange := (nowB - wasB) / den
+				bytesCol = fmt.Sprintf("  %.0f -> %.0f B/op (%+.1f%%)", wasB, nowB, bChange*100)
+				if bChange > maxRegress {
+					if verdict != "REGRESS " {
+						verdict = "REGRESS "
+						regressions++
+					}
+					bytesCol += " ALLOC-REGRESS"
+				}
+			}
+		}
 		// The ops/s column reads the same gate in throughput terms — the
 		// natural unit for serving-style benchmarks (query and publication
 		// rates), alongside the latency ns/op.
-		fmt.Fprintf(w, "%s %-55s %14.0f -> %14.0f ns/op  (%+.1f%%)  %10s -> %10s ops/s\n",
-			verdict, b.Name, was, ns, change*100, opsPerSec(was), opsPerSec(ns))
+		fmt.Fprintf(w, "%s %-55s %14.0f -> %14.0f ns/op  (%+.1f%%)  %10s -> %10s ops/s%s\n",
+			verdict, b.Name, was, ns, change*100, opsPerSec(was), opsPerSec(ns), bytesCol)
 	}
 	for _, b := range oldRep.Benchmarks {
 		if _, gated := b.Metrics["ns/op"]; !gated || seen[b.Name] || (re != nil && !re.MatchString(b.Name)) {

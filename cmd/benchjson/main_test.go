@@ -177,6 +177,63 @@ func TestCompare(t *testing.T) {
 	newRep.Benchtime = ""
 }
 
+func benchRepAlloc(names []string, ns, bytes []float64) *Report {
+	rep := &Report{}
+	for i, n := range names {
+		m := map[string]float64{"ns/op": ns[i]}
+		if bytes[i] >= 0 {
+			m["B/op"] = bytes[i]
+		}
+		rep.Benchmarks = append(rep.Benchmarks, Benchmark{
+			Name: n, Procs: 1, Iterations: 1, Metrics: m,
+		})
+	}
+	return rep
+}
+
+func TestCompareGatesAllocations(t *testing.T) {
+	names := []string{"BenchmarkSteady", "BenchmarkBloat", "BenchmarkZeroBase", "BenchmarkNoMem"}
+	oldRep := benchRepAlloc(names, []float64{100, 100, 100, 100}, []float64{1000, 1000, 0, -1})
+	// Steady: ns/op and B/op both within 20%. Bloat: ns/op fine, B/op +50%.
+	// ZeroBase: 0 -> 5 B/op clears the 1-byte denominator floor. NoMem: no
+	// B/op reported on either side, so only ns/op is gated.
+	newRep := benchRepAlloc(names, []float64{110, 100, 100, 100}, []float64{1100, 1500, 5, -1})
+
+	var out strings.Builder
+	n, err := Compare(oldRep, newRep, "", 0.20, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 2 {
+		t.Fatalf("regressions = %d, want 2 (Bloat, ZeroBase)\n%s", n, out.String())
+	}
+	if !strings.Contains(out.String(), "ALLOC-REGRESS") {
+		t.Errorf("allocation regression not flagged:\n%s", out.String())
+	}
+	if !strings.Contains(out.String(), "1000 -> 1100 B/op") {
+		t.Errorf("compare output missing B/op column:\n%s", out.String())
+	}
+
+	// A benchmark regressing both ns/op and B/op counts once, not twice.
+	oldRep = benchRepAlloc([]string{"BenchmarkBoth"}, []float64{100}, []float64{1000})
+	newRep = benchRepAlloc([]string{"BenchmarkBoth"}, []float64{200}, []float64{2000})
+	out.Reset()
+	n, err = Compare(oldRep, newRep, "", 0.20, &out)
+	if err != nil || n != 1 {
+		t.Errorf("double regression counted %d times (err=%v), want 1\n%s", n, err, out.String())
+	}
+
+	// An allocation win beyond the threshold is not a failure; the B/op
+	// column still reports it.
+	oldRep = benchRepAlloc([]string{"BenchmarkWin"}, []float64{100}, []float64{1000})
+	newRep = benchRepAlloc([]string{"BenchmarkWin"}, []float64{100}, []float64{100})
+	out.Reset()
+	n, err = Compare(oldRep, newRep, "", 0.20, &out)
+	if err != nil || n != 0 {
+		t.Errorf("allocation win gated as failure: n=%d err=%v\n%s", n, err, out.String())
+	}
+}
+
 func TestCompareFiles(t *testing.T) {
 	dir := t.TempDir()
 	write := func(name string, rep *Report) string {

@@ -357,6 +357,10 @@ type RefreshStats struct {
 	// touched at least once; SettledShards == 0 means some unit's drift (or a
 	// structural change) forced a full pass.
 	SettledShards int
+	// PartialShards is the number of touched shards that were only ever
+	// re-estimated at sub-shard item-range granularity — their settled
+	// remainder never ran.
+	PartialShards int
 	// Escalations counts the EM iterations whose E-step widened beyond the
 	// ingest footprint to re-anchor shards holding above-tolerance
 	// accumulated parameter drift.
@@ -390,6 +394,7 @@ func (e *Engine) Stats() (RefreshStats, bool) {
 		FirstPassShards:  r.FirstPassShards,
 		TotalShards:      r.TotalShards,
 		SettledShards:    r.SettledShards,
+		PartialShards:    r.PartialShards,
 		Escalations:      r.Escalations,
 		Iterations:       r.Inference.Iterations,
 		Converged:        r.Inference.Converged,

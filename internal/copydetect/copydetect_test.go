@@ -73,7 +73,7 @@ func evidenceFrom(s *triple.Snapshot, res *core.Result) Evidence {
 			p, _ := res.TripleProb(d, v)
 			return p
 		},
-		Accuracy: func(w int) float64 { return res.A[w] },
+		Accuracy: func(w int) float64 { return res.AAt(w) },
 		Provides: func(ti int) bool { return res.CProbAt(ti) >= 0.5 },
 	}
 }

@@ -27,11 +27,12 @@ type Tracker struct {
 	nShards int
 
 	// perShard[si] holds the shared-value counts contributed by shard si's
-	// items; global is their fold — the corpus-wide pair statistics, carried
-	// together with each pair's cached score so the warm Dependencies loop
-	// touches one map entry per pair.
+	// items; global is their fold — the corpus-wide pair statistics. The
+	// counts are the detector's sufficient statistics and are never evicted;
+	// the scored surface derived from them lives separately in the bounded
+	// score cache below.
 	perShard []map[pairKey]sharedCounts
-	global   map[pairKey]*pairState
+	global   map[pairKey]sharedCounts
 
 	// provOf[d] is item d's provider → value assignment under the current
 	// evidence (the per-item slice of Detect's itemsOf), kept so a shard
@@ -57,15 +58,26 @@ type Tracker struct {
 	srcTouched map[int32]struct{}
 	accSeen    []float64
 	pairsOf    map[int32]map[pairKey]struct{}
-	passing    map[pairKey]*pairState
+	passing    map[pairKey]*scoreState
+
+	// The score cache proper. scored holds the pairs whose cached surface is
+	// current; unscored the live pairs without one (new, or evicted). When
+	// Options.MaxCachedPairs > 0, Dependencies evicts the coldest entries —
+	// smallest last-use tick — down to the bound after every call, moving
+	// them to unscored so the next call rescores them from the (exact, never
+	// evicted) counts. Eviction therefore trades memory for recompute without
+	// ever changing the output.
+	scored   map[pairKey]*scoreState
+	unscored map[pairKey]struct{}
+	tick     uint64
 }
 
-// pairState is one candidate pair's folded shared-value counts plus its
-// cached scored surface.
-type pairState struct {
-	sharedTrue, sharedFalse int32
-	overlap, differ         int32
-	post                    float64
+// scoreState is one candidate pair's cached scored surface: a pure function
+// of its shared counts, both members' item maps and both members' accuracies.
+type scoreState struct {
+	overlap, differ int32
+	post            float64
+	tick            uint64 // Dependencies call that last scored or emitted it
 }
 
 type pairKey struct{ a, b int32 }
@@ -91,11 +103,13 @@ func NewTracker(opt Options, nShards int) (*Tracker, error) {
 		opt:        opt,
 		nShards:    nShards,
 		perShard:   make([]map[pairKey]sharedCounts, nShards),
-		global:     make(map[pairKey]*pairState),
+		global:     make(map[pairKey]sharedCounts),
 		staleSet:   make(map[pairKey]struct{}),
 		srcTouched: make(map[int32]struct{}),
 		pairsOf:    make(map[int32]map[pairKey]struct{}),
-		passing:    make(map[pairKey]*pairState),
+		passing:    make(map[pairKey]*scoreState),
+		scored:     make(map[pairKey]*scoreState),
+		unscored:   make(map[pairKey]struct{}),
 	}
 	return t, nil
 }
@@ -127,6 +141,7 @@ func (t *Tracker) Update(s *triple.Snapshot, ev Evidence, shards []triple.Shard,
 			if g.sharedTrue == 0 && g.sharedFalse == 0 {
 				t.dropPair(k)
 			} else {
+				t.global[k] = g
 				t.staleSet[k] = struct{}{}
 			}
 		}
@@ -134,14 +149,13 @@ func (t *Tracker) Update(s *triple.Snapshot, ev Evidence, shards []triple.Shard,
 			if _, ok := old[k]; ok {
 				continue
 			}
-			g := t.global[k]
-			if g == nil {
-				g = &pairState{}
-				t.global[k] = g
+			g, live := t.global[k]
+			if !live {
 				t.indexPair(k)
 			}
 			g.sharedTrue += nc.sharedTrue
 			g.sharedFalse += nc.sharedFalse
+			t.global[k] = g
 			t.staleSet[k] = struct{}{}
 		}
 		t.perShard[si] = fresh
@@ -166,6 +180,8 @@ func (t *Tracker) dropPair(k pairKey) {
 	delete(t.global, k)
 	delete(t.staleSet, k)
 	delete(t.passing, k)
+	delete(t.scored, k)
+	delete(t.unscored, k)
 	delete(t.pairsOf[k.a], k)
 	delete(t.pairsOf[k.b], k)
 }
@@ -270,6 +286,7 @@ func (t *Tracker) Dependencies(accuracy func(w int) float64) []Dependence {
 		// -1 is outside accuracy's range, forcing a first-call rescore.
 		t.accSeen = append(t.accSeen, -1)
 	}
+	t.tick++
 	rescore := t.staleSet
 	markSrc := func(w int32) {
 		for k := range t.pairsOf[w] {
@@ -285,9 +302,14 @@ func (t *Tracker) Dependencies(accuracy func(w int) float64) []Dependence {
 	for w := range t.srcTouched {
 		markSrc(w)
 	}
+	// Pairs evicted from the score cache (or never scored) have no surface to
+	// trust, whatever else moved — rescore them from the exact counts.
+	for k := range t.unscored {
+		rescore[k] = struct{}{}
+	}
 
 	for k := range rescore {
-		st := t.global[k]
+		g := t.global[k]
 		a, b := int(k.a), int(k.b)
 		overlap, differ := 0, 0
 		small, large := t.itemsOf[a], t.itemsOf[b]
@@ -307,9 +329,16 @@ func (t *Tracker) Dependencies(accuracy func(w int) float64) []Dependence {
 		// Unlike Detect we score even sub-MinOverlap pairs (posterior is
 		// total, and caching the full surface keeps the bookkeeping
 		// uniform); the passing filter drops exactly Detect's set.
+		st := t.scored[k]
+		if st == nil {
+			st = &scoreState{}
+			t.scored[k] = st
+		}
+		delete(t.unscored, k)
 		st.overlap, st.differ = int32(overlap), int32(differ)
-		st.post = posterior(int(st.sharedTrue), int(st.sharedFalse), differ,
+		st.post = posterior(int(g.sharedTrue), int(g.sharedFalse), differ,
 			t.accSeen[a], t.accSeen[b], t.opt)
+		st.tick = t.tick
 		if overlap < t.opt.MinOverlap || st.post < t.opt.Threshold {
 			delete(t.passing, k)
 		} else {
@@ -317,19 +346,24 @@ func (t *Tracker) Dependencies(accuracy func(w int) float64) []Dependence {
 		}
 	}
 
-	// nil when empty, matching Detect's no-result shape exactly.
+	// nil when empty, matching Detect's no-result shape exactly. Emitting
+	// counts as a use for eviction recency: the passing set is the cache's
+	// working set, so it goes cold last.
 	var out []Dependence
 	if len(t.passing) > 0 {
 		out = make([]Dependence, 0, len(t.passing))
 	}
 	for k, st := range t.passing {
+		g := t.global[k]
+		st.tick = t.tick
 		out = append(out, Dependence{
 			A: int(k.a), B: int(k.b), Posterior: st.post,
-			SharedTrue: int(st.sharedTrue), SharedFalse: int(st.sharedFalse), Differ: int(st.differ),
+			SharedTrue: int(g.sharedTrue), SharedFalse: int(g.sharedFalse), Differ: int(st.differ),
 		})
 	}
 	t.staleSet = make(map[pairKey]struct{})
 	clear(t.srcTouched)
+	t.evictCold()
 	sort.Slice(out, func(i, j int) bool {
 		if out[i].Posterior != out[j].Posterior {
 			return out[i].Posterior > out[j].Posterior
@@ -340,4 +374,38 @@ func (t *Tracker) Dependencies(accuracy func(w int) float64) []Dependence {
 		return out[i].B < out[j].B
 	})
 	return out
+}
+
+// evictCold enforces Options.MaxCachedPairs on the score cache: the coldest
+// entries — smallest last-use tick, key order breaking ties for determinism —
+// move to unscored, where the next Dependencies call rescores them exactly
+// from the retained counts. A bound of 0 (the default) leaves the cache
+// unbounded.
+func (t *Tracker) evictCold() {
+	bound := t.opt.MaxCachedPairs
+	if bound <= 0 || len(t.scored) <= bound {
+		return
+	}
+	type entry struct {
+		k  pairKey
+		tk uint64
+	}
+	all := make([]entry, 0, len(t.scored))
+	for k, st := range t.scored {
+		all = append(all, entry{k, st.tick})
+	}
+	sort.Slice(all, func(i, j int) bool {
+		if all[i].tk != all[j].tk {
+			return all[i].tk < all[j].tk
+		}
+		if all[i].k.a != all[j].k.a {
+			return all[i].k.a < all[j].k.a
+		}
+		return all[i].k.b < all[j].k.b
+	})
+	for _, e := range all[:len(all)-bound] {
+		delete(t.scored, e.k)
+		delete(t.passing, e.k)
+		t.unscored[e.k] = struct{}{}
+	}
 }

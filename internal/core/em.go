@@ -134,13 +134,29 @@ func (em *EM) MStepSources(cProb []float64, valueProb [][]float64, dirtyTris [][
 		st.estimateA(cProb, valueProb)
 		return
 	}
-	if dirtyTris == nil || !ag.aValid || ag.fullTick {
+	if dirtyTris == nil || !ag.aValid || ag.fullTick || deltaCostsMore(dirtyTris, len(st.s.Triples)) {
 		st.estimateAFull(cProb, valueProb)
 		ag.fullSteps++
 		return
 	}
 	st.estimateADelta(cProb, valueProb, dirtyTris)
 	ag.deltaSteps++
+}
+
+// deltaCostsMore reports whether the dirty set covers so much of the corpus
+// that the delta update — which subtracts each covered triple's old
+// contribution and adds its new one, roughly twice the per-triple arithmetic
+// of a plain sum — would cost more than re-aggregating in full. Settling
+// sweeps widened to nearly the whole corpus hit exactly this; re-aggregating
+// also re-anchors the sufficient statistics for free. The decision depends
+// only on the dirty lists' lengths, so the incremental path and the
+// FullRecompile oracle take it identically.
+func deltaCostsMore(dirtyTris [][]int, nTri int) bool {
+	covered := 0
+	for _, tl := range dirtyTris {
+		covered += len(tl)
+	}
+	return 2*covered >= nTri
 }
 
 // MStepExtractors runs Stage IV — extractor precision/recall/Q — with the
@@ -156,7 +172,7 @@ func (em *EM) MStepExtractors(cProb []float64, dirtyTris [][]int) {
 		st.estimatePRQ(cProb)
 		return
 	}
-	if dirtyTris == nil || !ag.eValid || ag.fullTick {
+	if dirtyTris == nil || !ag.eValid || ag.fullTick || deltaCostsMore(dirtyTris, len(st.s.Triples)) {
 		st.estimatePRQFull(cProb)
 		ag.fullSteps++
 		return
@@ -183,15 +199,34 @@ func (em *EM) UpdatePrior(valueProb [][]float64, tis []int, workers int) {
 	em.st.updateAlphaSubset(valueProb, tis, workers)
 }
 
-// A returns the live per-source accuracy slice — the caller may read it for
-// convergence deltas or overwrite entries to warm-start.
+// A returns the live per-source accuracy slice, read-only — e.g. for
+// convergence deltas. Writing through it would bypass the copy-on-write
+// dirty marks behind publication chunk sharing (params.go) and publish stale
+// values; warm-start with CarryParamsFrom instead.
 func (em *EM) A() []float64 { return em.st.a }
 
-// P, R and Q return the live per-extractor parameter slices. Callers that
-// overwrite P or R to warm-start should overwrite Q consistently (Eq 7).
+// P, R and Q return the live per-extractor parameter slices, read-only (see
+// A).
 func (em *EM) P() []float64 { return em.st.p }
 func (em *EM) R() []float64 { return em.st.r }
 func (em *EM) Q() []float64 { return em.st.q }
+
+// CarryParamsFrom copies prev's per-unit parameter estimates (A, P, R, Q) by
+// dense-id prefix — the warm-start seeding for a freshly built EM. The
+// copy-on-write dirty marks are inherited alongside the values: a chunk now
+// bit-equal to prev's state keeps prev's changed-since-publication relation,
+// so the next publication can keep sharing parameter chunks across the EM
+// handoff. Units beyond prev's tables keep their fresh initialisation and
+// stay marked dirty.
+func (em *EM) CarryParamsFrom(prev *EM) {
+	st, ps := em.st, prev.st
+	copy(st.a, ps.a)
+	copy(st.p, ps.p)
+	copy(st.r, ps.r)
+	copy(st.q, ps.q)
+	inheritMarks(st.srcDirty, ps.srcDirty, len(ps.a), len(st.a))
+	inheritMarks(st.extDirty, ps.extDirty, len(ps.p), len(st.p))
+}
 
 // SetSourceVoteWeights installs per-source multipliers applied to the Stage
 // II vote weight (SourceVote) — the copy-adjusted discounting hook: the
@@ -276,10 +311,10 @@ func (em *EM) BuildResult(cProb []float64, valueProb [][]float64, restMass []flo
 	st := em.st
 	s := st.s
 	res := &Result{
-		A:                 append([]float64(nil), st.a...),
-		P:                 append([]float64(nil), st.p...),
-		R:                 append([]float64(nil), st.r...),
-		Q:                 append([]float64(nil), st.q...),
+		aVec:              copyVec(st.a),
+		pVec:              copyVec(st.p),
+		rVec:              copyVec(st.r),
+		qVec:              copyVec(st.q),
 		cProb:             append([]float64(nil), cProb...),
 		valueProb:         make([][]float64, len(valueProb)),
 		restMass:          append([]float64(nil), restMass...),
@@ -287,7 +322,6 @@ func (em *EM) BuildResult(cProb []float64, valueProb [][]float64, restMass []flo
 		coveredItem:       append([]bool(nil), coveredItem...),
 		SourceIncluded:    append([]bool(nil), st.srcIncluded...),
 		ExtractorIncluded: append([]bool(nil), st.extIncluded...),
-		ExpectedTriples:   make([]float64, len(s.Sources)),
 		Iterations:        iterations,
 		Converged:         converged,
 		snap:              s,
@@ -305,9 +339,11 @@ func (em *EM) BuildResult(cProb []float64, valueProb [][]float64, restMass []flo
 		backing = append(backing, valueProb[d]...)
 		res.valueProb[d] = backing[n:len(backing):len(backing)]
 	}
+	expt := make([]float64, len(s.Sources))
 	for ti, tr := range s.Triples {
-		res.ExpectedTriples[tr.W] += cProb[ti]
+		expt[tr.W] += cProb[ti]
 	}
+	res.expVec = sliceVec(expt)
 	return res
 }
 

@@ -267,14 +267,14 @@ func TestMultiLayerSeparatesSourceFromExtractionErrors(t *testing.T) {
 		t.Fatalf("multi-layer should prefer USA: %v vs %v", pUSA, pKenya)
 	}
 	// W1 must NOT be punished for E5's extraction error.
-	aW1 := res.A[s.SourceID("W1")]
-	aW5 := res.A[s.SourceID("W5")]
+	aW1 := res.AAt(s.SourceID("W1"))
+	aW5 := res.AAt(s.SourceID("W5"))
 	if aW1 <= aW5 {
 		t.Errorf("W1 (accurate) should outrank W5 (false value): %v vs %v", aW1, aW5)
 	}
 	// E1 should look better than E5 after re-estimation.
-	if res.P[s.ExtractorID("E1")] <= res.P[s.ExtractorID("E5")] {
+	if res.PAt(s.ExtractorID("E1")) <= res.PAt(s.ExtractorID("E5")) {
 		t.Errorf("E1 precision (%v) should exceed E5 (%v)",
-			res.P[s.ExtractorID("E1")], res.P[s.ExtractorID("E5")])
+			res.PAt(s.ExtractorID("E1")), res.PAt(s.ExtractorID("E5")))
 	}
 }

@@ -125,7 +125,11 @@ func extendState(st *state, s *triple.Snapshot, opt Options, d triple.Delta) {
 	}
 
 	// Parameters: old units keep their current estimates; new units get
-	// exactly newState's initialisation.
+	// exactly newState's initialisation. The dirty-mark arrays grow first
+	// (new chunks start dirty) so the init writes can mark; a grown boundary
+	// chunk is re-copied at publication via the chunk-length test regardless.
+	st.srcDirty = grow(st.srcDirty, numUnitChunks(nSrc), 1)
+	st.extDirty = grow(st.extDirty, numUnitChunks(nExt), 1)
 	st.a = grow(st.a, nSrc, 0)
 	for w := d.Sources; w < nSrc; w++ {
 		st.initSourceParam(w)

@@ -16,13 +16,12 @@ import (
 // (CProbAt, ValueRow, RestMassAt, CoveredTripleAt, CoveredItemAt), which
 // hide whether the storage is the flat arrays of a batch run or the shared,
 // copy-on-write generation chunks of the incremental engine (see
-// publish.go).
+// publish.go). The per-unit parameters are likewise read through accessors
+// (AAt, PAt, RAt, QAt, ExpectedTriplesAt): their storage is chunked and
+// shared copy-on-write between generations (see params.go), so a refresh
+// that moved a handful of units publishes a handful of chunk copies instead
+// of O(units) fresh arrays.
 type Result struct {
-	// A is the estimated accuracy per source — the Knowledge-Based Trust
-	// score. Sources excluded by MinSourceSupport keep the default.
-	A []float64
-	// P, R, Q are the per-extractor precision, recall, and Q (Eq 7).
-	P, R, Q []float64
 	// Pre, Abs are the final presence/absence votes per extractor (Eqs
 	// 12-13), exposed for inspection and the worked-example tests.
 	Pre, Abs []float64
@@ -32,15 +31,16 @@ type Result struct {
 	SourceIncluded    []bool
 	ExtractorIncluded []bool
 
-	// ExpectedTriples[w] is Σ p(C=1|X) over w's candidate triples — the
-	// expected number of triples correctly extracted from w. The paper
-	// reports KBT only for sources with at least 5 (§5.4).
-	ExpectedTriples []float64
-
 	// Iterations is the number of EM iterations executed; Converged reports
 	// whether the parameter deltas fell below Tol before MaxIter.
 	Iterations int
 	Converged  bool
+
+	// Per-unit parameter vectors, chunked and generation-shared: source
+	// accuracy (the Knowledge-Based Trust score), extractor precision /
+	// recall / Q (Eq 7), and the per-source expected correct-triple sums.
+	aVec, pVec, rVec, qVec unitVec
+	expVec                 unitVec
 
 	// Flat posterior storage (batch Run, EM.BuildResult). Exactly one of
 	// the flat arrays and gen is populated.
@@ -56,6 +56,27 @@ type Result struct {
 
 	snap *triple.Snapshot
 }
+
+// NumSources returns the number of sources the result covers.
+func (r *Result) NumSources() int { return r.aVec.Len() }
+
+// NumExtractors returns the number of extractors the result covers.
+func (r *Result) NumExtractors() int { return r.pVec.Len() }
+
+// AAt returns source w's estimated accuracy — the Knowledge-Based Trust
+// score. Sources excluded by MinSourceSupport keep the default.
+func (r *Result) AAt(w int) float64 { return r.aVec.At(w) }
+
+// PAt, RAt and QAt return extractor e's estimated precision, recall and Q
+// (Eq 7).
+func (r *Result) PAt(e int) float64 { return r.pVec.At(e) }
+func (r *Result) RAt(e int) float64 { return r.rVec.At(e) }
+func (r *Result) QAt(e int) float64 { return r.qVec.At(e) }
+
+// ExpectedTriplesAt returns Σ p(C=1|X) over source w's candidate triples —
+// the expected number of triples correctly extracted from w. The paper
+// reports KBT only for sources with at least 5 (§5.4).
+func (r *Result) ExpectedTriplesAt(w int) float64 { return r.expVec.At(w) }
 
 // NumTriples returns the number of candidate triples the result covers.
 func (r *Result) NumTriples() int {
@@ -137,13 +158,14 @@ func (r *Result) TripleProb(d, v int) (float64, bool) {
 // KBT returns the trust score of source w and whether it is reportable at
 // the given minimum expected-triple threshold (the paper uses 5).
 func (r *Result) KBT(w int, minTriples float64) (float64, bool) {
-	if w < 0 || w >= len(r.A) {
+	if w < 0 || w >= r.aVec.Len() {
 		return 0, false
 	}
-	if !r.SourceIncluded[w] || r.ExpectedTriples[w] < minTriples {
-		return r.A[w], false
+	a := r.aVec.At(w)
+	if !r.SourceIncluded[w] || r.expVec.At(w) < minTriples {
+		return a, false
 	}
-	return r.A[w], true
+	return a, true
 }
 
 // Run executes Algorithm 1 on the snapshot.
@@ -159,10 +181,6 @@ func Run(s *triple.Snapshot, opt Options) (*Result, error) {
 
 	st := newState(s, opt)
 	res := &Result{
-		A:                 st.a,
-		P:                 st.p,
-		R:                 st.r,
-		Q:                 st.q,
 		cProb:             make([]float64, nTri),
 		valueProb:         make([][]float64, nItem),
 		restMass:          make([]float64, nItem),
@@ -170,7 +188,6 @@ func Run(s *triple.Snapshot, opt Options) (*Result, error) {
 		coveredItem:       make([]bool, nItem),
 		SourceIncluded:    st.srcIncluded,
 		ExtractorIncluded: st.extIncluded,
-		ExpectedTriples:   make([]float64, nSrc),
 		snap:              s,
 	}
 
@@ -253,9 +270,14 @@ func Run(s *triple.Snapshot, opt Options) (*Result, error) {
 	}
 	res.Iterations = iter
 
+	// The state dies with this call, so the parameter vectors wrap its flat
+	// arrays without copying.
+	res.aVec, res.pVec, res.rVec, res.qVec = sliceVec(st.a), sliceVec(st.p), sliceVec(st.r), sliceVec(st.q)
+	expt := make([]float64, nSrc)
 	for ti, tr := range s.Triples {
-		res.ExpectedTriples[tr.W] += res.cProb[ti]
+		expt[tr.W] += res.cProb[ti]
 	}
+	res.expVec = sliceVec(expt)
 	return res, nil
 }
 
@@ -289,7 +311,13 @@ type state struct {
 
 	a       []float64 // per source
 	p, r, q []float64 // per extractor
-	pre, ab []float64 // per extractor, recomputed by computeVotes
+	// srcDirty / extDirty mark the unitChunk-sized parameter chunks whose
+	// values changed since the last BuildResultFrom publication (see
+	// params.go). All writes to a/p/r/q go through the set* helpers, which
+	// compare before storing — a re-derivation that lands on the identical
+	// value leaves its chunk shareable.
+	srcDirty, extDirty []uint32
+	pre, ab            []float64 // per extractor, recomputed by computeVotes
 	// voteDelta[e] is pre[e]-ab[e] for included extractors and 0 for
 	// excluded ones — the per-observation Stage I weight with the inclusion
 	// gate folded in (adding 0 is bit-neutral), kept in sync with pre/ab.
@@ -385,7 +413,16 @@ func newState(s *triple.Snapshot, opt Options) *state {
 	// Support counts and inclusion.
 	st.srcIncluded, st.extIncluded = computeInclusion(s, opt)
 
-	// Parameters.
+	// Parameters. The dirty marks start all-set: a fresh state has no
+	// publication baseline to share chunks against.
+	st.srcDirty = make([]uint32, numUnitChunks(nSrc))
+	st.extDirty = make([]uint32, numUnitChunks(nExt))
+	for ci := range st.srcDirty {
+		st.srcDirty[ci] = 1
+	}
+	for ci := range st.extDirty {
+		st.extDirty[ci] = 1
+	}
 	st.a = make([]float64, nSrc)
 	for w := range st.a {
 		st.initSourceParam(w)
@@ -489,35 +526,71 @@ func computeInclusion(s *triple.Snapshot, opt Options) (srcInc, extInc []bool) {
 	return srcInc, extInc
 }
 
+// setA/setP/setR/setQ are the only writers of the parameter arrays: they
+// compare before storing so that an estimator landing on the identical value
+// (the common case for units outside a refresh's dirty set) leaves the
+// chunk's publication sharing intact.
+func (st *state) setA(w int, v float64) {
+	if st.a[w] != v {
+		st.a[w] = v
+		markUnit(st.srcDirty, w)
+	}
+}
+
+func (st *state) setP(e int, v float64) {
+	if st.p[e] != v {
+		st.p[e] = v
+		markUnit(st.extDirty, e)
+	}
+}
+
+func (st *state) setR(e int, v float64) {
+	if st.r[e] != v {
+		st.r[e] = v
+		markUnit(st.extDirty, e)
+	}
+}
+
+func (st *state) setQ(e int, v float64) {
+	if st.q[e] != v {
+		st.q[e] = v
+		markUnit(st.extDirty, e)
+	}
+}
+
 // initSourceParam seeds source w's accuracy from the defaults and the
 // explicit initialisation map — the per-unit half of newState's parameter
 // setup, shared with extendState for units that appear later.
 func (st *state) initSourceParam(w int) {
-	st.a[w] = st.opt.InitAccuracy
+	a := st.opt.InitAccuracy
 	if v, ok := st.opt.InitialSourceAccuracy[w]; ok && st.srcIncluded[w] {
-		st.a[w] = stats.ClampProb(v)
+		a = stats.ClampProb(v)
 	}
+	st.setA(w, a)
 }
 
 // initExtractorParams seeds extractor e's precision, recall and Q.
 func (st *state) initExtractorParams(e int) {
 	opt := st.opt
-	st.p[e], st.r[e] = PFromQR(opt.InitQ, opt.InitRecall, opt.Gamma), opt.InitRecall
+	p, r := PFromQR(opt.InitQ, opt.InitRecall, opt.Gamma), opt.InitRecall
 	if v, ok := opt.InitialExtractorPrecision[e]; ok && st.extIncluded[e] {
-		st.p[e] = stats.ClampProb(v)
+		p = stats.ClampProb(v)
 	}
 	if v, ok := opt.InitialExtractorRecall[e]; ok && st.extIncluded[e] {
-		st.r[e] = stats.ClampProb(v)
+		r = stats.ClampProb(v)
 	}
-	st.q[e] = QFromPR(st.p[e], st.r[e], opt.Gamma)
+	q := QFromPR(p, r, opt.Gamma)
 	// Honour the exact default Q when no smart initialisation applies,
 	// since InitQ and derived-from-P values can differ.
 	if _, ok := opt.InitialExtractorPrecision[e]; !ok {
-		st.q[e] = opt.InitQ
+		q = opt.InitQ
 	}
 	if v, ok := opt.InitialExtractorQ[e]; ok && st.extIncluded[e] {
-		st.q[e] = stats.ClampProb(v)
+		q = stats.ClampProb(v)
 	}
+	st.setP(e, p)
+	st.setR(e, r)
+	st.setQ(e, q)
 }
 
 // predOfItem returns the predicate id of data item d (0 when the snapshot
@@ -841,7 +914,7 @@ func (st *state) deriveA(w int, num, den float64) {
 	if c := st.opt.AccuracyClamp; c > 0.5 && c < 1 {
 		a = stats.Clamp(a, 1-c, c)
 	}
-	st.a[w] = stats.ClampProb(a)
+	st.setA(w, stats.ClampProb(a))
 }
 
 // estimateA updates source accuracies (Eq 28 / Eq 27) by full aggregation
@@ -882,16 +955,20 @@ func (st *state) obsNumContrib(oi, ti, e int, c float64, cProb []float64) float6
 // precision, recall and Q estimates, with the smoothing and floors.
 func (st *state) derivePRQ(e int, num, pDen, rDen float64) {
 	k := st.opt.Smoothing
+	p, r := st.p[e], st.r[e]
 	if pDen > 0 {
-		st.p[e] = stats.ClampProb((num + k/2) / (pDen + k))
+		p = stats.ClampProb((num + k/2) / (pDen + k))
 	}
 	if rDen > 0 {
-		st.r[e] = stats.ClampProb((num + k/2) / (rDen + k))
+		r = stats.ClampProb((num + k/2) / (rDen + k))
 	}
-	st.q[e] = QFromPR(st.p[e], st.r[e], st.opt.Gamma)
-	if st.q[e] < st.opt.QFloor {
-		st.q[e] = st.opt.QFloor
+	q := QFromPR(p, r, st.opt.Gamma)
+	if q < st.opt.QFloor {
+		q = st.opt.QFloor
 	}
+	st.setP(e, p)
+	st.setR(e, r)
+	st.setQ(e, q)
 }
 
 // estimatePRQ updates extractor precision and recall (Eqs 29-33) and derives
@@ -945,23 +1022,27 @@ func (st *state) applyExplicitExtractorInits() {
 		if !st.extIncluded[e] {
 			continue
 		}
-		p, hasP := st.opt.InitialExtractorPrecision[e]
-		r, hasR := st.opt.InitialExtractorRecall[e]
+		pv, hasP := st.opt.InitialExtractorPrecision[e]
+		rv, hasR := st.opt.InitialExtractorRecall[e]
+		p, r, q := st.p[e], st.r[e], st.q[e]
 		if hasP {
-			st.p[e] = stats.ClampProb(p)
+			p = stats.ClampProb(pv)
 		}
 		if hasR {
-			st.r[e] = stats.ClampProb(r)
+			r = stats.ClampProb(rv)
 		}
 		if hasP || hasR {
-			st.q[e] = QFromPR(st.p[e], st.r[e], st.opt.Gamma)
-			if st.q[e] < st.opt.QFloor {
-				st.q[e] = st.opt.QFloor
+			q = QFromPR(p, r, st.opt.Gamma)
+			if q < st.opt.QFloor {
+				q = st.opt.QFloor
 			}
 		}
-		if q, ok := st.opt.InitialExtractorQ[e]; ok {
-			st.q[e] = stats.ClampProb(q)
+		if qv, ok := st.opt.InitialExtractorQ[e]; ok {
+			q = stats.ClampProb(qv)
 		}
+		st.setP(e, p)
+		st.setR(e, r)
+		st.setQ(e, q)
 	}
 }
 

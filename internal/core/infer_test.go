@@ -92,8 +92,8 @@ func TestGoodSourcesOutrankBadSources(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	aGood := res.A[s.SourceID("good1")]
-	aBad := res.A[s.SourceID("bad1")]
+	aGood := res.AAt(s.SourceID("good1"))
+	aBad := res.AAt(s.SourceID("bad1"))
 	if aGood <= aBad {
 		t.Fatalf("good source KBT %v should exceed bad source %v", aGood, aBad)
 	}
@@ -110,14 +110,14 @@ func TestHallucinationsBlamedOnExtractorNotSource(t *testing.T) {
 	}
 	// E3 only produced unsupported values; its precision must drop below
 	// the reliable extractors'.
-	pE1 := res.P[s.ExtractorID("E1")]
-	pE3 := res.P[s.ExtractorID("E3")]
+	pE1 := res.PAt(s.ExtractorID("E1"))
+	pE3 := res.PAt(s.ExtractorID("E3"))
 	if pE3 >= pE1 {
 		t.Fatalf("noisy extractor precision %v should be below %v", pE3, pE1)
 	}
 	// good1 (the hallucination target) must stay comparable to good2.
-	a1 := res.A[s.SourceID("good1")]
-	a2 := res.A[s.SourceID("good2")]
+	a1 := res.AAt(s.SourceID("good1"))
+	a2 := res.AAt(s.SourceID("good2"))
 	if math.Abs(a1-a2) > 0.15 {
 		t.Errorf("hallucinations should not tank good1: %v vs good2 %v", a1, a2)
 	}
@@ -159,7 +159,8 @@ func TestProbabilityMassPerItem(t *testing.T) {
 			t.Fatalf("triple %d: bad cprob %v", ti, c)
 		}
 	}
-	for w, a := range res.A {
+	for w := 0; w < res.NumSources(); w++ {
+		a := res.AAt(w)
 		if a <= 0 || a >= 1 {
 			t.Fatalf("source %d accuracy %v not clamped", w, a)
 		}
@@ -183,7 +184,7 @@ func TestMinSupportExclusionAndKBTGate(t *testing.T) {
 	if res.SourceIncluded[tiny] {
 		t.Error("tiny source should be excluded")
 	}
-	if res.A[tiny] != opt.InitAccuracy {
+	if res.AAt(tiny) != opt.InitAccuracy {
 		t.Error("excluded source accuracy must stay at default")
 	}
 	if _, ok := res.KBT(tiny, 5); ok {
@@ -362,9 +363,9 @@ func TestParallelMatchesSerial(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	for w := range r1.A {
-		if r1.A[w] != rN.A[w] {
-			t.Fatalf("A[%d] differs across worker counts: %v vs %v", w, r1.A[w], rN.A[w])
+	for w := 0; w < r1.NumSources(); w++ {
+		if r1.AAt(w) != rN.AAt(w) {
+			t.Fatalf("A[%d] differs across worker counts: %v vs %v", w, r1.AAt(w), rN.AAt(w))
 		}
 	}
 	for ti := 0; ti < r1.NumTriples(); ti++ {
@@ -398,14 +399,15 @@ func TestFreezeOptions(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	for _, a := range res.A {
+	for w := 0; w < res.NumSources(); w++ {
+		a := res.AAt(w)
 		if a != opt.InitAccuracy {
 			t.Fatalf("frozen source accuracy moved: %v", a)
 		}
 	}
-	for e := range res.R {
-		if res.R[e] != opt.InitRecall || res.Q[e] != opt.InitQ {
-			t.Fatalf("frozen extractor params moved: R=%v Q=%v", res.R[e], res.Q[e])
+	for e := 0; e < res.NumExtractors(); e++ {
+		if res.RAt(e) != opt.InitRecall || res.QAt(e) != opt.InitQ {
+			t.Fatalf("frozen extractor params moved: R=%v Q=%v", res.RAt(e), res.QAt(e))
 		}
 	}
 }
@@ -434,7 +436,8 @@ func TestExpectedTriplesAccounting(t *testing.T) {
 		t.Fatal(err)
 	}
 	var total float64
-	for _, x := range res.ExpectedTriples {
+	for w := 0; w < res.NumSources(); w++ {
+		x := res.ExpectedTriplesAt(w)
 		if x < 0 {
 			t.Fatalf("negative expected triples %v", x)
 		}

@@ -1,0 +1,125 @@
+package core
+
+import (
+	"math"
+	"testing"
+)
+
+// chunk0Addr returns the address of a chunk's first element, for sharing
+// assertions.
+func chunkAddr(v unitVec, ci int) *float64 { return &v.chunks[ci][0] }
+
+func TestBuildUnitVecSharesCleanChunks(t *testing.T) {
+	n := 2*unitChunk + 7
+	work := make([]float64, n)
+	for i := range work {
+		work[i] = float64(i)
+	}
+	dirty := make([]uint32, numUnitChunks(n))
+	base := buildUnitVec(unitVec{}, work, dirty)
+	if base.Len() != n || base.At(0) != 0 || base.At(n-1) != float64(n-1) {
+		t.Fatalf("base vec wrong: len=%d", base.Len())
+	}
+
+	// No writes: every chunk shared.
+	same := buildUnitVec(base, work, dirty)
+	for ci := range same.chunks {
+		if chunkAddr(same, ci) != chunkAddr(base, ci) {
+			t.Fatalf("clean chunk %d was copied", ci)
+		}
+	}
+
+	// One dirtied chunk: only it is copied.
+	work[unitChunk+3] = -1
+	markUnit(dirty, unitChunk+3)
+	next := buildUnitVec(base, work, dirty)
+	if chunkAddr(next, 0) != chunkAddr(base, 0) || chunkAddr(next, 2) != chunkAddr(base, 2) {
+		t.Fatal("clean chunks were copied")
+	}
+	if chunkAddr(next, 1) == chunkAddr(base, 1) {
+		t.Fatal("dirty chunk was shared")
+	}
+	if next.At(unitChunk+3) != -1 || base.At(unitChunk+3) != float64(unitChunk+3) {
+		t.Fatal("copy-on-write leaked into the previous generation")
+	}
+
+	// Growth: the boundary chunk re-copies via the length test even with a
+	// clear mark; whole chunks before it stay shared.
+	clear(dirty)
+	grown := append(work, 1, 2, 3)
+	gv := buildUnitVec(base, grown, dirty)
+	if chunkAddr(gv, 0) != chunkAddr(base, 0) || chunkAddr(gv, 1) != chunkAddr(base, 1) {
+		t.Fatal("full chunks not shared across growth")
+	}
+	if len(gv.chunks[2]) != 10 || gv.At(n+2) != 3 {
+		t.Fatalf("boundary chunk not extended: len=%d", len(gv.chunks[2]))
+	}
+}
+
+func TestCowVecClonesOnFirstWrite(t *testing.T) {
+	n := unitChunk + 5
+	vals := make([]float64, n)
+	for i := range vals {
+		vals[i] = float64(i)
+	}
+	prev := sliceVec(append([]float64(nil), vals...))
+
+	cw := cowFrom(prev, n)
+	cw.Add(3, 0.5)
+	cw.Add(4, -0.25)
+	got := cw.v
+	if chunkAddr(got, 1) != chunkAddr(prev, 1) {
+		t.Fatal("untouched chunk was cloned")
+	}
+	if chunkAddr(got, 0) == chunkAddr(prev, 0) {
+		t.Fatal("written chunk still shared")
+	}
+	if got.At(3) != 3.5 || prev.At(3) != 3 {
+		t.Fatalf("fold wrong: got %v prev %v", got.At(3), prev.At(3))
+	}
+
+	// Growth zero-fills the tail and keeps full prev chunks shared.
+	cw = cowFrom(prev, 2*unitChunk+1)
+	if chunkAddr(cw.v, 0) != chunkAddr(prev, 0) {
+		t.Fatal("full chunk not shared across growth")
+	}
+	if cw.v.At(n) != 0 || cw.v.At(2*unitChunk) != 0 {
+		t.Fatal("grown entries not zero")
+	}
+	if cw.v.At(unitChunk+2) != float64(unitChunk+2) {
+		t.Fatal("boundary growth lost prev values")
+	}
+}
+
+func TestInheritMarks(t *testing.T) {
+	prevN := unitChunk + 10
+	n := 2*unitChunk + 1
+	src := []uint32{0, 1}
+	dst := make([]uint32, numUnitChunks(n))
+	inheritMarks(dst, src, prevN, n)
+	if dst[0] != 0 {
+		t.Error("fully copied clean chunk should inherit clean")
+	}
+	if dst[1] != 1 || dst[2] != 1 {
+		t.Error("boundary and new chunks must be dirty")
+	}
+	// Equal sizes: everything inherits, including the short tail chunk.
+	dst2 := make([]uint32, 2)
+	inheritMarks(dst2, src, prevN, prevN)
+	if dst2[0] != 0 || dst2[1] != 1 {
+		t.Errorf("equal-size inherit wrong: %v", dst2)
+	}
+}
+
+func TestSliceAndCopyVec(t *testing.T) {
+	vals := []float64{1, 2, 3}
+	sv := sliceVec(vals)
+	cv := copyVec(vals)
+	vals[1] = math.Pi
+	if sv.At(1) != math.Pi {
+		t.Error("sliceVec must alias the caller's slice")
+	}
+	if cv.At(1) != 2 {
+		t.Error("copyVec must not alias the caller's slice")
+	}
+}

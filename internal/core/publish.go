@@ -152,36 +152,40 @@ func (em *EM) BuildResultFrom(prev *Result, shards []triple.Shard, touched []boo
 		g.chunks[si] = ck
 	})
 
-	// The per-unit parameter copies share one backing allocation apiece
-	// (floats and bools): publication runs every refresh, and at fine
-	// granularities the source space is corpus-sized, so allocator overhead
-	// is worth trimming even though the copies themselves are memcpys.
-	nS, nE := len(st.a), len(st.p)
-	fb := make([]float64, 0, nS+3*nE)
-	sub := func(src []float64) []float64 {
-		n0 := len(fb)
-		fb = append(fb, src...)
-		return fb[n0:len(fb):len(fb)]
+	// Per-unit parameters publish copy-on-write (params.go): a chunk no
+	// write dirtied since prev was published is shared by pointer, so a
+	// refresh that moved a handful of units copies a handful of chunks —
+	// O(changed chunks) instead of O(units). prev must be the generation the
+	// dirty marks were cleared against (the engine always passes its last
+	// published Result); clearing the marks below makes this generation the
+	// new baseline. The inclusion copies share one backing allocation.
+	var pva, pvp, pvr, pvq unitVec
+	if prev != nil {
+		pva, pvp, pvr, pvq = prev.aVec, prev.pVec, prev.rVec, prev.qVec
 	}
+	nS, nE := len(st.a), len(st.p)
 	bb := make([]bool, 0, nS+nE)
 	bsub := func(src []bool) []bool {
 		n0 := len(bb)
 		bb = append(bb, src...)
 		return bb[n0:len(bb):len(bb)]
 	}
-	return &Result{
-		A:                 sub(st.a),
-		P:                 sub(st.p),
-		R:                 sub(st.r),
-		Q:                 sub(st.q),
+	res := &Result{
+		aVec:              buildUnitVec(pva, st.a, st.srcDirty),
+		pVec:              buildUnitVec(pvp, st.p, st.extDirty),
+		rVec:              buildUnitVec(pvr, st.r, st.extDirty),
+		qVec:              buildUnitVec(pvq, st.q, st.extDirty),
 		SourceIncluded:    bsub(st.srcIncluded),
 		ExtractorIncluded: bsub(st.extIncluded),
-		ExpectedTriples:   em.expectedTriples(prev, pg, shards, dirty, prevNTri, cProb),
+		expVec:            em.expectedTriples(prev, pg, shards, dirty, prevNTri, cProb),
 		Iterations:        iterations,
 		Converged:         converged,
 		gen:               g,
 		snap:              s,
 	}
+	clear(st.srcDirty)
+	clear(st.extDirty)
+	return res
 }
 
 // expectedTriples computes the per-source Σ p(C|X). On the incremental path
@@ -191,7 +195,7 @@ func (em *EM) BuildResultFrom(prev *Result, shards []triple.Shard, touched []boo
 // Otherwise it aggregates in global triple order, bit-identical to Run and
 // BuildResult (the FullAggregates/FullRecompile oracles re-aggregate every
 // refresh, keeping their bit-exactness contract).
-func (em *EM) expectedTriples(prev *Result, pg *genStore, shards []triple.Shard, dirty []int, prevNTri int, cProb []float64) []float64 {
+func (em *EM) expectedTriples(prev *Result, pg *genStore, shards []triple.Shard, dirty []int, prevNTri int, cProb []float64) unitVec {
 	st := em.st
 	s := st.s
 	anchor := st.agg == nil || st.agg.expAnchor || len(dirty) == len(shards)
@@ -203,9 +207,12 @@ func (em *EM) expectedTriples(prev *Result, pg *genStore, shards []triple.Shard,
 		for ti, tr := range s.Triples {
 			exp[tr.W] += cProb[ti]
 		}
-		return exp
+		return sliceVec(exp)
 	}
-	exp := grow(append([]float64(nil), prev.ExpectedTriples...), len(s.Sources), 0)
+	// Delta fold, copy-on-write: every chunk starts shared with prev and is
+	// cloned on its first adjustment, so only the sources of dirty shards'
+	// triples cost a copy.
+	cw := cowFrom(prev.expVec, len(s.Sources))
 	for _, si := range dirty {
 		pc := pg.chunks[si]
 		for pos, ti := range shards[si].Triples {
@@ -214,9 +221,9 @@ func (em *EM) expectedTriples(prev *Result, pg *genStore, shards []triple.Shard,
 				old = pc.cProb[pos]
 			}
 			if d := cProb[ti] - old; d != 0 {
-				exp[s.Triples[ti].W] += d
+				cw.Add(s.Triples[ti].W, d)
 			}
 		}
 	}
-	return exp
+	return cw.v
 }

@@ -37,7 +37,7 @@ func meanAbsAccuracyError(w *synthetic.World, s *triple.Snapshot, res *Result) f
 		if !ok {
 			continue
 		}
-		sum += math.Abs(res.A[wi] - truth)
+		sum += math.Abs(res.AAt(wi) - truth)
 		n++
 	}
 	return sum / float64(n)
@@ -67,15 +67,15 @@ func TestLeaveOneOutPreventsPrecisionRatchet(t *testing.T) {
 	truthP := math.Pow(w.Params.ComponentPrecision, 3)
 	errOf := func(res *Result) float64 {
 		var sum float64
-		for e := range res.P {
-			sum += math.Abs(res.P[e] - truthP)
+		for e := 0; e < res.NumExtractors(); e++ {
+			sum += math.Abs(res.PAt(e) - truthP)
 		}
-		return sum / float64(len(res.P))
+		return sum / float64(res.NumExtractors())
 	}
 	maxWithout := 0.0
-	for e := range resWo.P {
-		if resWo.P[e] > maxWithout {
-			maxWithout = resWo.P[e]
+	for e := 0; e < resWo.NumExtractors(); e++ {
+		if resWo.PAt(e) > maxWithout {
+			maxWithout = resWo.PAt(e)
 		}
 	}
 	if maxWithout < 0.97 {
@@ -95,7 +95,8 @@ func TestQFloorBoundsPresenceVotes(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	for e, q := range res.Q {
+	for e := 0; e < res.NumExtractors(); e++ {
+		q := res.QAt(e)
 		if !res.ExtractorIncluded[e] {
 			continue
 		}
@@ -129,8 +130,8 @@ func TestSmoothingKeepsSmallUnitsInterior(t *testing.T) {
 		t.Fatal(err)
 	}
 	e := s.ExtractorID("Etiny")
-	if res.P[e] > 0.95 {
-		t.Errorf("tiny extractor precision = %v, smoothing should keep it interior", res.P[e])
+	if res.PAt(e) > 0.95 {
+		t.Errorf("tiny extractor precision = %v, smoothing should keep it interior", res.PAt(e))
 	}
 }
 
@@ -143,7 +144,8 @@ func TestAccuracyClampBoundsKBT(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	for wi, a := range res.A {
+	for wi := 0; wi < res.NumSources(); wi++ {
+		a := res.AAt(wi)
 		if !res.SourceIncluded[wi] {
 			continue
 		}
@@ -158,7 +160,8 @@ func TestAccuracyClampBoundsKBT(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	for _, a := range res.A {
+	for wi := 0; wi < res.NumSources(); wi++ {
+		a := res.AAt(wi)
 		if a <= 0 || a >= 1 {
 			t.Errorf("unclamped accuracy %v out of (0,1)", a)
 		}
@@ -230,7 +233,7 @@ func TestAlphaQuarterStableWhereHalfCollapses(t *testing.T) {
 			if !ok {
 				continue
 			}
-			xs = append(xs, res.A[wi])
+			xs = append(xs, res.AAt(wi))
 			ys = append(ys, truth)
 		}
 		c, _ := stats.Correlation(xs, ys)
@@ -255,7 +258,7 @@ func TestExplicitInitsSurviveBootstrap(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if math.Abs(res.R[0]-0.33) > 1e-12 || math.Abs(res.Q[0]-0.07) > 1e-12 {
-		t.Errorf("explicit inits lost: R=%v Q=%v", res.R[0], res.Q[0])
+	if math.Abs(res.RAt(0)-0.33) > 1e-12 || math.Abs(res.QAt(0)-0.07) > 1e-12 {
+		t.Errorf("explicit inits lost: R=%v Q=%v", res.RAt(0), res.QAt(0))
 	}
 }

@@ -3,12 +3,14 @@ package core
 import (
 	"math"
 	"math/bits"
+	"slices"
 
 	"kbt/internal/triple"
 )
 
 // This file maintains the per-unit staleness ledger behind the engine's
-// confined settling sweeps.
+// confined settling sweeps, and the sub-shard ScopeSet those sweeps run
+// over.
 //
 // The engine caches every shard's E-step outputs between iterations and
 // refreshes. A cached posterior goes stale when a parameter it was computed
@@ -19,53 +21,72 @@ import (
 // behind them crosses Tol, so between vote refreshes the published extractor
 // state does not move at all, no matter how the raw parameters drift.
 //
-// The ledger therefore tracks, per unit, the movement of what the E-step
-// actually consumes:
+// The ledger tracks, per unit, the movement of what the E-step actually
+// consumes:
 //
 //   - per source: |ΔA_w| accumulated every M-step (srcVote is recomputed from
-//     the live accuracy each iteration), together with a bitmask of the
-//     shards holding the source's candidate triples — the only shards whose
-//     cached posteriors read A_w;
+//     the live accuracy each iteration), together with the items holding the
+//     source's candidate triples — the only rows whose cached posteriors
+//     read A_w;
 //   - per extractor: the published vote-parameter movement |ΔR_e| + |ΔQ_e|,
-//     accumulated only when the votes are actually recomputed
-//     (state.computeVotes). An extractor's absence vote reaches every triple
-//     in every cell it attempts, so its reach is treated as global — the
-//     conservative mask; at the coarse name granularity extractors span most
-//     of the corpus anyway, and vote refreshes are already Tol-rationed.
+//     accumulated when the votes republish (computeVotes, selectiveVotes).
+//     An extractor's absence vote reaches every triple in every
+//     (source, predicate) cell it attempts, so its reach is the items of its
+//     attempted cells — global only under ScopeAllExtractors, where the
+//     absence mass is a corpus-wide total.
 //
-// A unit's drift resets when an E-step pass covers every shard it can reach.
-// The engine asks MarkStale for the shards whose accumulated relevant drift
-// exceeds Tol and re-estimates only those — the settling sweep confined to
-// the actually-stale fraction of the corpus, instead of the all-shards
-// escalation that made warm refreshes O(corpus). The ledger persists across
-// refreshes (extended append-only by NewEMFrom, remapped by dense-id prefix
-// under FullRecompile), so sub-Tol residue left by a converged refresh keeps
-// accumulating instead of being forgotten — many small refreshes can no
-// longer compound into an unbounded cached-posterior lag.
+// Reach is resolved at *item* granularity, not shard granularity: a drifted
+// unit stales the items it actually touches, and MarkStale records them in a
+// ScopeSet — per-shard item sets compiled into sorted coalesced position
+// ranges over the append-only shard item lists. A unit whose reach covers a
+// quarter or more of the corpus is marked at whole-shard granularity instead
+// (its per-item walk would cost more than the confinement saves, and its
+// item set is dense in every shard it reaches); the cutoff depends only on
+// snapshot table sizes, so the FullRecompile oracle resolves the identical
+// scopes. A unit's drift resets when a pass covers its whole reach —
+// SettleScopes consumes the ScopeSet's record of which units the pass
+// settled.
 //
-// Contract: a settled shard's cached posteriors lag the published parameters
-// by less than Tol of accumulated movement per relevant unit (the previous
-// global scheme bounded the *sum over all units* by Tol; per-unit accounting
-// trades that for confinement, bounding the lag by Tol times the handful of
-// units an item actually reads). The engine refuses to declare convergence
-// while any unit's drift stands at or above Tol — it runs one more confined
-// settling pass instead — so the contract holds for every published
-// converged result; only a MaxIter-capped unconverged refresh may publish
-// residue, and the carried ledger re-anchors that at the next refresh's
-// first pass.
+// The ledger persists across refreshes (extended append-only by NewEMFrom,
+// remapped by dense-id prefix under FullRecompile), so sub-Tol residue left
+// by a converged refresh keeps accumulating instead of being forgotten —
+// many small refreshes cannot compound into an unbounded cached-posterior
+// lag.
+//
+// Contract: a settled row's cached posteriors lag the published parameters
+// by less than Tol of accumulated movement per relevant unit. The engine
+// refuses to declare convergence while any unit's drift stands at or above
+// Tol — it runs one more confined settling pass instead — so the contract
+// holds for every published converged result; only a MaxIter-capped
+// unconverged refresh may publish residue, and the carried ledger re-anchors
+// that at the next refresh's first pass.
 
-// staleLedger is the per-unit drift state. Masks are srcMaskWords uint64
-// words per source, bit si set when shard si holds one of the source's
-// candidate triples.
+// broadReachDenom is the reach cutoff for whole-shard marking: a unit
+// touching >= 1/broadReachDenom of the corpus marks shards, not items.
+const broadReachDenom = 4
+
+// staleLedger is the per-unit drift state plus the append-only position
+// indexes sub-shard scopes are resolved through.
 type staleLedger struct {
 	nShards, words int
 
-	// itemShard caches triple.ShardOf for every data item, grown append-only
-	// with the snapshot.
+	// itemShard and itemPos cache each data item's shard and its position
+	// within that shard's ascending item list, grown append-only with the
+	// snapshot. shardLen counts items per shard (itemPos's growth cursor and
+	// the full-shard test during scope compilation).
 	itemShard []int32
+	itemPos   []int32
+	shardLen  []int32
+
+	// triplesOfCell indexes, per (source, predicate) cell (state.cellID
+	// dense ids), the candidate triples the cell holds — the reach of an
+	// extractor's republished absence vote, and the engine's
+	// pending-footprint index. Append-only: cell ids and triple order are
+	// extension-stable.
+	triplesOfCell [][]int32
 
 	// srcMask is the per-source shard reach (nSrc × words); srcDrift the
-	// accumulated |ΔA| since the source's shards were last all re-estimated.
+	// accumulated |ΔA| since the source's reach was last re-estimated.
 	srcMask  []uint64
 	srcDrift []float64
 
@@ -75,12 +96,231 @@ type staleLedger struct {
 	extDrift []float64
 	rAt, qAt []float64
 
-	// scratch is a words-sized bitmask buffer for SettleShards.
+	// scratch is a words-sized bitmask buffer for SettleScopes.
 	scratch []uint64
 }
 
 func (led *staleLedger) setSrcBit(w, si int) {
 	led.srcMask[w*led.words+si/64] |= 1 << (si % 64)
+}
+
+// appendItems grows the position indexes for items [from, len(s.Items)).
+// Items arrive in ascending dense-id order, so each one's position is its
+// shard's current length.
+func (led *staleLedger) appendItems(s *triple.Snapshot, from int) {
+	for d := from; d < len(s.Items); d++ {
+		si := int32(triple.ShardOf(s.Items[d], led.nShards))
+		led.itemShard = append(led.itemShard, si)
+		led.itemPos = append(led.itemPos, led.shardLen[si])
+		led.shardLen[si]++
+	}
+}
+
+// ScopeSet is a sub-shard dirty set: per shard either "whole shard" or a set
+// of marked items, compiled on demand into sorted, coalesced item-position
+// ranges. It also records which units a settling pass covers, so
+// SettleScopes can reset exactly their drift. The engine keeps ScopeSets
+// across refreshes and Resets them per use; nothing here allocates once the
+// buffers have grown to corpus size.
+type ScopeSet struct {
+	nShards int
+
+	full  []bool // per shard: whole shard in scope
+	nFull int
+
+	itemMark  []bool  // per dense item id: item in scope (narrow marks)
+	items     []int   // the marked item ids, unordered
+	itemShard []int32 // parallel to items: each mark's shard
+
+	// settledSrc/settledExt list the units whose whole reach this scope
+	// covers (recorded by MarkStale); SettleScopes resets their drift.
+	settledSrc []int32
+	settledExt []int32
+
+	// Compiled form: the shards with any coverage, ascending; ranges[i] is
+	// nil for a full shard, else its sorted coalesced position ranges
+	// (subslices of rangeBuf).
+	shardList []int
+	ranges    [][]triple.ItemRange
+	rangeBuf  []triple.ItemRange
+
+	// Compile scratch: per-shard narrow-mark counts and bucket cursors.
+	cnt    []int32
+	posBuf []int32
+}
+
+// NewScopeSet returns an empty ScopeSet; Reset sizes it.
+func NewScopeSet() *ScopeSet { return &ScopeSet{} }
+
+// Reset clears the scope for nShards shards and nItems items, retaining
+// buffers.
+func (sc *ScopeSet) Reset(nShards, nItems int) {
+	if len(sc.full) < nShards {
+		sc.full = append(sc.full, make([]bool, nShards-len(sc.full))...)
+		sc.cnt = append(sc.cnt, make([]int32, nShards-len(sc.cnt))...)
+	}
+	for si := range sc.full[:nShards] {
+		sc.full[si] = false
+	}
+	sc.nShards = nShards
+	sc.nFull = 0
+	if len(sc.itemMark) < nItems {
+		sc.itemMark = append(sc.itemMark, make([]bool, nItems-len(sc.itemMark))...)
+	}
+	for _, d := range sc.items {
+		sc.itemMark[d] = false
+	}
+	sc.items = sc.items[:0]
+	sc.itemShard = sc.itemShard[:0]
+	sc.settledSrc = sc.settledSrc[:0]
+	sc.settledExt = sc.settledExt[:0]
+	sc.shardList = sc.shardList[:0]
+	sc.ranges = sc.ranges[:0]
+	sc.rangeBuf = sc.rangeBuf[:0]
+}
+
+// MergeFrom adds base's marks (full shards and items) into sc. Settled-unit
+// records are not merged — they belong to the pass that recorded them.
+func (sc *ScopeSet) MergeFrom(base *ScopeSet) {
+	for si, f := range base.full[:base.nShards] {
+		if f {
+			sc.MarkShardFull(si)
+		}
+	}
+	for k, d := range base.items {
+		sc.markItem(d, base.itemShard[k])
+	}
+}
+
+// MarkShardFull puts the whole shard in scope; reports 1 if it was not
+// already full.
+func (sc *ScopeSet) MarkShardFull(si int) int {
+	if sc.full[si] {
+		return 0
+	}
+	sc.full[si] = true
+	sc.nFull++
+	return 1
+}
+
+// MarkAllFull puts every shard in scope; reports how many were newly added.
+func (sc *ScopeSet) MarkAllFull() int {
+	added := 0
+	for si := 0; si < sc.nShards; si++ {
+		added += sc.MarkShardFull(si)
+	}
+	return added
+}
+
+// markItem puts one item in scope; no-op (0) when its shard is already
+// wholly in scope or the item is already marked.
+func (sc *ScopeSet) markItem(d int, si int32) int {
+	if sc.full[si] || sc.itemMark[d] {
+		return 0
+	}
+	sc.itemMark[d] = true
+	sc.items = append(sc.items, d)
+	sc.itemShard = append(sc.itemShard, si)
+	return 1
+}
+
+// AllFull reports whether every shard is wholly in scope.
+func (sc *ScopeSet) AllFull() bool { return sc.nFull == sc.nShards }
+
+// Len returns the number of shards with any coverage. Valid after Compile.
+func (sc *ScopeSet) Len() int { return len(sc.shardList) }
+
+// At returns compiled entry i: the shard id, whether the whole shard is in
+// scope, and otherwise its sorted coalesced item-position ranges.
+func (sc *ScopeSet) At(i int) (si int, full bool, ranges []triple.ItemRange) {
+	si = sc.shardList[i]
+	if sc.full[si] {
+		return si, true, nil
+	}
+	return si, false, sc.ranges[i]
+}
+
+// Compile resolves the marks into the per-shard range form: shards listed
+// ascending, each either full or carrying sorted coalesced position ranges.
+// A shard whose narrow marks cover every item it owns is upgraded to full.
+// Deterministic for a given mark set, so the fast path and the FullRecompile
+// oracle compile identical scopes. The ledger provides the position index.
+func (em *EM) CompileScope(sc *ScopeSet) {
+	led := em.st.ledger
+	sc.shardList = sc.shardList[:0]
+	sc.ranges = sc.ranges[:0]
+	sc.rangeBuf = sc.rangeBuf[:0]
+	if sc.AllFull() {
+		for si := 0; si < sc.nShards; si++ {
+			sc.shardList = append(sc.shardList, si)
+			sc.ranges = append(sc.ranges, nil)
+		}
+		return
+	}
+	// Count narrow marks per shard; upgrade saturated shards to full.
+	for k := range sc.items {
+		if si := sc.itemShard[k]; !sc.full[si] {
+			sc.cnt[si]++
+			if sc.cnt[si] == led.shardLen[si] {
+				sc.full[si] = true
+				sc.nFull++
+			}
+		}
+	}
+	// Bucket the partial shards' positions (cnt doubles as the cursor), then
+	// sort and coalesce each bucket. cnt is left zeroed for the next Compile.
+	if cap(sc.posBuf) < len(sc.items) {
+		sc.posBuf = make([]int32, len(sc.items))
+	}
+	sc.posBuf = sc.posBuf[:len(sc.items)]
+	off := 0
+	for si := 0; si < sc.nShards; si++ {
+		n := int(sc.cnt[si])
+		if sc.full[si] {
+			sc.shardList = append(sc.shardList, si)
+			sc.ranges = append(sc.ranges, nil)
+			sc.cnt[si] = 0
+			continue
+		}
+		if n == 0 {
+			continue
+		}
+		sc.shardList = append(sc.shardList, si)
+		sc.ranges = append(sc.ranges, nil) // filled below
+		sc.cnt[si] = int32(off)
+		off += n
+	}
+	for k, d := range sc.items {
+		if si := sc.itemShard[k]; !sc.full[si] {
+			sc.posBuf[sc.cnt[si]] = led.itemPos[d]
+			sc.cnt[si]++
+		}
+	}
+	// Per partial shard, cnt now holds the bucket's end offset; walk the
+	// compiled list again to sort/coalesce each bucket into rangeBuf.
+	start := 0
+	for i, si := range sc.shardList {
+		if sc.full[si] {
+			continue
+		}
+		bucket := sc.posBuf[start:int(sc.cnt[si])]
+		start = int(sc.cnt[si])
+		sc.cnt[si] = 0
+		slices.Sort(bucket)
+		rlo := len(sc.rangeBuf)
+		lo := bucket[0]
+		hi := lo + 1
+		for _, p := range bucket[1:] {
+			if p == hi {
+				hi++
+				continue
+			}
+			sc.rangeBuf = append(sc.rangeBuf, triple.ItemRange{Lo: lo, Hi: hi})
+			lo, hi = p, p+1
+		}
+		sc.rangeBuf = append(sc.rangeBuf, triple.ItemRange{Lo: lo, Hi: hi})
+		sc.ranges[i] = sc.rangeBuf[rlo:len(sc.rangeBuf):len(sc.rangeBuf)]
+	}
 }
 
 // EnableStaleness builds the per-unit staleness ledger for nShards item
@@ -95,26 +335,33 @@ func (em *EM) EnableStaleness(nShards int) {
 	}
 	s := st.s
 	led := &staleLedger{nShards: nShards, words: (nShards + 63) / 64}
-	led.itemShard = make([]int32, len(s.Items))
-	for d, key := range s.Items {
-		led.itemShard[d] = int32(triple.ShardOf(key, nShards))
-	}
+	led.shardLen = make([]int32, nShards)
+	led.itemShard = make([]int32, 0, len(s.Items))
+	led.itemPos = make([]int32, 0, len(s.Items))
+	st.ledger = led
+	led.appendItems(s, 0)
 	led.srcMask = make([]uint64, len(s.Sources)*led.words)
 	for _, tr := range s.Triples {
 		led.setSrcBit(tr.W, int(led.itemShard[tr.D]))
+	}
+	led.triplesOfCell = make([][]int32, st.numCells)
+	for ti := range s.Triples {
+		c := st.cellOfTriple[ti]
+		led.triplesOfCell[c] = append(led.triplesOfCell[c], int32(ti))
 	}
 	led.srcDrift = make([]float64, len(s.Sources))
 	led.extDrift = make([]float64, len(s.Extractors))
 	led.rAt = append([]float64(nil), st.r...)
 	led.qAt = append([]float64(nil), st.q...)
 	led.scratch = make([]uint64, led.words)
-	st.ledger = led
 }
 
 // CarryStalenessFrom copies prev's accumulated drift and published-vote
 // anchors by dense-id prefix — the FullRecompile path's counterpart of the
 // ledger NewEMFrom extends in place, needed so the oracle makes the identical
-// settling decisions. Both EMs must have staleness enabled.
+// settling decisions. Both EMs must have staleness enabled. The position and
+// cell indexes are not carried: EnableStaleness rebuilds them from the same
+// snapshot tables and cell interning order, bit-identically.
 func (em *EM) CarryStalenessFrom(prev *EM) {
 	led, old := em.st.ledger, prev.st.ledger
 	if led == nil || old == nil {
@@ -156,67 +403,117 @@ func (st *state) noteVoteRefresh() {
 	}
 }
 
-// MarkStale sets mark[si] for every shard holding a unit whose accumulated
-// drift has reached tol — the shards whose cached posteriors the staleness
-// contract no longer covers — and reports how many entries it newly set.
-// Excluded units are skipped: their parameters are frozen and enter no
-// E-step (an inclusion flip escalates structurally before this is asked).
-func (em *EM) MarkStale(tol float64, mark []bool) int {
+// broadSource reports whether the source's candidate triples span at least
+// 1/broadReachDenom of the corpus — the whole-shard marking cutoff.
+func (st *state) broadSource(w int) bool {
+	return len(st.s.TriplesOfSource[w])*broadReachDenom >= len(st.s.Triples)
+}
+
+// broadExtractor is the extractor counterpart, on observation counts.
+func (st *state) broadExtractor(e int) bool {
+	return len(st.s.ObsOfExtractor[e])*broadReachDenom >= len(st.s.Obs)
+}
+
+// MarkStale widens the scope by the reach of every unit whose accumulated
+// drift has reached tol — the rows whose cached posteriors the staleness
+// contract no longer covers — and reports how many marks (items or whole
+// shards) it newly added. Narrow units mark exactly their items; broad units
+// (and, under ScopeAllExtractors, any drifted extractor — its absence mass
+// is corpus-global) mark whole shards. Every drifted unit whose reach the
+// widened scope now covers is recorded for SettleScopes. Excluded units are
+// skipped: their parameters are frozen and enter no E-step (an inclusion
+// flip escalates structurally before this is asked).
+func (em *EM) MarkStale(tol float64, sc *ScopeSet) int {
 	st := em.st
 	led := st.ledger
 	if led == nil {
 		return 0
 	}
+	s := st.s
 	added := 0
 	for e, drift := range led.extDrift {
-		if drift >= tol && st.extIncluded[e] {
-			// Published extractor votes moved beyond tolerance: their absence
-			// mass reaches every attempted cell, so every shard is stale.
-			for si := range mark {
-				if !mark[si] {
-					mark[si] = true
-					added++
-				}
-			}
-			return added
+		if drift < tol || !st.extIncluded[e] {
+			continue
 		}
+		if st.opt.Scope == ScopeAllExtractors || st.broadExtractor(e) {
+			// The republished votes' absence mass reaches every attempted
+			// cell — under the global scope, every row outright.
+			return added + sc.MarkAllFull()
+		}
+		for _, c := range st.cellsOfExtractor[e] {
+			for _, ti := range led.triplesOfCell[c] {
+				d := int(s.Triples[ti].D)
+				added += sc.markItem(d, led.itemShard[d])
+			}
+		}
+		sc.settledExt = append(sc.settledExt, int32(e))
 	}
 	for w, drift := range led.srcDrift {
 		if drift < tol || !st.srcIncluded[w] {
 			continue
 		}
-		base := w * led.words
-		for k := 0; k < led.words; k++ {
-			word := led.srcMask[base+k]
-			for word != 0 {
-				si := k*64 + bits.TrailingZeros64(word)
-				word &= word - 1
-				if !mark[si] {
-					mark[si] = true
-					added++
+		if st.broadSource(w) {
+			base := w * led.words
+			for k := 0; k < led.words; k++ {
+				word := led.srcMask[base+k]
+				for word != 0 {
+					si := k*64 + bits.TrailingZeros64(word)
+					word &= word - 1
+					added += sc.MarkShardFull(si)
 				}
 			}
+		} else {
+			for _, ti := range s.TriplesOfSource[w] {
+				d := int(s.Triples[ti].D)
+				added += sc.markItem(d, led.itemShard[d])
+			}
 		}
+		sc.settledSrc = append(sc.settledSrc, int32(w))
 	}
 	return added
 }
 
-// SettleShards records that an E-step pass re-estimated the shards in dirty:
-// every unit whose whole reach was covered is re-anchored (drift reset). A
-// full pass settles everything, including the globally-reaching extractors.
-func (em *EM) SettleShards(dirty []int) {
+// MarkCellItems widens the scope by the items of one (source, predicate)
+// cell — the engine's pending-ingest footprint seeding. It reports whether
+// the cell exists (a pending record whose cell is unknown violates the
+// ingest invariant; the engine escalates).
+func (em *EM) MarkCellItems(w, p int, sc *ScopeSet) bool {
+	st := em.st
+	led := st.ledger
+	if led == nil {
+		return false
+	}
+	c, ok := st.cellID[int64(w)<<32|int64(uint32(p))]
+	if !ok {
+		return false
+	}
+	for _, ti := range led.triplesOfCell[c] {
+		d := int(st.s.Triples[ti].D)
+		sc.markItem(d, led.itemShard[d])
+	}
+	return true
+}
+
+// SettleScopes records that an E-step pass re-estimated the compiled scope:
+// every unit whose whole reach was covered is re-anchored (drift reset) —
+// the units MarkStale recorded on the scope, plus any source whose shard
+// reach the scope's full shards cover. A scope covering every shard settles
+// everything, including the extractors.
+func (em *EM) SettleScopes(sc *ScopeSet) {
 	led := em.st.ledger
 	if led == nil {
 		return
 	}
-	if len(dirty) >= led.nShards {
+	if sc.AllFull() {
 		clear(led.srcDrift)
 		clear(led.extDrift)
 		return
 	}
 	clear(led.scratch)
-	for _, si := range dirty {
-		led.scratch[si/64] |= 1 << (si % 64)
+	for si, f := range sc.full[:sc.nShards] {
+		if f {
+			led.scratch[si/64] |= 1 << (si % 64)
+		}
 	}
 	for w := range led.srcDrift {
 		if led.srcDrift[w] == 0 {
@@ -230,6 +527,12 @@ func (em *EM) SettleShards(dirty []int) {
 		if covered {
 			led.srcDrift[w] = 0
 		}
+	}
+	for _, w := range sc.settledSrc {
+		led.srcDrift[w] = 0
+	}
+	for _, e := range sc.settledExt {
+		led.extDrift[e] = 0
 	}
 }
 
@@ -250,22 +553,26 @@ func (em *EM) ExtractorVoteDrift() []float64 {
 }
 
 // extendLedger grows the ledger append-only with the snapshot extension —
-// new items' shard assignments, new triples' reach bits, zero drift and
-// current-parameter vote anchors for new units. Called by extendState after
-// the parameter arrays have grown.
+// new items' shard positions, new triples' reach and cell entries, zero
+// drift and current-parameter vote anchors for new units. Called by
+// extendState after the parameter arrays, cell interning and cellOfTriple
+// have grown.
 func (st *state) extendLedger(d triple.Delta) {
 	led := st.ledger
 	if led == nil {
 		return
 	}
 	s := st.s
-	for di := d.Items; di < len(s.Items); di++ {
-		led.itemShard = append(led.itemShard, int32(triple.ShardOf(s.Items[di], led.nShards)))
-	}
+	led.appendItems(s, d.Items)
 	led.srcMask = grow(led.srcMask, len(s.Sources)*led.words, 0)
+	if len(led.triplesOfCell) < st.numCells {
+		led.triplesOfCell = append(led.triplesOfCell, make([][]int32, st.numCells-len(led.triplesOfCell))...)
+	}
 	for ti := d.Triples; ti < len(s.Triples); ti++ {
 		tr := s.Triples[ti]
 		led.setSrcBit(tr.W, int(led.itemShard[tr.D]))
+		c := st.cellOfTriple[ti]
+		led.triplesOfCell[c] = append(led.triplesOfCell[c], int32(ti))
 	}
 	led.srcDrift = grow(led.srcDrift, len(s.Sources), 0)
 	led.extDrift = grow(led.extDrift, len(s.Extractors), 0)

@@ -25,7 +25,7 @@ func resultEvidence(r *Result) copydetect.Evidence {
 			}
 			return 0
 		},
-		Accuracy: func(w int) float64 { return g.A[w] },
+		Accuracy: func(w int) float64 { return g.AAt(w) },
 		Provides: func(ti int) bool { return g.CProbAt(ti) >= 0.5 },
 	}
 }
@@ -249,7 +249,7 @@ func TestCopyDiscountConverges(t *testing.T) {
 		if want, err = oracle.Refresh(); err != nil {
 			t.Fatal(err)
 		}
-		if d := maxAbsDiff(got.Inference.A, want.Inference.A); d > tol {
+		if d := maxAbsDiff(aOf(got.Inference), aOf(want.Inference)); d > tol {
 			t.Fatalf("batch %d: accuracies diverge from oracle by %g", bi, d)
 		}
 	}
@@ -270,7 +270,7 @@ func TestCopyDiscountConverges(t *testing.T) {
 	if !settled {
 		t.Fatal("discount feedback did not reach a NoOp fixed point in 30 refreshes")
 	}
-	if d := maxAbsDiff(got.Inference.A, want.Inference.A); d > tol {
+	if d := maxAbsDiff(aOf(got.Inference), aOf(want.Inference)); d > tol {
 		t.Fatalf("settled accuracies diverge from oracle by %g", d)
 	}
 

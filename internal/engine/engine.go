@@ -14,22 +14,28 @@
 //     parameters, priors, vote caches, coverage masks and every index
 //     structure carry over append-only, so no working array is rebuilt from
 //     the corpus,
-//   - runs each E-step only over the dirty shards — those owning an item
-//     that shares a (source, predicate) absence-vote cell with a new record,
-//     plus the shards the per-unit staleness ledger (core.EM.EnableStaleness)
-//     marks as holding above-Tol accumulated parameter drift — so the
-//     settling sweeps an ingest triggers confine themselves to the stale
-//     fraction of the corpus instead of escalating to full passes,
-//   - updates the global M-step aggregates from exactly the dirty shards'
+//   - runs each E-step only over a sub-shard dirty scope (core.ScopeSet) of
+//     (shard, full | item-range) pairs: the items sharing a (source,
+//     predicate) absence-vote cell with a new record, plus whatever the
+//     per-unit staleness ledger (core.EM.EnableStaleness) marks as holding
+//     above-Tol accumulated parameter drift — narrow units mark exactly
+//     their items' ranges, only units reaching a quarter of the corpus mark
+//     whole shards — so the settling sweeps an ingest triggers confine
+//     themselves to the rows that are actually stale, and a shard touched
+//     only through ranges settles its remainder for free
+//     (RefreshStats.PartialShards),
+//   - updates the global M-step aggregates from exactly the dirty scope's
 //     contribution deltas (core.Options.IncrementalAggregates), with a
 //     periodic full re-aggregation bounding floating-point drift;
 //     Options.FullAggregates keeps every M-step a full aggregation,
 //   - publishes the result as an immutable generation behind an atomic
 //     pointer (core.BuildResultFrom): only the touched shards' posterior
-//     chunks are copied out of the working arrays, every other chunk is
-//     shared with the previous generation, and readers (Last) never block a
-//     running Refresh — an old generation a reader holds stays valid and
-//     bit-stable across any number of later swaps.
+//     chunks and the moved units' parameter chunks (the copy-on-write
+//     A/P/R/Q and expected-triple vectors behind Result's accessors) are
+//     copied out of the working arrays, every other chunk is shared with
+//     the previous generation, and readers (Last) never block a running
+//     Refresh — an old generation a reader holds stays valid and bit-stable
+//     across any number of later swaps.
 //
 // Stages I and II of Algorithm 1 are independent per candidate triple
 // respectively per item, so each shard's E-step runs as one task on the
@@ -155,10 +161,14 @@ type Result struct {
 	// configured shard count.
 	FirstPassShards, TotalShards int
 	// TouchedShards is the number of distinct shards any EM iteration of the
-	// refresh re-estimated; SettledShards = TotalShards - TouchedShards is
-	// the corpus fraction whose cached posteriors were already within the
-	// staleness tolerance of the published parameters and never ran.
+	// refresh re-estimated, wholly or in part; SettledShards = TotalShards -
+	// TouchedShards is the corpus fraction whose cached posteriors were
+	// already within the staleness tolerance of the published parameters and
+	// never ran. PartialShards counts the touched shards that were only ever
+	// re-estimated at sub-shard item-range granularity — their settled
+	// remainder never ran either.
 	TouchedShards, SettledShards int
+	PartialShards                int
 	// Escalations counts the EM iterations whose E-step set had to widen
 	// beyond the ingest footprint to re-anchor drift-exceeding shards (zero
 	// on cold refreshes, where the footprint is everything).
@@ -224,6 +234,17 @@ type Engine struct {
 	// the copy-on-write set its publication rebuilt (kept for diagnostics
 	// and the publication benchmarks).
 	lastTouched []bool
+
+	// Refresh-loop scratch, owned exclusively by Refresh (serialised by
+	// refreshMu) and persisted across refreshes so a steady-state warm
+	// refresh re-allocates none of it: the E-step scopes (current,
+	// successor, and the ingest footprint), the materialized per-scope-entry
+	// index lists, and the per-iteration parameter/prior snapshots.
+	scope, scopeNext, scopeBase *core.ScopeSet
+	passItems, passTris         [][]int
+	passItemBuf, passTriBuf     []int
+	passEnds                    [][2]int
+	prevA, prevP, prevR, prevLO []float64
 
 	// tracker persists the streaming copy-detection statistics across
 	// refreshes (nil unless CopyDetect, and nil under FullRecompile, where
@@ -496,45 +517,70 @@ func (e *Engine) Refresh() (*Result, error) {
 		}
 	}
 
-	// base is the ingest's footprint — the shards whose inputs actually
-	// changed. Every iteration's E-step set is base plus the shards the
-	// staleness ledger marks as carrying above-Tol accumulated drift, so
-	// settling sweeps confine themselves to the stale fraction and shrink
-	// back to the footprint as soon as the stale units are re-anchored.
-	var base []int
+	// base is the ingest's footprint — the exact items whose inputs changed:
+	// every item sharing a (source, predicate) absence-vote cell with a
+	// pending record, resolved through the ledger's cell index at item
+	// granularity. Every iteration's E-step scope is base plus the sub-shard
+	// reach of the units the staleness ledger marks as carrying above-Tol
+	// accumulated drift, so settling sweeps confine themselves to the stale
+	// fraction and shrink back to the footprint as soon as the stale units
+	// are re-anchored.
+	nShards, nItems := len(shards), len(snap.Items)
+	if e.scope == nil {
+		e.scope, e.scopeNext, e.scopeBase = core.NewScopeSet(), core.NewScopeSet(), core.NewScopeSet()
+	}
+	base := e.scopeBase
+	base.Reset(nShards, nItems)
 	if !warm {
 		em.Bootstrap(cProb)
-		base = allShards(len(shards))
+		base.MarkAllFull()
 	} else if len(pending) == 0 {
 		// Resuming an unconverged run (the converged case returned above):
 		// the cached posteriors already reproduce the cached parameters, so
 		// a partial pass would measure zero delta and stall. Re-estimate
 		// everything to make progress.
-		base = allShards(len(shards))
-	} else {
-		base, err = e.dirtyShards(em, snap, prev, pending, len(shards))
-		if err != nil {
-			return nil, err
-		}
+		base.MarkAllFull()
+	} else if err := e.seedFootprint(em, snap, prev, pending, base); err != nil {
+		return nil, err
 	}
-	mark := make([]bool, len(shards))
-	touched := make([]bool, len(shards))
+	touched := make([]bool, nShards)
+	touchedWhole := make([]bool, nShards)
 	escalations := 0
-	nextDirty := func() []int {
-		dirty := e.withStale(em, base, len(shards), copt.Tol, mark)
-		for _, si := range dirty {
+	// nextInto computes a successor scope: the footprint plus everything the
+	// ledger marks stale, compiled to per-shard item ranges. The added count
+	// is how many marks lie beyond the footprint — zero means the scope IS
+	// the footprint (nothing stale outside it). Note the base-covers-all
+	// short-circuit: MarkStale could add nothing, and skipping it keeps cold
+	// full-pass iterations free of ledger walks.
+	nextInto := func(dst *core.ScopeSet) int {
+		dst.Reset(nShards, nItems)
+		dst.MergeFrom(base)
+		if dst.AllFull() {
+			em.CompileScope(dst)
+			return 0
+		}
+		added := em.MarkStale(copt.Tol, dst)
+		em.CompileScope(dst)
+		return added
+	}
+	noteTouched := func(s *core.ScopeSet) {
+		for i := 0; i < s.Len(); i++ {
+			si, full, _ := s.At(i)
 			touched[si] = true
+			if full {
+				touchedWhole[si] = true
+			}
 		}
-		if len(dirty) > len(base) {
-			escalations++
-		}
-		return dirty
 	}
 	// The first pass already consults the ledger: drift carried from earlier
 	// refreshes (sub-Tol residue that has since accumulated past Tol, or an
 	// unconverged stop) joins the footprint immediately.
-	dirty := nextDirty()
-	firstPass := len(dirty)
+	sc, nsc := e.scope, e.scopeNext
+	if nextInto(sc) > 0 {
+		escalations++
+	}
+	noteTouched(sc)
+	firstPass := sc.Len()
 	aggDelta0, aggFull0 := em.AggStepCounts()
 
 	// The EM loop mirrors core.Run stage for stage; only the index sets of
@@ -556,10 +602,11 @@ func (e *Engine) Refresh() (*Result, error) {
 			inclusionChanged(e.extInc, em.ExtractorIncluded())
 	}
 	nSrc, nExt := len(snap.Sources), len(snap.Extractors)
-	prevA := make([]float64, nSrc)
-	prevP := make([]float64, nExt)
-	prevR := make([]float64, nExt)
-	prevLO := make([]float64, len(snap.Triples))
+	e.prevA = ensureFloats(e.prevA, nSrc)
+	e.prevP = ensureFloats(e.prevP, nExt)
+	e.prevR = ensureFloats(e.prevR, nExt)
+	e.prevLO = ensureFloats(e.prevLO, len(snap.Triples))
+	prevA, prevP, prevR, prevLO := e.prevA, e.prevP, e.prevR, e.prevLO
 	converged := false
 	iter := 0
 	for iter = 1; iter <= copt.MaxIter; iter++ {
@@ -573,27 +620,30 @@ func (e *Engine) Refresh() (*Result, error) {
 		// per-extractor publication baselines early. All other warm
 		// iterations let BeginIteration republish selectively under the
 		// ledger's per-extractor Tol contract.
-		refreshVotes := !warm || voteForce || len(dirty) == len(shards)
+		refreshVotes := !warm || voteForce || sc.AllFull()
 		em.BeginIteration(refreshVotes)
 		if refreshVotes {
 			voteForce = false
 		}
-		e.eStep(em, shards, dirty, cProb, valueProb, restMass, coveredItem)
-		// The pass re-anchored these shards' posteriors against the current
+		// Materialize the scope: full shards alias their shard views;
+		// partially stale shards gather exactly their marked item ranges and
+		// those items' candidate triples. Every list is a superset-free
+		// statement of what this pass re-estimates — the same lists feed the
+		// E-step, the M-step deltas and the prior diff.
+		passItems, passTris := e.materializeScope(snap, shards, sc)
+		e.eStep(em, passItems, passTris, cProb, valueProb, restMass, coveredItem)
+		// The pass re-anchored the scope's posteriors against the current
 		// parameters (and, on a vote-refreshing pass, the just-published
 		// votes): units whose whole reach was covered start accumulating
 		// drift from zero again.
-		em.SettleShards(dirty)
-		// A partial iteration hands the global M-steps exactly the dirty
-		// shards' triple lists — the triples whose E-step outputs changed —
-		// so the incremental aggregates update in O(dirty); a full pass
-		// (nil) re-aggregates the corpus.
+		em.SettleScopes(sc)
+		// A partial iteration hands the global M-steps exactly the scope's
+		// triple lists — the triples whose E-step outputs changed — so the
+		// incremental aggregates update in O(scope); a full pass (nil)
+		// re-aggregates the corpus.
 		var dirtyTris [][]int
-		if len(dirty) < len(shards) {
-			dirtyTris = make([][]int, len(dirty))
-			for i, si := range dirty {
-				dirtyTris[i] = shards[si].Triples
-			}
+		if !sc.AllFull() {
+			dirtyTris = passTris
 		}
 		em.MStepSources(cProb, valueProb, dirtyTris)
 		em.MStepExtractors(cProb, dirtyTris)
@@ -608,39 +658,40 @@ func (e *Engine) Refresh() (*Result, error) {
 		priorDelta := 0.0
 		if copt.UpdatePrior && (warm || iter+1 >= copt.UpdatePriorFromIter) {
 			lo := em.PriorLogOdds()
-			if len(dirty) < len(shards) {
-				// Only the dirty shards' priors can move, so snapshot and
-				// diff exactly those entries instead of copying the corpus.
-				for _, si := range dirty {
-					for _, ti := range shards[si].Triples {
+			if !sc.AllFull() {
+				// Only the scope's priors can move, so snapshot and diff
+				// exactly those entries instead of copying the corpus.
+				for _, tl := range passTris {
+					for _, ti := range tl {
 						prevLO[ti] = lo[ti]
 					}
 				}
-				e.updatePrior(em, shards, dirty, valueProb)
-				for _, si := range dirty {
-					priorDelta = core.MaxDeltaLogisticSubset(prevLO, lo, shards[si].Triples, priorDelta)
+				e.updatePrior(em, passTris, valueProb)
+				for _, tl := range passTris {
+					priorDelta = core.MaxDeltaLogisticSubset(prevLO, lo, tl, priorDelta)
 				}
 			} else {
 				copy(prevLO, lo)
-				e.updatePrior(em, shards, dirty, valueProb)
+				e.updatePrior(em, passTris, valueProb)
 				priorDelta = core.MaxDeltaLogistic(prevLO, lo)
 			}
 		}
 
 		// Per-unit drift accounting replaces the old all-or-nothing
 		// escalation: each source charges its own accuracy movement against
-		// the shards that actually read it (extractor movement is charged by
+		// the items that actually read it (extractor movement is charged by
 		// the ledger when votes republish), and the next iteration's E-step
-		// widens to exactly the shards whose accumulated charge crossed Tol.
-		// Sub-Tol movement keeps the E-step on the ingest footprint — and,
-		// because the ledger persists across refreshes, such residue keeps
-		// accumulating instead of resetting, so many small refreshes cannot
-		// compound into an unbounded lag between cached posteriors and the
-		// published parameters. (An escalated pass's Eq 26 refinement can
-		// still move clean shards' priors by the settling response to a
-		// sub-Tol parameter shift; their cached posteriors lag that one step
-		// until drift next crosses Tol — the same Tol-bounded staleness this
-		// contract has always accepted.)
+		// widens to exactly the sub-shard reach of the units whose
+		// accumulated charge crossed Tol. Sub-Tol movement keeps the E-step
+		// on the ingest footprint — and, because the ledger persists across
+		// refreshes, such residue keeps accumulating instead of resetting,
+		// so many small refreshes cannot compound into an unbounded lag
+		// between cached posteriors and the published parameters. (An
+		// escalated pass's Eq 26 refinement can still move clean rows'
+		// priors by the settling response to a sub-Tol parameter shift;
+		// their cached posteriors lag that one step until drift next crosses
+		// Tol — the same Tol-bounded staleness this contract has always
+		// accepted.)
 		em.AccumulateSourceDrift(prevA)
 		paramDelta := core.MaxDelta(prevA, em.A()) + core.MaxDelta(prevP, em.P()) + core.MaxDelta(prevR, em.R())
 		priorSettled := !copt.UpdatePrior || warm || iter+1 >= copt.UpdatePriorFromIter
@@ -652,31 +703,35 @@ func (e *Engine) Refresh() (*Result, error) {
 				// served indefinitely by the no-pending NoOp shortcut;
 				// unconverged, the next Refresh resumes with a full pass
 				// and re-anchors everything.
-				seedMark(mark, base)
-				converged = em.MarkStale(copt.Tol, mark) == 0
+				converged = nextInto(nsc) == 0
 				break
 			}
 			// Parameters and priors are at a fixed point, but a unit whose
 			// accumulated drift crossed Tol on this very iteration would be
-			// published above the staleness contract (its shards' cached
+			// published above the staleness contract (its rows' cached
 			// posteriors would lag by the sub-Tol entry residue plus this
 			// iteration's step) and a following no-pending NoOp refresh
 			// would keep serving them. Settle such units before declaring
 			// convergence; with none, the published state is strictly
 			// within contract.
-			next := nextDirty()
-			if len(next) == len(base) {
+			if nextInto(nsc) == 0 {
 				converged = true
 				break
 			}
-			dirty = next
+			escalations++
+			noteTouched(nsc)
+			sc, nsc = nsc, sc
 			continue
 		}
 		if iter < copt.MaxIter {
-			// The final iteration computes no successor set: it would never
-			// run, and counting it would overstate the touched-shard and
-			// escalation stats.
-			dirty = nextDirty()
+			// The final iteration computes no successor scope: it would
+			// never run, and counting it would overstate the touched-shard
+			// and escalation stats.
+			if nextInto(nsc) > 0 {
+				escalations++
+			}
+			noteTouched(nsc)
+			sc, nsc = nsc, sc
 		}
 	}
 	// Iterations counts the EM iterations that actually executed — k when
@@ -687,10 +742,13 @@ func (e *Engine) Refresh() (*Result, error) {
 		iter = copt.MaxIter
 	}
 
-	touchedCount := 0
-	for _, hit := range touched {
+	touchedCount, partialCount := 0, 0
+	for si, hit := range touched {
 		if hit {
 			touchedCount++
+			if !touchedWhole[si] {
+				partialCount++
+			}
 		}
 	}
 
@@ -742,8 +800,10 @@ func (e *Engine) Refresh() (*Result, error) {
 			// shards under the updated discounts until the feedback settles.
 			em.SetSourceVoteWeights(copyWeights(len(snap.Sources), copyDeps, em.A(), e.opt.Copy.CopyRate))
 			if converged {
-				seedMark(mark, nil)
-				if em.MarkStale(copt.Tol, mark) > 0 {
+				// Probe with an empty scope: any mark means a discount moved
+				// some unit's drift past Tol.
+				nsc.Reset(nShards, nItems)
+				if em.MarkStale(copt.Tol, nsc) > 0 {
 					converged = false
 				}
 			}
@@ -796,6 +856,7 @@ func (e *Engine) Refresh() (*Result, error) {
 		TotalShards:      len(shards),
 		TouchedShards:    touchedCount,
 		SettledShards:    len(shards) - touchedCount,
+		PartialShards:    partialCount,
 		Escalations:      escalations,
 		AggDeltaSteps:    aggDelta - aggDelta0,
 		AggFullSteps:     aggFull - aggFull0,
@@ -812,6 +873,7 @@ func (e *Engine) Refresh() (*Result, error) {
 	// the dirty-shard escalation check needs this generation's. Pending
 	// records that arrived while estimating stay queued for the next
 	// Refresh.
+	e.scope, e.scopeNext = sc, nsc
 	e.mu.Lock()
 	e.snap = snap
 	e.shards = shards
@@ -826,28 +888,92 @@ func (e *Engine) Refresh() (*Result, error) {
 	return res, nil
 }
 
-// eStep runs Stages I+II for the given shards, one pool task per shard.
-// Stage II of a shard reads only the Stage I outputs of the same shard
-// (an item's candidate triples live in the item's shard), so fusing the two
-// stages per shard is equivalent to the monolithic two-pass order. When the
-// dirty set is smaller than the pool, the leftover workers parallelise
-// within each shard instead of idling.
-func (e *Engine) eStep(em *core.EM, shards []triple.Shard, dirty []int, cProb []float64, valueProb [][]float64, restMass []float64, coveredItem []bool) {
-	inner := e.innerWorkers(len(dirty))
-	parallel.ForEach(len(dirty), e.workers(), func(i int) {
-		sh := shards[dirty[i]]
-		em.EStepTriples(cProb, sh.Triples, inner)
-		em.EStepItems(cProb, valueProb, restMass, coveredItem, sh.Items, inner)
+// materializeScope resolves the compiled scope into per-entry item and
+// triple index lists: a wholly-stale shard aliases its shard view's slices,
+// a partially-stale shard gathers its marked ranges' items and those items'
+// candidate triples into persistent backing buffers. Gather order is
+// deterministic — entries ascend by shard, ranges by position, items within
+// a range by dense id, TriplesOfItem ascending — so the fast path and the
+// FullRecompile oracle feed identically ordered index lists to the E-step,
+// the M-step deltas and the prior diff. The returned slices are valid until
+// the next call.
+func (e *Engine) materializeScope(snap *triple.Snapshot, shards []triple.Shard, sc *core.ScopeSet) (items, tris [][]int) {
+	n := sc.Len()
+	if cap(e.passItems) < n {
+		e.passItems = make([][]int, n)
+		e.passTris = make([][]int, n)
+		e.passEnds = make([][2]int, n)
+	}
+	items, tris = e.passItems[:n], e.passTris[:n]
+	ends := e.passEnds[:n]
+	itemBuf, triBuf := e.passItemBuf[:0], e.passTriBuf[:0]
+	for i := 0; i < n; i++ {
+		si, full, ranges := sc.At(i)
+		if !full {
+			sh := &shards[si]
+			for _, r := range ranges {
+				span := sh.ItemSpan(r)
+				itemBuf = append(itemBuf, span...)
+				for _, d := range span {
+					triBuf = append(triBuf, snap.TriplesOfItem[d]...)
+				}
+			}
+		}
+		ends[i] = [2]int{len(itemBuf), len(triBuf)}
+	}
+	pi, pt := 0, 0
+	for i := 0; i < n; i++ {
+		si, full, _ := sc.At(i)
+		if full {
+			items[i], tris[i] = shards[si].Items, shards[si].Triples
+		} else {
+			items[i], tris[i] = itemBuf[pi:ends[i][0]], triBuf[pt:ends[i][1]]
+		}
+		pi, pt = ends[i][0], ends[i][1]
+	}
+	e.passItemBuf, e.passTriBuf = itemBuf, triBuf
+	return items, tris
+}
+
+// eStep runs Stages I+II for the given per-scope-entry index lists, one pool
+// task per entry. Stage II of an item reads only the Stage I outputs of the
+// item's own candidate triples (which the same entry's triple list covers),
+// so fusing the two stages per entry is equivalent to the monolithic
+// two-pass order. When the scope is smaller than the pool, the leftover
+// workers parallelise within each entry instead of idling. An empty entry
+// (a wholly-stale shard that owns nothing) is skipped — the subset APIs
+// read nil as "everything".
+func (e *Engine) eStep(em *core.EM, items, tris [][]int, cProb []float64, valueProb [][]float64, restMass []float64, coveredItem []bool) {
+	inner := e.innerWorkers(len(items))
+	parallel.ForEach(len(items), e.workers(), func(i int) {
+		if len(tris[i]) > 0 {
+			em.EStepTriples(cProb, tris[i], inner)
+		}
+		if len(items[i]) > 0 {
+			em.EStepItems(cProb, valueProb, restMass, coveredItem, items[i], inner)
+		}
 	})
 }
 
-// updatePrior refreshes the Eq 26 prior for the dirty shards' triples. Clean
-// shards keep the prior derived from their unchanged value posteriors.
-func (e *Engine) updatePrior(em *core.EM, shards []triple.Shard, dirty []int, valueProb [][]float64) {
-	inner := e.innerWorkers(len(dirty))
-	parallel.ForEach(len(dirty), e.workers(), func(i int) {
-		em.UpdatePrior(valueProb, shards[dirty[i]].Triples, inner)
+// updatePrior refreshes the Eq 26 prior for the scope's triples. Clean rows
+// keep the prior derived from their unchanged value posteriors.
+func (e *Engine) updatePrior(em *core.EM, tris [][]int, valueProb [][]float64) {
+	inner := e.innerWorkers(len(tris))
+	parallel.ForEach(len(tris), e.workers(), func(i int) {
+		if len(tris[i]) == 0 {
+			return
+		}
+		em.UpdatePrior(valueProb, tris[i], inner)
 	})
+}
+
+// ensureFloats resizes a persistent scratch buffer without retaining old
+// content guarantees — callers fully overwrite what they read.
+func ensureFloats(buf []float64, n int) []float64 {
+	if cap(buf) < n {
+		return make([]float64, n)
+	}
+	return buf[:n]
 }
 
 // workers resolves the effective worker bound: Options.Workers when set,
@@ -936,10 +1062,7 @@ func (e *Engine) extendPosteriors(snap, prev *triple.Snapshot, alpha float64) {
 // the state itself.)
 func (e *Engine) carryOver(em *core.EM, snap, prev *triple.Snapshot, cProb []float64, valueProb [][]float64, restMass []float64, coveredItem []bool) {
 	prevEM := e.em
-	copy(em.A(), prevEM.A())
-	copy(em.P(), prevEM.P())
-	copy(em.R(), prevEM.R())
-	copy(em.Q(), prevEM.Q())
+	em.CarryParamsFrom(prevEM)
 	em.CarryVotesFrom(prevEM)
 	em.CarryStalenessFrom(prevEM)
 	em.CarrySourceVoteWeightsFrom(prevEM)
@@ -984,84 +1107,35 @@ func (e *Engine) carryOver(em *core.EM, snap, prev *triple.Snapshot, cProb []flo
 	}
 }
 
-// withStale returns base plus every shard the staleness ledger marks as
-// carrying above-tol accumulated drift, ascending. When base already covers
-// everything, or nothing stale lies outside it, base is returned unchanged.
-func (e *Engine) withStale(em *core.EM, base []int, nShards int, tol float64, mark []bool) []int {
-	if len(base) == nShards {
-		return base
-	}
-	seedMark(mark, base)
-	if em.MarkStale(tol, mark) == 0 {
-		return base
-	}
-	dirty := make([]int, 0, nShards)
-	for si, m := range mark {
-		if m {
-			dirty = append(dirty, si)
-		}
-	}
-	return dirty
-}
-
-// dirtyShards picks the footprint the first warm iteration must re-estimate:
-// every shard owning an item that shares a (source, predicate) cell with a
-// pending record — new items, new candidate values, raised confidences and
-// changed absence masses all live in those cells. Structural changes with
-// global reach (a support threshold flipping a unit's inclusion, or new
-// extractors under ScopeAllExtractors, whose absence mass is corpus-wide)
-// escalate to all shards. A pending record that fails to resolve against the
-// extended snapshot is an invariant violation — the ingest/extension contract
-// guarantees every pending record compiled — and is surfaced as an error
-// rather than silently absorbed as a full pass.
-func (e *Engine) dirtyShards(em *core.EM, snap, prev *triple.Snapshot, pending []triple.Record, nShards int) ([]int, error) {
+// seedFootprint marks the items the first warm iteration must re-estimate
+// into base: every item sharing a (source, predicate) cell with a pending
+// record — new items, new candidate values, raised confidences and changed
+// absence masses all live in those cells — resolved through the ledger's
+// cell index in O(footprint), never by scanning the corpus. Structural
+// changes with global reach (a support threshold flipping a unit's
+// inclusion, or new extractors under ScopeAllExtractors, whose absence mass
+// is corpus-wide) escalate to all shards. A pending record that fails to
+// resolve against the extended snapshot is an invariant violation — the
+// ingest/extension contract guarantees every pending record compiled — and
+// is surfaced as an error rather than silently absorbed as a full pass.
+func (e *Engine) seedFootprint(em *core.EM, snap, prev *triple.Snapshot, pending []triple.Record, base *core.ScopeSet) error {
 	if inclusionChanged(e.srcInc, em.SourceIncluded()) || inclusionChanged(e.extInc, em.ExtractorIncluded()) {
-		return allShards(nShards), nil
+		base.MarkAllFull()
+		return nil
 	}
 	if e.opt.Core.Scope == core.ScopeAllExtractors && len(snap.Extractors) > len(prev.Extractors) {
-		return allShards(nShards), nil
+		base.MarkAllFull()
+		return nil
 	}
-
-	type cell struct{ w, p int }
-	touched := make(map[cell]bool, len(pending))
 	for i, rec := range pending {
 		w := snap.SourceID(e.opt.SourceKey(rec))
 		d := snap.ItemID(rec.Subject, rec.Predicate)
-		if w < 0 || d < 0 {
-			return nil, fmt.Errorf("engine: pending record %d (source %q, item %q/%q) did not compile into the refreshed snapshot; the append-only extension invariant is broken",
+		if w < 0 || d < 0 || !em.MarkCellItems(w, snap.PredOfItem[d], base) {
+			return fmt.Errorf("engine: pending record %d (source %q, item %q/%q) did not compile into the refreshed snapshot; the append-only extension invariant is broken",
 				i, e.opt.SourceKey(rec), rec.Subject, rec.Predicate)
 		}
-		touched[cell{w, snap.PredOfItem[d]}] = true
 	}
-
-	dirtyItem := make([]bool, len(snap.Items))
-	for _, tr := range snap.Triples {
-		if touched[cell{tr.W, snap.PredOfItem[tr.D]}] {
-			dirtyItem[tr.D] = true
-		}
-	}
-	dirtySet := make([]bool, nShards)
-	for d, isDirty := range dirtyItem {
-		if isDirty {
-			dirtySet[triple.ShardOf(snap.Items[d], nShards)] = true
-		}
-	}
-	var dirty []int
-	for si, isDirty := range dirtySet {
-		if isDirty {
-			dirty = append(dirty, si)
-		}
-	}
-	return dirty, nil
-}
-
-// seedMark resets mark to exactly the base shard set — the shared seeding
-// step before every MarkStale query.
-func seedMark(mark []bool, base []int) {
-	clear(mark)
-	for _, si := range base {
-		mark[si] = true
-	}
+	return nil
 }
 
 func inclusionChanged(old, cur []bool) bool {
@@ -1071,14 +1145,6 @@ func inclusionChanged(old, cur []bool) bool {
 		}
 	}
 	return false
-}
-
-func allShards(n int) []int {
-	out := make([]int, n)
-	for i := range out {
-		out[i] = i
-	}
-	return out
 }
 
 // copyWeights derives the Stage II vote discounts from the dependence list.

@@ -41,6 +41,22 @@ func restMasses(r *core.Result) []float64 {
 	return out
 }
 
+// vecSlice and the aOf/pOf/rOf/qOf/expOf helpers materialize the per-unit
+// parameter vectors through the accessor API, mirroring cprobs.
+func vecSlice(n int, at func(int) float64) []float64 {
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = at(i)
+	}
+	return out
+}
+
+func aOf(r *core.Result) []float64   { return vecSlice(r.NumSources(), r.AAt) }
+func pOf(r *core.Result) []float64   { return vecSlice(r.NumExtractors(), r.PAt) }
+func rOf(r *core.Result) []float64   { return vecSlice(r.NumExtractors(), r.RAt) }
+func qOf(r *core.Result) []float64   { return vecSlice(r.NumExtractors(), r.QAt) }
+func expOf(r *core.Result) []float64 { return vecSlice(r.NumSources(), r.ExpectedTriplesAt) }
+
 func maxAbsDiff(a, b []float64) float64 {
 	if len(a) != len(b) {
 		return math.Inf(1)
@@ -93,13 +109,13 @@ func TestColdRefreshMatchesCoreRun(t *testing.T) {
 				t.Errorf("cold refresh shards = %d/%d, want %d/%d",
 					res.FirstPassShards, res.TotalShards, shards, shards)
 			}
-			if d := maxAbsDiff(got.A, want.A); d > 1e-9 {
+			if d := maxAbsDiff(aOf(got), aOf(want)); d > 1e-9 {
 				t.Errorf("source accuracy diverges: max |Δ| = %g", d)
 			}
-			if d := maxAbsDiff(got.P, want.P); d > 1e-9 {
+			if d := maxAbsDiff(pOf(got), pOf(want)); d > 1e-9 {
 				t.Errorf("extractor precision diverges: max |Δ| = %g", d)
 			}
-			if d := maxAbsDiff(got.R, want.R); d > 1e-9 {
+			if d := maxAbsDiff(rOf(got), rOf(want)); d > 1e-9 {
 				t.Errorf("extractor recall diverges: max |Δ| = %g", d)
 			}
 			if d := maxAbsDiff(cprobs(got), cprobs(want)); d > 1e-9 {
@@ -198,10 +214,10 @@ func TestIncrementalRefreshConvergesToColdRun(t *testing.T) {
 		t.Fatalf("incremental refresh did not converge in %d iterations", copt.MaxIter)
 	}
 
-	if d := maxAbsDiff(got.A, want.A); d > 1e-6 {
+	if d := maxAbsDiff(aOf(got), aOf(want)); d > 1e-6 {
 		t.Errorf("incremental source accuracy diverges: max |Δ| = %g", d)
 	}
-	if d := maxAbsDiff(got.P, want.P); d > 1e-6 {
+	if d := maxAbsDiff(pOf(got), pOf(want)); d > 1e-6 {
 		t.Errorf("incremental precision diverges: max |Δ| = %g", d)
 	}
 	if d := maxAbsDiff(cprobs(got), cprobs(want)); d > 1e-6 {
@@ -314,7 +330,7 @@ func TestRefreshWithoutPendingIsStable(t *testing.T) {
 	if second.FirstPassShards != 0 {
 		t.Errorf("no-op refresh touched %d shards", second.FirstPassShards)
 	}
-	if d := maxAbsDiff(first.Inference.A, second.Inference.A); d > 1e-12 {
+	if d := maxAbsDiff(aOf(first.Inference), aOf(second.Inference)); d > 1e-12 {
 		t.Errorf("no-op refresh moved source accuracies by %g", d)
 	}
 	if d := maxAbsDiff(cprobs(first.Inference), cprobs(second.Inference)); d > 1e-12 {
@@ -350,7 +366,7 @@ func TestRefreshWithoutPendingResumesUnconvergedEM(t *testing.T) {
 		t.Errorf("resume refresh ran %d/%d shards, want a full pass",
 			second.FirstPassShards, second.TotalShards)
 	}
-	if d := maxAbsDiff(first.Inference.A, second.Inference.A); d == 0 {
+	if d := maxAbsDiff(aOf(first.Inference), aOf(second.Inference)); d == 0 {
 		t.Error("resume refresh made no progress on source accuracies")
 	}
 }
@@ -470,16 +486,16 @@ func TestExtendRefreshMatchesFullRecompile(t *testing.T) {
 			if g, w := got.Snapshot.Stats(), want.Snapshot.Stats(); g != w {
 				t.Fatalf("step %d: %s snapshot stats diverge:\n got  %s\n want %s", step, cmp.name, g, w)
 			}
-			if d := maxAbsDiff(got.Inference.A, want.Inference.A); d > cmp.tol {
+			if d := maxAbsDiff(aOf(got.Inference), aOf(want.Inference)); d > cmp.tol {
 				t.Errorf("step %d: %s source accuracy: max |Δ| = %g > %g", step, cmp.name, d, cmp.tol)
 			}
-			if d := maxAbsDiff(got.Inference.P, want.Inference.P); d > cmp.tol {
+			if d := maxAbsDiff(pOf(got.Inference), pOf(want.Inference)); d > cmp.tol {
 				t.Errorf("step %d: %s precision: max |Δ| = %g > %g", step, cmp.name, d, cmp.tol)
 			}
-			if d := maxAbsDiff(got.Inference.R, want.Inference.R); d > cmp.tol {
+			if d := maxAbsDiff(rOf(got.Inference), rOf(want.Inference)); d > cmp.tol {
 				t.Errorf("step %d: %s recall: max |Δ| = %g > %g", step, cmp.name, d, cmp.tol)
 			}
-			if d := maxAbsDiff(got.Inference.Q, want.Inference.Q); d > cmp.tol {
+			if d := maxAbsDiff(qOf(got.Inference), qOf(want.Inference)); d > cmp.tol {
 				t.Errorf("step %d: %s Q: max |Δ| = %g > %g", step, cmp.name, d, cmp.tol)
 			}
 			if d := maxAbsDiff(cprobs(got.Inference), cprobs(want.Inference)); d > cmp.tol {
@@ -584,7 +600,9 @@ func TestDirtyShardsSurfacesLookupFailure(t *testing.T) {
 		Extractor: "E1", Website: "a.com", Page: "a.com/x",
 		Subject: "NeverCompiled", Predicate: "p", Object: "v",
 	}
-	if _, err := eng.dirtyShards(eng.em, eng.snap, eng.snap, []triple.Record{ghost}, opt.Shards); err == nil {
+	sc := core.NewScopeSet()
+	sc.Reset(opt.Shards, len(eng.snap.Items))
+	if err := eng.seedFootprint(eng.em, eng.snap, eng.snap, []triple.Record{ghost}, sc); err == nil {
 		t.Fatal("expected an error for a pending record missing from the snapshot")
 	}
 }
@@ -627,8 +645,8 @@ func TestStalenessConfinesSettling(t *testing.T) {
 	// The ingest is genuinely above-Tol: the new sites' accuracies moved far
 	// from the 0.8 initialisation while settling.
 	moved := 0.0
-	for w := len(first.Inference.A); w < len(res.Inference.A); w++ {
-		if d := math.Abs(res.Inference.A[w] - 0.8); d > moved {
+	for w := first.Inference.NumSources(); w < res.Inference.NumSources(); w++ {
+		if d := math.Abs(res.Inference.AAt(w) - 0.8); d > moved {
 			moved = d
 		}
 	}

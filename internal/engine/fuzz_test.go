@@ -154,71 +154,218 @@ func TestFuzzIncrementalAggregatesMatchOracle(t *testing.T) {
 				trial, step, opt.Shards, opt.Core.Scope, opt.Core.Tol, opt.Core.ReaggregateEvery)
 			step++
 
-			if got.NoOp != want.NoOp {
-				t.Fatalf("%s: NoOp = %v, oracle %v", tag, got.NoOp, want.NoOp)
-			}
-			if !got.NoOp {
-				assertSnapshotsBitIdentical(t, tag, got.Snapshot, want.Snapshot)
-			}
-
-			// Staleness accounting invariants: the settled and touched shard
-			// counts partition the shard space, the first pass is a subset of
-			// what the refresh touched, a cold refresh touches everything,
-			// and a no-op refresh touches nothing.
-			if got.SettledShards+got.TouchedShards != got.TotalShards {
-				t.Fatalf("%s: SettledShards %d + TouchedShards %d != TotalShards %d",
-					tag, got.SettledShards, got.TouchedShards, got.TotalShards)
-			}
-			if got.TouchedShards < got.FirstPassShards {
-				t.Fatalf("%s: TouchedShards %d < FirstPassShards %d", tag, got.TouchedShards, got.FirstPassShards)
-			}
-			if !got.Warm && got.SettledShards != 0 {
-				t.Fatalf("%s: cold refresh settled %d shards", tag, got.SettledShards)
-			}
-			if got.NoOp && got.TouchedShards != 0 {
-				t.Fatalf("%s: no-op refresh touched %d shards", tag, got.TouchedShards)
-			}
-			// The oracle rebuilds its state from scratch every refresh but
-			// carries the same drift ledger, so it must make the identical
-			// settling decisions.
-			if got.SettledShards != want.SettledShards || got.Escalations != want.Escalations {
-				t.Fatalf("%s: settled/escalations = %d/%d, oracle %d/%d",
-					tag, got.SettledShards, got.Escalations, want.SettledShards, want.Escalations)
-			}
-			g, w := got.Inference, want.Inference
-			for _, c := range []struct {
-				name     string
-				got, wnt []float64
-			}{
-				{"A", g.A, w.A}, {"P", g.P, w.P}, {"R", g.R, w.R}, {"Q", g.Q, w.Q},
-				{"CProb", cprobs(g), cprobs(w)}, {"RestMass", restMasses(g), restMasses(w)},
-				{"ExpectedTriples", g.ExpectedTriples, w.ExpectedTriples},
-			} {
-				if d := maxAbsDiff(c.got, c.wnt); d > tol {
-					t.Fatalf("%s: %s diverges from oracle: max |Δ| = %g", tag, c.name, d)
-				}
-			}
-			for di := 0; di < w.NumItems(); di++ {
-				if d := maxAbsDiff(g.ValueRow(di), w.ValueRow(di)); d > tol {
-					t.Fatalf("%s: value posterior of item %d diverges: max |Δ| = %g", tag, di, d)
-				}
-			}
-			// The incrementally maintained absence masses must track the
-			// canonical derivation from the published votes; the periodic
-			// anchor (ReaggregateEvery) and every vote-refreshing iteration
-			// re-derive them exactly, bounding the fold-in drift between.
-			gotTotal, gotCells := fast.em.AbsenceMasses()
-			wantTotal, wantCells := fast.em.RecomputeAbsenceMasses()
-			if d := math.Abs(gotTotal - wantTotal); d > tol {
-				t.Fatalf("%s: global absence mass drifts from canonical by %g", tag, d)
-			}
-			if d := maxAbsDiff(gotCells[:len(wantCells)], wantCells); d > tol {
-				t.Fatalf("%s: per-cell absence masses drift from canonical by %g", tag, d)
-			}
-			if g.Iterations != w.Iterations || g.Converged != w.Converged {
-				t.Fatalf("%s: iterations/converged = %d/%v, oracle %d/%v",
-					tag, g.Iterations, g.Converged, w.Iterations, w.Converged)
-			}
+			assertRefreshMatchesOracle(t, tag, fast, got, want)
 		}
+	}
+}
+
+// assertRefreshMatchesOracle asserts one warm refresh against its
+// FullRecompile oracle: bit-identical snapshots, identical settling decisions
+// (whole-shard and partial), internally consistent shard accounting, and
+// ≤1e-9 agreement on every parameter and posterior surface.
+func assertRefreshMatchesOracle(t *testing.T, tag string, fast *Engine, got, want *Result) {
+	t.Helper()
+	const tol = 1e-9
+	if got.NoOp != want.NoOp {
+		t.Fatalf("%s: NoOp = %v, oracle %v", tag, got.NoOp, want.NoOp)
+	}
+	if !got.NoOp {
+		assertSnapshotsBitIdentical(t, tag, got.Snapshot, want.Snapshot)
+	}
+
+	// Staleness accounting invariants: the settled and touched shard
+	// counts partition the shard space, the first pass is a subset of
+	// what the refresh touched, a cold refresh touches everything,
+	// and a no-op refresh touches nothing. Partially settled shards —
+	// touched only at item-range granularity, their remainder skipped —
+	// count as touched, so they are a subset of the touched set and can
+	// never appear on a cold or no-op refresh.
+	if got.SettledShards+got.TouchedShards != got.TotalShards {
+		t.Fatalf("%s: SettledShards %d + TouchedShards %d != TotalShards %d",
+			tag, got.SettledShards, got.TouchedShards, got.TotalShards)
+	}
+	if got.TouchedShards < got.FirstPassShards {
+		t.Fatalf("%s: TouchedShards %d < FirstPassShards %d", tag, got.TouchedShards, got.FirstPassShards)
+	}
+	if got.PartialShards > got.TouchedShards {
+		t.Fatalf("%s: PartialShards %d > TouchedShards %d", tag, got.PartialShards, got.TouchedShards)
+	}
+	if !got.Warm && got.SettledShards != 0 {
+		t.Fatalf("%s: cold refresh settled %d shards", tag, got.SettledShards)
+	}
+	if !got.Warm && got.PartialShards != 0 {
+		t.Fatalf("%s: cold refresh partially settled %d shards", tag, got.PartialShards)
+	}
+	if got.NoOp && got.TouchedShards != 0 {
+		t.Fatalf("%s: no-op refresh touched %d shards", tag, got.TouchedShards)
+	}
+	// The oracle rebuilds its state from scratch every refresh but
+	// carries the same drift ledger, so it must make the identical
+	// settling decisions — including how many shards settled only in
+	// part, the range-granularity decision surface.
+	if got.SettledShards != want.SettledShards || got.Escalations != want.Escalations {
+		t.Fatalf("%s: settled/escalations = %d/%d, oracle %d/%d",
+			tag, got.SettledShards, got.Escalations, want.SettledShards, want.Escalations)
+	}
+	if got.PartialShards != want.PartialShards {
+		t.Fatalf("%s: partial shards = %d, oracle %d", tag, got.PartialShards, want.PartialShards)
+	}
+	g, w := got.Inference, want.Inference
+	for _, c := range []struct {
+		name     string
+		got, wnt []float64
+	}{
+		{"A", aOf(g), aOf(w)}, {"P", pOf(g), pOf(w)}, {"R", rOf(g), rOf(w)}, {"Q", qOf(g), qOf(w)},
+		{"CProb", cprobs(g), cprobs(w)}, {"RestMass", restMasses(g), restMasses(w)},
+		{"ExpectedTriples", expOf(g), expOf(w)},
+	} {
+		if d := maxAbsDiff(c.got, c.wnt); d > tol {
+			t.Fatalf("%s: %s diverges from oracle: max |Δ| = %g", tag, c.name, d)
+		}
+	}
+	for di := 0; di < w.NumItems(); di++ {
+		if d := maxAbsDiff(g.ValueRow(di), w.ValueRow(di)); d > tol {
+			t.Fatalf("%s: value posterior of item %d diverges: max |Δ| = %g", tag, di, d)
+		}
+	}
+	// The incrementally maintained absence masses must track the
+	// canonical derivation from the published votes; the periodic
+	// anchor (ReaggregateEvery) and every vote-refreshing iteration
+	// re-derive them exactly, bounding the fold-in drift between.
+	gotTotal, gotCells := fast.em.AbsenceMasses()
+	wantTotal, wantCells := fast.em.RecomputeAbsenceMasses()
+	if d := math.Abs(gotTotal - wantTotal); d > tol {
+		t.Fatalf("%s: global absence mass drifts from canonical by %g", tag, d)
+	}
+	if d := maxAbsDiff(gotCells[:len(wantCells)], wantCells); d > tol {
+		t.Fatalf("%s: per-cell absence masses drift from canonical by %g", tag, d)
+	}
+	if g.Iterations != w.Iterations || g.Converged != w.Converged {
+		t.Fatalf("%s: iterations/converged = %d/%v, oracle %d/%v",
+			tag, g.Iterations, g.Converged, w.Iterations, w.Converged)
+	}
+}
+
+// broadReachStream builds a corpus dominated by broad-reach units: hub.com
+// witnesses roughly a third of all extractions across every subject, and
+// extractor EB attempts nearly every cell, while leaf sites and two narrow
+// extractors keep per-item conflict alive. Every warm ingest therefore moves
+// units whose reach spans the corpus — the schedule the sub-shard ledger must
+// confine at item-range granularity rather than staling whole shards.
+func broadReachStream(rng *rand.Rand, n int) []triple.Record {
+	nSubj := rng.Intn(12) + 8
+	nObj := rng.Intn(4) + 2
+	nLeaf := rng.Intn(5) + 3
+	recs := make([]triple.Record, 0, n)
+	for i := 0; i < n; i++ {
+		r := triple.Record{
+			Extractor: "EB",
+			Pattern:   "pat",
+			Subject:   fmt.Sprintf("S%d", rng.Intn(nSubj)),
+			Predicate: "p",
+			Object:    fmt.Sprintf("v%d", rng.Intn(nObj)),
+		}
+		if rng.Intn(3) == 0 {
+			r.Website = "hub.com"
+		} else {
+			r.Website = fmt.Sprintf("leaf%d.com", rng.Intn(nLeaf))
+		}
+		if rng.Intn(4) == 0 {
+			r.Extractor = fmt.Sprintf("E%d", rng.Intn(2))
+		}
+		r.Page = r.Website + "/x"
+		if rng.Intn(3) != 0 {
+			r.Confidence = float64(rng.Intn(20)+1) / 20
+		}
+		recs = append(recs, r)
+	}
+	return recs
+}
+
+// TestFuzzBroadReachSubShardSettling drives broad-reach ingest schedules —
+// every batch feeds the corpus-wide hub source and the every-cell extractor
+// EB — through the fast engine and the FullRecompile oracle. Beyond the full
+// oracle-parity contract (≤1e-9 surfaces, identical whole-shard and partial
+// settling decisions), the run as a whole must actually exercise the
+// range-granularity path: at least one refresh across the trials has to
+// settle some shard only partially, or the schedule is not testing what it
+// claims to.
+func TestFuzzBroadReachSubShardSettling(t *testing.T) {
+	partialSettles := 0
+	for trial := 0; trial < 12; trial++ {
+		rng := rand.New(rand.NewSource(int64(7000 + trial)))
+
+		opt := DefaultOptions()
+		opt.Shards = []int{3, 4, 8}[trial%3]
+		opt.Core.MaxIter = rng.Intn(6) + 3
+		opt.Core.MinSourceSupport = 1
+		opt.Core.MinExtractorSupport = 1
+		if trial%2 == 1 {
+			opt.Core.Scope = core.ScopeAllExtractors
+		}
+		opt.Core.Tol = 1e-4 // the loose serving tolerance, where settling matters
+		opt.Core.ReaggregateEvery = rng.Intn(6) + 2
+
+		fast := New(opt)
+		oracleOpt := opt
+		oracleOpt.FullRecompile = true
+		oracle := New(oracleOpt)
+
+		recs := broadReachStream(rng, rng.Intn(260)+120)
+		// A substantial cold base, then warm broad-reach batches: each one
+		// contains hub/EB records, so a broad unit moves on every refresh.
+		start := min(len(recs)/2, len(recs))
+		if err := fast.Ingest(recs[:start]...); err != nil {
+			t.Fatal(err)
+		}
+		if err := oracle.Ingest(recs[:start]...); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := fast.Refresh(); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := oracle.Refresh(); err != nil {
+			t.Fatal(err)
+		}
+		step := 0
+		for start < len(recs) {
+			var batch []triple.Record
+			switch rng.Intn(5) {
+			case 0:
+				// Below-Tol nudge: re-ingest already-absorbed broad cells.
+				k := min(rng.Intn(4)+1, start)
+				batch = recs[start-k : start]
+			case 1, 2:
+				n := min(rng.Intn(6)+1, len(recs)-start)
+				batch = recs[start : start+n]
+				start += n
+			default:
+				n := min(rng.Intn(24)+8, len(recs)-start)
+				batch = recs[start : start+n]
+				start += n
+			}
+			if err := fast.Ingest(batch...); err != nil {
+				t.Fatal(err)
+			}
+			if err := oracle.Ingest(batch...); err != nil {
+				t.Fatal(err)
+			}
+			got, err := fast.Refresh()
+			if err != nil {
+				t.Fatal(err)
+			}
+			want, err := oracle.Refresh()
+			if err != nil {
+				t.Fatal(err)
+			}
+			tag := fmt.Sprintf("broad trial %d step %d (shards=%d scope=%d)",
+				trial, step, opt.Shards, opt.Core.Scope)
+			step++
+			assertRefreshMatchesOracle(t, tag, fast, got, want)
+			partialSettles += got.PartialShards
+		}
+	}
+	if partialSettles == 0 {
+		t.Fatal("no refresh across any trial settled a shard partially: the schedules never reached the sub-shard path")
 	}
 }

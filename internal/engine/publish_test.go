@@ -17,8 +17,8 @@ func assertResultsBitIdentical(t *testing.T, tag string, got, want *core.Result)
 		name     string
 		got, wnt []float64
 	}{
-		{"A", got.A, want.A}, {"P", got.P, want.P}, {"R", got.R, want.R},
-		{"Q", got.Q, want.Q},
+		{"A", aOf(got), aOf(want)}, {"P", pOf(got), pOf(want)}, {"R", rOf(got), rOf(want)},
+		{"Q", qOf(got), qOf(want)},
 	} {
 		if d := maxAbsDiff(c.got, c.wnt); d != 0 {
 			t.Fatalf("%s: %s diverges bitwise: max |Δ| = %g", tag, c.name, d)
@@ -27,7 +27,7 @@ func assertResultsBitIdentical(t *testing.T, tag string, got, want *core.Result)
 	// ExpectedTriples is the one quantity the generation path maintains by
 	// subtract-and-add deltas (re-anchored on every full pass), so it is
 	// pinned to the usual incremental-aggregate tolerance, not the bit.
-	if d := maxAbsDiff(got.ExpectedTriples, want.ExpectedTriples); d > 1e-9 {
+	if d := maxAbsDiff(expOf(got), expOf(want)); d > 1e-9 {
 		t.Fatalf("%s: ExpectedTriples diverges: max |Δ| = %g", tag, d)
 	}
 	if got.NumTriples() != want.NumTriples() || got.NumItems() != want.NumItems() {

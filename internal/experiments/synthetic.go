@@ -55,7 +55,7 @@ func evalMultiSynthetic(w *synthetic.World, s *triple.Snapshot, res *core.Result
 		if !ok {
 			continue
 		}
-		pred = append(pred, res.A[wi])
+		pred = append(pred, res.AAt(wi))
 		truth = append(truth, a)
 	}
 	ev.SqA = sqLoss(pred, truth)

@@ -19,6 +19,29 @@ type Shard struct {
 	Triples []int
 }
 
+// ItemRange is a half-open [Lo,Hi) span of positions into Shard.Items — the
+// stable sub-shard view the staleness ledger confines settling sweeps to.
+// Positions (not item ids) make the range meaningful across snapshot
+// extensions: Items is ascending by dense id and extended append-only, so an
+// existing position keeps naming the same item forever and new items only
+// ever appear as a tail span.
+type ItemRange struct {
+	Lo, Hi int32
+}
+
+// ItemSpan returns the item ids of the range — a subslice of Items, no copy.
+func (sh *Shard) ItemSpan(r ItemRange) []int {
+	return sh.Items[r.Lo:r.Hi]
+}
+
+// TailRange returns the span of items with dense id >= firstNew — the
+// sub-shard view of one extension's new items. Items is ascending, so the
+// span is a contiguous tail (empty when the shard gained nothing).
+func (sh *Shard) TailRange(firstNew int) ItemRange {
+	lo, _ := slices.BinarySearch(sh.Items, firstNew)
+	return ItemRange{Lo: int32(lo), Hi: int32(len(sh.Items))}
+}
+
 // ShardOf returns the shard index of an item key under n shards. The
 // assignment depends only on the key string (FNV-1a plus an avalanche
 // finalizer), never on dense ids or dataset order, so an item stays in the

@@ -224,7 +224,7 @@ func (r *Result) source(w int) Source {
 	return Source{
 		Name:            displayLabel(r.snap.Sources[w]),
 		KBT:             kbtScore,
-		ExpectedTriples: r.res.ExpectedTriples[w],
+		ExpectedTriples: r.res.ExpectedTriplesAt(w),
 		Reportable:      ok,
 	}
 }
@@ -398,8 +398,8 @@ func (r *Result) Extractors() []ExtractorQuality {
 		for e, name := range r.snap.Extractors {
 			out = append(out, ExtractorQuality{
 				Name:      displayLabel(name),
-				Precision: r.res.P[e],
-				Recall:    r.res.R[e],
+				Precision: r.res.PAt(e),
+				Recall:    r.res.RAt(e),
 			})
 		}
 		sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
@@ -480,7 +480,7 @@ func (r *Result) DetectCopying() ([]CopyDependence, error) {
 			p, _ := r.res.TripleProb(d, v)
 			return p
 		},
-		Accuracy: func(w int) float64 { return r.res.A[w] },
+		Accuracy: func(w int) float64 { return r.res.AAt(w) },
 		Provides: func(ti int) bool { return r.res.CProbAt(ti) >= 0.5 },
 	}, copydetect.DefaultOptions())
 	if err != nil {
