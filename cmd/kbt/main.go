@@ -8,7 +8,8 @@
 //	              [-iters N] [-tol F] [-min-support N] [-top K] [-recompile]
 //	              [-full-aggregates] [-copydetect] [-fusion] [-listen ADDR]
 //	              [-lanes N] [-data DIR] [-checkpoint-every N]
-//	              [-checkpoint-bytes N] [-checkpoint-interval D] [file.tsv]
+//	              [-checkpoint-bytes N] [-checkpoint-interval D]
+//	              [-probe-backoff D] [-probe-max-backoff D] [file.tsv]
 //	kbt fuse      [-model accu|popaccu] [-n N] [-top K] [file.tsv]
 //	kbt generate  [-kind synthetic|web] [-scale F] [-seed N] [-o out.tsv]
 //
@@ -38,6 +39,15 @@
 // -checkpoint-bytes B by checkpointing whenever the log exceeds B bytes,
 // and -checkpoint-interval D (a duration, e.g. 5m) by checkpointing once D
 // of wall-clock time has passed since the last one.
+//
+// A durable serve survives transient disk faults: on a WAL or checkpoint
+// error the engine degrades to read-only (ingest returns 503 with a
+// Retry-After; queries keep serving the last generation), repairs its log
+// tail, and probes the disk with exponential backoff — -probe-backoff and
+// -probe-max-backoff tune the probe cadence — healing automatically once an
+// append+fsync round-trip succeeds. Health transitions are logged to stderr,
+// and the process exits non-zero only on unrecoverable sealed-region
+// corruption, never on a survivable WAL fault.
 package main
 
 import (
@@ -59,6 +69,7 @@ import (
 	"kbt/internal/server"
 	"kbt/internal/synthetic"
 	"kbt/internal/triple"
+	"kbt/internal/wal"
 	"kbt/internal/websim"
 )
 
@@ -207,6 +218,8 @@ type serveConfig struct {
 	checkpointEvery int
 	checkpointBytes int64
 	checkpointIvl   time.Duration
+	probeBackoff    time.Duration
+	probeMaxBackoff time.Duration
 
 	// onListen (when non-nil) receives the bound address once the HTTP
 	// listener is up; stop (when non-nil) replaces SIGINT/SIGTERM as the
@@ -234,6 +247,8 @@ func cmdServe(args []string) error {
 	ckptEvery := fs.Int("checkpoint-every", 0, "with -data, checkpoint automatically after every N refreshes (0 = never)")
 	ckptBytes := fs.Int64("checkpoint-bytes", 0, "with -data, checkpoint automatically once the write-ahead log exceeds this many bytes (0 = never)")
 	ckptIvl := fs.Duration("checkpoint-interval", 0, "with -data, checkpoint automatically once this much wall-clock time has passed since the last one (0 = never)")
+	probeBackoff := fs.Duration("probe-backoff", 0, "with -data, initial delay before a degraded (read-only) engine re-probes the disk; doubles per failed probe (0 = default 500ms)")
+	probeMax := fs.Duration("probe-max-backoff", 0, "with -data, cap on the exponential disk-probe backoff (0 = default 30s)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -248,6 +263,8 @@ func cmdServe(args []string) error {
 		checkpointEvery: *ckptEvery,
 		checkpointBytes: *ckptBytes,
 		checkpointIvl:   *ckptIvl,
+		probeBackoff:    *probeBackoff,
+		probeMaxBackoff: *probeMax,
 	}
 	cfg.opt.Shards = *shards
 	cfg.opt.Iterations = *iters
@@ -294,6 +311,15 @@ func runServe(cfg serveConfig, in io.Reader, stdout, errw io.Writer) error {
 			CheckpointEvery:    cfg.checkpointEvery,
 			CheckpointBytes:    cfg.checkpointBytes,
 			CheckpointInterval: cfg.checkpointIvl,
+			ProbeBackoff:       cfg.probeBackoff,
+			ProbeMaxBackoff:    cfg.probeMaxBackoff,
+			OnHealthChange: func(from, to kbt.HealthState, cause error) {
+				if cause != nil {
+					fmt.Fprintf(errw, "kbt serve: health %s -> %s: %v\n", from, to, cause)
+				} else {
+					fmt.Fprintf(errw, "kbt serve: health %s -> %s\n", from, to)
+				}
+			},
 		})
 		if err != nil {
 			return err
@@ -364,6 +390,21 @@ func runServe(cfg serveConfig, in io.Reader, stdout, errw io.Writer) error {
 		}
 		return nil
 	}
+	// tryRefresh classifies refresh failures: a survivable storage fault (the
+	// durable engine degraded to read-only and will heal once the disk
+	// recovers) is logged and the run keeps going on the last published
+	// generation; sealed corruption or a model error still aborts.
+	tryRefresh := func() error {
+		err := refresh()
+		if err == nil {
+			return nil
+		}
+		if errors.Is(err, kbt.ErrReadOnly) && !errors.Is(err, wal.ErrCorrupt) {
+			fmt.Fprintf(errw, "kbt serve: refresh deferred, engine read-only: %v\n", err)
+			return nil
+		}
+		return err
+	}
 
 	if in != nil {
 		sc := bufio.NewScanner(in)
@@ -376,7 +417,7 @@ func runServe(cfg serveConfig, in io.Reader, stdout, errw io.Writer) error {
 				continue
 			}
 			if line == "" {
-				if err := refresh(); err != nil {
+				if err := tryRefresh(); err != nil {
 					return err
 				}
 				sinceRefresh = 0
@@ -393,7 +434,7 @@ func runServe(cfg serveConfig, in io.Reader, stdout, errw io.Writer) error {
 			}
 			sinceRefresh++
 			if cfg.batch > 0 && sinceRefresh >= cfg.batch {
-				if err := refresh(); err != nil {
+				if err := tryRefresh(); err != nil {
 					return err
 				}
 				sinceRefresh = 0
@@ -411,7 +452,7 @@ func runServe(cfg serveConfig, in io.Reader, stdout, errw io.Writer) error {
 			return errors.New("serve: no records read (use -listen to start an idle HTTP server)")
 		}
 		if _, ok := eng.Current(); eng.Pending() > 0 || !ok {
-			return refresh()
+			return tryRefresh()
 		}
 		return nil
 	}
@@ -421,7 +462,7 @@ func runServe(cfg serveConfig, in io.Reader, stdout, errw io.Writer) error {
 	// recovered durable directory) left unrefreshed before opening the port.
 	if eng.Len() > 0 {
 		if _, ok := eng.Current(); eng.Pending() > 0 || !ok {
-			if err := refresh(); err != nil {
+			if err := tryRefresh(); err != nil {
 				return err
 			}
 		}

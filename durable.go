@@ -47,6 +47,17 @@ type DurableOptions struct {
 	// NoSync skips every fsync. Benchmarks and tests only: a crash can then
 	// lose acknowledged batches.
 	NoSync bool
+	// ProbeBackoff is the initial delay before a degraded engine re-probes
+	// the disk (default 500ms). Each failed probe doubles the delay, capped
+	// at ProbeMaxBackoff (default 30s).
+	ProbeBackoff time.Duration
+	// ProbeMaxBackoff caps the exponential probe backoff.
+	ProbeMaxBackoff time.Duration
+	// OnHealthChange, when non-nil, is invoked on every health-state
+	// transition with the triggering error (nil on a heal). It is called
+	// synchronously under the engine's mutator lock: keep it fast and never
+	// call back into the engine from it.
+	OnHealthChange func(from, to HealthState, cause error)
 
 	// fs overrides the filesystem; the crash-injection tests use it to kill
 	// the process at chosen byte offsets. nil means the real filesystem.
@@ -68,8 +79,81 @@ func (o DurableOptions) clock() func() time.Time {
 	return time.Now
 }
 
+// probeBackoff resolves the probe-backoff bounds.
+func (o DurableOptions) probeBackoff() (initial, max time.Duration) {
+	initial, max = o.ProbeBackoff, o.ProbeMaxBackoff
+	if initial <= 0 {
+		initial = 500 * time.Millisecond
+	}
+	if max <= 0 {
+		max = 30 * time.Second
+	}
+	if max < initial {
+		max = initial
+	}
+	return initial, max
+}
+
 // ErrEngineClosed is returned by mutating calls on a closed DurableEngine.
 var ErrEngineClosed = errors.New("kbt: durable engine is closed")
+
+// ErrReadOnly is returned by mutating calls while the engine is degraded or
+// sealed read-only after a storage fault. Reads keep serving the last
+// published generation; a degraded engine heals itself once a probe
+// append+fsync round-trip succeeds again. Errors returned by the faulting
+// call itself and by every subsequent fast-fail both match
+// errors.Is(err, ErrReadOnly).
+var ErrReadOnly = errors.New("kbt: engine is read-only after a storage fault")
+
+// HealthState is the durable engine's health machine:
+//
+//	StateHealthy  — appends flow normally.
+//	StateDegraded — a WAL append/sync/checkpoint error occurred. The engine
+//	                serves reads from the last published generation, fails
+//	                mutators fast with ErrReadOnly, repairs the torn tail,
+//	                and probes the disk with exponential backoff; one
+//	                successful append+fsync round-trip heals it.
+//	StateSealed   — unrecoverable (sealed-region corruption): permanently
+//	                read-only.
+type HealthState int32
+
+const (
+	StateHealthy HealthState = iota
+	StateDegraded
+	StateSealed
+)
+
+func (s HealthState) String() string {
+	switch s {
+	case StateHealthy:
+		return "healthy"
+	case StateDegraded:
+		return "degraded"
+	case StateSealed:
+		return "readonly"
+	}
+	return "unknown"
+}
+
+// HealthStatus is a point-in-time health report, served by /v1/healthz and
+// /v1/stats.
+type HealthStatus struct {
+	State HealthState
+	// LastFault describes the most recent storage fault ("" if none ever).
+	LastFault string
+	// Faults counts storage faults observed (including failed probes);
+	// Heals counts successful degraded→healthy transitions.
+	Faults uint64
+	Heals  uint64
+	// RetryAfter is how long until the next heal probe may run — the
+	// Retry-After a server should hand a client while degraded. Zero when
+	// healthy, or when a probe is already due.
+	RetryAfter time.Duration
+	// WALBytes is the active WAL segment's framed size; CheckpointWatermark
+	// is the log sequence the checkpoint chain covers up to.
+	WALBytes            int64
+	CheckpointWatermark uint64
+}
 
 // DurableEngine is an Engine whose ingest stream survives process death. It
 // has the same method set as Engine (and the same lock-free read path), plus
@@ -127,6 +211,21 @@ type DurableEngine struct {
 	// lastCkpt anchors the CheckpointInterval cadence: set at open and after
 	// every checkpoint (including ones that found nothing to persist).
 	lastCkpt time.Time
+
+	// health is the state machine above; atomic so Health() callers that
+	// only want the state could read it without the mutator lock. The
+	// companion fields are guarded by mu.
+	health     atomic.Int32
+	faults     atomic.Uint64
+	heals      atomic.Uint64
+	lastFault  error
+	probeDelay time.Duration
+	nextProbe  time.Time
+
+	// seenKeys is the idempotency-key dedup set: every key whose batch was
+	// durably applied, live or via recovery replay. A resend of a seen key
+	// is acknowledged without re-ingesting.
+	seenKeys map[string]struct{}
 
 	closed bool
 }
@@ -211,6 +310,9 @@ func OpenDurable(dir string, opt EngineOptions, dopt DurableOptions) (*DurableEn
 					return nil, fmt.Errorf("%w: checkpoint records no longer ingestable: %v", wal.ErrCorrupt, err)
 				}
 			}
+			// Chain ops record only applied transitions, so the key re-seeds
+			// the dedup set unconditionally.
+			d.rememberKey(op.Key)
 			for r := 0; r < op.Refreshes; r++ {
 				if err := replayRefresh(eng, coalesce); err != nil {
 					log.Close()
@@ -229,14 +331,23 @@ func OpenDurable(dir string, opt EngineOptions, dopt DurableOptions) (*DurableEn
 			return fmt.Errorf("%w: entry %d: %v", wal.ErrCorrupt, seq, err)
 		}
 		switch ent.Kind {
-		case wal.EntryBatch:
+		case wal.EntryBatch, wal.EntryKeyedBatch:
+			// A keyed batch whose key is already seen (from the chain or an
+			// earlier log entry) was a client resend racing a restart; the
+			// live process deduplicated it then, and replay does now.
+			if ent.Key != "" {
+				if _, dup := d.seenKeys[ent.Key]; dup {
+					return nil
+				}
+			}
 			// The live process logged the batch before engine validation, so
 			// a batch the engine rejected then is rejected again now — the
 			// same deterministic validation — and contributes no state.
 			if err := eng.eng.Ingest(ent.Records...); err != nil {
 				return nil
 			}
-			d.noteBatch(ent.Records)
+			d.noteBatch(ent.Records, ent.Key)
+			d.rememberKey(ent.Key)
 		case wal.EntryRefresh:
 			if eng.Len() == 0 {
 				return nil // marker for a refresh that could not have succeeded
@@ -245,6 +356,8 @@ func OpenDurable(dir string, opt EngineOptions, dopt DurableOptions) (*DurableEn
 				return fmt.Errorf("kbt: recovery replay refresh at entry %d: %w", seq, err)
 			}
 			d.noteRefresh()
+		case wal.EntryProbe:
+			// Health-probe round-trip: no state.
 		}
 		return nil
 	})
@@ -260,8 +373,8 @@ func OpenDurable(dir string, opt EngineOptions, dopt DurableOptions) (*DurableEn
 // noteBatch and noteRefresh record an applied state transition for the next
 // delta checkpoint. Consecutive refreshes fold into the trailing op, so an
 // op is "one ingest batch, then N refreshes" (or N refreshes alone).
-func (d *DurableEngine) noteBatch(recs []triple.Record) {
-	d.opsSince = append(d.opsSince, wal.CheckpointOp{Records: recs})
+func (d *DurableEngine) noteBatch(recs []triple.Record, key string) {
+	d.opsSince = append(d.opsSince, wal.CheckpointOp{Records: recs, Key: key})
 }
 
 func (d *DurableEngine) noteRefresh() {
@@ -272,11 +385,144 @@ func (d *DurableEngine) noteRefresh() {
 	d.opsSince = append(d.opsSince, wal.CheckpointOp{Refreshes: 1})
 }
 
+// rememberKey records an applied idempotency key. Called with d.mu held (or
+// during single-threaded recovery).
+func (d *DurableEngine) rememberKey(key string) {
+	if key == "" {
+		return
+	}
+	if d.seenKeys == nil {
+		d.seenKeys = make(map[string]struct{})
+	}
+	d.seenKeys[key] = struct{}{}
+}
+
+// setHealthLocked transitions the state machine, notifying OnHealthChange.
+func (d *DurableEngine) setHealthLocked(to HealthState, cause error) {
+	from := HealthState(d.health.Load())
+	if from == to {
+		return
+	}
+	d.health.Store(int32(to))
+	if d.dopt.OnHealthChange != nil {
+		d.dopt.OnHealthChange(from, to, cause)
+	}
+}
+
+// degradeLocked records a storage fault and moves the engine to degraded
+// read-only (sealed, if the fault is sealed-region corruption). The torn tail
+// is repaired immediately when the disk allows; otherwise the next probe
+// retries. The returned error wraps both ErrReadOnly and the cause.
+func (d *DurableEngine) degradeLocked(err error) error {
+	d.faults.Add(1)
+	d.lastFault = err
+	initial, _ := d.dopt.probeBackoff()
+	d.probeDelay = initial
+	d.nextProbe = d.dopt.clock()().Add(initial)
+	if errors.Is(err, wal.ErrCorrupt) {
+		d.setHealthLocked(StateSealed, err)
+	} else {
+		d.setHealthLocked(StateDegraded, err)
+		if d.log.Failed() {
+			// Best effort: a failure here leaves the log poisoned and the
+			// probe path repairs it before the next append.
+			_ = d.log.Repair()
+		}
+	}
+	return fmt.Errorf("%w: %w", ErrReadOnly, err)
+}
+
+// gateLocked is the mutator gate: healthy proceeds, sealed fails permanently,
+// degraded fails fast until the backoff elapses and then attempts a heal.
+func (d *DurableEngine) gateLocked() error {
+	switch HealthState(d.health.Load()) {
+	case StateHealthy:
+		return nil
+	case StateSealed:
+		return fmt.Errorf("%w (unrecoverable): %w", ErrReadOnly, d.lastFault)
+	}
+	now := d.dopt.clock()()
+	if now.Before(d.nextProbe) {
+		return fmt.Errorf("%w (next probe in %s): %w",
+			ErrReadOnly, d.nextProbe.Sub(now).Round(time.Millisecond), d.lastFault)
+	}
+	return d.probeLocked(now)
+}
+
+// probeLocked attempts to heal a degraded engine: repair the torn tail, then
+// prove the disk with a probe append + fsync round-trip — only a full
+// round-trip counts, since a failed fsync may have dropped dirty pages that
+// a bare retry would not rewrite. Success transitions back to healthy;
+// failure doubles the backoff.
+func (d *DurableEngine) probeLocked(now time.Time) error {
+	err := func() error {
+		if d.log.Failed() {
+			if err := d.log.Repair(); err != nil {
+				return err
+			}
+		}
+		if _, err := d.log.Append(wal.EncodeProbe()); err != nil {
+			return err
+		}
+		return d.log.Sync()
+	}()
+	if err != nil {
+		d.faults.Add(1)
+		d.lastFault = err
+		_, max := d.dopt.probeBackoff()
+		d.probeDelay *= 2
+		if d.probeDelay > max {
+			d.probeDelay = max
+		}
+		d.nextProbe = now.Add(d.probeDelay)
+		if errors.Is(err, wal.ErrCorrupt) {
+			d.setHealthLocked(StateSealed, err)
+		}
+		return fmt.Errorf("%w (probe failed): %w", ErrReadOnly, err)
+	}
+	d.heals.Add(1)
+	d.probeDelay, _ = d.dopt.probeBackoff()
+	d.setHealthLocked(StateHealthy, nil)
+	return nil
+}
+
+// Health reports the engine's health, fault history, and storage watermarks.
+func (d *DurableEngine) Health() HealthStatus {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	st := HealthStatus{
+		State:               HealthState(d.health.Load()),
+		Faults:              d.faults.Load(),
+		Heals:               d.heals.Load(),
+		WALBytes:            d.log.Size(),
+		CheckpointWatermark: d.ckWatermark,
+	}
+	if d.lastFault != nil {
+		st.LastFault = d.lastFault.Error()
+	}
+	if st.State == StateDegraded {
+		if ra := d.nextProbe.Sub(d.dopt.clock()()); ra > 0 {
+			st.RetryAfter = ra
+		}
+	}
+	return st
+}
+
 // Ingest logs, fsyncs and applies a batch of extractions. A nil return is a
 // durable acknowledgement: the batch survives any later crash. A validation
 // error means the batch was discarded whole — durably so, since recovery
 // re-runs the same validation on the logged bytes.
 func (d *DurableEngine) Ingest(batch ...Extraction) error {
+	return d.IngestKeyed("", batch...)
+}
+
+// IngestKeyed is Ingest with a client idempotency key: a key whose batch was
+// already durably applied — in this process or any recovered predecessor —
+// is acknowledged with nil without re-ingesting, so an at-least-once client
+// that timed out on an ambiguous ack can resend safely. The key is recorded
+// in the WAL entry and in checkpoint ops, which is what lets the dedup set
+// survive recovery. An empty key is a plain Ingest.
+func (d *DurableEngine) IngestKeyed(key string, batch ...Extraction) error {
 	recs := make([]triple.Record, len(batch))
 	for i, x := range batch {
 		recs[i] = x.record()
@@ -286,22 +532,36 @@ func (d *DurableEngine) Ingest(batch ...Extraction) error {
 	if d.closed {
 		return ErrEngineClosed
 	}
-	if _, err := d.log.Append(wal.EncodeBatch(recs)); err != nil {
+	if key != "" {
+		if _, dup := d.seenKeys[key]; dup {
+			// Exactly-once: the earlier send was durably applied, so the
+			// resend is acked without touching the (possibly faulty) disk.
+			return nil
+		}
+	}
+	if err := d.gateLocked(); err != nil {
 		return err
+	}
+	if _, err := d.log.Append(wal.EncodeKeyedBatch(key, recs)); err != nil {
+		return d.degradeLocked(err)
 	}
 	if err := d.log.Sync(); err != nil {
-		return err
+		return d.degradeLocked(err)
 	}
 	if err := d.eng.Load().eng.Ingest(recs...); err != nil {
+		// Validation rejection, not a storage fault: the batch is discarded
+		// whole (recovery re-runs the same validation) and the key is not
+		// recorded, so a resend earns the same rejection.
 		return err
 	}
-	d.noteBatch(recs)
+	d.noteBatch(recs, key)
+	d.rememberKey(key)
 	if d.cadenceDue() {
 		if err := d.checkpointLocked(); err != nil {
 			// The batch itself is applied and durable — only the cadence
 			// checkpoint failed. Surfaced rather than swallowed, since a
 			// persistently failing checkpoint means unbounded log growth.
-			return fmt.Errorf("kbt: batch is durable but its size-triggered checkpoint failed: %w", err)
+			return fmt.Errorf("kbt: batch is durable but its size-triggered checkpoint failed: %w", d.degradeLocked(err))
 		}
 	}
 	return nil
@@ -324,12 +584,21 @@ func (d *DurableEngine) Refresh() (*Result, error) {
 	if d.closed {
 		return nil, ErrEngineClosed
 	}
+	if err := d.gateLocked(); err != nil {
+		return nil, err
+	}
 	r, err := d.eng.Load().Refresh()
 	if err != nil {
 		return nil, err
 	}
 	if _, err := d.log.Append(wal.EncodeRefresh()); err != nil {
-		return nil, fmt.Errorf("kbt: refresh succeeded but its marker could not be logged: %w", err)
+		// The refresh is applied to the live engine even though its marker
+		// tore. Note it anyway: the next delta checkpoint then carries it,
+		// keeping recovery in lockstep with this surviving process. (A crash
+		// before that checkpoint rolls the refresh back to "records
+		// pending" — the documented un-synced-marker contract.)
+		d.noteRefresh()
+		return nil, fmt.Errorf("kbt: refresh succeeded but its marker could not be logged: %w", d.degradeLocked(err))
 	}
 	d.noteRefresh()
 	d.refreshes++
@@ -339,7 +608,7 @@ func (d *DurableEngine) Refresh() (*Result, error) {
 	}
 	if need {
 		if err := d.checkpointLocked(); err != nil {
-			return nil, fmt.Errorf("kbt: refresh succeeded but its checkpoint failed: %w", err)
+			return nil, fmt.Errorf("kbt: refresh succeeded but its checkpoint failed: %w", d.degradeLocked(err))
 		}
 		// A compacting checkpoint replaced the generation r belongs to;
 		// serve the anchored one so the caller sees what recovery would.
@@ -371,7 +640,13 @@ func (d *DurableEngine) Checkpoint() error {
 	if d.closed {
 		return ErrEngineClosed
 	}
-	return d.checkpointLocked()
+	if err := d.gateLocked(); err != nil {
+		return err
+	}
+	if err := d.checkpointLocked(); err != nil {
+		return d.degradeLocked(err)
+	}
+	return nil
 }
 
 func (d *DurableEngine) checkpointLocked() error {
@@ -381,6 +656,9 @@ func (d *DurableEngine) checkpointLocked() error {
 			return err
 		}
 		if _, err := d.log.Append(wal.EncodeRefresh()); err != nil {
+			// Applied to the live engine; carry it in the next delta even
+			// though the marker tore (see Refresh for the same contract).
+			d.noteRefresh()
 			return err
 		}
 		d.noteRefresh()
@@ -439,6 +717,23 @@ func (d *DurableEngine) checkpointLocked() error {
 	case d.hasChain:
 		ck := &wal.Checkpoint{Watermark: watermark, Fingerprint: fp, Ops: d.opsSince}
 		if err := wal.WriteCheckpointDelta(d.dopt.fs, d.dir, d.ckWatermark, ck); err != nil {
+			// The publication may have landed before the failure — the rename
+			// goes through, then the directory sync faults. If the chain now
+			// ends at our watermark the ops are durably covered and must not
+			// ride a second delta: a retry carrying them again would link to a
+			// stale parent and double-apply on replay. Advance the in-memory
+			// chain state to match the disk; the covered log segments are kept
+			// (the rename's durability is unproven without the dir sync, and
+			// recovery is consistent from either state — chain if the delta
+			// survives, log replay if it vanishes). The error still surfaces:
+			// the disk is faulty and the engine degrades either way.
+			if got, ok, rerr := wal.ReadCheckpoint(d.dopt.fs, d.dir); rerr == nil && ok && got.Watermark == watermark {
+				d.ckWatermark = watermark
+				d.chainBatches += newBatches
+				d.opsSince = nil
+				d.refreshes = 0
+				d.lastCkpt = d.dopt.clock()()
+			}
 			return err
 		}
 		d.chainBatches += newBatches

@@ -153,11 +153,26 @@ func readBoundary(t *testing.T, dir string) durableBoundary {
 }
 
 // durableRecords flattens the boundary's record stream: the checkpoint
-// chain's prefix followed by every tail batch.
+// chain's prefix followed by every tail batch. Keyed batches dedup exactly as
+// recovery does — a key the chain or an earlier entry already carries marks a
+// client resend, which replay must not apply twice.
 func (b durableBoundary) records() []triple.Record {
 	recs := append([]triple.Record(nil), b.ck.AllRecords()...)
+	seen := make(map[string]bool)
+	for i := range b.ck.Ops {
+		if k := b.ck.Ops[i].Key; k != "" {
+			seen[k] = true
+		}
+	}
 	for _, ent := range b.entries {
-		if ent.Kind == wal.EntryBatch {
+		switch ent.Kind {
+		case wal.EntryBatch, wal.EntryKeyedBatch:
+			if ent.Key != "" {
+				if seen[ent.Key] {
+					continue
+				}
+				seen[ent.Key] = true
+			}
 			recs = append(recs, ent.Records...)
 		}
 	}
@@ -177,12 +192,16 @@ func oracleFromBoundary(t *testing.T, b durableBoundary, opt EngineOptions) *Eng
 	if err != nil {
 		t.Fatal(err)
 	}
+	seen := make(map[string]bool)
 	for i := range b.ck.Ops {
 		op := &b.ck.Ops[i]
 		if len(op.Records) > 0 {
 			if err := eng.eng.Ingest(op.Records...); err != nil {
 				t.Fatalf("oracle chain ingest (op %d): %v", i, err)
 			}
+		}
+		if op.Key != "" {
+			seen[op.Key] = true
 		}
 		for r := 0; r < op.Refreshes; r++ {
 			if eng.Len() == 0 {
@@ -195,9 +214,18 @@ func oracleFromBoundary(t *testing.T, b durableBoundary, opt EngineOptions) *Eng
 	}
 	for _, ent := range b.entries {
 		switch ent.Kind {
-		case wal.EntryBatch:
+		case wal.EntryBatch, wal.EntryKeyedBatch:
+			// Same dedup and rejection semantics as recovery: an already-seen
+			// key is a resend (skipped), a batch the engine rejects
+			// contributes no state and leaves its key unrecorded.
+			if ent.Key != "" && seen[ent.Key] {
+				continue
+			}
 			if err := eng.eng.Ingest(ent.Records...); err != nil {
-				t.Fatalf("oracle tail ingest: %v", err)
+				continue
+			}
+			if ent.Key != "" {
+				seen[ent.Key] = true
 			}
 		case wal.EntryRefresh:
 			if eng.Len() == 0 {
@@ -975,4 +1003,576 @@ func TestDurableCheckpointInterval(t *testing.T) {
 		t.Fatal("no recovered generation")
 	}
 	assertResultsIdentical(t, "interval-cadence", got, live)
+}
+
+// durableBatch builds a batch of n sequential scripted extractions.
+func durableBatch(first, n int) []Extraction {
+	b := make([]Extraction, n)
+	for i := range b {
+		b[i] = durableExtraction(first + i)
+	}
+	return b
+}
+
+// TestDurableHealthDegradeAndHeal walks the health machine end to end with a
+// fake clock: a transient fsync fault degrades the engine to read-only, reads
+// keep serving the last generation, mutators fail fast (without touching the
+// disk) until the backoff elapses, and the first successful probe round-trip
+// heals it — after which the client's keyed retry applies exactly once.
+func TestDurableHealthDegradeAndHeal(t *testing.T) {
+	opt := durableTestOptions()
+	dir := t.TempDir()
+	now := time.Unix(1_700_000_000, 0)
+	clock := func() time.Time { return now }
+	// Sync 0 is segment creation; sync 1 acks the first batch; sync 2 — the
+	// one covering the second batch — fails once.
+	ffs := wal.NewFaultFS(nil, wal.Fault{Op: wal.OpSync, After: 2, Err: wal.ErrInjectedIO, Times: 1})
+	var transitions []string
+	d, err := OpenDurable(dir, opt, DurableOptions{
+		fs:              ffs,
+		now:             clock,
+		ProbeBackoff:    time.Second,
+		ProbeMaxBackoff: 8 * time.Second,
+		OnHealthChange: func(from, to HealthState, cause error) {
+			transitions = append(transitions, fmt.Sprintf("%s->%s", from, to))
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Close()
+
+	if err := d.Ingest(durableBatch(0, 3)...); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.Refresh(); err != nil {
+		t.Fatal(err)
+	}
+	gen, ok := d.Current()
+	if !ok {
+		t.Fatal("no generation before the fault")
+	}
+
+	// The faulted ingest: typed error, degraded state, a populated report.
+	retry := durableBatch(3, 3)
+	if err := d.IngestKeyed("retry-1", retry...); !errors.Is(err, ErrReadOnly) {
+		t.Fatalf("faulted ingest: %v, want ErrReadOnly", err)
+	}
+	st := d.Health()
+	if st.State != StateDegraded || st.State.String() != "degraded" {
+		t.Fatalf("state after fault: %v", st.State)
+	}
+	if st.Faults != 1 || st.Heals != 0 || st.LastFault == "" {
+		t.Fatalf("fault counters: %+v", st)
+	}
+	if st.RetryAfter <= 0 || st.RetryAfter > time.Second {
+		t.Fatalf("RetryAfter = %v", st.RetryAfter)
+	}
+	// Reads keep serving the pre-fault generation.
+	if cur, ok := d.Current(); !ok || cur != gen {
+		t.Fatal("degraded engine stopped serving the last generation")
+	}
+	if _, ok := d.TopSources(3); !ok {
+		t.Fatal("degraded engine stopped serving rankings")
+	}
+
+	// Before the backoff elapses, mutators fail fast without a disk probe.
+	syncs := ffs.Calls(wal.OpSync)
+	if err := d.IngestKeyed("retry-1", retry...); !errors.Is(err, ErrReadOnly) {
+		t.Fatalf("fast-fail ingest: %v", err)
+	}
+	if _, err := d.Refresh(); !errors.Is(err, ErrReadOnly) {
+		t.Fatalf("fast-fail refresh: %v", err)
+	}
+	if err := d.Checkpoint(); !errors.Is(err, ErrReadOnly) {
+		t.Fatalf("fast-fail checkpoint: %v", err)
+	}
+	if got := ffs.Calls(wal.OpSync); got != syncs {
+		t.Fatalf("fast-fail path touched the disk: %d syncs, was %d", got, syncs)
+	}
+
+	// Past the backoff, the probe round-trip heals and the retry applies.
+	now = now.Add(1100 * time.Millisecond)
+	if err := d.IngestKeyed("retry-1", retry...); err != nil {
+		t.Fatalf("retry after heal: %v", err)
+	}
+	st = d.Health()
+	if st.State != StateHealthy || st.Heals != 1 {
+		t.Fatalf("state after heal: %+v", st)
+	}
+	if d.Len() != 6 {
+		t.Fatalf("engine holds %d records, want 6", d.Len())
+	}
+	// The duplicate resend of the now-applied key is a no-op ack.
+	if err := d.IngestKeyed("retry-1", retry...); err != nil || d.Len() != 6 {
+		t.Fatalf("dup resend: err=%v len=%d", err, d.Len())
+	}
+	want := []string{"healthy->degraded", "degraded->healthy"}
+	if !reflect.DeepEqual(transitions, want) {
+		t.Fatalf("transitions %v, want %v", transitions, want)
+	}
+
+	// The torn first attempt never becomes durable: a clean recovery holds
+	// each acked record exactly once and still dedups the key.
+	if _, err := d.Refresh(); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Close(); err != nil {
+		t.Fatal(err)
+	}
+	rec, err := OpenDurable(dir, opt, DurableOptions{})
+	if err != nil {
+		t.Fatalf("recovery: %v", err)
+	}
+	defer rec.Close()
+	if rec.Len() != 6 {
+		t.Fatalf("recovered %d records, want 6", rec.Len())
+	}
+	if err := rec.IngestKeyed("retry-1", retry...); err != nil || rec.Len() != 6 {
+		t.Fatalf("post-recovery resend: err=%v len=%d", err, rec.Len())
+	}
+}
+
+// TestDurableHealthProbeBackoff: failed probes double the delay up to the cap,
+// every probe failure counts a fault, and the engine stays degraded — never
+// sealed — under a plain persistent EIO.
+func TestDurableHealthProbeBackoff(t *testing.T) {
+	opt := durableTestOptions()
+	now := time.Unix(1_700_000_000, 0)
+	clock := func() time.Time { return now }
+	// Persistent: every fsync after segment creation fails, forever.
+	ffs := wal.NewFaultFS(nil, wal.Fault{Op: wal.OpSync, After: 1, Err: wal.ErrInjectedIO})
+	d, err := OpenDurable(t.TempDir(), opt, DurableOptions{
+		fs: ffs, now: clock, ProbeBackoff: time.Second, ProbeMaxBackoff: 4 * time.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Close()
+	if err := d.Ingest(durableBatch(0, 2)...); !errors.Is(err, ErrReadOnly) {
+		t.Fatalf("first ingest: %v", err)
+	}
+	wantDelays := []time.Duration{1, 2, 4, 4, 4} // seconds; doubling, capped
+	for i, sec := range wantDelays {
+		st := d.Health()
+		if st.State != StateDegraded {
+			t.Fatalf("probe %d: state %v", i, st.State)
+		}
+		if st.RetryAfter != sec*time.Second {
+			t.Fatalf("probe %d: RetryAfter %v, want %vs", i, st.RetryAfter, sec)
+		}
+		now = now.Add(sec*time.Second + time.Millisecond)
+		if err := d.Ingest(durableBatch(0, 2)...); !errors.Is(err, ErrReadOnly) {
+			t.Fatalf("probe %d: %v", i, err)
+		}
+	}
+	st := d.Health()
+	if st.Faults != uint64(1+len(wantDelays)) || st.Heals != 0 {
+		t.Fatalf("counters after failed probes: %+v", st)
+	}
+}
+
+// TestDurableHealthSealedOnCorruption: a fault classified as sealed-region
+// corruption moves the engine to the terminal readonly state — no probes, no
+// heals, reads still serving.
+func TestDurableHealthSealedOnCorruption(t *testing.T) {
+	opt := durableTestOptions()
+	now := time.Unix(1_700_000_000, 0)
+	clock := func() time.Time { return now }
+	ffs := wal.NewFaultFS(nil, wal.Fault{Op: wal.OpSync, After: 2, Err: wal.ErrCorrupt, Times: 1})
+	var transitions []string
+	d, err := OpenDurable(t.TempDir(), opt, DurableOptions{
+		fs: ffs, now: clock, ProbeBackoff: time.Second,
+		OnHealthChange: func(from, to HealthState, cause error) {
+			transitions = append(transitions, fmt.Sprintf("%s->%s", from, to))
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Close()
+	if err := d.Ingest(durableBatch(0, 3)...); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.Refresh(); err != nil {
+		t.Fatal(err)
+	}
+	err = d.Ingest(durableBatch(3, 2)...)
+	if !errors.Is(err, ErrReadOnly) || !errors.Is(err, wal.ErrCorrupt) {
+		t.Fatalf("sealing fault: %v, want ErrReadOnly wrapping wal.ErrCorrupt", err)
+	}
+	st := d.Health()
+	if st.State != StateSealed || st.State.String() != "readonly" {
+		t.Fatalf("state: %v", st.State)
+	}
+	// No amount of waiting probes a sealed engine.
+	calls := ffs.Calls(wal.OpSync)
+	now = now.Add(time.Hour)
+	if err := d.Ingest(durableBatch(5, 1)...); !errors.Is(err, ErrReadOnly) {
+		t.Fatalf("sealed ingest: %v", err)
+	}
+	if got := ffs.Calls(wal.OpSync); got != calls {
+		t.Fatal("sealed engine probed the disk")
+	}
+	if _, ok := d.Current(); !ok {
+		t.Fatal("sealed engine stopped serving reads")
+	}
+	if want := []string{"healthy->readonly"}; !reflect.DeepEqual(transitions, want) {
+		t.Fatalf("transitions %v, want %v", transitions, want)
+	}
+}
+
+// TestDurableIdempotencyAcrossRecovery: the dedup set survives restarts via
+// both persistence paths — a key compacted into a checkpoint op and a key
+// still in the WAL tail — while a key whose batch was rejected is free to
+// retry with corrected data.
+func TestDurableIdempotencyAcrossRecovery(t *testing.T) {
+	opt := durableTestOptions()
+	dir := t.TempDir()
+	d, err := OpenDurable(dir, opt, DurableOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := d.IngestKeyed("in-chain", durableBatch(0, 3)...); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.Refresh(); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Checkpoint(); err != nil { // "in-chain" rides a checkpoint op
+		t.Fatal(err)
+	}
+	if err := d.IngestKeyed("in-tail", durableBatch(3, 2)...); err != nil {
+		t.Fatal(err)
+	}
+	bad := durableExtraction(9)
+	bad.Subject = ""
+	if err := d.IngestKeyed("rejected", bad); err == nil {
+		t.Fatal("invalid keyed batch accepted")
+	}
+	// A rejected batch's key is not recorded: the resend earns the same
+	// deterministic rejection, twice over in the log.
+	if err := d.IngestKeyed("rejected", bad); err == nil {
+		t.Fatal("invalid resend accepted")
+	}
+	if err := d.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	rec, err := OpenDurable(dir, opt, DurableOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rec.Close()
+	if rec.Len() != 5 {
+		t.Fatalf("recovered %d records, want 5", rec.Len())
+	}
+	for _, key := range []string{"in-chain", "in-tail"} {
+		if err := rec.IngestKeyed(key, durableBatch(20, 2)...); err != nil {
+			t.Fatalf("resend of %s: %v", key, err)
+		}
+		if rec.Len() != 5 {
+			t.Fatalf("resend of %s re-applied: %d records", key, rec.Len())
+		}
+	}
+	// The rejected key never made it into the dedup set, live or recovered,
+	// so a corrected batch under it applies.
+	if err := rec.IngestKeyed("rejected", durableBatch(30, 1)...); err != nil {
+		t.Fatal(err)
+	}
+	if rec.Len() != 6 {
+		t.Fatalf("corrected retry did not apply: %d records", rec.Len())
+	}
+}
+
+// TestEngineIngestKeyed: the in-memory engine honours the same live dedup
+// contract (without persistence) so multi-lane servers behave identically
+// whether or not a durable directory is configured.
+func TestEngineIngestKeyed(t *testing.T) {
+	e, err := NewEngine(durableTestOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := e.IngestKeyed("k", durableBatch(0, 3)...); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.IngestKeyed("k", durableBatch(3, 3)...); err != nil {
+		t.Fatal(err)
+	}
+	if e.Len() != 3 {
+		t.Fatalf("duplicate key applied: %d records", e.Len())
+	}
+	bad := durableExtraction(0)
+	bad.Subject = ""
+	if err := e.IngestKeyed("k2", bad); err == nil {
+		t.Fatal("invalid keyed batch accepted")
+	}
+	if err := e.IngestKeyed("k2", durableBatch(3, 2)...); err != nil {
+		t.Fatal(err)
+	}
+	if e.Len() != 5 {
+		t.Fatalf("rejected key blocked its retry: %d records", e.Len())
+	}
+	if err := e.IngestKeyed("", durableBatch(5, 1)...); err != nil {
+		t.Fatal(err)
+	}
+	if e.Len() != 6 {
+		t.Fatalf("empty key must not dedup: %d records", e.Len())
+	}
+}
+
+// TestDurableChaosSweep is the survivable-fault analogue of the crash sweep:
+// randomized schedules of transient (and sometimes persistent) EIO/ENOSPC
+// faults — torn short writes included — run under a retrying client that
+// tags every batch with an idempotency key. Throughout:
+//
+//   - every mutator failure is typed (errors.Is ErrReadOnly);
+//   - duplicate resends of acked keys are applied exactly once;
+//   - the engine either heals (transient schedules must) and then matches a
+//     never-faulted oracle bit for bit, or stays cleanly read-only;
+//   - a final recovery through a clean filesystem holds every acked batch
+//     exactly once, resurrects nothing unacknowledged, and matches the
+//     boundary oracle.
+func TestDurableChaosSweep(t *testing.T) {
+	opt := durableTestOptions()
+	schedules := 10
+	if testing.Short() {
+		schedules = 5
+	}
+	unique := func(i int) Extraction {
+		x := durableExtraction(i)
+		x.Subject = fmt.Sprintf("u%d", i) // globally unique → exact multiset checks
+		return x
+	}
+	for s := 0; s < schedules; s++ {
+		s := s
+		t.Run(fmt.Sprintf("schedule=%d", s), func(t *testing.T) {
+			rng := rand.New(rand.NewSource(int64(9000 + s)))
+			persistent := s%3 == 2
+			classes := []wal.FaultOp{wal.OpWrite, wal.OpSync, wal.OpSyncDir, wal.OpCreate, wal.OpRename}
+			errsPool := []error{wal.ErrInjectedIO, wal.ErrInjectedNoSpace}
+			var faults []wal.Fault
+			for i, n := 0, 1+rng.Intn(4); i < n; i++ {
+				ft := wal.Fault{
+					Op:    classes[rng.Intn(len(classes))],
+					After: 2 + rng.Intn(40),
+					Err:   errsPool[rng.Intn(len(errsPool))],
+					Times: 1 + rng.Intn(3),
+				}
+				if ft.Op == wal.OpWrite {
+					ft.ShortBytes = rng.Intn(12)
+				}
+				faults = append(faults, ft)
+			}
+			if persistent {
+				faults = append(faults, wal.Fault{Op: wal.OpSync, After: 25 + rng.Intn(15), Err: wal.ErrInjectedIO})
+			}
+			ffs := wal.NewFaultFS(nil, faults...)
+
+			// Deterministic auto-advancing clock: every engine clock read
+			// moves time forward, so probe backoffs elapse across retries
+			// without wall-clock sleeps.
+			now := time.Unix(1_700_000_000, 0)
+			clock := func() time.Time { now = now.Add(300 * time.Millisecond); return now }
+			dopt := DurableOptions{
+				SegmentBytes:        512,
+				CompactAfterBatches: -1, // no re-anchor: keeps live-vs-oracle bit-identity exact
+				ProbeBackoff:        200 * time.Millisecond,
+				ProbeMaxBackoff:     2 * time.Second,
+				fs:                  ffs,
+				now:                 clock,
+			}
+			dir := t.TempDir()
+			var d *DurableEngine
+			var err error
+			for attempt := 0; attempt < 8; attempt++ {
+				if d, err = OpenDurable(dir, opt, dopt); err == nil {
+					break
+				}
+			}
+			if err != nil {
+				t.Fatalf("open never succeeded: %v", err)
+			}
+			defer d.Close()
+
+			oracle, err := NewEngine(opt)
+			if err != nil {
+				t.Fatal(err)
+			}
+			oracleRefresh := func() {
+				t.Helper()
+				if _, err := oracle.Refresh(); err != nil {
+					t.Fatalf("oracle refresh: %v", err)
+				}
+			}
+			// syncOracle detects a refresh that reached the live engine even
+			// though its marker (or its checkpoint) then faulted: the
+			// published generation moved, so the oracle must move too.
+			syncOracle := func(prev *Result) {
+				t.Helper()
+				if cur, ok := d.Current(); ok && cur != prev {
+					oracleRefresh()
+				}
+			}
+			ackedRecs := make(map[triple.Record]bool)
+			next := 0
+			for step := 0; step < 40; step++ {
+				switch rng.Intn(5) {
+				case 0, 1, 2: // keyed ingest with bounded retries
+					key := fmt.Sprintf("op-%d", step)
+					n := 1 + rng.Intn(3)
+					b := make([]Extraction, n)
+					recs := make([]triple.Record, n)
+					for j := range b {
+						b[j] = unique(next)
+						recs[j] = b[j].record()
+						next++
+					}
+					acked := false
+					for attempt := 0; attempt < 8 && !acked; attempt++ {
+						err := d.IngestKeyed(key, b...)
+						if err == nil {
+							acked = true
+						} else if !errors.Is(err, ErrReadOnly) {
+							t.Fatalf("step %d: untyped ingest error: %v", step, err)
+						}
+					}
+					if !acked {
+						continue
+					}
+					// Exactly-once: the resend of an acked key is a pure ack.
+					before := d.Len()
+					if err := d.IngestKeyed(key, b...); err != nil {
+						t.Fatalf("step %d: resend of acked key: %v", step, err)
+					}
+					if d.Len() != before {
+						t.Fatalf("step %d: duplicate resend applied again", step)
+					}
+					if err := oracle.eng.Ingest(recs...); err != nil {
+						t.Fatal(err)
+					}
+					for _, r := range recs {
+						ackedRecs[r] = true
+					}
+				case 3: // refresh
+					if d.Len() == 0 {
+						continue
+					}
+					prev, _ := d.Current()
+					applied := false
+					for attempt := 0; attempt < 8 && !applied; attempt++ {
+						if _, err := d.Refresh(); err == nil {
+							applied = true
+						} else if !errors.Is(err, ErrReadOnly) {
+							t.Fatalf("step %d: untyped refresh error: %v", step, err)
+						} else if cur, ok := d.Current(); ok && cur != prev {
+							applied = true // ran, then its marker tore
+						}
+					}
+					if applied {
+						oracleRefresh()
+					}
+				case 4: // checkpoint; its flush refresh may publish even on failure
+					prev, _ := d.Current()
+					for attempt := 0; attempt < 8; attempt++ {
+						err := d.Checkpoint()
+						if err == nil {
+							break
+						}
+						if !errors.Is(err, ErrReadOnly) {
+							t.Fatalf("step %d: untyped checkpoint error: %v", step, err)
+						}
+					}
+					syncOracle(prev)
+				}
+			}
+
+			// Drive to a terminal state: a full Checkpoint round-trip proves
+			// the engine healed; a persistent fault keeps it read-only.
+			healed := false
+			for attempt := 0; attempt < 30 && !healed; attempt++ {
+				prev, _ := d.Current()
+				err := d.Checkpoint()
+				if err == nil {
+					healed = true
+				} else if !errors.Is(err, ErrReadOnly) {
+					t.Fatalf("terminal checkpoint: untyped error: %v", err)
+				}
+				syncOracle(prev)
+			}
+
+			if healed {
+				st := d.Health()
+				if st.State != StateHealthy {
+					t.Fatalf("checkpoint succeeded but health is %v", st.State)
+				}
+				if d.Len() != oracle.Len() {
+					t.Fatalf("live %d records, oracle %d", d.Len(), oracle.Len())
+				}
+				rr, rok := d.Current()
+				or, ook := oracle.Current()
+				if rok != ook {
+					t.Fatalf("live refreshed=%v, oracle refreshed=%v", rok, ook)
+				}
+				if rok {
+					assertResultsIdentical(t, "live-vs-oracle", rr, or)
+				}
+			} else {
+				if !persistent {
+					t.Fatalf("transient schedule never healed: %+v", d.Health())
+				}
+				// Cleanly read-only: typed failures, reads still serving.
+				if err := d.Ingest(unique(next)); !errors.Is(err, ErrReadOnly) {
+					t.Fatalf("read-only ingest: %v", err)
+				}
+				st := d.Health()
+				if st.State == StateHealthy || st.Faults == 0 || st.LastFault == "" {
+					t.Fatalf("inconsistent read-only health: %+v", st)
+				}
+			}
+			d.Close()
+
+			// Recovery through a clean filesystem: acked batches exactly once,
+			// nothing unacknowledged resurrected, result matching the oracle
+			// built from the raw durable boundary.
+			rec, err := OpenDurable(dir, opt, DurableOptions{})
+			if err != nil {
+				t.Fatalf("clean recovery: %v", err)
+			}
+			defer rec.Close()
+			boundary := readBoundary(t, dir)
+			counts := make(map[triple.Record]int)
+			for _, r := range boundary.records() {
+				counts[r]++
+			}
+			for r := range ackedRecs {
+				if counts[r] != 1 {
+					t.Fatalf("acked record %v appears %d times after recovery", r, counts[r])
+				}
+			}
+			for r, n := range counts {
+				if n != 1 {
+					t.Fatalf("record %v duplicated %d times", r, n)
+				}
+				if !ackedRecs[r] {
+					t.Fatalf("unacked record %v resurrected by recovery", r)
+				}
+			}
+			if rec.Len() != len(counts) {
+				t.Fatalf("recovered %d records, boundary %d", rec.Len(), len(counts))
+			}
+			bOracle := oracleFromBoundary(t, boundary, opt)
+			rr, rok := rec.Current()
+			or, ook := bOracle.Current()
+			if rok != ook {
+				t.Fatalf("recovered refreshed=%v, boundary oracle refreshed=%v", rok, ook)
+			}
+			if rok {
+				assertResultsIdentical(t, "recovered-vs-boundary", rr, or)
+			}
+		})
+	}
 }

@@ -3,6 +3,7 @@ package kbt
 import (
 	"errors"
 	"sort"
+	"sync"
 	"sync/atomic"
 
 	"kbt/internal/engine"
@@ -112,6 +113,12 @@ type Engine struct {
 	// cur caches the Result wrapper of the latest published generation, so
 	// every reader of a generation shares one set of memoized sorted views.
 	cur atomic.Pointer[Result]
+
+	// keyMu/seenKeys implement IngestKeyed's dedup for the in-memory engine.
+	// (DurableEngine keeps its own set, persisted through WAL entries and
+	// checkpoint ops.)
+	keyMu    sync.Mutex
+	seenKeys map[string]struct{}
 }
 
 // NewEngine builds an empty incremental engine. Option validation and the
@@ -137,6 +144,30 @@ func (e *Engine) Ingest(batch ...Extraction) error {
 		recs[i] = x.record()
 	}
 	return e.eng.Ingest(recs...)
+}
+
+// IngestKeyed is Ingest with a client idempotency key: a batch whose key was
+// already applied is acknowledged with nil without re-ingesting, so an
+// at-least-once client can resend after an ambiguous failure. An empty key
+// is a plain Ingest. The in-memory engine's dedup set lives only as long as
+// the process; DurableEngine.IngestKeyed persists its keys across recovery.
+func (e *Engine) IngestKeyed(key string, batch ...Extraction) error {
+	if key == "" {
+		return e.Ingest(batch...)
+	}
+	e.keyMu.Lock()
+	defer e.keyMu.Unlock()
+	if _, dup := e.seenKeys[key]; dup {
+		return nil
+	}
+	if err := e.Ingest(batch...); err != nil {
+		return err
+	}
+	if e.seenKeys == nil {
+		e.seenKeys = make(map[string]struct{})
+	}
+	e.seenKeys[key] = struct{}{}
+	return nil
 }
 
 // Validate checks a batch against the same per-record validation Ingest

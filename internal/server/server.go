@@ -18,6 +18,7 @@ import (
 	"strconv"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"kbt"
 )
@@ -26,6 +27,7 @@ import (
 // kbt.DurableEngine.
 type Engine interface {
 	Ingest(batch ...kbt.Extraction) error
+	IngestKeyed(key string, batch ...kbt.Extraction) error
 	Validate(batch ...kbt.Extraction) error
 	Len() int
 	Pending() int
@@ -36,6 +38,14 @@ type Engine interface {
 	CopyDeps() ([]kbt.CopyDependence, error)
 	Fused(item string) (kbt.FusedItem, error)
 	Stats() (kbt.RefreshStats, bool)
+}
+
+// HealthReporter is the optional capability a durable engine adds: health
+// state, fault/heal counters and storage watermarks. /v1/healthz and
+// /v1/stats surface it when present; a plain in-memory engine is always
+// reported healthy.
+type HealthReporter interface {
+	Health() kbt.HealthStatus
 }
 
 // Options configures New.
@@ -112,9 +122,12 @@ func (b *barrier) complete(s *Server, err error) {
 	}
 }
 
-// laneJob is one lane's share of an admitted batch.
+// laneJob is one lane's share of an admitted batch. key is the client
+// idempotency key, set only on whole-batch jobs (keyed batches are never
+// split across lanes).
 type laneJob struct {
 	batch []kbt.Extraction
+	key   string
 	bar   *barrier
 }
 
@@ -214,7 +227,13 @@ func (s *Server) Close() {
 func (s *Server) laneWorker(ch chan laneJob) {
 	defer s.wg.Done()
 	for j := range ch {
-		j.bar.complete(s, s.eng.Ingest(j.batch...))
+		var err error
+		if j.key != "" {
+			err = s.eng.IngestKeyed(j.key, j.batch...)
+		} else {
+			err = s.eng.Ingest(j.batch...)
+		}
+		j.bar.complete(s, err)
 	}
 }
 
@@ -275,8 +294,8 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 // errorReply is the uniform non-2xx body: a human-readable message plus a
 // stable machine-readable code (method_not_allowed, malformed_batch,
 // empty_batch, invalid_record, queue_full, shutting_down, engine_closed,
-// refresh_failed, bad_query, no_generation, unknown_source, unknown_item,
-// copydetect_disabled, fusion_disabled, not_found).
+// read_only, refresh_failed, bad_query, no_generation, unknown_source,
+// unknown_item, copydetect_disabled, fusion_disabled, not_found).
 type errorReply struct {
 	Error string `json:"error"`
 	Code  string `json:"code"`
@@ -284,6 +303,33 @@ type errorReply struct {
 
 func writeError(w http.ResponseWriter, status int, code, msg string) {
 	writeJSON(w, status, errorReply{Error: msg, Code: code})
+}
+
+// writeRetryError is writeError plus a Retry-After header: every 429 and 503
+// the server emits tells the client when trying again is worthwhile.
+func writeRetryError(w http.ResponseWriter, status int, code, msg string, retryAfter int) {
+	w.Header().Set("Retry-After", strconv.Itoa(retryAfter))
+	writeError(w, status, code, msg)
+}
+
+// retrySecs rounds a probe delay up to whole seconds, at least 1.
+func retrySecs(d time.Duration) int {
+	secs := int((d + time.Second - 1) / time.Second)
+	if secs < 1 {
+		secs = 1
+	}
+	return secs
+}
+
+// retryAfterSeconds picks the Retry-After for a fault-driven refusal: the
+// engine's time-to-next-probe when it reports health, else a flat 1s.
+func (s *Server) retryAfterSeconds() int {
+	if hr, ok := s.eng.(HealthReporter); ok {
+		if h := hr.Health(); h.RetryAfter > 0 {
+			return retrySecs(h.RetryAfter)
+		}
+	}
+	return 1
 }
 
 func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
@@ -311,10 +357,21 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 	}
+	// An Idempotency-Key header makes the batch retry-safe: the engine acks
+	// (without re-applying) a key it has already durably applied. A keyed
+	// batch is never split across lanes — per-lane parts would each need
+	// their own dedup entry, and a partial resend could then drop a part —
+	// so it flows whole through one lane picked by hashing the key.
+	key := r.Header.Get("Idempotency-Key")
 	parts := make([][]kbt.Extraction, s.opt.Lanes)
-	if s.opt.Lanes == 1 {
+	switch {
+	case s.opt.Lanes == 1:
 		parts[0] = batch
-	} else {
+	case key != "":
+		h := fnv.New32a()
+		h.Write([]byte(key))
+		parts[h.Sum32()%uint32(s.opt.Lanes)] = batch
+	default:
 		for _, x := range batch {
 			l := laneOf(x, s.opt.Lanes)
 			parts[l] = append(parts[l], x)
@@ -335,28 +392,35 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 	s.mu.Lock()
 	if s.stopping {
 		s.mu.Unlock()
-		writeError(w, http.StatusServiceUnavailable, "shutting_down", "shutting down")
+		writeRetryError(w, http.StatusServiceUnavailable, "shutting_down", "shutting down", 1)
 		return
 	}
 	for l, p := range parts {
 		if len(p) > 0 && len(s.lanes[l]) == cap(s.lanes[l]) {
 			s.mu.Unlock()
-			writeError(w, http.StatusTooManyRequests, "queue_full", "ingest queue full, retry later")
+			writeRetryError(w, http.StatusTooManyRequests, "queue_full", "ingest queue full, retry later", 1)
 			return
 		}
 	}
 	for l, p := range parts {
 		if len(p) > 0 {
-			s.lanes[l] <- laneJob{batch: p, bar: bar}
+			s.lanes[l] <- laneJob{batch: p, key: key, bar: bar}
 		}
 	}
 	s.mu.Unlock()
 	if err := <-bar.done; err != nil {
-		status, code := http.StatusBadRequest, "invalid_record" // engine validation refused the batch
-		if errors.Is(err, kbt.ErrEngineClosed) {
-			status, code = http.StatusServiceUnavailable, "engine_closed"
+		switch {
+		case errors.Is(err, kbt.ErrReadOnly):
+			// Storage fault: the engine is serving reads only. Retryable —
+			// and with an Idempotency-Key, retryable even when this very
+			// request's fate is ambiguous.
+			writeRetryError(w, http.StatusServiceUnavailable, "read_only", err.Error(), s.retryAfterSeconds())
+		case errors.Is(err, kbt.ErrEngineClosed):
+			writeRetryError(w, http.StatusServiceUnavailable, "engine_closed", err.Error(), 1)
+		default:
+			// Engine validation refused the batch.
+			writeError(w, http.StatusBadRequest, "invalid_record", err.Error())
 		}
-		writeError(w, status, code, err.Error())
 		return
 	}
 	writeJSON(w, http.StatusOK, map[string]int{"ingested": len(batch)})
@@ -368,6 +432,10 @@ func (s *Server) handleRefresh(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	if _, err := s.eng.Refresh(); err != nil {
+		if errors.Is(err, kbt.ErrReadOnly) {
+			writeRetryError(w, http.StatusServiceUnavailable, "read_only", err.Error(), s.retryAfterSeconds())
+			return
+		}
 		writeError(w, http.StatusConflict, "refresh_failed", err.Error())
 		return
 	}
@@ -400,7 +468,7 @@ func (s *Server) handleTopSources(w http.ResponseWriter, r *http.Request) {
 	}
 	srcs, ok := s.eng.TopSources(k)
 	if !ok {
-		writeError(w, http.StatusServiceUnavailable, "no_generation", "no generation published yet")
+		writeRetryError(w, http.StatusServiceUnavailable, "no_generation", "no generation published yet", 1)
 		return
 	}
 	writeJSON(w, http.StatusOK, srcs)
@@ -418,7 +486,7 @@ func (s *Server) handleTopTriples(w http.ResponseWriter, r *http.Request) {
 	}
 	trs, ok := s.eng.TopTriples(k)
 	if !ok {
-		writeError(w, http.StatusServiceUnavailable, "no_generation", "no generation published yet")
+		writeRetryError(w, http.StatusServiceUnavailable, "no_generation", "no generation published yet", 1)
 		return
 	}
 	writeJSON(w, http.StatusOK, trs)
@@ -436,7 +504,7 @@ func (s *Server) handleSource(w http.ResponseWriter, r *http.Request) {
 	}
 	res, ok := s.eng.Current()
 	if !ok {
-		writeError(w, http.StatusServiceUnavailable, "no_generation", "no generation published yet")
+		writeRetryError(w, http.StatusServiceUnavailable, "no_generation", "no generation published yet", 1)
 		return
 	}
 	src, ok := res.SourceByName(name)
@@ -458,7 +526,7 @@ func writeLayerError(w http.ResponseWriter, err error) {
 	case errors.Is(err, kbt.ErrFusionDisabled):
 		writeError(w, http.StatusConflict, "fusion_disabled", err.Error())
 	case errors.Is(err, kbt.ErrNoGeneration):
-		writeError(w, http.StatusServiceUnavailable, "no_generation", "no generation published yet")
+		writeRetryError(w, http.StatusServiceUnavailable, "no_generation", "no generation published yet", 1)
 	case errors.Is(err, kbt.ErrUnknownItem):
 		writeError(w, http.StatusNotFound, "unknown_item", err.Error())
 	default:
@@ -505,15 +573,40 @@ func (s *Server) handleFused(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, fi)
 }
 
+// healthReply is the /v1/healthz document. Status is healthy|degraded|
+// readonly; a non-healthy report comes with a 503 and a Retry-After, so load
+// balancers and retrying clients need no body parsing to do the right thing.
+type healthReply struct {
+	Status    string `json:"status"`
+	Faults    uint64 `json:"faults,omitempty"`
+	Heals     uint64 `json:"heals,omitempty"`
+	LastFault string `json:"last_fault,omitempty"`
+}
+
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodGet {
 		writeError(w, http.StatusMethodNotAllowed, "method_not_allowed", "GET only")
 		return
 	}
-	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+	reply := healthReply{Status: kbt.StateHealthy.String()}
+	if hr, ok := s.eng.(HealthReporter); ok {
+		h := hr.Health()
+		reply.Status = h.State.String()
+		reply.Faults = h.Faults
+		reply.Heals = h.Heals
+		reply.LastFault = h.LastFault
+		if h.State != kbt.StateHealthy {
+			w.Header().Set("Retry-After", strconv.Itoa(retrySecs(h.RetryAfter)))
+			writeJSON(w, http.StatusServiceUnavailable, reply)
+			return
+		}
+	}
+	writeJSON(w, http.StatusOK, reply)
 }
 
-// statsReply is the /v1/stats document.
+// statsReply is the /v1/stats document. The health block (health through
+// checkpoint_watermark) appears only when the engine reports health — i.e.
+// when serving a durable engine.
 type statsReply struct {
 	Records   int               `json:"records"`
 	Pending   int               `json:"pending"`
@@ -522,6 +615,13 @@ type statsReply struct {
 	Refreshed bool              `json:"refreshed"`
 	Refresh   *kbt.RefreshStats `json:"refresh,omitempty"`
 	LastError string            `json:"last_error,omitempty"`
+
+	Health              string `json:"health,omitempty"`
+	Faults              uint64 `json:"faults,omitempty"`
+	Heals               uint64 `json:"heals,omitempty"`
+	LastFault           string `json:"last_fault,omitempty"`
+	WALBytes            int64  `json:"wal_bytes,omitempty"`
+	CheckpointWatermark uint64 `json:"checkpoint_watermark,omitempty"`
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
@@ -542,6 +642,15 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	if st, ok := s.eng.Stats(); ok {
 		reply.Refreshed = true
 		reply.Refresh = &st
+	}
+	if hr, ok := s.eng.(HealthReporter); ok {
+		h := hr.Health()
+		reply.Health = h.State.String()
+		reply.Faults = h.Faults
+		reply.Heals = h.Heals
+		reply.LastFault = h.LastFault
+		reply.WALBytes = h.WALBytes
+		reply.CheckpointWatermark = h.CheckpointWatermark
 	}
 	s.mu.Lock()
 	reply.LastError = s.lastErr

@@ -7,6 +7,7 @@ import (
 	"io"
 	"net/http"
 	"net/http/httptest"
+	"strconv"
 	"strings"
 	"sync"
 	"testing"
@@ -342,6 +343,11 @@ func TestQueueFullReturns429(t *testing.T) {
 	if resp.StatusCode != http.StatusTooManyRequests {
 		t.Fatalf("saturated ingest = %d, want 429", resp.StatusCode)
 	}
+	if ra := resp.Header.Get("Retry-After"); ra == "" {
+		t.Fatal("429 queue_full response missing Retry-After header")
+	} else if secs, err := strconv.Atoi(ra); err != nil || secs < 1 {
+		t.Fatalf("429 Retry-After = %q, want a positive integer of seconds", ra)
+	}
 
 	close(ge.gate) // release the worker; the three admitted posts all ack
 	for i := 0; i < 3; i++ {
@@ -662,5 +668,356 @@ func TestConcurrentIngestAndQuery(t *testing.T) {
 				t.Error(err)
 			}
 		})
+	}
+}
+
+// TestShutdownIngestReturns503WithRetryAfter pins the shutdown refusal: once
+// Close has begun, ingest is refused with a retryable 503 carrying a
+// Retry-After header, not a hung request or a plain error.
+func TestShutdownIngestReturns503WithRetryAfter(t *testing.T) {
+	srv := New(testEngine(t), Options{RefreshEvery: -1})
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+	srv.Close()
+
+	resp := postJSON(t, ts, "/v1/ingest", testBatch(0, 4))
+	var envelope errorReply
+	decodeInto(t, resp, &envelope)
+	if resp.StatusCode != http.StatusServiceUnavailable || envelope.Code != "shutting_down" {
+		t.Fatalf("post-Close ingest = %d %+v, want 503 shutting_down", resp.StatusCode, envelope)
+	}
+	if ra := resp.Header.Get("Retry-After"); ra == "" {
+		t.Fatal("shutdown 503 missing Retry-After header")
+	} else if secs, err := strconv.Atoi(ra); err != nil || secs < 1 {
+		t.Fatalf("shutdown Retry-After = %q, want a positive integer of seconds", ra)
+	}
+}
+
+// faultyEngine wraps the in-memory engine with an injectable health report
+// and write-path error, standing in for a degraded DurableEngine.
+type faultyEngine struct {
+	*kbt.Engine
+	mu        sync.Mutex
+	health    kbt.HealthStatus
+	ingestErr error
+}
+
+func (f *faultyEngine) setFault(state kbt.HealthState, retry time.Duration, err error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.health.State = state
+	f.health.RetryAfter = retry
+	if err != nil {
+		f.health.Faults++
+		f.health.LastFault = err.Error()
+	}
+	f.ingestErr = err
+}
+
+func (f *faultyEngine) gate() error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.ingestErr
+}
+
+func (f *faultyEngine) Ingest(batch ...kbt.Extraction) error {
+	if err := f.gate(); err != nil {
+		return err
+	}
+	return f.Engine.Ingest(batch...)
+}
+
+func (f *faultyEngine) IngestKeyed(key string, batch ...kbt.Extraction) error {
+	if err := f.gate(); err != nil {
+		return err
+	}
+	return f.Engine.IngestKeyed(key, batch...)
+}
+
+func (f *faultyEngine) Refresh() (*kbt.Result, error) {
+	if err := f.gate(); err != nil {
+		return nil, err
+	}
+	return f.Engine.Refresh()
+}
+
+func (f *faultyEngine) Health() kbt.HealthStatus {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	h := f.health
+	h.WALBytes = 4096
+	h.CheckpointWatermark = 17
+	return h
+}
+
+// TestReadOnlyWritesReturn503 pins the degraded-mode write contract: while
+// the engine refuses writes with ErrReadOnly, ingest and refresh both map to
+// 503 read_only with the engine's probe delay as Retry-After, and reads keep
+// serving the last generation. Healing clears the gate.
+func TestReadOnlyWritesReturn503(t *testing.T) {
+	fe := &faultyEngine{Engine: testEngine(t)}
+	srv := New(fe, Options{RefreshEvery: -1})
+	defer srv.Close()
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+
+	// Seed a generation while healthy.
+	resp := postJSON(t, ts, "/v1/ingest", testBatch(0, 12))
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("seed ingest = %d", resp.StatusCode)
+	}
+	resp = postJSON(t, ts, "/v1/refresh", nil)
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("seed refresh = %d", resp.StatusCode)
+	}
+
+	fe.setFault(kbt.StateDegraded, 2500*time.Millisecond,
+		fmt.Errorf("%w: injected disk fault", kbt.ErrReadOnly))
+
+	resp = postJSON(t, ts, "/v1/ingest", testBatch(100, 4))
+	var envelope errorReply
+	decodeInto(t, resp, &envelope)
+	if resp.StatusCode != http.StatusServiceUnavailable || envelope.Code != "read_only" {
+		t.Fatalf("read-only ingest = %d %+v, want 503 read_only", resp.StatusCode, envelope)
+	}
+	if got := resp.Header.Get("Retry-After"); got != "3" {
+		t.Fatalf("ingest Retry-After = %q, want %q (2.5s probe delay rounded up)", got, "3")
+	}
+	resp = postJSON(t, ts, "/v1/refresh", nil)
+	decodeInto(t, resp, &envelope)
+	if resp.StatusCode != http.StatusServiceUnavailable || envelope.Code != "read_only" {
+		t.Fatalf("read-only refresh = %d %+v, want 503 read_only", resp.StatusCode, envelope)
+	}
+	if got := resp.Header.Get("Retry-After"); got != "3" {
+		t.Fatalf("refresh Retry-After = %q, want %q", got, "3")
+	}
+
+	// Reads still serve the last generation.
+	resp, err := http.Get(ts.URL + "/v1/top-sources")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var srcs []kbt.Source
+	decodeInto(t, resp, &srcs)
+	if resp.StatusCode != http.StatusOK || len(srcs) == 0 {
+		t.Fatalf("degraded top-sources = %d, %d sources, want 200 and data", resp.StatusCode, len(srcs))
+	}
+
+	// Healing clears the gate: the deferred batch applies.
+	fe.setFault(kbt.StateHealthy, 0, nil)
+	resp = postJSON(t, ts, "/v1/ingest", testBatch(100, 4))
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("post-heal ingest = %d, want 200", resp.StatusCode)
+	}
+}
+
+// TestHealthzReportsEngineState pins /v1/healthz against a health-reporting
+// engine through all three states: 200 healthy, 503 degraded, 503 readonly —
+// non-healthy always with a Retry-After header.
+func TestHealthzReportsEngineState(t *testing.T) {
+	fe := &faultyEngine{Engine: testEngine(t)}
+	srv := New(fe, Options{RefreshEvery: -1})
+	defer srv.Close()
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+
+	check := func(wantStatus int, wantState, wantRetry string) {
+		t.Helper()
+		resp, err := http.Get(ts.URL + "/v1/healthz")
+		if err != nil {
+			t.Fatal(err)
+		}
+		var reply healthReply
+		decodeInto(t, resp, &reply)
+		if resp.StatusCode != wantStatus || reply.Status != wantState {
+			t.Fatalf("healthz = %d %+v, want %d %q", resp.StatusCode, reply, wantStatus, wantState)
+		}
+		if got := resp.Header.Get("Retry-After"); got != wantRetry {
+			t.Fatalf("healthz Retry-After = %q, want %q", got, wantRetry)
+		}
+	}
+
+	check(http.StatusOK, "healthy", "")
+
+	fe.setFault(kbt.StateDegraded, 4*time.Second,
+		fmt.Errorf("%w: wal: fsync: input/output error", kbt.ErrReadOnly))
+	check(http.StatusServiceUnavailable, "degraded", "4")
+
+	fe.setFault(kbt.StateSealed, 0,
+		fmt.Errorf("%w: wal: corrupt segment", kbt.ErrReadOnly))
+	check(http.StatusServiceUnavailable, "readonly", "1")
+}
+
+// TestStatsReportsHealthBlock pins the /v1/stats health block: present (with
+// counters and storage watermarks) on a health-reporting engine, absent on a
+// plain in-memory engine.
+func TestStatsReportsHealthBlock(t *testing.T) {
+	fe := &faultyEngine{Engine: testEngine(t)}
+	srv := New(fe, Options{RefreshEvery: -1})
+	defer srv.Close()
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+
+	fe.setFault(kbt.StateDegraded, time.Second,
+		fmt.Errorf("%w: injected disk fault", kbt.ErrReadOnly))
+	resp, err := http.Get(ts.URL + "/v1/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var st statsReply
+	decodeInto(t, resp, &st)
+	if st.Health != "degraded" || st.Faults != 1 || st.LastFault == "" {
+		t.Fatalf("stats health block = %+v, want degraded with 1 fault", st)
+	}
+	if st.WALBytes != 4096 || st.CheckpointWatermark != 17 {
+		t.Fatalf("stats watermarks = wal %d, ckpt %d, want 4096 and 17", st.WALBytes, st.CheckpointWatermark)
+	}
+
+	plain := New(testEngine(t), Options{RefreshEvery: -1})
+	defer plain.Close()
+	tsPlain := httptest.NewServer(plain)
+	defer tsPlain.Close()
+	resp, err = http.Get(tsPlain.URL + "/v1/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var stPlain statsReply
+	decodeInto(t, resp, &stPlain)
+	if stPlain.Health != "" || stPlain.Faults != 0 || stPlain.WALBytes != 0 {
+		t.Fatalf("plain-engine stats grew a health block: %+v", stPlain)
+	}
+}
+
+// keyRecorder records every engine call the lane workers make, to pin that a
+// keyed batch flows whole through exactly one lane while an unkeyed batch is
+// split by website.
+type keyRecorder struct {
+	*kbt.Engine
+	mu    sync.Mutex
+	calls []string
+}
+
+func (k *keyRecorder) record(call string) {
+	k.mu.Lock()
+	k.calls = append(k.calls, call)
+	k.mu.Unlock()
+}
+
+func (k *keyRecorder) snapshot() []string {
+	k.mu.Lock()
+	defer k.mu.Unlock()
+	return append([]string(nil), k.calls...)
+}
+
+func (k *keyRecorder) Ingest(batch ...kbt.Extraction) error {
+	k.record(fmt.Sprintf("plain:%d", len(batch)))
+	return k.Engine.Ingest(batch...)
+}
+
+func (k *keyRecorder) IngestKeyed(key string, batch ...kbt.Extraction) error {
+	k.record(fmt.Sprintf("keyed:%s:%d", key, len(batch)))
+	return k.Engine.IngestKeyed(key, batch...)
+}
+
+// TestIdempotencyKeyRoutesWholeBatch pins the keyed-ingest contract on a
+// multi-lane server: an Idempotency-Key batch is never split across lanes
+// (one IngestKeyed call carries the whole batch and the key), a resend of
+// the same key acks without growing the engine, and the same records
+// without a key are split by website as usual.
+func TestIdempotencyKeyRoutesWholeBatch(t *testing.T) {
+	kr := &keyRecorder{Engine: testEngine(t)}
+	srv := New(kr, Options{Lanes: 4, RefreshEvery: -1})
+	defer srv.Close()
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+
+	// Two websites on different lanes under the 4-way split, so the batch
+	// would be torn apart were it routed by website.
+	var wa, wb string
+	for i := 0; i < 100 && wb == ""; i++ {
+		w := fmt.Sprintf("site%d.com", i)
+		switch {
+		case wa == "":
+			wa = w
+		case laneOf(kbt.Extraction{Website: w}, 4) != laneOf(kbt.Extraction{Website: wa}, 4):
+			wb = w
+		}
+	}
+	if wb == "" {
+		t.Fatal("could not find websites on two different lanes")
+	}
+	batch := []kbt.Extraction{
+		laneRecord(wa, 0), laneRecord(wb, 1), laneRecord(wa, 2),
+		laneRecord(wb, 3), laneRecord(wa, 4), laneRecord(wb, 5),
+	}
+
+	post := func(key string) *http.Response {
+		t.Helper()
+		body, err := json.Marshal(batch)
+		if err != nil {
+			t.Fatal(err)
+		}
+		req, err := http.NewRequest("POST", ts.URL+"/v1/ingest", bytes.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		req.Header.Set("Content-Type", "application/json")
+		if key != "" {
+			req.Header.Set("Idempotency-Key", key)
+		}
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return resp
+	}
+
+	resp := post("batch-1")
+	var ack map[string]int
+	decodeInto(t, resp, &ack)
+	if resp.StatusCode != http.StatusOK || ack["ingested"] != len(batch) {
+		t.Fatalf("keyed ingest = %d, ack %v", resp.StatusCode, ack)
+	}
+	if calls := kr.snapshot(); len(calls) != 1 || calls[0] != fmt.Sprintf("keyed:batch-1:%d", len(batch)) {
+		t.Fatalf("keyed batch reached the engine as %v, want one whole IngestKeyed call", calls)
+	}
+	if got := kr.Len(); got != len(batch) {
+		t.Fatalf("engine holds %d records, want %d", got, len(batch))
+	}
+
+	// Resend of the acked key: 2xx ack, nothing re-applied.
+	resp = post("batch-1")
+	decodeInto(t, resp, &ack)
+	if resp.StatusCode != http.StatusOK || ack["ingested"] != len(batch) {
+		t.Fatalf("keyed resend = %d, ack %v, want the same 200 ack", resp.StatusCode, ack)
+	}
+	if got := kr.Len(); got != len(batch) {
+		t.Fatalf("resend grew the engine to %d records, want %d", got, len(batch))
+	}
+
+	// The same records without a key split across both target lanes.
+	resp = post("")
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("unkeyed ingest = %d", resp.StatusCode)
+	}
+	plain := 0
+	for _, c := range kr.snapshot() {
+		if strings.HasPrefix(c, "plain:") {
+			plain++
+		}
+	}
+	if plain != 2 {
+		t.Fatalf("unkeyed spanning batch produced %d lane calls, want 2", plain)
+	}
+	if got := kr.Len(); got != 2*len(batch) {
+		t.Fatalf("engine holds %d records, want %d", got, 2*len(batch))
 	}
 }

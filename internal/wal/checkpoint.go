@@ -32,7 +32,9 @@ import (
 // obsoletes are removed afterwards, and a crash between the base rename and
 // the removals only leaves stale deltas whose watermarks the reader skips.
 const (
-	ckptMagic = "kbtckp02"
+	// kbtckp03 added the per-op idempotency key; earlier chains are rejected
+	// as corrupt rather than silently decoded under the wrong layout.
+	ckptMagic = "kbtckp03"
 	// CheckpointFile is the chain's base file name inside the data dir.
 	CheckpointFile = "checkpoint"
 	ckptTempFile   = "checkpoint.tmp"
@@ -47,6 +49,10 @@ const (
 type CheckpointOp struct {
 	Records   []triple.Record
 	Refreshes int
+	// Key is the client idempotency key the batch carried, if any. Recovery
+	// re-seeds its dedup set from these, so a resend that races a restart is
+	// still applied exactly once.
+	Key string
 }
 
 // Checkpoint is the merged durable image of the engine's operation history.
@@ -124,6 +130,8 @@ func encodeCkptPart(prev uint64, ck *Checkpoint) []byte {
 			payload = appendRecord(payload, op.Records[j])
 		}
 		payload = binary.AppendUvarint(payload, uint64(op.Refreshes))
+		payload = binary.AppendUvarint(payload, uint64(len(op.Key)))
+		payload = append(payload, op.Key...)
 	}
 
 	buf := make([]byte, 0, len(ckptMagic)+12+len(payload))
@@ -355,6 +363,10 @@ func decodeCkptPart(raw []byte) (prev uint64, ck *Checkpoint, err error) {
 			return 0, nil, fmt.Errorf("%w: checkpoint op %d refresh count", ErrCorrupt, i)
 		}
 		op.Refreshes = int(refreshes)
+		op.Key, payload, err = decodeString(payload)
+		if err != nil {
+			return 0, nil, fmt.Errorf("%w: checkpoint op %d key", ErrCorrupt, i)
+		}
 		ck.Ops = append(ck.Ops, op)
 	}
 	if len(payload) != 0 {

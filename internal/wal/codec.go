@@ -12,8 +12,10 @@ import (
 // The log stores opaque payloads; this file defines the payloads the durable
 // engine writes — its replayable state transitions:
 //
-//	EntryBatch   one acknowledged Ingest batch (the records themselves)
-//	EntryRefresh one Refresh call (a marker; replay re-runs the refresh)
+//	EntryBatch      one acknowledged Ingest batch (the records themselves)
+//	EntryRefresh    one Refresh call (a marker; replay re-runs the refresh)
+//	EntryProbe      a health-probe no-op (ignored by replay)
+//	EntryKeyedBatch an Ingest batch carrying a client idempotency key
 //
 // Strings are uvarint-length-prefixed raw bytes; confidences are IEEE-754
 // bits, little-endian. Decoding is hardened against arbitrary bytes (the
@@ -21,14 +23,17 @@ import (
 // against the remaining input before any allocation, and trailing garbage is
 // an error rather than silently ignored.
 const (
-	EntryBatch   byte = 1
-	EntryRefresh byte = 2
+	EntryBatch      byte = 1
+	EntryRefresh    byte = 2
+	EntryProbe      byte = 3
+	EntryKeyedBatch byte = 4
 )
 
 // Entry is one decoded log payload.
 type Entry struct {
 	Kind    byte
-	Records []triple.Record // EntryBatch only
+	Key     string          // EntryKeyedBatch only: client idempotency key
+	Records []triple.Record // EntryBatch / EntryKeyedBatch only
 }
 
 // EncodeBatch encodes an ingest batch entry.
@@ -41,8 +46,29 @@ func EncodeBatch(recs []triple.Record) []byte {
 	return buf
 }
 
+// EncodeKeyedBatch encodes an ingest batch tagged with a client idempotency
+// key. An empty key degrades to the plain batch encoding, so unkeyed clients
+// pay nothing.
+func EncodeKeyedBatch(key string, recs []triple.Record) []byte {
+	if key == "" {
+		return EncodeBatch(recs)
+	}
+	buf := []byte{EntryKeyedBatch}
+	buf = binary.AppendUvarint(buf, uint64(len(key)))
+	buf = append(buf, key...)
+	buf = binary.AppendUvarint(buf, uint64(len(recs)))
+	for i := range recs {
+		buf = appendRecord(buf, recs[i])
+	}
+	return buf
+}
+
 // EncodeRefresh encodes a refresh-marker entry.
 func EncodeRefresh() []byte { return []byte{EntryRefresh} }
+
+// EncodeProbe encodes a health-probe entry: an append+fsync round-trip that
+// proves the disk is writable again. Replay skips it.
+func EncodeProbe() []byte { return []byte{EntryProbe} }
 
 // DecodeEntry parses one log payload. It never panics on malformed input.
 func DecodeEntry(b []byte) (Entry, error) {
@@ -56,7 +82,23 @@ func DecodeEntry(b []byte) (Entry, error) {
 			return Entry{}, fmt.Errorf("wal: refresh entry carries %d trailing bytes", len(rest))
 		}
 		return Entry{Kind: EntryRefresh}, nil
-	case EntryBatch:
+	case EntryProbe:
+		if len(rest) != 0 {
+			return Entry{}, fmt.Errorf("wal: probe entry carries %d trailing bytes", len(rest))
+		}
+		return Entry{Kind: EntryProbe}, nil
+	case EntryBatch, EntryKeyedBatch:
+		var key string
+		var err error
+		if kind == EntryKeyedBatch {
+			key, rest, err = decodeString(rest)
+			if err != nil {
+				return Entry{}, fmt.Errorf("wal: batch key: %w", err)
+			}
+			if key == "" {
+				return Entry{}, errors.New("wal: keyed batch with empty key")
+			}
+		}
 		n, rest, err := decodeUvarint(rest)
 		if err != nil {
 			return Entry{}, fmt.Errorf("wal: batch count: %w", err)
@@ -79,7 +121,7 @@ func DecodeEntry(b []byte) (Entry, error) {
 		if len(rest) != 0 {
 			return Entry{}, fmt.Errorf("wal: batch entry carries %d trailing bytes", len(rest))
 		}
-		return Entry{Kind: EntryBatch, Records: recs}, nil
+		return Entry{Kind: kind, Key: key, Records: recs}, nil
 	default:
 		return Entry{}, fmt.Errorf("wal: unknown entry kind %d", kind)
 	}

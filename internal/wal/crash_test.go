@@ -214,3 +214,151 @@ func TestCrashSweepCheckpoint(t *testing.T) {
 		t.Fatal("sweep never completed a compaction")
 	}
 }
+
+// enospcWorkload appends batches with a Sync barrier after each, retrying a
+// failed batch once through Repair — the discipline the durable engine
+// follows when the disk hiccups instead of dying. Tiny segments force rolls,
+// so the injected ENOSPC lands in segment-rotation paths too.
+func enospcWorkload(t *testing.T, dir string, ffs *FaultFS) {
+	t.Helper()
+	const batches, perBatch = 4, 3
+	opt := Options{SegmentBytes: 128, FS: ffs}
+	l, err := Open(dir, opt)
+	if err != nil {
+		// The fault hit Open itself (mkdir, create, magic write, fsync). A
+		// transient fault is exhausted now, so a retry must succeed and
+		// repair whatever the first attempt tore.
+		if ffs.Injected() == 0 {
+			t.Fatalf("open failed without an injected fault: %v", err)
+		}
+		l, err = Open(dir, opt)
+		if err != nil {
+			t.Fatalf("reopen after transient open fault: %v", err)
+		}
+	}
+	defer l.Close()
+	appendBatch := func(b int) error {
+		for i := 0; i < perBatch; i++ {
+			if _, err := l.Append(payloadFor(b*perBatch + i)); err != nil {
+				return err
+			}
+		}
+		return l.Sync()
+	}
+	for b := 0; b < batches; b++ {
+		if err := appendBatch(b); err != nil {
+			// Repair rewinds to the synced prefix, discarding the batch's
+			// partial appends, so the retry re-appends the whole batch —
+			// each payload still lands exactly once.
+			if err := l.Repair(); err != nil {
+				t.Fatalf("batch %d: repair: %v", b, err)
+			}
+			if err := appendBatch(b); err != nil {
+				t.Fatalf("batch %d: retry after repair: %v", b, err)
+			}
+		}
+	}
+	if err := l.Close(); err != nil {
+		t.Fatalf("close: %v", err)
+	}
+
+	// A clean reopen sees every payload exactly once, in order.
+	l2, err := Open(dir, Options{SegmentBytes: 128})
+	if err != nil {
+		t.Fatalf("clean reopen: %v", err)
+	}
+	defer l2.Close()
+	n := 0
+	if err := l2.Replay(0, func(seq uint64, p []byte) error {
+		if string(p) != string(payloadFor(n)) {
+			return fmt.Errorf("record %d = %q", n, p)
+		}
+		n++
+		return nil
+	}); err != nil {
+		t.Fatalf("replay: %v", err)
+	}
+	if n != batches*perBatch {
+		t.Fatalf("replayed %d records, want %d", n, batches*perBatch)
+	}
+}
+
+// TestENOSPCRotationFaultSweep injects a transient ENOSPC at every index of
+// every op class the rolling append workload touches — including the
+// create/fsync/dirsync steps of segment rotation and torn short writes — and
+// requires the Repair-and-retry discipline to land the full record set with
+// no loss and no duplicates.
+func TestENOSPCRotationFaultSweep(t *testing.T) {
+	for _, op := range []FaultOp{OpWrite, OpSync, OpSyncDir, OpCreate, OpMkdir} {
+		t.Run(op.String(), func(t *testing.T) {
+			for after := 0; ; after++ {
+				fault := Fault{Op: op, After: after, Err: ErrInjectedNoSpace, Times: 1}
+				if op == OpWrite {
+					// Tear a prefix of the failing write, as real ENOSPC does.
+					fault.ShortBytes = after % 7
+				}
+				ffs := NewFaultFS(OSFS{}, fault)
+				enospcWorkload(t, t.TempDir(), ffs)
+				if ffs.Injected() == 0 {
+					// The schedule points past the workload: every index of
+					// this op class has been swept.
+					return
+				}
+			}
+		})
+	}
+}
+
+// TestENOSPCCheckpointDeltaFaultSweep injects a transient ENOSPC at every
+// step of a checkpoint-delta publication. The atomic-rename contract must
+// hold — the chain reads back intact at the old or new watermark, never torn
+// — and a retry after the transient fault must extend the chain.
+func TestENOSPCCheckpointDeltaFaultSweep(t *testing.T) {
+	base := &Checkpoint{Watermark: 7, Fingerprint: "fp", Ops: []CheckpointOp{{Refreshes: 1}}}
+	delta := &Checkpoint{Watermark: 21, Fingerprint: "fp", Ops: []CheckpointOp{{Refreshes: 1, Key: "k-21"}}}
+	for _, op := range []FaultOp{OpCreate, OpWrite, OpSync, OpRename, OpSyncDir} {
+		t.Run(op.String(), func(t *testing.T) {
+			for after := 0; ; after++ {
+				dir := t.TempDir()
+				if err := WriteCheckpointBase(nil, dir, base); err != nil {
+					t.Fatal(err)
+				}
+				ffs := NewFaultFS(OSFS{},
+					Fault{Op: op, After: after, Err: ErrInjectedNoSpace, Times: 1, ShortBytes: after % 5})
+				werr := WriteCheckpointDelta(ffs, dir, base.Watermark, delta)
+				if ffs.Injected() == 0 {
+					if werr != nil {
+						t.Fatalf("after %d: no fault injected but write failed: %v", after, werr)
+					}
+					return
+				}
+				got, ok, rerr := ReadCheckpoint(nil, dir)
+				if rerr != nil || !ok {
+					t.Fatalf("after %d: chain unreadable post-fault: ok=%v err=%v", after, ok, rerr)
+				}
+				switch got.Watermark {
+				case base.Watermark, delta.Watermark:
+				default:
+					t.Fatalf("after %d: watermark %d is neither old nor new", after, got.Watermark)
+				}
+				if werr == nil && got.Watermark != delta.Watermark {
+					t.Fatalf("after %d: write acked but chain not extended", after)
+				}
+				// The fault was transient: a retried publication (same parent,
+				// same delta) must land and carry the op's idempotency key.
+				if werr != nil {
+					if err := WriteCheckpointDelta(ffs, dir, base.Watermark, delta); err != nil {
+						t.Fatalf("after %d: retry failed: %v", after, err)
+					}
+				}
+				got2, ok, rerr := ReadCheckpoint(nil, dir)
+				if rerr != nil || !ok || got2.Watermark != delta.Watermark {
+					t.Fatalf("after %d: retried chain: ok=%v err=%v wm=%d", after, ok, rerr, got2.Watermark)
+				}
+				if nops := len(got2.Ops); nops != 2 || got2.Ops[1].Key != "k-21" {
+					t.Fatalf("after %d: merged chain ops=%d key=%q", after, nops, got2.Ops[len(got2.Ops)-1].Key)
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,221 @@
+package wal
+
+import (
+	"io/fs"
+	"os"
+	"sync"
+	"syscall"
+)
+
+// FaultOp classifies the filesystem mutations a FaultFS can fail. Each class
+// has its own call counter, so a schedule can say "the 3rd fsync fails"
+// independently of how many writes preceded it.
+type FaultOp int
+
+const (
+	OpWrite FaultOp = iota
+	OpSync
+	OpSyncDir
+	OpCreate // OpenFile with O_CREATE or O_TRUNC
+	OpRename
+	OpRemove
+	OpTruncate
+	OpMkdir
+	numFaultOps
+)
+
+func (op FaultOp) String() string {
+	switch op {
+	case OpWrite:
+		return "write"
+	case OpSync:
+		return "sync"
+	case OpSyncDir:
+		return "syncdir"
+	case OpCreate:
+		return "create"
+	case OpRename:
+		return "rename"
+	case OpRemove:
+		return "remove"
+	case OpTruncate:
+		return "truncate"
+	case OpMkdir:
+		return "mkdir"
+	}
+	return "unknown"
+}
+
+// Convenient fault errors. Real syscall errnos so errors.Is works the same
+// way it would against a genuine disk.
+var (
+	ErrInjectedIO      error = syscall.EIO
+	ErrInjectedNoSpace error = syscall.ENOSPC
+)
+
+// Fault is one scheduled injection: starting with the After-th call (0-based,
+// counted per op class since the FaultFS was created), Times consecutive
+// matching calls fail with Err. Times <= 0 makes the fault persistent — every
+// later matching call fails, modelling a disk that never comes back.
+//
+// For OpWrite faults, ShortBytes > 0 lands that prefix of the failing write
+// in the backing file before the error — a short (torn) write, as a real
+// ENOSPC mid-write would leave.
+type Fault struct {
+	Op         FaultOp
+	After      int
+	Err        error
+	Times      int
+	ShortBytes int
+}
+
+// FaultFS wraps an FS and injects survivable faults on a schedule. Unlike
+// CrashFS — where the first failure kills the filesystem for good — a FaultFS
+// keeps working: once a transient fault's Times are exhausted, later calls
+// succeed again. That is the substrate for testing degraded-mode healing
+// rather than crash recovery.
+//
+// Counters are global across files (not per handle), so a deterministic
+// workload hits a deterministic schedule. Reads never fault.
+type FaultFS struct {
+	inner FS
+
+	mu       sync.Mutex
+	calls    [numFaultOps]int
+	faults   []Fault
+	injected int
+}
+
+// NewFaultFS wraps inner (nil = OSFS) with the given fault schedule.
+func NewFaultFS(inner FS, faults ...Fault) *FaultFS {
+	if inner == nil {
+		inner = OSFS{}
+	}
+	return &FaultFS{inner: inner, faults: faults}
+}
+
+// Injected reports how many faults have fired so far.
+func (f *FaultFS) Injected() int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.injected
+}
+
+// Calls reports how many operations of class op have been attempted.
+func (f *FaultFS) Calls(op FaultOp) int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.calls[op]
+}
+
+// check advances op's counter and consults the schedule. It returns the
+// injected error (nil when the call should proceed) and, for OpWrite, how
+// many bytes of the failing write should still land.
+func (f *FaultFS) check(op FaultOp) (short int, err error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	n := f.calls[op]
+	f.calls[op]++
+	for i := range f.faults {
+		ft := &f.faults[i]
+		if ft.Op != op || n < ft.After {
+			continue
+		}
+		if ft.Times > 0 && n >= ft.After+ft.Times {
+			continue
+		}
+		f.injected++
+		return ft.ShortBytes, ft.Err
+	}
+	return 0, nil
+}
+
+func (f *FaultFS) OpenFile(name string, flag int, perm fs.FileMode) (File, error) {
+	if flag&(os.O_CREATE|os.O_TRUNC) != 0 {
+		if _, err := f.check(OpCreate); err != nil {
+			return nil, err
+		}
+	}
+	inner, err := f.inner.OpenFile(name, flag, perm)
+	if err != nil {
+		return nil, err
+	}
+	return &faultFile{fs: f, inner: inner}, nil
+}
+
+func (f *FaultFS) ReadDir(name string) ([]string, error) { return f.inner.ReadDir(name) }
+
+func (f *FaultFS) Remove(name string) error {
+	if _, err := f.check(OpRemove); err != nil {
+		return err
+	}
+	return f.inner.Remove(name)
+}
+
+func (f *FaultFS) Rename(oldp, newp string) error {
+	if _, err := f.check(OpRename); err != nil {
+		return err
+	}
+	return f.inner.Rename(oldp, newp)
+}
+
+func (f *FaultFS) MkdirAll(p string, m fs.FileMode) error {
+	if _, err := f.check(OpMkdir); err != nil {
+		return err
+	}
+	return f.inner.MkdirAll(p, m)
+}
+
+func (f *FaultFS) SyncDir(name string) error {
+	if _, err := f.check(OpSyncDir); err != nil {
+		return err
+	}
+	return f.inner.SyncDir(name)
+}
+
+type faultFile struct {
+	fs    *FaultFS
+	inner File
+}
+
+func (f *faultFile) Read(p []byte) (int, error) { return f.inner.Read(p) }
+
+func (f *faultFile) Write(p []byte) (int, error) {
+	short, err := f.fs.check(OpWrite)
+	if err != nil {
+		if short > len(p) {
+			short = len(p)
+		}
+		n := 0
+		if short > 0 {
+			// The torn prefix reaches the backing file even though the call
+			// fails — exactly what a mid-write ENOSPC leaves behind.
+			n, _ = f.inner.Write(p[:short])
+		}
+		return n, err
+	}
+	return f.inner.Write(p)
+}
+
+func (f *faultFile) Seek(offset int64, whence int) (int64, error) {
+	return f.inner.Seek(offset, whence)
+}
+
+func (f *faultFile) Sync() error {
+	if _, err := f.fs.check(OpSync); err != nil {
+		return err
+	}
+	return f.inner.Sync()
+}
+
+func (f *faultFile) Truncate(size int64) error {
+	if _, err := f.fs.check(OpTruncate); err != nil {
+		return err
+	}
+	return f.inner.Truncate(size)
+}
+
+func (f *faultFile) Close() error {
+	// Closing never faults: handles must not leak even on a faulty disk.
+	return f.inner.Close()
+}

@@ -21,6 +21,12 @@ import (
 // that silently drops acknowledged records.
 var ErrCorrupt = errors.New("wal: corrupt segment")
 
+// ErrFailed reports that a previous append or sync failed and the log's tail
+// may be torn. The log refuses further appends until Repair succeeds — the
+// invariant "never append after an unrepaired tail" is enforced here, not
+// just in the engine above.
+var ErrFailed = errors.New("wal: log failed, repair required")
+
 const (
 	segMagic   = "kbtwal01"
 	segPrefix  = "wal-"
@@ -78,6 +84,14 @@ type Log struct {
 	// dirty marks unsynced appends; sync state is what separates a torn
 	// tail (repairable) from sealed corruption (fatal).
 	dirty bool
+	// failed is set when an append or sync errors: the active tail may hold
+	// torn bytes, so appends are refused until Repair restores the synced
+	// prefix. synced/syncedSeq/syncedCount describe that prefix — the state
+	// as of the last successful Sync (or segment creation).
+	failed      bool
+	synced      int64
+	syncedSeq   uint64
+	syncedCount uint64
 }
 
 // Open opens (or creates) the log in dir, verifying every sealed segment and
@@ -95,6 +109,16 @@ func Open(dir string, opt Options) (*Log, error) {
 	}
 	l := &Log{dir: dir, opt: opt}
 	for _, name := range names {
+		if strings.HasSuffix(name, ".tmp") {
+			// Orphaned scratch file from an interrupted atomic publication
+			// (e.g. a checkpoint write cut short by ENOSPC). The rename never
+			// happened, so it holds nothing durable; sweep it rather than
+			// leak disk across restarts.
+			if err := opt.FS.Remove(filepath.Join(dir, name)); err != nil {
+				return nil, fmt.Errorf("wal: sweep orphaned tmp %s: %w", name, err)
+			}
+			continue
+		}
 		base, ok := parseSegName(name)
 		if !ok {
 			continue
@@ -121,7 +145,16 @@ func Open(dir string, opt Options) (*Log, error) {
 	}
 	active := l.segs[len(l.segs)-1]
 	l.seq = active.base + active.count
+	l.noteSynced()
 	return l, nil
+}
+
+// noteSynced records the current tail as the durable prefix — called after a
+// successful Sync, segment creation, or open-time repair.
+func (l *Log) noteSynced() {
+	l.synced = l.size
+	l.syncedSeq = l.seq
+	l.syncedCount = l.segs[len(l.segs)-1].count
 }
 
 // parseSegName extracts the base sequence from wal-%016x.seg.
@@ -169,6 +202,7 @@ func (l *Log) createSegment(seq uint64) error {
 	l.f = f
 	l.size = int64(len(segMagic))
 	l.seq = seq
+	l.noteSynced()
 	return nil
 }
 
@@ -304,11 +338,15 @@ func (l *Log) NextSeq() uint64 { return l.seq }
 // returns; batching several Appends per Sync is the group-commit path that
 // keeps fsync off the per-record critical path.
 func (l *Log) Append(payload []byte) (uint64, error) {
+	if l.failed {
+		return 0, ErrFailed
+	}
 	if len(payload) > l.opt.MaxRecordBytes {
 		return 0, fmt.Errorf("wal: record of %d bytes exceeds MaxRecordBytes %d", len(payload), l.opt.MaxRecordBytes)
 	}
 	if l.size >= l.opt.SegmentBytes && l.size > int64(len(segMagic)) {
 		if err := l.roll(); err != nil {
+			l.failed = true
 			return 0, err
 		}
 	}
@@ -317,6 +355,10 @@ func (l *Log) Append(payload []byte) (uint64, error) {
 	binary.LittleEndian.PutUint32(buf[4:8], crc32.Checksum(payload, castagnoli))
 	copy(buf[recHdrSize:], payload)
 	if _, err := l.f.Write(buf); err != nil {
+		// The write may have landed a torn prefix; the file position is no
+		// longer trustworthy. Poison the log until Repair truncates back to
+		// the synced prefix.
+		l.failed = true
 		return 0, fmt.Errorf("wal: append: %w", err)
 	}
 	l.size += int64(len(buf))
@@ -329,13 +371,20 @@ func (l *Log) Append(payload []byte) (uint64, error) {
 
 // Sync makes every prior Append durable — the acknowledgement barrier.
 func (l *Log) Sync() error {
+	if l.failed {
+		return ErrFailed
+	}
 	if !l.dirty {
 		return nil
 	}
 	if err := l.syncFile(l.f); err != nil {
+		// A failed fsync may have dropped any subset of the dirty pages;
+		// retrying fsync proves nothing. The unsynced tail must be rewound.
+		l.failed = true
 		return err
 	}
 	l.dirty = false
+	l.noteSynced()
 	return nil
 }
 
@@ -346,11 +395,63 @@ func (l *Log) roll() error {
 	if err := l.Sync(); err != nil {
 		return err
 	}
-	if err := l.f.Close(); err != nil {
+	err := l.f.Close()
+	// The segment was synced above, so it is sealed whatever Close says;
+	// dropping the handle either way lets Repair recreate the next segment
+	// instead of retrying operations on a half-closed file.
+	l.f = nil
+	if err != nil {
 		return fmt.Errorf("wal: close segment: %w", err)
 	}
-	l.f = nil
 	return l.createSegment(l.seq)
+}
+
+// Failed reports whether the log has refused appends pending Repair.
+func (l *Log) Failed() bool { return l.failed }
+
+// SyncedSeq returns the sequence number just past the last durable record.
+func (l *Log) SyncedSeq() uint64 { return l.syncedSeq }
+
+// Repair restores the log after a failed append, sync, or roll: the active
+// segment is truncated back to its synced prefix (discarding any torn or
+// unsynced bytes — nothing there was ever acknowledged) and the sequence
+// state is rewound to match, so the next Append lands exactly where the
+// durable history ends. Repair is idempotent; on success the log accepts
+// appends again.
+func (l *Log) Repair() error {
+	if !l.failed {
+		return nil
+	}
+	if l.f == nil {
+		// A roll died between sealing the old segment and establishing the
+		// new one. The new segment file may or may not exist (possibly with
+		// a torn magic); remove any remnant and recreate it from scratch.
+		path := filepath.Join(l.dir, segName(l.syncedSeq))
+		if err := l.opt.FS.Remove(path); err != nil && !errors.Is(err, os.ErrNotExist) {
+			return fmt.Errorf("wal: repair: remove torn segment: %w", err)
+		}
+		if err := l.createSegment(l.syncedSeq); err != nil {
+			return fmt.Errorf("wal: repair: %w", err)
+		}
+		l.dirty = false
+		l.failed = false
+		return nil
+	}
+	if err := l.f.Truncate(l.synced); err != nil {
+		return fmt.Errorf("wal: repair: truncate: %w", err)
+	}
+	if _, err := l.f.Seek(l.synced, io.SeekStart); err != nil {
+		return fmt.Errorf("wal: repair: seek: %w", err)
+	}
+	if err := l.syncFile(l.f); err != nil {
+		return fmt.Errorf("wal: repair: %w", err)
+	}
+	l.size = l.synced
+	l.seq = l.syncedSeq
+	l.segs[len(l.segs)-1].count = l.syncedCount
+	l.dirty = false
+	l.failed = false
+	return nil
 }
 
 // Replay streams the payloads of every record with sequence >= from, in
@@ -404,8 +505,12 @@ func (l *Log) TruncateBefore(seq uint64) error {
 	if keepFrom == 0 {
 		return nil
 	}
-	for _, seg := range l.segs[:keepFrom] {
-		if err := l.opt.FS.Remove(filepath.Join(l.dir, seg.name)); err != nil {
+	for i := 0; i < keepFrom; i++ {
+		if err := l.opt.FS.Remove(filepath.Join(l.dir, l.segs[i].name)); err != nil {
+			// Drop what was removed so far and keep the rest: the surviving
+			// set stays a contiguous suffix, and a later TruncateBefore (or
+			// the next Open) retries the remainder.
+			l.segs = append([]segment(nil), l.segs[i:]...)
 			return fmt.Errorf("wal: remove covered segment: %w", err)
 		}
 	}
@@ -420,12 +525,16 @@ func (l *Log) Size() int64 { return l.size }
 // Segments returns the number of on-disk segment files.
 func (l *Log) Segments() int { return len(l.segs) }
 
-// Close syncs and closes the active segment.
+// Close syncs and closes the active segment. A failed log skips the sync —
+// its tail is already poisoned and a close-time fsync cannot unpoison it.
 func (l *Log) Close() error {
 	if l.f == nil {
 		return nil
 	}
-	serr := l.Sync()
+	var serr error
+	if !l.failed {
+		serr = l.Sync()
+	}
 	cerr := l.f.Close()
 	l.f = nil
 	if serr != nil {

@@ -440,3 +440,59 @@ func TestCheckpointChainRoundTripAndCorruption(t *testing.T) {
 		t.Fatalf("orphan delta not detected: %v", err)
 	}
 }
+
+func TestKeyedAndProbeEntryCodec(t *testing.T) {
+	recs := []triple.Record{
+		{Extractor: "E1", Website: "w.com", Page: "w.com/1",
+			Subject: "s", Predicate: "pr", Object: "o", Confidence: 0.5},
+	}
+	ent, err := DecodeEntry(EncodeKeyedBatch("client-key-1", recs))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ent.Kind != EntryKeyedBatch || ent.Key != "client-key-1" || !reflect.DeepEqual(ent.Records, recs) {
+		t.Fatalf("keyed batch round trip: %+v", ent)
+	}
+	// An empty key degrades to a plain batch — old readers replay it fine.
+	ent, err = DecodeEntry(EncodeKeyedBatch("", recs))
+	if err != nil || ent.Kind != EntryBatch || ent.Key != "" {
+		t.Fatalf("empty-key batch: %+v, %v", ent, err)
+	}
+	ent, err = DecodeEntry(EncodeProbe())
+	if err != nil || ent.Kind != EntryProbe || ent.Key != "" || ent.Records != nil {
+		t.Fatalf("probe round trip: %+v, %v", ent, err)
+	}
+	for _, bad := range [][]byte{
+		{EntryProbe, 0x00},              // probe with trailing bytes
+		{EntryKeyedBatch, 0x00, 0x00},   // keyed batch with an empty key
+		{EntryKeyedBatch, 0x05, 'a'},    // key length past the payload
+		EncodeKeyedBatch("k", recs)[:6], // truncated mid-key/batch
+	} {
+		if _, err := DecodeEntry(bad); err == nil {
+			t.Fatalf("DecodeEntry(%x) accepted malformed input", bad)
+		}
+	}
+}
+
+func TestCheckpointOpKeyRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	base := &Checkpoint{
+		Watermark:   3,
+		Fingerprint: "fp",
+		Ops: []CheckpointOp{
+			{Records: []triple.Record{{Extractor: "E", Website: "w", Page: "p",
+				Subject: "s", Predicate: "q", Object: "o"}}, Key: "idem-1"},
+			{Refreshes: 1},
+		},
+	}
+	if err := WriteCheckpointBase(nil, dir, base); err != nil {
+		t.Fatal(err)
+	}
+	got, ok, err := ReadCheckpoint(nil, dir)
+	if err != nil || !ok {
+		t.Fatalf("read: ok=%v err=%v", ok, err)
+	}
+	if !reflect.DeepEqual(got, base) {
+		t.Fatalf("keyed checkpoint round trip mismatch: %+v", got)
+	}
+}
