@@ -45,7 +45,9 @@
 // Retry-After; queries keep serving the last generation), repairs its log
 // tail, and probes the disk with exponential backoff — -probe-backoff and
 // -probe-max-backoff tune the probe cadence — healing automatically once an
-// append+fsync round-trip succeeds. Health transitions are logged to stderr,
+// append+fsync round-trip succeeds. Probes run on write attempts and on
+// /v1/healthz polls alike, so a node drained by its load balancer still
+// heals without write traffic. Health transitions are logged to stderr,
 // and the process exits non-zero only on unrecoverable sealed-region
 // corruption, never on a survivable WAL fault.
 package main

@@ -53,6 +53,13 @@ type DurableOptions struct {
 	ProbeBackoff time.Duration
 	// ProbeMaxBackoff caps the exponential probe backoff.
 	ProbeMaxBackoff time.Duration
+	// KeyRetention bounds how many idempotency keys the engine retains, in
+	// memory and across checkpoints: once exceeded, the oldest keys are
+	// evicted. The bound is the client retry window — a resend of an evicted
+	// key is applied as a new batch — so size it to cover the slowest
+	// plausible retry. Zero means the default 64Ki; negative retains every
+	// key forever (unbounded memory and checkpoint growth).
+	KeyRetention int
 	// OnHealthChange, when non-nil, is invoked on every health-state
 	// transition with the triggering error (nil on a heal). It is called
 	// synchronously under the engine's mutator lock: keep it fast and never
@@ -77,6 +84,14 @@ func (o DurableOptions) clock() func() time.Time {
 		return o.now
 	}
 	return time.Now
+}
+
+// keyRetention resolves the idempotency-key retention bound.
+func (o DurableOptions) keyRetention() int {
+	if o.KeyRetention == 0 {
+		return defaultKeyRetention
+	}
+	return o.KeyRetention
 }
 
 // probeBackoff resolves the probe-backoff bounds.
@@ -222,10 +237,12 @@ type DurableEngine struct {
 	probeDelay time.Duration
 	nextProbe  time.Time
 
-	// seenKeys is the idempotency-key dedup set: every key whose batch was
-	// durably applied, live or via recovery replay. A resend of a seen key
-	// is acknowledged without re-ingesting.
-	seenKeys map[string]struct{}
+	// keys is the idempotency-key dedup set: the most recent KeyRetention
+	// keys whose batches were durably applied, live or via recovery replay.
+	// A resend of a retained key is acknowledged without re-ingesting;
+	// compaction carries the retained set into the rebuilt base so it
+	// survives the chain being replaced.
+	keys keyring
 
 	closed bool
 }
@@ -291,6 +308,7 @@ func OpenDurable(dir string, opt EngineOptions, dopt DurableOptions) (*DurableEn
 	}
 	coalesce := !dopt.disableCoalesce
 	d := &DurableEngine{opt: opt, dopt: dopt, dir: dir, log: log}
+	d.keys.cap = dopt.keyRetention()
 	var from uint64
 	if ok {
 		if ck.Fingerprint != fp {
@@ -335,10 +353,8 @@ func OpenDurable(dir string, opt EngineOptions, dopt DurableOptions) (*DurableEn
 			// A keyed batch whose key is already seen (from the chain or an
 			// earlier log entry) was a client resend racing a restart; the
 			// live process deduplicated it then, and replay does now.
-			if ent.Key != "" {
-				if _, dup := d.seenKeys[ent.Key]; dup {
-					return nil
-				}
+			if d.keys.has(ent.Key) {
+				return nil
 			}
 			// The live process logged the batch before engine validation, so
 			// a batch the engine rejected then is rejected again now — the
@@ -385,16 +401,11 @@ func (d *DurableEngine) noteRefresh() {
 	d.opsSince = append(d.opsSince, wal.CheckpointOp{Refreshes: 1})
 }
 
-// rememberKey records an applied idempotency key. Called with d.mu held (or
-// during single-threaded recovery).
+// rememberKey records an applied idempotency key, evicting beyond the
+// retention bound. Called with d.mu held (or during single-threaded
+// recovery).
 func (d *DurableEngine) rememberKey(key string) {
-	if key == "" {
-		return
-	}
-	if d.seenKeys == nil {
-		d.seenKeys = make(map[string]struct{})
-	}
-	d.seenKeys[key] = struct{}{}
+	d.keys.add(key)
 }
 
 // setHealthLocked transitions the state machine, notifying OnHealthChange.
@@ -407,6 +418,30 @@ func (d *DurableEngine) setHealthLocked(to HealthState, cause error) {
 	if d.dopt.OnHealthChange != nil {
 		d.dopt.OnHealthChange(from, to, cause)
 	}
+}
+
+// storageFault marks a checkpointLocked failure whose cause is the disk —
+// a WAL append/sync, checkpoint publication, or log truncation error. Only
+// these may degrade the engine's health: checkpointLocked can also fail for
+// reasons that have nothing to do with storage (a model error in the
+// pre-checkpoint refresh, a compaction rebuild failure), and degrading on
+// those would make a healthy disk's probe heal the engine just for the next
+// checkpoint to degrade it again — health flapping with spurious ErrReadOnly
+// on ingests in between.
+type storageFault struct{ err error }
+
+func (e *storageFault) Error() string { return e.err.Error() }
+func (e *storageFault) Unwrap() error { return e.err }
+
+// faultLocked routes a checkpointLocked failure: storage faults degrade the
+// engine read-only (the returned error wraps ErrReadOnly); anything else
+// surfaces unchanged, leaving health alone.
+func (d *DurableEngine) faultLocked(err error) error {
+	var sf *storageFault
+	if errors.As(err, &sf) {
+		return d.degradeLocked(sf.err)
+	}
+	return err
 }
 
 // degradeLocked records a storage fault and moves the engine to degraded
@@ -487,9 +522,19 @@ func (d *DurableEngine) probeLocked(now time.Time) error {
 }
 
 // Health reports the engine's health, fault history, and storage watermarks.
+// On a degraded engine whose probe backoff has elapsed, Health itself runs
+// the heal probe: healing must not depend on write traffic, or a node a load
+// balancer drained on a 503 health check (no ingests ever arrive) would stay
+// read-only forever after the disk recovered. Health-check polling is exactly
+// the traffic such a node still gets.
 func (d *DurableEngine) Health() HealthStatus {
 	d.mu.Lock()
 	defer d.mu.Unlock()
+	if !d.closed && HealthState(d.health.Load()) == StateDegraded {
+		if now := d.dopt.clock()(); !now.Before(d.nextProbe) {
+			_ = d.probeLocked(now) // failure shows up in the report below
+		}
+	}
 	st := HealthStatus{
 		State:               HealthState(d.health.Load()),
 		Faults:              d.faults.Load(),
@@ -532,12 +577,12 @@ func (d *DurableEngine) IngestKeyed(key string, batch ...Extraction) error {
 	if d.closed {
 		return ErrEngineClosed
 	}
-	if key != "" {
-		if _, dup := d.seenKeys[key]; dup {
-			// Exactly-once: the earlier send was durably applied, so the
-			// resend is acked without touching the (possibly faulty) disk.
-			return nil
-		}
+	if d.keys.has(key) {
+		// Exactly-once: the earlier send was durably applied, so the resend
+		// is acked without touching the (possibly faulty) disk. Only the
+		// most recent KeyRetention keys are retained — an older resend is
+		// past the documented retry window and applies as a new batch.
+		return nil
 	}
 	if err := d.gateLocked(); err != nil {
 		return err
@@ -561,7 +606,7 @@ func (d *DurableEngine) IngestKeyed(key string, batch ...Extraction) error {
 			// The batch itself is applied and durable — only the cadence
 			// checkpoint failed. Surfaced rather than swallowed, since a
 			// persistently failing checkpoint means unbounded log growth.
-			return fmt.Errorf("kbt: batch is durable but its size-triggered checkpoint failed: %w", d.degradeLocked(err))
+			return fmt.Errorf("kbt: batch is durable but its size-triggered checkpoint failed: %w", d.faultLocked(err))
 		}
 	}
 	return nil
@@ -608,7 +653,7 @@ func (d *DurableEngine) Refresh() (*Result, error) {
 	}
 	if need {
 		if err := d.checkpointLocked(); err != nil {
-			return nil, fmt.Errorf("kbt: refresh succeeded but its checkpoint failed: %w", d.degradeLocked(err))
+			return nil, fmt.Errorf("kbt: refresh succeeded but its checkpoint failed: %w", d.faultLocked(err))
 		}
 		// A compacting checkpoint replaced the generation r belongs to;
 		// serve the anchored one so the caller sees what recovery would.
@@ -644,7 +689,7 @@ func (d *DurableEngine) Checkpoint() error {
 		return err
 	}
 	if err := d.checkpointLocked(); err != nil {
-		return d.degradeLocked(err)
+		return d.faultLocked(err)
 	}
 	return nil
 }
@@ -659,14 +704,14 @@ func (d *DurableEngine) checkpointLocked() error {
 			// Applied to the live engine; carry it in the next delta even
 			// though the marker tore (see Refresh for the same contract).
 			d.noteRefresh()
-			return err
+			return &storageFault{err}
 		}
 		d.noteRefresh()
 	}
 	// The ops and the watermark must cover the same durable prefix, so
 	// everything logged so far is synced before NextSeq is read.
 	if err := d.log.Sync(); err != nil {
-		return err
+		return &storageFault{err}
 	}
 	watermark := d.log.NextSeq()
 	if d.hasChain && len(d.opsSince) == 0 && watermark == d.ckWatermark {
@@ -693,12 +738,22 @@ func (d *DurableEngine) checkpointLocked() error {
 		// march in lockstep through the same warm refreshes again.
 		recs := eng.eng.Records()
 		var ops []wal.CheckpointOp
+		recordOps := 0
 		if len(recs) > 0 {
 			ops = []wal.CheckpointOp{{Records: recs, Refreshes: 1}}
+			recordOps = 1
+		}
+		// Folding the chain into one record op loses the per-op keys, so the
+		// retained dedup set rides the base explicitly as key-only ops —
+		// recovery re-seeds from op.Key and a key-only op contributes no
+		// state. Without this, a client resend racing a compaction + restart
+		// would double-apply, breaking exactly-once across recovery.
+		for _, key := range d.keys.keys() {
+			ops = append(ops, wal.CheckpointOp{Key: key})
 		}
 		ck := &wal.Checkpoint{Watermark: watermark, Fingerprint: fp, Ops: ops}
 		if err := wal.WriteCheckpointBase(d.dopt.fs, d.dir, ck); err != nil {
-			return err
+			return &storageFault{err}
 		}
 		fresh, err := NewEngine(d.opt)
 		if err != nil {
@@ -713,7 +768,7 @@ func (d *DurableEngine) checkpointLocked() error {
 			}
 		}
 		d.eng.Store(fresh)
-		d.chainBatches = len(ops)
+		d.chainBatches = recordOps
 	case d.hasChain:
 		ck := &wal.Checkpoint{Watermark: watermark, Fingerprint: fp, Ops: d.opsSince}
 		if err := wal.WriteCheckpointDelta(d.dopt.fs, d.dir, d.ckWatermark, ck); err != nil {
@@ -734,7 +789,7 @@ func (d *DurableEngine) checkpointLocked() error {
 				d.refreshes = 0
 				d.lastCkpt = d.dopt.clock()()
 			}
-			return err
+			return &storageFault{err}
 		}
 		d.chainBatches += newBatches
 	default:
@@ -743,7 +798,7 @@ func (d *DurableEngine) checkpointLocked() error {
 		// keeps its carried-over state — no re-anchor.
 		ck := &wal.Checkpoint{Watermark: watermark, Fingerprint: fp, Ops: d.opsSince}
 		if err := wal.WriteCheckpointBase(d.dopt.fs, d.dir, ck); err != nil {
-			return err
+			return &storageFault{err}
 		}
 		d.chainBatches = newBatches
 	}
@@ -752,7 +807,10 @@ func (d *DurableEngine) checkpointLocked() error {
 	d.opsSince = nil
 	d.refreshes = 0
 	d.lastCkpt = d.dopt.clock()()
-	return d.log.TruncateBefore(watermark)
+	if err := d.log.TruncateBefore(watermark); err != nil {
+		return &storageFault{err}
+	}
+	return nil
 }
 
 // Close syncs and closes the log. Read accessors keep serving the last

@@ -1576,3 +1576,220 @@ func TestDurableChaosSweep(t *testing.T) {
 		})
 	}
 }
+
+// TestDurableCompactionPreservesKeys: compaction folds the chain into one
+// record op, which would drop the per-op idempotency keys — so the retained
+// key set must ride the rebuilt base explicitly, and a resend racing a
+// compaction + restart must still be applied exactly once.
+func TestDurableCompactionPreservesKeys(t *testing.T) {
+	opt := durableTestOptions()
+	dir := t.TempDir()
+	d, err := OpenDurable(dir, opt, DurableOptions{CompactAfterBatches: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	keys := []string{"k-0", "k-1", "k-2"}
+	next := 0
+	for _, key := range keys {
+		if err := d.IngestKeyed(key, durableBatch(next, 2)...); err != nil {
+			t.Fatal(err)
+		}
+		next += 2
+		if _, err := d.Refresh(); err != nil {
+			t.Fatal(err)
+		}
+		if err := d.Checkpoint(); err != nil { // 2nd and 3rd checkpoints compact
+			t.Fatal(err)
+		}
+	}
+	// The compacted base is one record op plus one key-only op per retained
+	// key — nothing else would survive the chain being replaced.
+	ck, ok, err := wal.ReadCheckpoint(nil, dir)
+	if err != nil || !ok {
+		t.Fatalf("read chain: ok=%v err=%v", ok, err)
+	}
+	if ck.Batches() != 1 || len(ck.AllRecords()) != next {
+		t.Fatalf("compacted chain: %d batch ops, %d records", ck.Batches(), len(ck.AllRecords()))
+	}
+	var carried []string
+	for i := range ck.Ops {
+		if len(ck.Ops[i].Records) == 0 && ck.Ops[i].Key != "" {
+			carried = append(carried, ck.Ops[i].Key)
+		}
+	}
+	if !reflect.DeepEqual(carried, keys) {
+		t.Fatalf("base carries keys %v, want %v", carried, keys)
+	}
+	if err := d.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	rec, err := OpenDurable(dir, opt, DurableOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rec.Close()
+	if rec.Len() != next {
+		t.Fatalf("recovered %d records, want %d", rec.Len(), next)
+	}
+	for _, key := range keys {
+		if err := rec.IngestKeyed(key, durableBatch(50, 2)...); err != nil {
+			t.Fatalf("resend of %s: %v", key, err)
+		}
+	}
+	if rec.Len() != next {
+		t.Fatalf("post-compaction resend re-applied: %d records, want %d", rec.Len(), next)
+	}
+}
+
+// TestDurableHealthHealsWithoutWrites: a degraded engine whose only traffic
+// is Health() polling (the load-balancer-drained shape: 503 healthz means no
+// writes ever arrive) still probes once the backoff elapses and heals — and a
+// closed engine's Health never touches the disk.
+func TestDurableHealthHealsWithoutWrites(t *testing.T) {
+	opt := durableTestOptions()
+	now := time.Unix(1_700_000_000, 0)
+	clock := func() time.Time { return now }
+	// Sync 0 is segment creation, sync 1 acks the first batch, sync 2 fails
+	// once; the disk is healthy again from sync 3 on.
+	ffs := wal.NewFaultFS(nil, wal.Fault{Op: wal.OpSync, After: 2, Err: wal.ErrInjectedIO, Times: 1})
+	d, err := OpenDurable(t.TempDir(), opt, DurableOptions{
+		fs: ffs, now: clock, ProbeBackoff: time.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Close()
+	if err := d.Ingest(durableBatch(0, 2)...); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Ingest(durableBatch(2, 2)...); !errors.Is(err, ErrReadOnly) {
+		t.Fatalf("faulted ingest: %v", err)
+	}
+	// Before the backoff elapses, Health reports without probing.
+	syncs := ffs.Calls(wal.OpSync)
+	if st := d.Health(); st.State != StateDegraded || st.RetryAfter <= 0 {
+		t.Fatalf("degraded report: %+v", st)
+	}
+	if got := ffs.Calls(wal.OpSync); got != syncs {
+		t.Fatalf("early Health probed the disk: %d syncs, was %d", got, syncs)
+	}
+	// Past the backoff, the Health call itself runs the probe and heals —
+	// no mutator ever arrives.
+	now = now.Add(1100 * time.Millisecond)
+	if st := d.Health(); st.State != StateHealthy || st.Heals != 1 {
+		t.Fatalf("Health did not heal: %+v", st)
+	}
+	if err := d.Ingest(durableBatch(2, 2)...); err != nil {
+		t.Fatalf("ingest after Health-driven heal: %v", err)
+	}
+
+	// A degraded engine that is closed stays quiet: Health reports, but never
+	// probes a closed log.
+	ffs2 := wal.NewFaultFS(nil, wal.Fault{Op: wal.OpSync, After: 1, Err: wal.ErrInjectedIO})
+	d2, err := OpenDurable(t.TempDir(), opt, DurableOptions{
+		fs: ffs2, now: clock, ProbeBackoff: time.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := d2.Ingest(durableBatch(0, 1)...); !errors.Is(err, ErrReadOnly) {
+		t.Fatalf("faulted ingest: %v", err)
+	}
+	d2.Close()
+	syncs = ffs2.Calls(wal.OpSync)
+	now = now.Add(time.Minute)
+	if st := d2.Health(); st.State != StateDegraded {
+		t.Fatalf("closed engine state: %v", st.State)
+	}
+	if got := ffs2.Calls(wal.OpSync); got != syncs {
+		t.Fatal("closed engine's Health probed the disk")
+	}
+}
+
+// TestDurableKeyRetention: the dedup set keeps only the most recent
+// KeyRetention keys — an evicted key's resend applies as a new batch (the
+// documented retry window), and recovery replay reproduces the same bounded
+// set, so live and recovered engines agree on which resends dedup.
+func TestDurableKeyRetention(t *testing.T) {
+	opt := durableTestOptions()
+	dir := t.TempDir()
+	dopt := DurableOptions{KeyRetention: 2}
+	d, err := OpenDurable(dir, opt, dopt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		if err := d.IngestKeyed(fmt.Sprintf("k-%d", i), durableExtraction(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// k-0 is evicted (window is 2): its resend is past the retry window and
+	// applies; k-2 is retained and dedups.
+	if err := d.IngestKeyed("k-2", durableExtraction(10)); err != nil || d.Len() != 3 {
+		t.Fatalf("retained key re-applied: err=%v len=%d", err, d.Len())
+	}
+	if err := d.IngestKeyed("k-0", durableExtraction(11)); err != nil || d.Len() != 4 {
+		t.Fatalf("evicted key did not re-apply: err=%v len=%d", err, d.Len())
+	}
+	if _, err := d.Refresh(); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Replay walks the same keyed sequence through the same bounded ring:
+	// the recovered window is {k-2, k-0}, exactly the live engine's.
+	rec, err := OpenDurable(dir, opt, dopt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rec.Close()
+	if rec.Len() != 4 {
+		t.Fatalf("recovered %d records, want 4", rec.Len())
+	}
+	for _, key := range []string{"k-2", "k-0"} {
+		if err := rec.IngestKeyed(key, durableExtraction(20)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if rec.Len() != 4 {
+		t.Fatalf("retained keys re-applied after recovery: %d records", rec.Len())
+	}
+	if err := rec.IngestKeyed("k-1", durableExtraction(21)); err != nil || rec.Len() != 5 {
+		t.Fatalf("evicted key did not re-apply after recovery: err=%v len=%d", err, rec.Len())
+	}
+}
+
+// TestCheckpointFaultClassification: only storage faults inside a checkpoint
+// degrade the engine; a model error surfaces unchanged and leaves health
+// alone — no flapping between a healthy disk's probe heals and the next
+// checkpoint's spurious degrade.
+func TestCheckpointFaultClassification(t *testing.T) {
+	d, err := OpenDurable(t.TempDir(), durableTestOptions(), DurableOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Close()
+	modelErr := errors.New("model exploded")
+	d.mu.Lock()
+	if got := d.faultLocked(modelErr); got != modelErr {
+		d.mu.Unlock()
+		t.Fatalf("model error rewritten: %v", got)
+	}
+	if HealthState(d.health.Load()) != StateHealthy {
+		d.mu.Unlock()
+		t.Fatal("model error degraded the engine")
+	}
+	diskErr := errors.New("disk exploded")
+	got := d.faultLocked(&storageFault{diskErr})
+	state := HealthState(d.health.Load())
+	d.mu.Unlock()
+	if !errors.Is(got, ErrReadOnly) || !errors.Is(got, diskErr) {
+		t.Fatalf("storage fault: %v, want ErrReadOnly wrapping the cause", got)
+	}
+	if state != StateDegraded {
+		t.Fatalf("storage fault left state %v, want degraded", state)
+	}
+}

@@ -114,11 +114,12 @@ type Engine struct {
 	// every reader of a generation shares one set of memoized sorted views.
 	cur atomic.Pointer[Result]
 
-	// keyMu/seenKeys implement IngestKeyed's dedup for the in-memory engine.
+	// keyMu/keys implement IngestKeyed's dedup for the in-memory engine,
+	// bounded at the default retention (the most recent 64Ki keys).
 	// (DurableEngine keeps its own set, persisted through WAL entries and
 	// checkpoint ops.)
-	keyMu    sync.Mutex
-	seenKeys map[string]struct{}
+	keyMu sync.Mutex
+	keys  keyring
 }
 
 // NewEngine builds an empty incremental engine. Option validation and the
@@ -129,7 +130,7 @@ func NewEngine(opt EngineOptions) (*Engine, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Engine{eng: engine.New(eopt), opt: opt}, nil
+	return &Engine{eng: engine.New(eopt), opt: opt, keys: keyring{cap: defaultKeyRetention}}, nil
 }
 
 // Ingest validates and appends extractions; they take effect at the next
@@ -157,16 +158,13 @@ func (e *Engine) IngestKeyed(key string, batch ...Extraction) error {
 	}
 	e.keyMu.Lock()
 	defer e.keyMu.Unlock()
-	if _, dup := e.seenKeys[key]; dup {
+	if e.keys.has(key) {
 		return nil
 	}
 	if err := e.Ingest(batch...); err != nil {
 		return err
 	}
-	if e.seenKeys == nil {
-		e.seenKeys = make(map[string]struct{})
-	}
-	e.seenKeys[key] = struct{}{}
+	e.keys.add(key)
 	return nil
 }
 

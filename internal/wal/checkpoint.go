@@ -32,9 +32,13 @@ import (
 // obsoletes are removed afterwards, and a crash between the base rename and
 // the removals only leaves stale deltas whose watermarks the reader skips.
 const (
-	// kbtckp03 added the per-op idempotency key; earlier chains are rejected
-	// as corrupt rather than silently decoded under the wrong layout.
-	ckptMagic = "kbtckp03"
+	// kbtckp03 added the per-op idempotency key. Writes always use it, but
+	// kbtckp02 parts — written before keyed ingest existed — still decode
+	// (their ops simply carry no keys), so upgrading a binary over an
+	// existing data dir keeps the chain readable; the next checkpoint
+	// appends in the current format.
+	ckptMagic   = "kbtckp03"
+	ckptMagicV2 = "kbtckp02"
 	// CheckpointFile is the chain's base file name inside the data dir.
 	CheckpointFile = "checkpoint"
 	ckptTempFile   = "checkpoint.tmp"
@@ -305,7 +309,15 @@ func readCkptFile(fsys FS, path string) (raw []byte, exists bool, err error) {
 
 func decodeCkptPart(raw []byte) (prev uint64, ck *Checkpoint, err error) {
 	hdr := len(ckptMagic) + 12
-	if len(raw) < hdr || string(raw[:len(ckptMagic)]) != ckptMagic {
+	if len(raw) < hdr {
+		return 0, nil, fmt.Errorf("%w: checkpoint header", ErrCorrupt)
+	}
+	hasKeys := false
+	switch string(raw[:len(ckptMagic)]) {
+	case ckptMagic:
+		hasKeys = true
+	case ckptMagicV2: // pre-key layout: ops decode with empty keys
+	default:
 		return 0, nil, fmt.Errorf("%w: checkpoint header", ErrCorrupt)
 	}
 	sum := binary.LittleEndian.Uint32(raw[len(ckptMagic):])
@@ -363,9 +375,11 @@ func decodeCkptPart(raw []byte) (prev uint64, ck *Checkpoint, err error) {
 			return 0, nil, fmt.Errorf("%w: checkpoint op %d refresh count", ErrCorrupt, i)
 		}
 		op.Refreshes = int(refreshes)
-		op.Key, payload, err = decodeString(payload)
-		if err != nil {
-			return 0, nil, fmt.Errorf("%w: checkpoint op %d key", ErrCorrupt, i)
+		if hasKeys {
+			op.Key, payload, err = decodeString(payload)
+			if err != nil {
+				return 0, nil, fmt.Errorf("%w: checkpoint op %d key", ErrCorrupt, i)
+			}
 		}
 		ck.Ops = append(ck.Ops, op)
 	}
